@@ -1,0 +1,179 @@
+//! Criterion microbenchmarks of the library's *real* overheads (smp conduit
+//! and pure in-process paths) — these complement the fig* harnesses, which
+//! reproduce the paper's plots on the modeled machine. What's measured here
+//! is the runtime itself: future/promise machinery, the serialization codec,
+//! the shared-segment allocator, RPC round trips through real inboxes, and
+//! the DES engine's event throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn bench_futures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("futures");
+    g.bench_function("then_chain_100", |b| {
+        b.iter(|| {
+            let p = upcxx::Promise::<u64>::new();
+            let mut f = p.get_future();
+            for _ in 0..100 {
+                f = f.then(|v| v + 1);
+            }
+            p.fulfill(black_box(1));
+            black_box(f.try_get())
+        })
+    });
+    g.bench_function("promise_count_1000", |b| {
+        b.iter(|| {
+            let p = upcxx::Promise::<()>::new();
+            p.require_anonymous(1000);
+            let f = p.finalize();
+            for _ in 0..1000 {
+                p.fulfill_anonymous(1);
+            }
+            black_box(f.is_ready())
+        })
+    });
+    g.bench_function("when_all_vec_64", |b| {
+        b.iter(|| {
+            let ps: Vec<upcxx::Promise<u64>> = (0..64).map(|_| upcxx::Promise::new()).collect();
+            let f = upcxx::when_all_vec(ps.iter().map(|p| p.get_future()).collect());
+            for (i, p) in ps.iter().enumerate() {
+                p.fulfill(i as u64);
+            }
+            black_box(f.try_get())
+        })
+    });
+    g.finish();
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serialization");
+    let payload: Vec<u64> = (0..512).collect();
+    g.throughput(Throughput::Bytes(512 * 8));
+    g.bench_function("view_roundtrip_4KiB", |b| {
+        b.iter(|| {
+            let bytes = upcxx::ser::to_bytes(&upcxx::make_view(black_box(&payload)));
+            let mut r = upcxx::ser::Reader::new(bytes);
+            let v = <upcxx::View<u64> as upcxx::Ser>::deser(&mut r);
+            black_box(v.iter().sum::<u64>())
+        })
+    });
+    g.bench_function("tuple_message_roundtrip", |b| {
+        let msg = (42usize, String::from("extend-add"), vec![1.5f64; 64]);
+        b.iter(|| {
+            let bytes = upcxx::ser::to_bytes(black_box(&msg));
+            let back: (usize, String, Vec<f64>) = upcxx::ser::from_bytes(bytes);
+            black_box(back)
+        })
+    });
+    g.finish();
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    c.bench_function("seg_alloc_dealloc_64", |b| {
+        let mut a = upcxx::alloc::SegAlloc::new(1 << 20);
+        b.iter(|| {
+            let offs: Vec<usize> = (0..64).map(|i| a.alloc(64 + i * 8).unwrap()).collect();
+            for off in offs {
+                a.dealloc(off);
+            }
+        })
+    });
+}
+
+/// Real smp-conduit RPC round trips: `iters` ping-pongs between two OS
+/// threads through the lock-free inboxes, timed from inside the world.
+fn bench_smp_rpc(c: &mut Criterion) {
+    fn bump(x: u64) -> u64 {
+        x + 1
+    }
+    c.bench_function("smp_rpc_roundtrip", |b| {
+        b.iter_custom(|iters| {
+            let out = std::sync::Mutex::new(Duration::ZERO);
+            upcxx::run_spmd_default(2, || {
+                if upcxx::rank_me() == 0 {
+                    let t0 = Instant::now();
+                    for i in 0..iters {
+                        black_box(upcxx::rpc(1, bump, i).wait());
+                    }
+                    *out.lock().unwrap() = t0.elapsed();
+                }
+                upcxx::barrier();
+            });
+            out.into_inner().unwrap()
+        })
+    });
+    c.bench_function("smp_rput_1KiB", |b| {
+        b.iter_custom(|iters| {
+            let out = std::sync::Mutex::new(Duration::ZERO);
+            upcxx::run_spmd_default(2, || {
+                let buf = upcxx::allocate::<u8>(1024);
+                let bufs = upcxx::broadcast_gather(buf);
+                if upcxx::rank_me() == 0 {
+                    let data = vec![7u8; 1024];
+                    let t0 = Instant::now();
+                    for _ in 0..iters {
+                        upcxx::rput(black_box(&data), bufs[1]).wait();
+                    }
+                    *out.lock().unwrap() = t0.elapsed();
+                }
+                upcxx::barrier();
+            });
+            out.into_inner().unwrap()
+        })
+    });
+}
+
+fn bench_sim_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_engine");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("event_throughput_10k", |b| {
+        b.iter(|| {
+            let sim = pgas_des::SharedSim::new();
+            for i in 0..10_000u64 {
+                sim.schedule_at(pgas_des::Time::from_ns(i), Box::new(|| {}));
+            }
+            sim.run()
+        })
+    });
+    g.finish();
+}
+
+fn bench_eadd_pack(c: &mut Criterion) {
+    use sparse_solver::{grid3d_laplacian, nested_dissection, symbolic_factorize};
+    c.bench_function("eadd_pack_k8_p4", |b| {
+        b.iter_custom(|iters| {
+            let out = std::sync::Mutex::new(Duration::ZERO);
+            upcxx::run_spmd_default(4, || {
+                let tree = nested_dissection(8, 16);
+                let a = grid3d_laplacian(8).permute(&tree.perm);
+                let fronts = symbolic_factorize(&a, &tree);
+                let plan = sparse_solver::EaddPlan::build(tree, fronts, 4, 8);
+                sparse_solver::eadd::init_rank_storage(&plan);
+                upcxx::barrier();
+                if upcxx::rank_me() == 0 {
+                    // Pack the first non-root front this rank participates in.
+                    let id = (0..plan.tree.nodes.len())
+                        .find(|&id| {
+                            plan.tree.nodes[id].parent.is_some() && plan.map[id].contains(0)
+                        })
+                        .unwrap();
+                    let t0 = Instant::now();
+                    for _ in 0..iters {
+                        black_box(sparse_solver::eadd::pack(&plan, id));
+                    }
+                    *out.lock().unwrap() = t0.elapsed();
+                }
+                upcxx::barrier();
+            });
+            out.into_inner().unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3));
+    targets = bench_futures, bench_serialization, bench_allocator, bench_smp_rpc, bench_sim_engine, bench_eadd_pack
+}
+criterion_main!(benches);

@@ -1,0 +1,280 @@
+//! Fig. 3 — RMA microbenchmarks on the modeled Cori Haswell (§IV-B):
+//! (a) round-trip blocking put latency, (b) flood put bandwidth, UPC++ rput
+//! vs MPI-3 RMA (`MPI_Put` + passive-target `MPI_Win_flush`), two nodes with
+//! one rank per node, exactly the paper's setup.
+//!
+//! Usage: `fig3 [latency|bandwidth|all]`
+
+use bench::{check, fmt_bytes, gbps, pow2_sweep, rule};
+use netsim::MachineConfig;
+use pgas_des::{Series, Time};
+use std::cell::Cell;
+use std::rc::Rc;
+use upcxx::SimRuntime;
+
+/// Two Haswell nodes, one rank each (the paper's "single process per node,
+/// i.e. one initiator and one passive target").
+fn machine() -> MachineConfig {
+    MachineConfig {
+        ranks_per_node: 1,
+        ..MachineConfig::cori_haswell()
+    }
+}
+
+fn alloc_buf(len: usize) -> upcxx::GlobalPtr<u8> {
+    upcxx::allocate::<u8>(len)
+}
+
+/// Blocking-put latency for one size over UPC++: a chain of rputs, each
+/// issued only after the previous completed (the paper's
+/// `rput(...).wait()` loop), under virtual time.
+fn upcxx_latency(size: usize, iters: usize) -> Time {
+    let rt = SimRuntime::new(machine(), 2, size + (1 << 16));
+    let total = Rc::new(Cell::new(Time::ZERO));
+    let t2 = total.clone();
+    rt.spawn(0, move || {
+        upcxx::rpc(1, alloc_buf, size).then(move |dest| {
+            let t0 = upcxx::sim_rank_now().unwrap();
+            fn step(
+                i: usize,
+                iters: usize,
+                size: usize,
+                dest: upcxx::GlobalPtr<u8>,
+                t0: Time,
+                out: Rc<Cell<Time>>,
+            ) {
+                if i == iters {
+                    out.set((upcxx::sim_now().unwrap() - t0) / iters as u64);
+                    return;
+                }
+                let buf = vec![0u8; size];
+                upcxx::rput(&buf, dest).then(move |_| step(i + 1, iters, size, dest, t0, out));
+            }
+            step(0, iters, size, dest, t0, t2.clone());
+        });
+    });
+    rt.run();
+    total.get()
+}
+
+/// Blocking `MPI_Put` + `MPI_Win_flush` latency chain (IMB-RMA
+/// non-aggregate mode).
+fn mpi_latency(size: usize, iters: usize) -> Time {
+    let rt = SimRuntime::new(machine(), 2, size + (1 << 16));
+    let total = Rc::new(Cell::new(Time::ZERO));
+    let t2 = total.clone();
+    for r in 0..2 {
+        let t3 = t2.clone();
+        rt.spawn(r, move || {
+            minimpi::Win::create_async(size + 64).then(move |win| {
+                if r != 0 {
+                    return;
+                }
+                let t0 = upcxx::sim_rank_now().unwrap();
+                fn step(
+                    i: usize,
+                    iters: usize,
+                    size: usize,
+                    win: minimpi::Win,
+                    t0: Time,
+                    out: Rc<Cell<Time>>,
+                ) {
+                    if i == iters {
+                        out.set((upcxx::sim_now().unwrap() - t0) / iters as u64);
+                        return;
+                    }
+                    let buf = vec![0u8; size];
+                    win.put(1, 0, &buf);
+                    win.flush(1)
+                        .then(move |_| step(i + 1, iters, size, win, t0, out));
+                }
+                step(0, iters, size, win, t0, t3.clone());
+            });
+        });
+    }
+    rt.run();
+    total.get()
+}
+
+/// Flood bandwidth over UPC++: the paper's §IV-B listing — non-blocking
+/// rputs tracked by one promise, occasional progress, finalize + wait.
+fn upcxx_bandwidth(size: usize, iters: usize) -> f64 {
+    let rt = SimRuntime::new(machine(), 2, size + (1 << 16));
+    let bw = Rc::new(Cell::new(0.0f64));
+    let bw2 = bw.clone();
+    rt.spawn(0, move || {
+        upcxx::rpc(1, alloc_buf, size).then(move |dest| {
+            let t0 = upcxx::sim_rank_now().unwrap();
+            let p = upcxx::Promise::<()>::new();
+            let buf = vec![0u8; size];
+            for i in 0..iters {
+                upcxx::rput_promise(&buf, dest, &p);
+                if i % 10 == 0 {
+                    upcxx::progress();
+                }
+            }
+            let bw3 = bw2.clone();
+            p.finalize().then(move |_| {
+                let dt = upcxx::sim_now().unwrap() - t0;
+                bw3.set(gbps((size * iters) as u64, dt));
+            });
+        });
+    });
+    rt.run();
+    bw.get()
+}
+
+/// Flood bandwidth over MPI RMA (IMB `Unidir_put` aggregate mode: many puts,
+/// one flush).
+fn mpi_bandwidth(size: usize, iters: usize) -> f64 {
+    let rt = SimRuntime::new(machine(), 2, size + (1 << 16));
+    let bw = Rc::new(Cell::new(0.0f64));
+    for r in 0..2 {
+        let bw2 = bw.clone();
+        rt.spawn(r, move || {
+            minimpi::Win::create_async(size + 64).then(move |win| {
+                if r != 0 {
+                    return;
+                }
+                let t0 = upcxx::sim_rank_now().unwrap();
+                let buf = vec![0u8; size];
+                for _ in 0..iters {
+                    win.put(1, 0, &buf);
+                }
+                let bw3 = bw2.clone();
+                win.flush(1).then(move |_| {
+                    let dt = upcxx::sim_now().unwrap() - t0;
+                    bw3.set(gbps((size * iters) as u64, dt));
+                });
+            });
+        });
+    }
+    rt.run();
+    bw.get()
+}
+
+fn iters_for(size: usize) -> usize {
+    // Fixed-ish volume, clamped: plenty of steady state at small sizes
+    // without hour-long big-message chains.
+    ((16 << 20) / size).clamp(20, 1000)
+}
+
+fn run_latency(sizes: &[usize]) -> (Series, Series) {
+    println!("{}", rule("Fig. 3a — round-trip put latency (lower is better)"));
+    println!(
+        "{:>10} {:>16} {:>16} {:>10}",
+        "size", "UPC++ (us)", "MPI RMA (us)", "MPI/UPC++"
+    );
+    let mut su = Series::new("upcxx_us");
+    let mut sm = Series::new("mpi_us");
+    for &size in sizes {
+        let iters = (iters_for(size) / 4).max(10);
+        let u = upcxx_latency(size, iters);
+        let m = mpi_latency(size, iters);
+        su.push(size as f64, u.as_us_f64());
+        sm.push(size as f64, m.as_us_f64());
+        println!(
+            "{:>10} {:>16.3} {:>16.3} {:>10.3}",
+            fmt_bytes(size as f64),
+            u.as_us_f64(),
+            m.as_us_f64(),
+            m.as_us_f64() / u.as_us_f64()
+        );
+    }
+    (su, sm)
+}
+
+fn run_bandwidth(sizes: &[usize]) -> (Series, Series) {
+    println!("{}", rule("Fig. 3b — flood put bandwidth (higher is better)"));
+    println!(
+        "{:>10} {:>16} {:>16} {:>10}",
+        "size", "UPC++ (GB/s)", "MPI RMA (GB/s)", "UPC++/MPI"
+    );
+    let mut su = Series::new("upcxx_gbps");
+    let mut sm = Series::new("mpi_gbps");
+    for &size in sizes {
+        let iters = iters_for(size);
+        let u = upcxx_bandwidth(size, iters);
+        let m = mpi_bandwidth(size, iters);
+        su.push(size as f64, u);
+        sm.push(size as f64, m);
+        println!(
+            "{:>10} {:>16.3} {:>16.3} {:>10.3}",
+            fmt_bytes(size as f64),
+            u,
+            m,
+            u / m
+        );
+    }
+    (su, sm)
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let sizes = pow2_sweep(8, 4 << 20);
+    println!(
+        "machine: modeled {} (2 nodes x 1 rank; deterministic sim, single run)",
+        machine().name
+    );
+
+    if mode == "latency" || mode == "all" {
+        let (su, sm) = run_latency(&sizes);
+        // Paper's shape claims for Fig. 3a.
+        let avg_ratio = |lo: usize, hi: usize| {
+            let pts: Vec<f64> = sizes
+                .iter()
+                .filter(|&&s| s >= lo && s <= hi)
+                .map(|&s| sm.y_at(s as f64).unwrap() / su.y_at(s as f64).unwrap())
+                .collect();
+            pts.iter().sum::<f64>() / pts.len() as f64
+        };
+        let small = avg_ratio(8, 128);
+        let mid = avg_ratio(256, 1024);
+        check(
+            &format!(
+                "below 256B UPC++ leads MPI by >5% on average (got {:.1}%)",
+                (small - 1.0) * 100.0
+            ),
+            small > 1.05,
+        );
+        check(
+            &format!(
+                "256B-1KiB UPC++ leads by >25% on average (got {:.1}%)",
+                (mid - 1.0) * 100.0
+            ),
+            mid > 1.25,
+        );
+        let all_lead = sizes
+            .iter()
+            .all(|&s| sm.y_at(s as f64).unwrap() >= su.y_at(s as f64).unwrap());
+        check("latency advantage present through 4MiB", all_lead);
+    }
+
+    if mode == "bandwidth" || mode == "all" {
+        let (su, sm) = run_bandwidth(&sizes);
+        let ratio_at = |s: usize| su.y_at(s as f64).unwrap() / sm.y_at(s as f64).unwrap();
+        check(
+            &format!(
+                "at 8KiB UPC++ delivers >25% more bandwidth (got {:.1}%)",
+                (ratio_at(8192) - 1.0) * 100.0
+            ),
+            ratio_at(8192) > 1.25,
+        );
+        check(
+            &format!(
+                "8KiB is (near) the peak advantage (8K {:.2}x vs 128K {:.2}x)",
+                ratio_at(8192),
+                ratio_at(128 << 10)
+            ),
+            ratio_at(8192) >= ratio_at(128 << 10),
+        );
+        check(
+            &format!("bandwidths comparable at 4MiB (ratio {:.2})", ratio_at(4 << 20)),
+            (0.85..1.2).contains(&ratio_at(4 << 20)),
+        );
+        check(
+            &format!("bandwidths comparable at small sizes (64B ratio {:.2})", ratio_at(64)),
+            (0.8..1.35).contains(&ratio_at(64)),
+        );
+    }
+}

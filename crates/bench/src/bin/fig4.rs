@@ -1,0 +1,172 @@
+//! Fig. 4 — weak scaling of distributed hash table insertion (§IV-C):
+//! every rank inserts a fixed volume of random-key values, blocking after
+//! each insertion ("this application is limited by communication latency"),
+//! on the modeled Cori Haswell (up to 16384 ranks) and Cori KNL (up to
+//! 34816 ranks). The serial (1-rank) point omits all UPC++ calls, exactly as
+//! the paper describes.
+//!
+//! Usage: `fig4 [haswell|knl|both] [--quick]`
+//! (`--quick` caps the sweep at 2048 ranks for fast smoke runs)
+
+use bench::{check, rule};
+use netsim::MachineConfig;
+use pgas_des::Time;
+use std::cell::Cell;
+use std::rc::Rc;
+use upcxx::SimRuntime;
+
+/// Fixed inserted volume per rank (weak scaling) — scaled down from the
+/// paper's run to keep 34816-rank simulations inside laptop memory; the
+/// per-insert communication pattern is unchanged.
+const VOLUME_PER_RANK: usize = 16 << 10;
+
+/// Value sizes swept (the paper: "varying sizes of values", same total
+/// volume, e.g. 2KB runs 4x more iterations than 8KB).
+const SIZES: [usize; 3] = [256, 1024, 4096];
+
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Aggregate insert throughput (MB/s) for `p` simulated ranks.
+fn run_point(cfg: &MachineConfig, p: usize, size: usize) -> f64 {
+    let iters = VOLUME_PER_RANK / size;
+    if p == 1 {
+        // Serial baseline: "omits all calls to UPC++ ... the best we can
+        // achieve with the underlying standard library": hash-map insert
+        // plus the value copy, scaled by the machine's CPU factor.
+        let per_insert = Time::from_ns(120) + Time::from_ns_f64(0.05).scale(size as f64);
+        let total = per_insert.scale(cfg.cpu_factor) * iters as u64;
+        return VOLUME_PER_RANK as f64 / total.as_ns_f64() * 1e9 / (1 << 20) as f64;
+    }
+    let rt = SimRuntime::new(cfg.clone(), p, 64 << 10);
+    let done_at = Rc::new(Cell::new(Time::ZERO));
+    for r in 0..p {
+        let done_at = done_at.clone();
+        rt.spawn(r, move || {
+            pgas_dht::enable_recycling();
+            // The paper's benchmark loop: insert, block, repeat.
+            fn step(r: usize, i: usize, iters: usize, size: usize, done_at: Rc<Cell<Time>>) {
+                if i == iters {
+                    let t = upcxx::sim_now().unwrap();
+                    done_at.set(done_at.get().max(t));
+                    return;
+                }
+                let key = splitmix((r as u64) << 24 | i as u64);
+                let val = vec![0xa5u8; size];
+                pgas_dht::insert(key, val).then(move |_| step(r, i + 1, iters, size, done_at));
+            }
+            step(r, 0, iters, size, done_at);
+        });
+    }
+    rt.run();
+    let total_bytes = (p * VOLUME_PER_RANK) as f64;
+    total_bytes / done_at.get().as_ns_f64() * 1e9 / (1 << 20) as f64
+}
+
+fn sweep(max_ranks: usize) -> Vec<usize> {
+    let mut v = vec![
+        1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 34816,
+    ];
+    v.retain(|&p| p <= max_ranks);
+    v
+}
+
+fn run_machine(cfg: &MachineConfig, max_ranks: usize) {
+    println!(
+        "{}",
+        rule(&format!(
+            "Fig. 4 — DHT weak scaling on {} ({} ranks/node)",
+            cfg.name, cfg.ranks_per_node
+        ))
+    );
+    println!(
+        "(volume/rank {} KiB; aggregate MB/s; '|' marks one full node)",
+        VOLUME_PER_RANK >> 10
+    );
+    print!("{:>9}", "ranks");
+    for s in SIZES {
+        print!(" {:>12}", format!("{}B", s));
+    }
+    println!();
+    let mut results: Vec<(usize, Vec<f64>)> = Vec::new();
+    for p in sweep(max_ranks) {
+        let row: Vec<f64> = SIZES.iter().map(|&s| run_point(cfg, p, s)).collect();
+        let node_mark = if p == cfg.ranks_per_node { "|" } else { " " };
+        print!("{:>8}{:1}", p, node_mark);
+        for v in &row {
+            print!(" {:>12.1}", v);
+        }
+        println!();
+        results.push((p, row));
+    }
+
+    // Shape checks (per size series). Like the paper's Fig. 4, the curve
+    // has three regimes: the serial point above everything, efficient
+    // intra-node scaling up to one full node (the dotted line), a step down
+    // at the node boundary (inter-node latency), then near-linear
+    // multi-node weak scaling.
+    for (si, s) in SIZES.iter().enumerate() {
+        let at = |p: usize| {
+            results
+                .iter()
+                .find(|(rp, _)| *rp == p)
+                .map(|(_, row)| row[si])
+        };
+        if let (Some(one), Some(two)) = (at(1), at(2)) {
+            check(
+                &format!("{s}B: initial decline from serial to 2 ranks (per-rank rate)"),
+                one > two / 2.0 * 1.2,
+            );
+        }
+        // Intra-node regime: 2 -> one node.
+        let node = cfg.ranks_per_node.next_power_of_two() / 2; // nearest swept point
+        if let (Some(two), Some(full)) = (at(2), at(node)) {
+            let eff = (full / two) / (node as f64 / 2.0);
+            check(
+                &format!(
+                    "{s}B: efficient intra-node scaling 2→{node} (efficiency {:.0}%)",
+                    eff * 100.0
+                ),
+                eff > 0.6,
+            );
+        }
+        // Multi-node regime: from ~4 nodes to the top of the sweep.
+        let base_p = results
+            .iter()
+            .map(|(p, _)| *p)
+            .find(|&p| p >= 4 * cfg.ranks_per_node)
+            .unwrap_or(results.last().unwrap().0);
+        let last = results.last().unwrap();
+        if let Some(base) = at(base_p) {
+            if last.0 > base_p {
+                let eff = (last.1[si] / base) / (last.0 as f64 / base_p as f64);
+                check(
+                    &format!(
+                        "{s}B: near-linear multi-node weak scaling {}→{} ranks (efficiency {:.0}%)",
+                        base_p, last.0, eff * 100.0
+                    ),
+                    eff > 0.55,
+                );
+            }
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("both");
+    let quick = args.iter().any(|a| a == "--quick");
+    println!("deterministic sim; single run per configuration");
+    if which == "haswell" || which == "both" {
+        let cfg = MachineConfig::cori_haswell(); // 32 ranks/node
+        run_machine(&cfg, if quick { 2048 } else { 16384 });
+    }
+    if which == "knl" || which == "both" {
+        let cfg = MachineConfig::cori_knl(); // 68 ranks/node
+        run_machine(&cfg, if quick { 2048 } else { 34816 });
+    }
+}

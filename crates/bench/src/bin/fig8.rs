@@ -1,0 +1,159 @@
+//! Fig. 8 — strong scaling of the extend-add operation (§IV-D3): the full
+//! bottom-up tree of `e_add`s on a fixed sparse problem, three communication
+//! variants (UPC++ RPC / MPI Alltoallv / MPI P2P), on modeled Cori Haswell
+//! (32 ranks/node) and Cori KNL (64 ranks/node, as in the paper's runs).
+//!
+//! The input is the 3-D grid Laplacian stand-in for `audikw_1` (DESIGN.md
+//! records the substitution); "no computation other than the accumulation of
+//! numerical values is performed"; the tree and distribution metadata are
+//! precomputed outside the timed region, as the paper extracts them from
+//! STRUMPACK.
+//!
+//! Usage: `fig8 [haswell|knl|both] [--quick] [--k N]`
+
+use bench::{check, rule};
+use netsim::MachineConfig;
+use sparse_solver::eadd::{eadd_traverse, init_rank_storage, install_plan, EaddPlan};
+use sparse_solver::{grid3d_laplacian, nested_dissection, symbolic_factorize, Variant};
+use std::cell::Cell;
+use std::rc::Rc;
+use upcxx::SimRuntime;
+
+fn build_plan(k: usize, p: usize) -> Rc<EaddPlan> {
+    let tree = nested_dissection(k, 32);
+    let a = grid3d_laplacian(k).permute(&tree.perm);
+    let fronts = symbolic_factorize(&a, &tree);
+    EaddPlan::build(tree, fronts, p, 16)
+}
+
+/// One timed traversal; returns the virtual completion time in seconds
+/// (the latest rank-local clock, so pure-CPU runs like P=1 are measured
+/// correctly too).
+fn run_point(cfg: &MachineConfig, plan: &Rc<EaddPlan>, variant: Variant) -> f64 {
+    let p = plan.p;
+    let rt = SimRuntime::new(cfg.clone(), p, 4 << 10);
+    let finished = Rc::new(Cell::new(0usize));
+    let latest = Rc::new(Cell::new(pgas_des::Time::ZERO));
+    for r in 0..p {
+        let plan = plan.clone();
+        let finished = finished.clone();
+        let latest = latest.clone();
+        rt.spawn(r, move || {
+            init_rank_storage(&plan);
+            install_plan(plan.clone());
+            let plan2 = plan.clone();
+            let f2 = finished.clone();
+            let l2 = latest.clone();
+            upcxx::barrier_async()
+                .then_fut(move |_| eadd_traverse(plan2, variant))
+                .then(move |_| {
+                    f2.set(f2.get() + 1);
+                    l2.set(l2.get().max(upcxx::sim_rank_now().unwrap()));
+                });
+        });
+    }
+    rt.run();
+    assert_eq!(finished.get(), p, "incomplete traversal");
+    latest.get().as_secs_f64()
+}
+
+fn run_machine(cfg: &MachineConfig, k: usize, ps: &[usize]) -> Vec<(usize, [f64; 3])> {
+    println!(
+        "{}",
+        rule(&format!(
+            "Fig. 8 — extend-add strong scaling on {} ({} ranks/node), grid {k}^3",
+            cfg.name, cfg.ranks_per_node
+        ))
+    );
+    println!(
+        "{:>9} {:>14} {:>14} {:>14} {:>9} {:>9}",
+        "ranks", "UPC++ RPC (s)", "Alltoallv (s)", "P2P (s)", "A2A/RPC", "P2P/RPC"
+    );
+    let mut out = Vec::new();
+    for &p in ps {
+        let plan = build_plan(k, p);
+        let rpc = run_point(cfg, &plan, Variant::UpcxxRpc);
+        let a2a = run_point(cfg, &plan, Variant::MpiAlltoallv);
+        let p2p = run_point(cfg, &plan, Variant::MpiP2p);
+        println!(
+            "{:>9} {:>14.4} {:>14.4} {:>14.4} {:>9.2} {:>9.2}",
+            p,
+            rpc,
+            a2a,
+            p2p,
+            a2a / rpc,
+            p2p / rpc
+        );
+        out.push((p, [rpc, a2a, p2p]));
+    }
+    out
+}
+
+fn shape_checks(results: &[(usize, [f64; 3])]) {
+    let last = results.last().unwrap();
+    let (p_max, [rpc, a2a, p2p]) = (last.0, last.1);
+    check(
+        &format!("at {p_max} ranks ordering is RPC < Alltoallv < P2P"),
+        rpc < a2a && a2a < p2p,
+    );
+    let max_a2a = results
+        .iter()
+        .filter(|(p, _)| *p > 1)
+        .map(|(_, t)| t[1] / t[0])
+        .fold(0.0f64, f64::max);
+    let max_p2p = results
+        .iter()
+        .filter(|(p, _)| *p > 1)
+        .map(|(_, t)| t[2] / t[0])
+        .fold(0.0f64, f64::max);
+    check(
+        &format!("peak Alltoallv/RPC speedup ≥ 1.3x (paper 1.63x; got {max_a2a:.2}x)"),
+        max_a2a >= 1.3,
+    );
+    check(
+        &format!("peak P2P/RPC speedup ≥ 2x (paper 3.11x; got {max_p2p:.2}x)"),
+        max_p2p >= 2.0,
+    );
+    // Robust strong scaling of the RPC variant: the best point of the sweep
+    // is far below the 1-rank time, and the largest point has not collapsed.
+    let t1 = results.first().unwrap().1[0];
+    let best = results.iter().map(|(_, t)| t[0]).fold(f64::INFINITY, f64::min);
+    check(
+        &format!(
+            "UPC++ RPC strong-scales: t(1)={t1:.4}s, best {best:.4}s, t({p_max})={rpc:.4}s"
+        ),
+        best < t1 / 4.0 && rpc < t1,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("both");
+    let quick = args.iter().any(|a| a == "--quick");
+    let k = args
+        .iter()
+        .position(|a| a == "--k")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20usize);
+    let ps: Vec<usize> = if quick {
+        vec![1, 4, 32, 64, 128]
+    } else {
+        vec![1, 4, 32, 64, 128, 256, 512, 1024, 2048]
+    };
+    println!("deterministic sim; single run per configuration (paper: mean of 10)");
+    if which == "haswell" || which == "both" {
+        let cfg = MachineConfig::cori_haswell();
+        let res = run_machine(&cfg, k, &ps);
+        shape_checks(&res);
+    }
+    if which == "knl" || which == "both" {
+        // The paper uses 64 ranks/node on KNL for this experiment.
+        let cfg = MachineConfig {
+            ranks_per_node: 64,
+            ..MachineConfig::cori_knl()
+        };
+        let res = run_machine(&cfg, k, &ps);
+        shape_checks(&res);
+    }
+}

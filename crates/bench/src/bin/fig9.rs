@@ -1,0 +1,102 @@
+//! Fig. 9 — symPACK strong scaling, UPC++ v0.1 vs v1.0 (§IV-D4): the same
+//! mini-symPACK multifrontal Cholesky (real numerics) scheduled once with
+//! the predecessor events/asyncs API and once with v1.0 futures/RPC, on
+//! modeled Cori Haswell with 32 ranks/node. The input is the grid-Laplacian
+//! stand-in for `Flan_1565` (DESIGN.md records the substitution).
+//!
+//! Usage: `fig9 [--quick] [--k N]`
+
+use bench::{check, rule};
+use netsim::MachineConfig;
+use sparse_solver::sympack::{install, is_done, start, Api, CholPlan};
+use sparse_solver::{grid3d_laplacian, nested_dissection, symbolic_factorize};
+use std::rc::Rc;
+use upcxx::SimRuntime;
+
+fn build_plan(k: usize, p: usize) -> Rc<CholPlan> {
+    let tree = nested_dissection(k, 16);
+    let a = grid3d_laplacian(k).permute(&tree.perm);
+    let fronts = symbolic_factorize(&a, &tree);
+    CholPlan::build(tree, fronts, a, p)
+}
+
+fn run_point(cfg: &MachineConfig, plan: &Rc<CholPlan>, api: Api) -> f64 {
+    let p = plan.p_world;
+    let rt = SimRuntime::new(cfg.clone(), p, 4 << 10);
+    for r in 0..p {
+        let plan = plan.clone();
+        rt.spawn(r, move || {
+            install(plan.clone(), api);
+            upcxx::barrier_async().then(|_| start());
+        });
+    }
+    let t = rt.run();
+    for r in 0..p {
+        rt.with_rank(r, || assert!(is_done(), "rank {r} incomplete"));
+    }
+    t.as_secs_f64()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let k = args
+        .iter()
+        .position(|a| a == "--k")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20usize);
+    let ps: Vec<usize> = if quick {
+        vec![4, 16, 32]
+    } else {
+        vec![4, 16, 32, 128, 256, 512, 1024]
+    };
+    let cfg = MachineConfig::cori_haswell();
+    println!("deterministic sim; single run per configuration (paper: mean of 10)");
+    println!(
+        "{}",
+        rule(&format!(
+            "Fig. 9 — mini-symPACK on {} (32 ranks/node), grid {k}^3",
+            cfg.name
+        ))
+    );
+    println!(
+        "{:>9} {:>16} {:>16} {:>12}",
+        "ranks", "v0.1 (s)", "v1.0 (s)", "v0.1/v1.0"
+    );
+    let mut rows = Vec::new();
+    for &p in &ps {
+        let plan = build_plan(k, p);
+        let t01 = run_point(&cfg, &plan, Api::V01);
+        let t10 = run_point(&cfg, &plan, Api::V10);
+        println!("{:>9} {:>16.4} {:>16.4} {:>12.3}", p, t01, t10, t01 / t10);
+        rows.push((p, t01, t10));
+    }
+
+    // Shape checks: near-identical curves; strong scaling then flattening.
+    let worst = rows
+        .iter()
+        .map(|(_, a, b)| (a / b - 1.0).abs())
+        .fold(0.0f64, f64::max);
+    check(
+        &format!(
+            "v0.1 and v1.0 within 15% at every point (paper avg 0.7%, max 7.2%; got max {:.1}%)",
+            worst * 100.0
+        ),
+        worst < 0.15,
+    );
+    let avg: f64 = rows.iter().map(|(_, a, b)| (a / b - 1.0).abs()).sum::<f64>() / rows.len() as f64;
+    check(
+        &format!("average difference small (got {:.1}%)", avg * 100.0),
+        avg < 0.08,
+    );
+    let first = rows.first().unwrap();
+    let best10 = rows.iter().map(|r| r.2).fold(f64::INFINITY, f64::min);
+    check(
+        &format!(
+            "v1.0 strong-scales from {} ranks ({:.3}s) to its best point ({:.3}s)",
+            first.0, first.2, best10
+        ),
+        best10 < first.2 / 2.0,
+    );
+}

@@ -1,0 +1,76 @@
+//! Shared harness utilities for the figure regenerators.
+//!
+//! Each `fig*` binary reproduces one figure of the paper's evaluation
+//! (§IV): it builds the simulated machine(s), runs the paper's workload at
+//! the paper's parameter points, and prints series in an aligned table plus
+//! shape checks (orderings/ratios) that EXPERIMENTS.md records. Simulated
+//! runs are deterministic, so where the paper reports best-of-10 (Fig. 3)
+//! or mean-of-10 (Figs. 8–9) we run each configuration once and say so.
+
+use pgas_des::Time;
+
+/// Format a byte count the way the paper's x-axes do (8B … 4MB).
+pub fn fmt_bytes(b: f64) -> String {
+    let b = b as usize;
+    if b >= 1 << 20 {
+        format!("{}MiB", b >> 20)
+    } else if b >= 1 << 10 {
+        format!("{}KiB", b >> 10)
+    } else {
+        format!("{b}B")
+    }
+}
+
+/// Power-of-two sweep `lo..=hi` inclusive.
+pub fn pow2_sweep(lo: usize, hi: usize) -> Vec<usize> {
+    let mut v = Vec::new();
+    let mut x = lo;
+    while x <= hi {
+        v.push(x);
+        x *= 2;
+    }
+    v
+}
+
+/// Aggregate bandwidth in GB/s for `bytes` moved in `t`.
+pub fn gbps(bytes: u64, t: Time) -> f64 {
+    if t == Time::ZERO {
+        0.0
+    } else {
+        bytes as f64 / t.as_ns_f64()
+    }
+}
+
+/// Pretty horizontal rule for report sections.
+pub fn rule(title: &str) -> String {
+    format!("\n==== {title} {}", "=".repeat(60_usize.saturating_sub(title.len())))
+}
+
+/// A single shape-check line: prints PASS/FAIL with the claim.
+pub fn check(label: &str, ok: bool) {
+    println!("[{}] {label}", if ok { "PASS" } else { "FAIL" });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(8.0), "8B");
+        assert_eq!(fmt_bytes(2048.0), "2KiB");
+        assert_eq!(fmt_bytes((4 << 20) as f64), "4MiB");
+    }
+
+    #[test]
+    fn sweep_is_inclusive() {
+        assert_eq!(pow2_sweep(8, 64), vec![8, 16, 32, 64]);
+        assert_eq!(pow2_sweep(8, 8), vec![8]);
+    }
+
+    #[test]
+    fn gbps_math() {
+        assert_eq!(gbps(1000, Time::from_ns(1000)), 1.0);
+        assert_eq!(gbps(1, Time::ZERO), 0.0);
+    }
+}

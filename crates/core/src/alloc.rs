@@ -1,0 +1,214 @@
+//! The shared-segment allocator behind `upcxx::allocate` / `deallocate`.
+//!
+//! Each rank's shared segment (the PGAS "global memory" it contributes —
+//! Fig. 1 of the paper) is managed by a first-fit free list with coalescing.
+//! UPC++'s `allocate` is *non-collective* and rank-local, which is exactly
+//! what makes the distributed hash table's `make_lz` landing-zone allocation
+//! cheap (one RPC, no global coordination) — so this allocator is purely
+//! local state inside [`crate::ctx::RankCtx`].
+
+use std::collections::HashMap;
+
+/// Alignment granted to every allocation: covers all `Pod` element types and
+/// the 8-byte remote atomics.
+pub const SEG_ALIGN: usize = 16;
+
+/// First-fit free-list allocator over a `[0, size)` byte range.
+pub struct SegAlloc {
+    size: usize,
+    /// Free extents `(offset, len)`, sorted by offset, non-adjacent.
+    free: Vec<(usize, usize)>,
+    /// Live allocations: offset -> padded length (for dealloc).
+    live: HashMap<usize, usize>,
+    /// Bytes currently allocated (diagnostics).
+    in_use: usize,
+    /// High-water mark of allocated bytes.
+    peak: usize,
+}
+
+impl SegAlloc {
+    /// Allocator for a fresh segment of `size` bytes.
+    pub fn new(size: usize) -> SegAlloc {
+        SegAlloc {
+            size,
+            free: if size > 0 { vec![(0, size)] } else { Vec::new() },
+            live: HashMap::new(),
+            in_use: 0,
+            peak: 0,
+        }
+    }
+
+    /// Allocate `len` bytes (rounded up to [`SEG_ALIGN`]); returns the offset
+    /// or `None` when no extent fits.
+    pub fn alloc(&mut self, len: usize) -> Option<usize> {
+        let padded = pad(len.max(1));
+        let idx = self.free.iter().position(|&(_, flen)| flen >= padded)?;
+        let (off, flen) = self.free[idx];
+        if flen == padded {
+            self.free.remove(idx);
+        } else {
+            self.free[idx] = (off + padded, flen - padded);
+        }
+        self.live.insert(off, padded);
+        self.in_use += padded;
+        self.peak = self.peak.max(self.in_use);
+        Some(off)
+    }
+
+    /// Return an allocation to the free list (coalescing neighbors).
+    /// Panics on double-free or a foreign offset — catching exactly the
+    /// misuse UPC++ documents as undefined behaviour.
+    pub fn dealloc(&mut self, off: usize) {
+        let len = self
+            .live
+            .remove(&off)
+            .unwrap_or_else(|| panic!("dealloc of unallocated offset {off}"));
+        self.in_use -= len;
+        // Insert sorted, then coalesce with neighbors.
+        let pos = self.free.partition_point(|&(o, _)| o < off);
+        self.free.insert(pos, (off, len));
+        // Coalesce right.
+        if pos + 1 < self.free.len() {
+            let (o, l) = self.free[pos];
+            let (ro, rl) = self.free[pos + 1];
+            if o + l == ro {
+                self.free[pos] = (o, l + rl);
+                self.free.remove(pos + 1);
+            }
+        }
+        // Coalesce left.
+        if pos > 0 {
+            let (lo, ll) = self.free[pos - 1];
+            let (o, l) = self.free[pos];
+            if lo + ll == o {
+                self.free[pos - 1] = (lo, ll + l);
+                self.free.remove(pos);
+            }
+        }
+    }
+
+    /// Bytes currently allocated (after padding).
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+    /// Allocation high-water mark.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+    /// Segment capacity.
+    pub fn capacity(&self) -> usize {
+        self.size
+    }
+    /// Number of free extents (fragmentation diagnostic).
+    pub fn fragments(&self) -> usize {
+        self.free.len()
+    }
+}
+
+fn pad(len: usize) -> usize {
+    len.div_ceil(SEG_ALIGN) * SEG_ALIGN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_aligned_and_distinct() {
+        let mut a = SegAlloc::new(1024);
+        let x = a.alloc(10).unwrap();
+        let y = a.alloc(20).unwrap();
+        assert_eq!(x % SEG_ALIGN, 0);
+        assert_eq!(y % SEG_ALIGN, 0);
+        assert_ne!(x, y);
+        assert_eq!(a.in_use(), 16 + 32);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut a = SegAlloc::new(64);
+        assert!(a.alloc(48).is_some());
+        assert!(a.alloc(32).is_none());
+        assert!(a.alloc(16).is_some());
+        assert!(a.alloc(1).is_none());
+    }
+
+    #[test]
+    fn dealloc_coalesces_and_allows_reuse() {
+        let mut a = SegAlloc::new(96);
+        let x = a.alloc(32).unwrap();
+        let y = a.alloc(32).unwrap();
+        let z = a.alloc(32).unwrap();
+        a.dealloc(x);
+        a.dealloc(z);
+        assert_eq!(a.fragments(), 2);
+        a.dealloc(y); // middle free merges everything
+        assert_eq!(a.fragments(), 1);
+        // Whole segment usable again.
+        assert!(a.alloc(96).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn double_free_panics() {
+        let mut a = SegAlloc::new(64);
+        let x = a.alloc(8).unwrap();
+        a.dealloc(x);
+        a.dealloc(x);
+    }
+
+    #[test]
+    fn zero_len_allocs_are_distinct() {
+        let mut a = SegAlloc::new(256);
+        let x = a.alloc(0).unwrap();
+        let y = a.alloc(0).unwrap();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut a = SegAlloc::new(256);
+        let x = a.alloc(64).unwrap();
+        let y = a.alloc(64).unwrap();
+        a.dealloc(x);
+        a.dealloc(y);
+        assert_eq!(a.in_use(), 0);
+        assert_eq!(a.peak(), 128);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Random alloc/dealloc sequences: no overlap among live allocations,
+        /// full reuse after freeing everything.
+        #[test]
+        fn no_overlap_and_full_recovery(ops in proptest::collection::vec((1usize..200, any::<bool>()), 1..200)) {
+            let mut a = SegAlloc::new(8192);
+            let mut live: Vec<(usize, usize)> = Vec::new(); // (off, padded len)
+            for (len, free_one) in ops {
+                if free_one && !live.is_empty() {
+                    let (off, _) = live.swap_remove(live.len() / 2);
+                    a.dealloc(off);
+                } else if let Some(off) = a.alloc(len) {
+                    let padded = len.div_ceil(SEG_ALIGN) * SEG_ALIGN;
+                    // Overlap check against every live extent.
+                    for &(o, l) in &live {
+                        prop_assert!(off + padded <= o || o + l <= off,
+                            "overlap: new ({off},{padded}) vs live ({o},{l})");
+                    }
+                    live.push((off, padded));
+                }
+            }
+            for (off, _) in live.drain(..) {
+                a.dealloc(off);
+            }
+            prop_assert_eq!(a.in_use(), 0);
+            prop_assert_eq!(a.fragments(), 1);
+            prop_assert!(a.alloc(8192).is_some());
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Remote atomics (§II): asynchronous atomic operations on `u64` words in
+//! shared segments.
+//!
+//! The paper notes that "on network hardware with appropriate capabilities
+//! (such as available in Cray Aries) remote atomic updates can also be
+//! offloaded, improving latency and scalability". The two conduits reproduce
+//! both sides of that remark: on **smp** the operation is a real CPU atomic
+//! on the segment word; on **sim** it is modeled as a NIC-offloaded AMO —
+//! a small command packet, the read-modify-write at the target NIC with *no
+//! target CPU time*, and a hardware-level reply.
+//!
+//! As in UPC++, atomics are grouped in an [`AtomicDomain`] constructed over
+//! the set of operations the program needs; every operation is asynchronous
+//! and returns a future.
+
+use crate::ctx::{ctx, DefOp};
+use crate::future::{Future, Promise};
+use crate::global_ptr::GlobalPtr;
+use gasnet::sim::AmoOp;
+
+/// The operations a domain may be constructed with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AtomicOp {
+    /// Atomic load.
+    Load,
+    /// Atomic store.
+    Store,
+    /// Atomic fetch-and-add.
+    FetchAdd,
+    /// Atomic compare-and-swap.
+    CompareExchange,
+}
+
+/// A domain of remote atomic operations over `u64` (paper:
+/// `upcxx::atomic_domain<uint64_t>`). Construction declares the op set;
+/// using an undeclared op panics (UPC++ makes it undefined behaviour —
+/// we make it loud).
+pub struct AtomicDomain {
+    ops: Vec<AtomicOp>,
+}
+
+impl AtomicDomain {
+    /// Construct a domain supporting `ops`.
+    pub fn new(ops: Vec<AtomicOp>) -> AtomicDomain {
+        AtomicDomain { ops }
+    }
+
+    /// Domain with every operation enabled.
+    pub fn all() -> AtomicDomain {
+        AtomicDomain {
+            ops: vec![
+                AtomicOp::Load,
+                AtomicOp::Store,
+                AtomicOp::FetchAdd,
+                AtomicOp::CompareExchange,
+            ],
+        }
+    }
+
+    fn check(&self, op: AtomicOp) {
+        assert!(
+            self.ops.contains(&op),
+            "atomic domain does not include {op:?}"
+        );
+    }
+
+    /// Atomically add `val` to the remote word; future carries the prior
+    /// value.
+    pub fn fetch_add(&self, target: GlobalPtr<u64>, val: u64) -> Future<u64> {
+        self.check(AtomicOp::FetchAdd);
+        amo(target, AmoOp::FetchAdd, val, 0)
+    }
+
+    /// Atomic read of the remote word.
+    pub fn load(&self, target: GlobalPtr<u64>) -> Future<u64> {
+        self.check(AtomicOp::Load);
+        amo(target, AmoOp::Load, 0, 0)
+    }
+
+    /// Atomic write; future readies when the store is globally performed.
+    pub fn store(&self, target: GlobalPtr<u64>, val: u64) -> Future<()> {
+        self.check(AtomicOp::Store);
+        amo(target, AmoOp::Store, val, 0).then(|_| ())
+    }
+
+    /// Atomic compare-and-swap: writes `new` iff the word equals `expected`;
+    /// future carries the prior value (success iff it equals `expected`).
+    pub fn compare_exchange(
+        &self,
+        target: GlobalPtr<u64>,
+        expected: u64,
+        new: u64,
+    ) -> Future<u64> {
+        self.check(AtomicOp::CompareExchange);
+        amo(target, AmoOp::CompareExchange, new, expected)
+    }
+}
+
+fn amo(target: GlobalPtr<u64>, op: AmoOp, operand: u64, compare: u64) -> Future<u64> {
+    assert!(!target.is_null(), "atomic on null global pointer");
+    let c = ctx();
+    c.stats.rma_ops.set(c.stats.rma_ops.get() + 1);
+    let p = Promise::<u64>::new();
+    let p2 = p.clone();
+    c.inject(DefOp::Amo {
+        target: target.rank(),
+        off: target.byte_offset(),
+        op,
+        operand,
+        compare,
+        done: Box::new(move |old| p2.fulfill(old)),
+    });
+    p.get_future()
+}

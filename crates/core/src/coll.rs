@@ -1,0 +1,446 @@
+//! Non-blocking collectives: dissemination barrier, binomial-tree broadcast
+//! and reductions.
+//!
+//! The paper lists "adding a rich set of non-blocking collective operations"
+//! as current work (§VI) and uses barriers throughout its benchmarks; these
+//! implementations follow the scalability principle of §I — every algorithm
+//! is O(log P) rounds with O(1) state per in-flight operation and **no**
+//! per-rank arrays proportional to world size.
+//!
+//! All collectives are *asynchronous* (return futures) and must be issued in
+//! the same order by every member of the team (the standard SPMD matching
+//! discipline; sequence numbers assigned at issue time do the matching).
+
+use crate::ctx::{ctx, ReduceSlot};
+use crate::future::{Future, Promise};
+use crate::rpc::sys_am;
+use crate::ser::{from_bytes, to_bytes, Ser};
+use crate::team::Team;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------- barrier
+
+/// Asynchronous barrier over `team` (dissemination algorithm, ⌈log2 n⌉
+/// rounds). The returned future readies once every member has entered the
+/// barrier.
+pub fn barrier_async_team(team: &Team) -> Future<()> {
+    let c = ctx();
+    let n = team.rank_n();
+    let p = Promise::<()>::new();
+    if n == 1 {
+        p.fulfill(());
+        return p.get_future();
+    }
+    let epoch = {
+        let mut coll = c.coll.borrow_mut();
+        let e = coll.barrier_epoch.entry(team.id()).or_insert(0);
+        *e += 1;
+        *e
+    };
+    barrier_round(team.clone(), epoch, 0, p.clone());
+    p.get_future()
+}
+
+/// Asynchronous world barrier (paper: `upcxx::barrier_async()`).
+pub fn barrier_async() -> Future<()> {
+    barrier_async_team(&Team::world())
+}
+
+/// Blocking world barrier (paper: `upcxx::barrier()`; smp conduit only —
+/// sim drivers chain on [`barrier_async`]).
+pub fn barrier() {
+    barrier_async().wait();
+}
+
+/// One dissemination round: signal `me + 2^round`, continue when the flag
+/// from `me - 2^round` (same epoch/round) has arrived.
+fn barrier_round(team: Team, epoch: u64, round: u32, p: Promise<()>) {
+    let n = team.rank_n();
+    let me_t = team.rank_me();
+    let dist = 1usize << round;
+    if dist >= n {
+        p.fulfill(());
+        return;
+    }
+    let peer = team.world_rank((me_t + dist) % n);
+    sys_am(peer, barrier_flag_handler, (team.id(), epoch, round));
+
+    let c = ctx();
+    let key = (team.id(), epoch, round);
+    let arrived = c.coll.borrow_mut().barrier_flags.remove(&key).is_some();
+    if arrived {
+        barrier_round(team, epoch, round + 1, p);
+    } else {
+        c.coll.borrow_mut().barrier_waiters.insert(
+            key,
+            Box::new(move || barrier_round(team, epoch, round + 1, p)),
+        );
+    }
+}
+
+/// Target-side flag arrival: wake the parked round continuation or store the
+/// flag for a round this rank has not reached yet.
+fn barrier_flag_handler(args: (u64, u64, u32)) {
+    let (team_id, epoch, round) = args;
+    let c = ctx();
+    let key = (team_id, epoch, round);
+    let waiter = c.coll.borrow_mut().barrier_waiters.remove(&key);
+    match waiter {
+        Some(k) => k(),
+        None => {
+            c.coll.borrow_mut().barrier_flags.insert(key, ());
+        }
+    }
+}
+
+// -------------------------------------------------------------- broadcast
+
+/// Binomial-tree broadcast over `team` from team rank `root`. The root
+/// passes `Some(value)`; every other member passes `None`; all futures ready
+/// with the root's value. (UPC++ `broadcast`, generalized to any `Ser`.)
+pub fn broadcast_team<T: Ser + Clone>(team: &Team, root: usize, value: Option<T>) -> Future<T> {
+    let seq = next_seq(team);
+    broadcast_with_seq(team, root, value, seq)
+}
+
+/// World broadcast from world rank `root`.
+pub fn broadcast<T: Ser + Clone>(root: usize, value: Option<T>) -> Future<T> {
+    broadcast_team(&Team::world(), root, value)
+}
+
+/// Allocate the next collective sequence number for `team` (issue order must
+/// match across members — module docs).
+fn next_seq(team: &Team) -> u64 {
+    let c = ctx();
+    let mut coll = c.coll.borrow_mut();
+    let s = coll.coll_seq.entry(team.id()).or_insert(0);
+    *s += 1;
+    *s
+}
+
+pub(crate) fn broadcast_with_seq<T: Ser + Clone>(
+    team: &Team,
+    root: usize,
+    value: Option<T>,
+    seq: u64,
+) -> Future<T> {
+    let c = ctx();
+    let n = team.rank_n();
+    let me_t = team.rank_me();
+    let rel = (me_t + n - root) % n;
+    assert_eq!(rel == 0, value.is_some(), "exactly the root must supply the value");
+    let p = Promise::<T>::new();
+    let key = (team.id(), seq);
+
+    if let Some(v) = value {
+        // Root: forward immediately and complete.
+        forward_bcast(team, root, seq, &to_bytes(&v));
+        p.fulfill(v);
+        c.coll.borrow_mut().bcast.remove(&key);
+        return p.get_future();
+    }
+
+    // Non-root: the payload may already have arrived (slot created by the
+    // handler) or is yet to come.
+    let early = {
+        let mut coll = c.coll.borrow_mut();
+        let slot = coll.bcast.entry(key).or_default();
+        slot.value.take()
+    };
+    match early {
+        Some(bytes) => {
+            forward_bcast(team, root, seq, &bytes);
+            p.fulfill(from_bytes(bytes));
+            c.coll.borrow_mut().bcast.remove(&key);
+        }
+        None => {
+            let team2 = team.clone();
+            let p2 = p.clone();
+            let waiter = Box::new(move |bytes: Vec<u8>| {
+                forward_bcast(&team2, root, seq, &bytes);
+                p2.fulfill(from_bytes(bytes));
+                ctx().coll.borrow_mut().bcast.remove(&(team2.id(), seq));
+            });
+            c.coll
+                .borrow_mut()
+                .bcast
+                .get_mut(&key)
+                .expect("slot just created")
+                .waiter = Some(waiter);
+        }
+    }
+    p.get_future()
+}
+
+/// Send the payload to this rank's binomial-tree children.
+fn forward_bcast(team: &Team, root: usize, seq: u64, bytes: &[u8]) {
+    let n = team.rank_n();
+    let me_t = team.rank_me();
+    let rel = (me_t + n - root) % n;
+    // Children of `rel`: rel + 2^j for every j strictly above rel's MSB
+    // (all j when rel == 0), while in range.
+    let start_j = if rel == 0 {
+        0
+    } else {
+        usize::BITS - rel.leading_zeros()
+    };
+    for j in start_j.. {
+        let child = rel + (1usize << j);
+        if child >= n {
+            break;
+        }
+        let child_world = team.world_rank((child + root) % n);
+        sys_am(
+            child_world,
+            bcast_arrival_handler,
+            (team.id(), seq, bytes.to_vec()),
+        );
+    }
+}
+
+/// Target side: stash the payload or wake the parked local call.
+fn bcast_arrival_handler(args: (u64, u64, Vec<u8>)) {
+    let (team_id, seq, bytes) = args;
+    let c = ctx();
+    let key = (team_id, seq);
+    let waiter = {
+        let mut coll = c.coll.borrow_mut();
+        let slot = coll.bcast.entry(key).or_default();
+        match slot.waiter.take() {
+            Some(w) => Some(w),
+            None => {
+                slot.value = Some(bytes.clone());
+                None
+            }
+        }
+    };
+    if let Some(w) = waiter {
+        w(bytes);
+    }
+}
+
+// -------------------------------------------------------------- reductions
+
+/// Binomial fan-in reduction over `team` to team rank `root` (UPC++
+/// `reduce_one`). The future at the **root** carries the full reduction;
+/// at other ranks it carries that rank's subtree partial (matching UPC++,
+/// where non-root values are unspecified — do not rely on them).
+pub fn reduce_one_team<T>(team: &Team, root: usize, value: T, op: fn(T, T) -> T) -> Future<T>
+where
+    T: Ser + Clone + 'static,
+{
+    let seq = next_seq(team);
+    reduce_with_seq(team, root, value, op, seq)
+}
+
+/// World reduction to `root`.
+pub fn reduce_one<T>(root: usize, value: T, op: fn(T, T) -> T) -> Future<T>
+where
+    T: Ser + Clone + 'static,
+{
+    reduce_one_team(&Team::world(), root, value, op)
+}
+
+/// Reduction delivering the result to **every** member (UPC++ `reduce_all`):
+/// fan-in to team rank 0, then broadcast. Both sequence numbers are claimed
+/// at issue time, so concurrent `reduce_all`s match correctly even when
+/// their completions interleave differently across ranks.
+pub fn reduce_all_team<T>(team: &Team, value: T, op: fn(T, T) -> T) -> Future<T>
+where
+    T: Ser + Clone + 'static,
+{
+    let red_seq = next_seq(team);
+    let bc_seq = next_seq(team);
+    let team2 = team.clone();
+    let me0 = team.rank_me() == 0;
+    reduce_with_seq(team, 0, value, op, red_seq).then_fut(move |v| {
+        broadcast_with_seq(&team2, 0, if me0 { Some(v) } else { None }, bc_seq)
+    })
+}
+
+/// World all-reduction.
+pub fn reduce_all<T>(value: T, op: fn(T, T) -> T) -> Future<T>
+where
+    T: Ser + Clone + 'static,
+{
+    reduce_all_team(&Team::world(), value, op)
+}
+
+fn reduce_with_seq<T>(team: &Team, root: usize, value: T, op: fn(T, T) -> T, seq: u64) -> Future<T>
+where
+    T: Ser + Clone + 'static,
+{
+    let c = ctx();
+    let n = team.rank_n();
+    let me_t = team.rank_me();
+    let rel = (me_t + n - root) % n;
+    let p = Promise::<T>::new();
+    let key = (team.id(), seq);
+
+    // Children of `rel` in the same binomial tree as broadcast.
+    let start_j = if rel == 0 {
+        0
+    } else {
+        usize::BITS - rel.leading_zeros()
+    };
+    let mut n_children = 0usize;
+    for j in start_j.. {
+        if rel + (1usize << j) >= n {
+            break;
+        }
+        n_children += 1;
+    }
+
+    // Install the typed combine continuation in the slot.
+    let early = {
+        let mut coll = c.coll.borrow_mut();
+        let slot = coll.reduce.entry(key).or_insert_with(|| ReduceSlot {
+            partial: None,
+            pending_children: 0,
+            early: Vec::new(),
+            on_child: None,
+        });
+        slot.partial = Some(Box::new(value));
+        slot.pending_children = n_children;
+        std::mem::take(&mut slot.early)
+    };
+
+    let team2 = team.clone();
+    let p2 = p.clone();
+    let on_child: Rc<dyn Fn(Vec<u8>)> = Rc::new(move |bytes: Vec<u8>| {
+        let c = ctx();
+        let done = {
+            let mut coll = c.coll.borrow_mut();
+            let slot = coll.reduce.get_mut(&key).expect("reduce slot vanished");
+            let cur = *slot
+                .partial
+                .take()
+                .expect("reduce partial missing")
+                .downcast::<T>()
+                .expect("reduce type confusion");
+            let incoming: T = from_bytes(bytes);
+            slot.partial = Some(Box::new(op(cur, incoming)));
+            slot.pending_children -= 1;
+            slot.pending_children == 0
+        };
+        if done {
+            finish_reduce::<T>(&team2, root, seq, &p2);
+        }
+    });
+
+    c.coll
+        .borrow_mut()
+        .reduce
+        .get_mut(&key)
+        .expect("slot just created")
+        .on_child = Some(on_child.clone());
+
+    // Contributions that raced ahead of the local call.
+    for bytes in early {
+        on_child(bytes);
+    }
+    // Leaves (and ranks whose children all arrived early) finish now.
+    let ready = c
+        .coll
+        .borrow()
+        .reduce
+        .get(&key)
+        .map(|s| s.pending_children == 0)
+        .unwrap_or(false);
+    if ready {
+        finish_reduce::<T>(team, root, seq, &p);
+    }
+    p.get_future()
+}
+
+/// All children combined: send up the tree or complete at the root.
+fn finish_reduce<T>(team: &Team, root: usize, seq: u64, p: &Promise<T>)
+where
+    T: Ser + Clone + 'static,
+{
+    let c = ctx();
+    let key = (team.id(), seq);
+    let partial = {
+        let mut coll = c.coll.borrow_mut();
+        let slot = coll.reduce.remove(&key).expect("reduce slot vanished");
+        *slot
+            .partial
+            .expect("reduce finished without a partial")
+            .downcast::<T>()
+            .expect("reduce type confusion")
+    };
+    let n = team.rank_n();
+    let me_t = team.rank_me();
+    let rel = (me_t + n - root) % n;
+    if rel == 0 {
+        p.fulfill(partial);
+    } else {
+        // Parent: clear rel's lowest... highest set bit (binomial fan-in).
+        let parent_rel = rel - (1usize << (usize::BITS - 1 - rel.leading_zeros()));
+        let parent_world = team.world_rank((parent_rel + root) % n);
+        sys_am(
+            parent_world,
+            reduce_arrival_handler,
+            (team.id(), seq, to_bytes(&partial)),
+        );
+        // Non-root futures carry the subtree partial (see docs).
+        p.fulfill(partial);
+    }
+}
+
+/// Target side of a child contribution.
+fn reduce_arrival_handler(args: (u64, u64, Vec<u8>)) {
+    let (team_id, seq, bytes) = args;
+    let c = ctx();
+    let key = (team_id, seq);
+    let cb = {
+        let mut coll = c.coll.borrow_mut();
+        let slot = coll.reduce.entry(key).or_insert_with(|| ReduceSlot {
+            partial: None,
+            pending_children: 0,
+            early: Vec::new(),
+            on_child: None,
+        });
+        match &slot.on_child {
+            Some(cb) => Some(cb.clone()),
+            None => {
+                slot.early.push(bytes.clone());
+                None
+            }
+        }
+    };
+    if let Some(cb) = cb {
+        cb(bytes);
+    }
+}
+
+// --------------------------------------------------------------- helpers
+
+/// Common reduction operators, usable as `fn` pointers.
+pub mod ops {
+    /// Sum of two u64.
+    pub fn add_u64(a: u64, b: u64) -> u64 {
+        a + b
+    }
+    /// Sum of two f64.
+    pub fn add_f64(a: f64, b: f64) -> f64 {
+        a + b
+    }
+    /// Minimum of two u64.
+    pub fn min_u64(a: u64, b: u64) -> u64 {
+        a.min(b)
+    }
+    /// Maximum of two u64.
+    pub fn max_u64(a: u64, b: u64) -> u64 {
+        a.max(b)
+    }
+    /// Maximum of two f64.
+    pub fn max_f64(a: f64, b: f64) -> f64 {
+        a.max(b)
+    }
+    /// Concatenation of two vectors (allgather building block).
+    pub fn concat_u64(mut a: Vec<u64>, mut b: Vec<u64>) -> Vec<u64> {
+        a.append(&mut b);
+        a
+    }
+}

@@ -1,0 +1,527 @@
+//! The per-rank runtime context and progress engine (§III of the paper).
+//!
+//! Every rank owns a [`RankCtx`] holding its shared-segment allocator, the
+//! three progress queues, the RPC reply table, distributed-object registry
+//! and collective state. User code reaches it through a thread-local — the
+//! same discipline as UPC++'s per-persona state.
+//!
+//! ## The three queues
+//!
+//! The paper's Progress Engine keeps operations in three unordered queues:
+//!
+//! * **defQ** — operations injected but not yet handed to GASNet-EX. Our
+//!   [`RankCtx::def_q`] holds [`DefOp`]s; *internal progress* (which runs at
+//!   every communication call and at explicit [`progress`]) drains it into
+//!   the conduit.
+//! * **actQ** — operations the conduit owns. We track the count
+//!   ([`RankCtx::active_ops`]); completion is signaled by conduit callbacks.
+//! * **compQ** — completed operations whose user-visible effects (future
+//!   fulfillment, `.then` callbacks, incoming RPC bodies) are pending. Our
+//!   [`RankCtx::comp_q`] is drained **only by user-level progress**
+//!   ([`progress`] or a blocking `wait`), reproducing the paper's
+//!   *attentiveness* requirement: a rank that computes without calling
+//!   progress stalls its incoming RPCs (physically true on the smp conduit;
+//!   modeled through CPU-clock serialization on the sim conduit).
+
+use crate::future::Future;
+use crate::ser::Reader;
+use gasnet::{sim::SimWorld, smp, Rank};
+use netsim::config::SwCosts;
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+/// Which conduit this rank runs over.
+pub(crate) enum Backend {
+    /// Real threads and memory; real time.
+    Smp(smp::RankHandle),
+    /// Discrete-event simulation; virtual time.
+    Sim(SimWorld),
+}
+
+/// A deferred operation (an entry of the paper's defQ).
+pub(crate) enum DefOp {
+    /// One-sided put of `bytes` into `target`'s segment.
+    Put {
+        target: Rank,
+        dst_off: usize,
+        bytes: Vec<u8>,
+        done: Box<dyn FnOnce()>,
+    },
+    /// One-sided get of `len` bytes from `target`'s segment.
+    Get {
+        target: Rank,
+        src_off: usize,
+        len: usize,
+        done: Box<dyn FnOnce(Vec<u8>)>,
+    },
+    /// Active message carrying an executable item (RPC, RPC reply, or an
+    /// internal collective flag). `wire_bytes` is the modeled payload size.
+    Am {
+        target: Rank,
+        wire_bytes: usize,
+        item: gasnet::Item,
+    },
+    /// Remote atomic operation on a u64 in `target`'s segment.
+    Amo {
+        target: Rank,
+        off: usize,
+        op: gasnet::sim::AmoOp,
+        operand: u64,
+        compare: u64,
+        done: Box<dyn FnOnce(u64)>,
+    },
+}
+
+/// Per-rank collective-operation state (dissemination barrier, broadcast and
+/// reduction slots). See `coll.rs` for the algorithms.
+#[derive(Default)]
+pub(crate) struct CollState {
+    /// Next barrier epoch per team id.
+    pub barrier_epoch: HashMap<u64, u64>,
+    /// Arrived dissemination flags: (team, epoch, round) -> ().
+    pub barrier_flags: HashMap<(u64, u64, u32), ()>,
+    /// Parked barrier continuations keyed like the flags.
+    pub barrier_waiters: HashMap<(u64, u64, u32), Box<dyn FnOnce()>>,
+    /// Next broadcast/reduce sequence number per team id.
+    pub coll_seq: HashMap<u64, u64>,
+    /// Broadcast slots: (team, seq) -> slot.
+    pub bcast: HashMap<(u64, u64), BcastSlot>,
+    /// Reduction slots: (team, seq) -> slot.
+    pub reduce: HashMap<(u64, u64), ReduceSlot>,
+}
+
+/// In-flight broadcast state on one rank.
+#[derive(Default)]
+pub(crate) struct BcastSlot {
+    /// Serialized payload, once known.
+    pub value: Option<Vec<u8>>,
+    /// Local collective call's continuation (fulfills the caller's promise).
+    pub waiter: Option<Box<dyn FnOnce(Vec<u8>)>>,
+}
+
+/// In-flight reduction state on one rank.
+pub(crate) struct ReduceSlot {
+    /// Combined partial value (type-erased).
+    pub partial: Option<Box<dyn Any>>,
+    /// Contributions still expected from tree children.
+    pub pending_children: usize,
+    /// Pending incoming child payloads that arrived before the local call
+    /// (we cannot combine them until the local call supplies the combine fn).
+    pub early: Vec<Vec<u8>>,
+    /// Local call's continuation: combines + forwards + maybe fulfills.
+    pub on_child: Option<Rc<dyn Fn(Vec<u8>)>>,
+}
+
+/// Runtime statistics (used by benches and tests).
+#[derive(Default)]
+pub struct CtxStats {
+    /// rput/rget operations injected.
+    pub rma_ops: Cell<u64>,
+    /// RPCs injected (including `rpc_ff`).
+    pub rpcs: Cell<u64>,
+    /// Bytes serialized into outgoing messages.
+    pub bytes_out: Cell<u64>,
+    /// Items executed from compQ by user progress.
+    pub comp_items: Cell<u64>,
+}
+
+/// The per-rank runtime state. One per rank; reached via the thread-local.
+pub struct RankCtx {
+    pub(crate) backend: Backend,
+    pub(crate) me: Rank,
+    pub(crate) n: usize,
+    pub(crate) alloc: RefCell<crate::alloc::SegAlloc>,
+    pub(crate) def_q: RefCell<VecDeque<DefOp>>,
+    pub(crate) comp_q: RefCell<VecDeque<Box<dyn FnOnce()>>>,
+    pub(crate) active_ops: Cell<usize>,
+    pub(crate) next_op: Cell<u64>,
+    pub(crate) reply_tbl: RefCell<HashMap<u64, Box<dyn FnOnce(Reader)>>>,
+    pub(crate) dist_next: Cell<u64>,
+    pub(crate) dist_tbl: RefCell<HashMap<u64, Rc<dyn Any>>>,
+    /// Continuations parked until a dist-object id is registered (RPCs that
+    /// raced ahead of local construction; UPC++ queues these too).
+    pub(crate) dist_waiters: RefCell<HashMap<u64, Vec<Box<dyn FnOnce()>>>>,
+    pub(crate) coll: RefCell<CollState>,
+    pub(crate) rank_state: RefCell<HashMap<std::any::TypeId, Rc<dyn Any>>>,
+    /// Statistics counters.
+    pub stats: CtxStats,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Rc<RankCtx>>> = const { RefCell::new(None) };
+}
+
+/// The calling thread's (or simulated rank's) context. Panics outside a
+/// UPC++ world — i.e. outside `run_spmd` rank mains or sim drivers.
+pub(crate) fn ctx() -> Rc<RankCtx> {
+    try_ctx().expect("no upcxx context on this thread: call inside run_spmd / SimRuntime drivers")
+}
+
+/// Like [`ctx`] but returns `None` outside a world.
+pub(crate) fn try_ctx() -> Option<Rc<RankCtx>> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Install `c` for the duration of `f` (restores the previous context after;
+/// the sim conduit nests these when ranks trigger one another synchronously).
+pub(crate) fn with_ctx(c: Rc<RankCtx>, f: impl FnOnce()) {
+    let prev = CTX.with(|slot| slot.borrow_mut().replace(c));
+    f();
+    CTX.with(|slot| *slot.borrow_mut() = prev);
+}
+
+impl RankCtx {
+    pub(crate) fn new_smp(h: smp::RankHandle) -> Rc<RankCtx> {
+        let seg = h.seg_size();
+        Rc::new(RankCtx {
+            me: h.rank_me(),
+            n: h.rank_n(),
+            backend: Backend::Smp(h),
+            alloc: RefCell::new(crate::alloc::SegAlloc::new(seg)),
+            def_q: RefCell::new(VecDeque::new()),
+            comp_q: RefCell::new(VecDeque::new()),
+            active_ops: Cell::new(0),
+            next_op: Cell::new(0),
+            reply_tbl: RefCell::new(HashMap::new()),
+            dist_next: Cell::new(0),
+            dist_tbl: RefCell::new(HashMap::new()),
+            dist_waiters: RefCell::new(HashMap::new()),
+            coll: RefCell::new(CollState::default()),
+            rank_state: RefCell::new(HashMap::new()),
+            stats: CtxStats::default(),
+        })
+    }
+
+    pub(crate) fn new_sim(w: SimWorld, me: Rank) -> Rc<RankCtx> {
+        let seg = w.seg_size();
+        let n = w.rank_n();
+        Rc::new(RankCtx {
+            me,
+            n,
+            backend: Backend::Sim(w),
+            alloc: RefCell::new(crate::alloc::SegAlloc::new(seg)),
+            def_q: RefCell::new(VecDeque::new()),
+            comp_q: RefCell::new(VecDeque::new()),
+            active_ops: Cell::new(0),
+            next_op: Cell::new(0),
+            reply_tbl: RefCell::new(HashMap::new()),
+            dist_next: Cell::new(0),
+            dist_tbl: RefCell::new(HashMap::new()),
+            dist_waiters: RefCell::new(HashMap::new()),
+            coll: RefCell::new(CollState::default()),
+            rank_state: RefCell::new(HashMap::new()),
+            stats: CtxStats::default(),
+        })
+    }
+
+    /// This rank's id.
+    pub fn rank_me(&self) -> Rank {
+        self.me
+    }
+    /// World size.
+    pub fn rank_n(&self) -> usize {
+        self.n
+    }
+
+    /// Software-cost table when running simulated; `None` on smp (real costs
+    /// are real there).
+    pub(crate) fn sw(&self) -> Option<SwCosts> {
+        match &self.backend {
+            Backend::Smp(_) => None,
+            Backend::Sim(w) => Some(w.config().sw.clone()),
+        }
+    }
+
+    /// Charge serialization cost for `bytes` (no-op on smp — the copy itself
+    /// is the cost there).
+    pub(crate) fn charge_ser(&self, bytes: usize) {
+        if let Backend::Sim(w) = &self.backend {
+            let per = w.config().sw.ser_per_byte;
+            w.charge(self.me, per * bytes as u64);
+        }
+    }
+
+    /// Allocate a fresh operation id (RPC reply matching).
+    pub(crate) fn new_op_id(&self) -> u64 {
+        let id = self.next_op.get();
+        self.next_op.set(id + 1);
+        id
+    }
+
+    /// Enqueue an operation in defQ and run internal progress (every
+    /// communication call is an internal-progress opportunity — §III).
+    pub(crate) fn inject(&self, op: DefOp) {
+        self.def_q.borrow_mut().push_back(op);
+        self.progress_internal();
+    }
+
+    /// Internal progress: drain defQ into the conduit (defQ -> actQ).
+    pub(crate) fn progress_internal(&self) {
+        loop {
+            let op = self.def_q.borrow_mut().pop_front();
+            let Some(op) = op else { break };
+            self.issue(op);
+        }
+    }
+
+    /// Hand one operation to the conduit.
+    fn issue(&self, op: DefOp) {
+        self.active_ops.set(self.active_ops.get() + 1);
+        match (&self.backend, op) {
+            (
+                Backend::Smp(h),
+                DefOp::Put {
+                    target,
+                    dst_off,
+                    bytes,
+                    done,
+                },
+            ) => {
+                // Shared memory: the one-sided copy completes synchronously;
+                // user-visible completion still goes through compQ.
+                h.put_bytes(target, dst_off, &bytes);
+                self.complete(done);
+            }
+            (
+                Backend::Smp(h),
+                DefOp::Get {
+                    target,
+                    src_off,
+                    len,
+                    done,
+                },
+            ) => {
+                let mut buf = vec![0u8; len];
+                h.get_bytes(target, src_off, &mut buf);
+                self.complete(Box::new(move || done(buf)));
+            }
+            (Backend::Smp(h), DefOp::Am { target, item, .. }) => {
+                h.send_item(target, item);
+                self.active_ops.set(self.active_ops.get() - 1);
+            }
+            (
+                Backend::Smp(h),
+                DefOp::Amo {
+                    target,
+                    off,
+                    op,
+                    operand,
+                    compare,
+                    done,
+                },
+            ) => {
+                use gasnet::sim::AmoOp::*;
+                let old = match op {
+                    FetchAdd => h.atomic_fetch_add_u64(target, off, operand),
+                    Load => h.atomic_load_u64(target, off),
+                    Store => {
+                        let old = h.atomic_load_u64(target, off);
+                        h.atomic_store_u64(target, off, operand);
+                        old
+                    }
+                    CompareExchange => h.atomic_cas_u64(target, off, compare, operand),
+                };
+                self.complete(Box::new(move || done(old)));
+            }
+            (
+                Backend::Sim(w),
+                DefOp::Put {
+                    target,
+                    dst_off,
+                    bytes,
+                    done,
+                },
+            ) => {
+                let sw = &w.config().sw;
+                let o = sw.gex_rma_inject + sw.upcxx_op_overhead;
+                let me = self.me;
+                // Completion lands in compQ and drains at the next progress
+                // (delivery events on the sim conduit run with our ctx).
+                w.put(
+                    me,
+                    target,
+                    dst_off,
+                    bytes,
+                    o,
+                    Box::new(move || {
+                        let c = ctx();
+                        c.complete(done);
+                        c.progress_user();
+                    }),
+                );
+            }
+            (
+                Backend::Sim(w),
+                DefOp::Get {
+                    target,
+                    src_off,
+                    len,
+                    done,
+                },
+            ) => {
+                let sw = &w.config().sw;
+                let o = sw.gex_rma_inject + sw.upcxx_op_overhead;
+                w.get(
+                    self.me,
+                    target,
+                    src_off,
+                    len,
+                    o,
+                    Box::new(move |data| {
+                        let c = ctx();
+                        c.complete(Box::new(move || done(data)));
+                        c.progress_user();
+                    }),
+                );
+            }
+            (
+                Backend::Sim(w),
+                DefOp::Am {
+                    target,
+                    wire_bytes,
+                    item,
+                },
+            ) => {
+                let sw = &w.config().sw;
+                let o = sw.gex_am_inject + sw.upcxx_op_overhead;
+                w.am(self.me, target, wire_bytes, o, item);
+                self.active_ops.set(self.active_ops.get() - 1);
+            }
+            (
+                Backend::Sim(w),
+                DefOp::Amo {
+                    target,
+                    off,
+                    op,
+                    operand,
+                    compare,
+                    done,
+                },
+            ) => {
+                let sw = &w.config().sw;
+                let o = sw.gex_rma_inject + sw.upcxx_op_overhead;
+                w.amo(
+                    self.me,
+                    target,
+                    off,
+                    op,
+                    operand,
+                    compare,
+                    o,
+                    Box::new(move |old| {
+                        let c = ctx();
+                        c.complete(Box::new(move || done(old)));
+                        c.progress_user();
+                    }),
+                );
+            }
+        }
+    }
+
+    /// Move a finished operation's user-visible effect to compQ
+    /// (actQ -> compQ transition).
+    pub(crate) fn complete(&self, eff: Box<dyn FnOnce()>) {
+        self.active_ops.set(self.active_ops.get().saturating_sub(1));
+        self.comp_q.borrow_mut().push_back(eff);
+    }
+
+    /// User-level progress: internal progress, conduit poll (smp), compQ
+    /// drain. This is the only place `.then` callbacks, future fulfillments
+    /// and incoming RPC bodies execute.
+    pub(crate) fn progress_user(&self) {
+        self.progress_internal();
+        if let Backend::Smp(h) = &self.backend {
+            // Incoming items enqueue their effects into compQ.
+            h.poll(64);
+        }
+        loop {
+            let eff = self.comp_q.borrow_mut().pop_front();
+            let Some(eff) = eff else { break };
+            self.stats.comp_items.set(self.stats.comp_items.get() + 1);
+            eff();
+        }
+    }
+}
+
+/// This rank's id within the world (paper: `upcxx::rank_me()`).
+pub fn rank_me() -> Rank {
+    ctx().me
+}
+
+/// Number of ranks in the world (paper: `upcxx::rank_n()`).
+pub fn rank_n() -> usize {
+    ctx().n
+}
+
+/// Make user-level progress: advance deferred operations and run completed
+/// operations' callbacks and incoming RPCs (paper: `upcxx::progress()`).
+pub fn progress() {
+    ctx().progress_user();
+}
+
+/// Spin on user progress until `pred` holds (the engine behind
+/// `Future::wait`; the paper notes `wait` "is simply a spin loop around
+/// progress"). Only the smp conduit supports blocking; under sim this
+/// panics unless the predicate is already true. Public so layers above
+/// (e.g. the v0.1 compatibility events) can block on their own conditions.
+pub fn wait_until(pred: impl Fn() -> bool) {
+    if pred() {
+        return;
+    }
+    let c = ctx();
+    match &c.backend {
+        Backend::Smp(_) => {
+            let mut spins: u32 = 0;
+            while !pred() {
+                c.progress_user();
+                spins = spins.wrapping_add(1);
+                if spins % 32 == 0 {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        Backend::Sim(_) => {
+            // One chance: deferred work may satisfy the predicate without
+            // needing virtual time to pass.
+            c.progress_user();
+            assert!(
+                pred(),
+                "blocking wait() cannot advance virtual time under the sim conduit; \
+                 restructure the driver with then()-chains"
+            );
+        }
+    }
+}
+
+/// Per-rank user state keyed by type: returns (creating on first use via
+/// `init`) this rank's instance of `T`. This is how applications keep
+/// "process-local" state (like the DHT's `local_map`) that RPC handlers can
+/// reach — the moral equivalent of a C++ global in SPMD UPC++ programs,
+/// made rank-correct under the sim conduit where many ranks share one thread.
+pub fn rank_state<T: 'static>(init: impl FnOnce() -> T) -> Rc<T> {
+    let c = ctx();
+    let key = std::any::TypeId::of::<T>();
+    if let Some(v) = c.rank_state.borrow().get(&key) {
+        return v.clone().downcast::<T>().expect("rank_state type confusion");
+    }
+    let v: Rc<T> = Rc::new(init());
+    c.rank_state.borrow_mut().insert(key, v.clone());
+    v
+}
+
+/// Statistics snapshot for the current rank.
+pub fn stats_rma_ops() -> u64 {
+    ctx().stats.rma_ops.get()
+}
+/// RPCs injected by the current rank so far.
+pub fn stats_rpcs() -> u64 {
+    ctx().stats.rpcs.get()
+}
+
+/// A `Future<()>` that is already complete — start of a conjunction chain
+/// (paper Fig. 7 line 6: `f_conj = upcxx::make_future()`).
+pub fn make_ready_future() -> Future<()> {
+    crate::future::make_future(())
+}

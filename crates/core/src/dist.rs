@@ -1,0 +1,167 @@
+//! Distributed objects (§II).
+//!
+//! UPC++ rejects symmetric heaps and shared arrays as non-scalable; in their
+//! place it offers the *distributed object*: one local representative per
+//! rank, named by a universal identifier that RPC arguments translate to the
+//! target's representative automatically. "Obtaining a global pointer from a
+//! remote instance of a distributed object requires explicit communication"
+//! — exactly what [`DistObject::fetch`] does.
+//!
+//! Construction is collective in the SPMD sense: every rank constructs its
+//! distributed objects **in the same order**, so the per-rank counter yields
+//! matching ids with no communication or non-scalable tracking state (the
+//! paper's design goal). An RPC that arrives before the target has
+//! constructed its representative parks until construction, matching UPC++'s
+//! documented behaviour.
+
+use crate::ctx::ctx;
+use crate::future::Future;
+use crate::ser::{Reader, Ser};
+use std::rc::Rc;
+
+/// Universal identifier of a distributed object (serializable; travels in
+/// RPC arguments).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DistId(pub u64);
+
+impl Ser for DistId {
+    fn ser(&self, out: &mut Vec<u8>) {
+        self.0.ser(out);
+    }
+    fn deser(r: &mut Reader) -> Self {
+        DistId(u64::deser(r))
+    }
+    fn ser_size(&self) -> usize {
+        8
+    }
+}
+
+/// A handle to this rank's representative of a distributed object
+/// (paper: `upcxx::dist_object<T>`).
+pub struct DistObject<T: 'static> {
+    id: DistId,
+    value: Rc<T>,
+}
+
+impl<T: 'static> DistObject<T> {
+    /// Collectively construct (same order on every rank — module docs) a
+    /// distributed object whose local representative is `value`.
+    pub fn new(value: T) -> DistObject<T> {
+        let c = ctx();
+        let id = DistId(c.dist_next.get());
+        c.dist_next.set(id.0 + 1);
+        let value = Rc::new(value);
+        c.dist_tbl.borrow_mut().insert(id.0, value.clone());
+        // Wake any RPCs that arrived before construction.
+        let parked = c.dist_waiters.borrow_mut().remove(&id.0);
+        if let Some(parked) = parked {
+            for k in parked {
+                k();
+            }
+        }
+        DistObject { id, value }
+    }
+
+    /// The universal identifier (pass it in RPC arguments).
+    pub fn id(&self) -> DistId {
+        self.id
+    }
+
+    /// This rank's representative.
+    pub fn local(&self) -> &T {
+        &self.value
+    }
+
+    /// Shared handle to this rank's representative.
+    pub fn local_rc(&self) -> Rc<T> {
+        self.value.clone()
+    }
+
+    /// Fetch a value derived from `target`'s representative — the explicit
+    /// communication the paper requires for reaching remote instances.
+    /// (`fetch` in UPC++ retrieves the remote value itself; deriving lets
+    /// non-`Ser` representatives export, e.g., a `GlobalPtr` to their data.)
+    pub fn fetch_map<R>(&self, target: usize, f: fn(Rc<T>) -> R) -> Future<R>
+    where
+        R: Ser + Clone + 'static,
+    {
+        // fn-pointer composition keeps the shipped callable stateless, per
+        // the RPC contract; the id and the deriving fn travel as data.
+        crate::rpc::rpc(target, run_fetch::<T, R>, (self.id, FnToken::new(f)))
+    }
+}
+
+/// Resolve a distributed object's local representative on the current rank
+/// (used inside RPC handler bodies; paper: the automatic argument
+/// translation of `dist_object&` RPC parameters).
+pub fn lookup<T: 'static>(id: DistId) -> Rc<T> {
+    try_lookup(id).unwrap_or_else(|| {
+        panic!(
+            "distributed object {id:?} not yet constructed on rank {}",
+            ctx().me
+        )
+    })
+}
+
+/// Non-panicking lookup.
+pub fn try_lookup<T: 'static>(id: DistId) -> Option<Rc<T>> {
+    let c = ctx();
+    let tbl = c.dist_tbl.borrow();
+    tbl.get(&id.0).map(|any| {
+        any.clone()
+            .downcast::<T>()
+            .expect("distributed-object type confusion")
+    })
+}
+
+/// Run `f` once the distributed object `id` exists on this rank (immediately
+/// if it already does). RPC handler bodies use this to tolerate arrival
+/// before construction.
+pub fn when_constructed(id: DistId, f: impl FnOnce() + 'static) {
+    let c = ctx();
+    if c.dist_tbl.borrow().contains_key(&id.0) {
+        f();
+    } else {
+        c.dist_waiters
+            .borrow_mut()
+            .entry(id.0)
+            .or_default()
+            .push(Box::new(f));
+    }
+}
+
+/// A serializable `fn`-pointer token. Sound only within one process image —
+/// true for both conduits of this reproduction (all "ranks" share the
+/// binary, as they would on an SPMD supercomputer job running one
+/// executable).
+struct FnToken<T, R> {
+    f: fn(Rc<T>) -> R,
+}
+
+impl<T, R> FnToken<T, R> {
+    fn new(f: fn(Rc<T>) -> R) -> Self {
+        FnToken { f }
+    }
+}
+
+impl<T: 'static, R: 'static> Ser for FnToken<T, R> {
+    fn ser(&self, out: &mut Vec<u8>) {
+        (self.f as usize as u64).ser(out);
+    }
+    fn deser(r: &mut Reader) -> Self {
+        let addr = u64::deser(r) as usize;
+        // SAFETY: the address was produced by `ser` from a valid
+        // `fn(Rc<T>) -> R` in this same process image (single-binary SPMD);
+        // the `Ser` type parameters pin the signature.
+        let f = unsafe { std::mem::transmute::<usize, fn(Rc<T>) -> R>(addr) };
+        FnToken { f }
+    }
+    fn ser_size(&self) -> usize {
+        8
+    }
+}
+
+fn run_fetch<T: 'static, R: Ser + Clone + 'static>(args: (DistId, FnToken<T, R>)) -> R {
+    let (id, tok) = args;
+    (tok.f)(lookup::<T>(id))
+}

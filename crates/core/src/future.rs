@@ -1,0 +1,669 @@
+//! Futures and promises — the asynchrony backbone of UPC++ (§II).
+//!
+//! Faithful to the paper's semantics:
+//!
+//! * A [`Future`] is the **consumer** side of a non-blocking operation: query
+//!   readiness, retrieve results, chain callbacks with [`Future::then`], and
+//!   conjoin with [`when_all`]. Futures are *rank-local* — "used to manage
+//!   asynchronous dependencies within a thread and not for direct
+//!   communication between threads or processes" — which is why they are
+//!   cheap `Rc`-based handles and deliberately `!Send`.
+//! * A [`Promise`] is the **producer** side. It carries a dependency counter
+//!   (starting at one); [`Promise::require_anonymous`] registers extra
+//!   dependencies, [`Promise::fulfill_anonymous`] retires them, and
+//!   [`Promise::finalize`] retires the initial one and hands back the future.
+//!   This is exactly the counter idiom of the paper's flood benchmark and the
+//!   `e_add_prom` counter in its Fig. 7.
+//! * Multiple futures may view one promise; a callback chained on a ready
+//!   future runs immediately (the paper's `.then` may run "when the values
+//!   are available", and attach-time is such a moment).
+//!
+//! `then` callbacks receive the value **by clone** when the future can be
+//! observed again later (UPC++ hands callbacks copies of the encapsulated
+//! values; `T: Clone` is the Rust spelling of that contract).
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+enum State<T> {
+    /// Not ready; holds callbacks awaiting the value.
+    Pending(Vec<Box<dyn FnOnce(&T)>>),
+    /// Value available but temporarily moved out while callbacks execute;
+    /// callbacks attached meanwhile queue here and run in the same drain.
+    /// Only observable from *inside* a callback on the same future
+    /// (single-threaded runtime).
+    Running(Vec<Box<dyn FnOnce(&T)>>),
+    /// Value available.
+    Ready(T),
+}
+
+struct Core<T> {
+    state: RefCell<State<T>>,
+}
+
+impl<T: 'static> Core<T> {
+    fn new_pending() -> Rc<Self> {
+        Rc::new(Core {
+            state: RefCell::new(State::Pending(Vec::new())),
+        })
+    }
+
+    fn new_ready(v: T) -> Rc<Self> {
+        Rc::new(Core {
+            state: RefCell::new(State::Ready(v)),
+        })
+    }
+
+    /// Fulfill with trampolining: callback cascades (a `then` chain of depth
+    /// N fulfilling N downstream cores) run iteratively through a
+    /// thread-local pending queue instead of N nested stack frames.
+    fn fulfill(self: &Rc<Self>, v: T) {
+        let this = self.clone();
+        trampoline(move || this.fulfill_now(v));
+    }
+
+    fn fulfill_now(self: &Rc<Self>, v: T) {
+        let cbs = {
+            let mut st = self.state.borrow_mut();
+            match &mut *st {
+                State::Ready(_) | State::Running(_) => panic!("future fulfilled twice"),
+                State::Pending(cbs) => {
+                    let cbs = std::mem::take(cbs);
+                    *st = State::Running(Vec::new());
+                    cbs
+                }
+            }
+        };
+        self.drain(v, cbs);
+    }
+
+    /// Run callbacks with no borrow held (they may attach more callbacks to
+    /// this same future — those land in the Running queue and drain here),
+    /// then park the value as Ready.
+    fn drain(self: &Rc<Self>, v: T, mut cbs: Vec<Box<dyn FnOnce(&T)>>) {
+        loop {
+            for cb in cbs.drain(..) {
+                cb(&v);
+            }
+            let mut st = self.state.borrow_mut();
+            match &mut *st {
+                State::Running(q) if q.is_empty() => {
+                    *st = State::Ready(v);
+                    return;
+                }
+                State::Running(q) => {
+                    cbs = std::mem::take(q);
+                }
+                _ => unreachable!("state changed under a running drain"),
+            }
+        }
+    }
+
+    fn add_callback(self: &Rc<Self>, cb: Box<dyn FnOnce(&T)>) {
+        let mut cb = Some(cb);
+        let ready = {
+            let mut st = self.state.borrow_mut();
+            match &mut *st {
+                State::Pending(cbs) | State::Running(cbs) => {
+                    cbs.push(cb.take().expect("callback consumed twice"));
+                    None
+                }
+                State::Ready(_) => {
+                    // Move the value out so the callback runs borrow-free
+                    // (it may re-attach to this very future).
+                    let State::Ready(v) = std::mem::replace(&mut *st, State::Running(Vec::new()))
+                    else {
+                        unreachable!()
+                    };
+                    Some(v)
+                }
+            }
+        };
+        if let Some(v) = ready {
+            let this = self.clone();
+            let cb = cb.take().expect("callback consumed twice");
+            trampoline(move || this.drain(v, vec![cb]));
+        }
+    }
+}
+
+thread_local! {
+    static DRAIN_DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+    static PENDING: RefCell<Vec<Box<dyn FnOnce()>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `job` now if no callback drain is active on this thread; otherwise
+/// queue it for the active outermost drain. The outermost call also drains
+/// everything queued by nested fulfillments, so arbitrarily deep `then`
+/// chains complete in constant stack depth.
+fn trampoline(job: impl FnOnce() + 'static) {
+    if DRAIN_DEPTH.with(|d| d.get()) > 0 {
+        PENDING.with(|p| p.borrow_mut().push(Box::new(job)));
+        return;
+    }
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            DRAIN_DEPTH.with(|d| d.set(d.get() - 1));
+        }
+    }
+    DRAIN_DEPTH.with(|d| d.set(d.get() + 1));
+    let _g = Guard;
+    job();
+    loop {
+        let next = PENDING.with(|p| p.borrow_mut().pop());
+        match next {
+            Some(j) => j(),
+            None => break,
+        }
+    }
+}
+
+/// The consumer interface to a non-blocking operation (see module docs).
+///
+/// Cloning a `Future` produces another view of the same eventual value.
+pub struct Future<T: 'static> {
+    core: Rc<Core<T>>,
+}
+
+impl<T: 'static> Clone for Future<T> {
+    fn clone(&self) -> Self {
+        Future {
+            core: self.core.clone(),
+        }
+    }
+}
+
+impl<T: 'static> fmt::Debug for Future<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Future<{}>({})",
+            std::any::type_name::<T>(),
+            if self.is_ready() { "ready" } else { "pending" }
+        )
+    }
+}
+
+/// Construct an already-ready future (UPC++ `make_future`).
+pub fn make_future<T: 'static>(v: T) -> Future<T> {
+    Future {
+        core: Core::new_ready(v),
+    }
+}
+
+impl<T: 'static> Future<T> {
+    /// Whether the value is available. `true` also while this future's own
+    /// completion callbacks are executing (the value exists; it is briefly
+    /// checked out to the callback drain).
+    pub fn is_ready(&self) -> bool {
+        matches!(
+            &*self.core.state.borrow(),
+            State::Ready(_) | State::Running(_)
+        )
+    }
+
+    /// Retrieve the value if ready (clones it; the future stays observable).
+    pub fn try_get(&self) -> Option<T>
+    where
+        T: Clone,
+    {
+        match &*self.core.state.borrow() {
+            State::Ready(v) => Some(v.clone()),
+            // Pending, or checked out to a callback drain (see is_ready).
+            _ => None,
+        }
+    }
+
+    /// Peek at the value by reference.
+    pub fn with_value<R>(&self, f: impl FnOnce(&T) -> R) -> Option<R> {
+        match &*self.core.state.borrow() {
+            State::Ready(v) => Some(f(v)),
+            _ => None,
+        }
+    }
+
+    /// Chain a callback: `f` runs with the value once available (immediately
+    /// if already ready), producing a new future of its result. This is the
+    /// paper's completion-handler mechanism.
+    pub fn then<U: 'static>(&self, f: impl FnOnce(T) -> U + 'static) -> Future<U>
+    where
+        T: Clone,
+    {
+        let out = Future {
+            core: Core::<U>::new_pending(),
+        };
+        let out2 = out.clone();
+        self.core.add_callback(Box::new(move |v: &T| {
+            out2.core.fulfill(f(v.clone()));
+        }));
+        out
+    }
+
+    /// Like [`then`](Self::then) but for callbacks that launch further
+    /// asynchronous work: the returned future readies when the *inner* future
+    /// does (UPC++ `.then` auto-unwraps futures; Rust needs a second method).
+    pub fn then_fut<U: 'static>(&self, f: impl FnOnce(T) -> Future<U> + 'static) -> Future<U>
+    where
+        T: Clone,
+        U: Clone,
+    {
+        let out = Future {
+            core: Core::<U>::new_pending(),
+        };
+        let out2 = out.clone();
+        self.core.add_callback(Box::new(move |v: &T| {
+            let inner = f(v.clone());
+            let out3 = out2.clone();
+            inner.core.add_callback(Box::new(move |u: &U| {
+                out3.core.fulfill(u.clone());
+            }));
+        }));
+        out
+    }
+
+    /// Block until ready and return the value. **smp conduit only**: spins on
+    /// the progress engine (the paper's `wait` "is simply a spin loop around
+    /// progress"). Under the sim conduit rank programs are continuation-style
+    /// and this panics with guidance instead of deadlocking silently.
+    pub fn wait(&self) -> T
+    where
+        T: Clone,
+    {
+        crate::ctx::wait_until(|| self.is_ready());
+        self.try_get().expect("wait_until returned before readiness")
+    }
+
+    /// Discard the value, yielding a `Future<()>` useful for conjoining
+    /// heterogeneous completions.
+    pub fn ignore(&self) -> Future<()>
+    where
+        T: Clone,
+    {
+        self.then(|_| ())
+    }
+}
+
+/// The producer side of an operation, with UPC++'s anonymous-dependency
+/// counter (see module docs).
+pub struct Promise<T: 'static> {
+    inner: Rc<PromiseInner<T>>,
+}
+
+struct PromiseInner<T: 'static> {
+    deps: std::cell::Cell<usize>,
+    value: RefCell<Option<T>>,
+    core: Rc<Core<T>>,
+    finalized: std::cell::Cell<bool>,
+}
+
+impl<T: 'static> Clone for Promise<T> {
+    fn clone(&self) -> Self {
+        Promise {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T: 'static> Default for Promise<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: 'static> Promise<T> {
+    /// Fresh promise with dependency count 1 (the implicit dependency retired
+    /// by [`finalize`](Self::finalize)).
+    pub fn new() -> Promise<T> {
+        Promise {
+            inner: Rc::new(PromiseInner {
+                deps: std::cell::Cell::new(1),
+                value: RefCell::new(None),
+                core: Core::new_pending(),
+                finalized: std::cell::Cell::new(false),
+            }),
+        }
+    }
+
+    /// The future associated with this promise (callable any number of times;
+    /// all returned futures alias the same state).
+    pub fn get_future(&self) -> Future<T> {
+        Future {
+            core: self.inner.core.clone(),
+        }
+    }
+
+    /// Register `n` additional anonymous dependencies. Must precede their
+    /// fulfillment; panics after the counter has reached zero.
+    pub fn require_anonymous(&self, n: usize) {
+        let d = self.inner.deps.get();
+        assert!(d > 0, "promise already satisfied");
+        self.inner.deps.set(d + n);
+    }
+
+    /// Retire `n` anonymous dependencies; readies the future when the counter
+    /// reaches zero (the value must have been supplied by then, or `T = ()`
+    /// via the `Promise<()>` impl below).
+    pub fn fulfill_anonymous(&self, n: usize) {
+        let d = self.inner.deps.get();
+        assert!(d >= n, "fulfilled more dependencies than required");
+        self.inner.deps.set(d - n);
+        if d == n {
+            self.complete();
+        }
+    }
+
+    /// Supply the result value and retire one dependency (UPC++
+    /// `fulfill_result`).
+    pub fn fulfill(&self, v: T) {
+        {
+            let mut slot = self.inner.value.borrow_mut();
+            assert!(slot.is_none(), "promise value supplied twice");
+            *slot = Some(v);
+        }
+        self.fulfill_anonymous(1);
+    }
+
+    /// Retire the implicit initial dependency and return the future. Call
+    /// once, after registering all other dependencies (paper Fig. 7 line 14).
+    pub fn finalize(&self) -> Future<T> {
+        assert!(!self.inner.finalized.get(), "promise finalized twice");
+        self.inner.finalized.set(true);
+        self.fulfill_anonymous(1);
+        self.get_future()
+    }
+
+    /// Remaining dependency count (diagnostics).
+    pub fn pending_deps(&self) -> usize {
+        self.inner.deps.get()
+    }
+
+    fn complete(&self) {
+        let v = self
+            .inner
+            .value
+            .borrow_mut()
+            .take()
+            .or_else(unit_default::<T>)
+            .expect("promise dependencies satisfied but no value supplied (non-unit promises need fulfill)");
+        self.inner.core.fulfill(v);
+    }
+}
+
+/// `Promise<()>` (UPC++ `promise<>`) is a pure dependency counter: when its
+/// count reaches zero no explicit value is needed. For every other `T`,
+/// retiring all dependencies without supplying a value is a bug. This helper
+/// produces `Some(())` exactly when `T` is the unit type.
+fn unit_default<T: 'static>() -> Option<T> {
+    let boxed: Box<dyn std::any::Any> = Box::new(());
+    boxed.downcast::<T>().ok().map(|b| *b)
+}
+
+/// Conjoin two futures into one carrying both values (UPC++ `when_all`).
+pub fn when_all<A: Clone + 'static, B: Clone + 'static>(
+    a: &Future<A>,
+    b: &Future<B>,
+) -> Future<(A, B)> {
+    let out = Future {
+        core: Core::<(A, B)>::new_pending(),
+    };
+    let out2 = out.clone();
+    let b = b.clone();
+    a.core.add_callback(Box::new(move |av: &A| {
+        let av = av.clone();
+        let out3 = out2.clone();
+        b.core.add_callback(Box::new(move |bv: &B| {
+            out3.core.fulfill((av, bv.clone()));
+        }));
+    }));
+    out
+}
+
+/// Conjoin a homogeneous collection, readying with all values in input order.
+pub fn when_all_vec<T: Clone + 'static>(futs: Vec<Future<T>>) -> Future<Vec<T>> {
+    let n = futs.len();
+    let out = Future {
+        core: Core::<Vec<T>>::new_pending(),
+    };
+    if n == 0 {
+        out.core.fulfill(Vec::new());
+        return out;
+    }
+    let slots: Rc<RefCell<Vec<Option<T>>>> = Rc::new(RefCell::new((0..n).map(|_| None).collect()));
+    let remaining = Rc::new(std::cell::Cell::new(n));
+    for (i, f) in futs.into_iter().enumerate() {
+        let slots = slots.clone();
+        let remaining = remaining.clone();
+        let out2 = out.clone();
+        f.core.add_callback(Box::new(move |v: &T| {
+            slots.borrow_mut()[i] = Some(v.clone());
+            remaining.set(remaining.get() - 1);
+            if remaining.get() == 0 {
+                let vals = slots
+                    .borrow_mut()
+                    .iter_mut()
+                    .map(|s| s.take().expect("slot unfilled"))
+                    .collect();
+                out2.core.fulfill(vals);
+            }
+        }));
+    }
+    out
+}
+
+/// Conjoin unit futures — the paper's `f_conj = when_all(f_conj, fut)` idiom
+/// (Fig. 7 line 29).
+pub fn conjoin(a: &Future<()>, b: &Future<()>) -> Future<()> {
+    when_all(a, b).then(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ready_future_reports_and_yields_value() {
+        let f = make_future(42u32);
+        assert!(f.is_ready());
+        assert_eq!(f.try_get(), Some(42));
+        assert_eq!(f.with_value(|v| *v + 1), Some(43));
+    }
+
+    #[test]
+    fn then_on_ready_future_runs_immediately() {
+        let f = make_future(10u32).then(|v| v * 3);
+        assert_eq!(f.try_get(), Some(30));
+    }
+
+    #[test]
+    fn then_on_pending_future_defers() {
+        let p = Promise::<u32>::new();
+        let seen = std::rc::Rc::new(std::cell::Cell::new(0u32));
+        let s = seen.clone();
+        let f = p.get_future().then(move |v| {
+            s.set(v);
+            v + 1
+        });
+        assert!(!f.is_ready());
+        assert_eq!(seen.get(), 0);
+        p.fulfill(7);
+        assert_eq!(seen.get(), 7);
+        assert_eq!(f.try_get(), Some(8));
+    }
+
+    #[test]
+    fn then_fut_flattens() {
+        let outer = Promise::<u32>::new();
+        let inner = Promise::<String>::new();
+        let inner_fut = inner.get_future();
+        let f = outer.get_future().then_fut(move |v| {
+            assert_eq!(v, 1);
+            inner_fut.clone()
+        });
+        outer.fulfill(1);
+        assert!(!f.is_ready());
+        inner.fulfill("done".to_string());
+        assert_eq!(f.try_get(), Some("done".to_string()));
+    }
+
+    #[test]
+    fn multiple_callbacks_all_run() {
+        let p = Promise::<u32>::new();
+        let count = std::rc::Rc::new(std::cell::Cell::new(0u32));
+        for _ in 0..5 {
+            let c = count.clone();
+            p.get_future().then(move |v| c.set(c.get() + v));
+        }
+        p.fulfill(2);
+        assert_eq!(count.get(), 10);
+    }
+
+    #[test]
+    fn promise_anonymous_counting() {
+        let p = Promise::<()>::new();
+        p.require_anonymous(3);
+        let f = p.get_future();
+        p.fulfill_anonymous(1);
+        p.fulfill_anonymous(2);
+        assert!(!f.is_ready()); // initial dependency still held
+        let f2 = p.finalize();
+        assert!(f.is_ready());
+        assert!(f2.is_ready());
+    }
+
+    #[test]
+    fn promise_counting_order_is_flexible() {
+        // finalize before the anonymous deps retire (flood idiom).
+        let p = Promise::<()>::new();
+        p.require_anonymous(2);
+        let f = p.finalize();
+        assert!(!f.is_ready());
+        p.fulfill_anonymous(1);
+        assert!(!f.is_ready());
+        p.fulfill_anonymous(1);
+        assert!(f.is_ready());
+    }
+
+    #[test]
+    #[should_panic(expected = "finalized twice")]
+    fn double_finalize_panics() {
+        let p = Promise::<()>::new();
+        p.require_anonymous(1);
+        let _ = p.finalize();
+        let _ = p.finalize();
+    }
+
+    #[test]
+    #[should_panic(expected = "more dependencies than required")]
+    fn over_fulfillment_panics() {
+        let p = Promise::<()>::new();
+        p.fulfill_anonymous(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no value supplied")]
+    fn non_unit_promise_requires_value() {
+        let p = Promise::<u32>::new();
+        let _ = p.finalize(); // counter hits zero without fulfill
+    }
+
+    #[test]
+    #[should_panic(expected = "supplied twice")]
+    fn double_fulfill_panics() {
+        let p = Promise::<u32>::new();
+        p.require_anonymous(1);
+        p.fulfill(1);
+        p.fulfill(2);
+    }
+
+    #[test]
+    fn when_all_pairs_values() {
+        let pa = Promise::<u32>::new();
+        let pb = Promise::<String>::new();
+        let f = when_all(&pa.get_future(), &pb.get_future());
+        pb.fulfill("x".into());
+        assert!(!f.is_ready());
+        pa.fulfill(4);
+        assert_eq!(f.try_get(), Some((4, "x".to_string())));
+    }
+
+    #[test]
+    fn when_all_vec_preserves_order() {
+        let ps: Vec<Promise<u32>> = (0..4).map(|_| Promise::new()).collect();
+        let f = when_all_vec(ps.iter().map(|p| p.get_future()).collect());
+        // Fulfill out of order.
+        for i in [2usize, 0, 3, 1] {
+            assert!(!f.is_ready());
+            ps[i].fulfill(i as u32 * 10);
+        }
+        assert_eq!(f.try_get(), Some(vec![0, 10, 20, 30]));
+    }
+
+    #[test]
+    fn when_all_vec_empty_is_ready() {
+        let f = when_all_vec(Vec::<Future<u32>>::new());
+        assert_eq!(f.try_get(), Some(vec![]));
+    }
+
+    #[test]
+    fn conjoin_chain() {
+        let mut f = make_future(());
+        let ps: Vec<Promise<()>> = (0..3).map(|_| Promise::new()).collect();
+        for p in &ps {
+            p.require_anonymous(1);
+            let pf = p.finalize();
+            f = conjoin(&f, &pf);
+        }
+        for (i, p) in ps.iter().enumerate() {
+            assert!(!f.is_ready(), "ready after only {i} fulfillments");
+            p.fulfill_anonymous(1);
+        }
+        assert!(f.is_ready());
+    }
+
+    #[test]
+    fn callbacks_can_chain_more_callbacks() {
+        let p = Promise::<u32>::new();
+        let total = std::rc::Rc::new(std::cell::Cell::new(0u32));
+        let t = total.clone();
+        let f = p.get_future();
+        let f2 = f.clone();
+        f.then(move |v| {
+            let t2 = t.clone();
+            // Attaching to an already-ready future from inside a callback.
+            f2.then(move |w| t2.set(t2.get() + v + w));
+        });
+        p.fulfill(5);
+        assert_eq!(total.get(), 10);
+    }
+
+    #[test]
+    fn ignore_discards_value() {
+        let f = make_future(99u64).ignore();
+        assert_eq!(f.try_get(), Some(()));
+    }
+
+    #[test]
+    fn wait_returns_immediately_when_ready() {
+        // wait() without a runtime context is fine for ready futures.
+        assert_eq!(make_future(5u8).wait(), 5);
+    }
+
+    #[test]
+    fn debug_formatting() {
+        let p = Promise::<u32>::new();
+        assert!(format!("{:?}", p.get_future()).contains("pending"));
+        assert!(format!("{:?}", make_future(1u32)).contains("ready"));
+    }
+
+    #[test]
+    fn pending_deps_reports_counter() {
+        let p = Promise::<()>::new();
+        assert_eq!(p.pending_deps(), 1);
+        p.require_anonymous(4);
+        assert_eq!(p.pending_deps(), 5);
+        p.fulfill_anonymous(2);
+        assert_eq!(p.pending_deps(), 3);
+    }
+}

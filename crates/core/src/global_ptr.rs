@@ -1,0 +1,234 @@
+//! Global pointers into the partitioned global address space (§II).
+//!
+//! A [`GlobalPtr`] names an object in some rank's shared segment. Exactly as
+//! the paper specifies, it **cannot be dereferenced** — there is no `Deref`
+//! impl, because "this would violate our principle of making all
+//! communication syntactically explicit". What it *does* support, mirroring
+//! the paper:
+//!
+//! * pointer arithmetic ([`GlobalPtr::add`], [`GlobalPtr::offset_elems`]) and
+//!   pass-by-value (it is `Copy` and [`crate::ser::Ser`], so it travels in
+//!   RPC arguments — the DHT motif returns one from `make_lz`);
+//! * conversion to/from a local view **on the owning rank only**
+//!   ([`GlobalPtr::local_read`] / [`GlobalPtr::local_write`] and, on the smp
+//!   conduit, a raw [`GlobalPtr::local_ptr`]);
+//! * use as the remote side of `rput` / `rget` and remote atomics.
+
+use crate::ctx::{ctx, Backend};
+use crate::ser::{Pod, Reader, Ser};
+use gasnet::Rank;
+use std::fmt;
+use std::marker::PhantomData;
+
+/// A typed pointer to `count * size_of::<T>()` bytes in `rank`'s shared
+/// segment. Not dereferenceable; see module docs.
+pub struct GlobalPtr<T: Pod> {
+    rank: u64,
+    /// Byte offset within the owning rank's segment; `u64::MAX` means null.
+    off: u64,
+    _pd: PhantomData<*const T>,
+}
+
+// Manual impls: `derive` would bound them on `T`.
+impl<T: Pod> Clone for GlobalPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: Pod> Copy for GlobalPtr<T> {}
+impl<T: Pod> PartialEq for GlobalPtr<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.rank == other.rank && self.off == other.off
+    }
+}
+impl<T: Pod> Eq for GlobalPtr<T> {}
+impl<T: Pod> std::hash::Hash for GlobalPtr<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.rank.hash(state);
+        self.off.hash(state);
+    }
+}
+
+impl<T: Pod> fmt::Debug for GlobalPtr<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "gptr<{}>(null)", std::any::type_name::<T>())
+        } else {
+            write!(
+                f,
+                "gptr<{}>(rank {}, off {})",
+                std::any::type_name::<T>(),
+                self.rank,
+                self.off
+            )
+        }
+    }
+}
+
+const NULL_OFF: u64 = u64::MAX;
+
+impl<T: Pod> GlobalPtr<T> {
+    /// The null global pointer.
+    pub fn null() -> GlobalPtr<T> {
+        GlobalPtr {
+            rank: 0,
+            off: NULL_OFF,
+            _pd: PhantomData,
+        }
+    }
+
+    /// Construct from raw parts (crate-internal; applications obtain global
+    /// pointers from [`crate::allocate`] and RPC results).
+    pub(crate) fn from_parts(rank: Rank, off: usize) -> GlobalPtr<T> {
+        GlobalPtr {
+            rank: rank as u64,
+            off: off as u64,
+            _pd: PhantomData,
+        }
+    }
+
+    /// Whether this is the null pointer.
+    pub fn is_null(&self) -> bool {
+        self.off == NULL_OFF
+    }
+
+    /// The owning rank.
+    pub fn rank(&self) -> Rank {
+        assert!(!self.is_null(), "rank() on null global pointer");
+        self.rank as Rank
+    }
+
+    /// Byte offset within the owning rank's segment.
+    pub fn byte_offset(&self) -> usize {
+        assert!(!self.is_null(), "offset of null global pointer");
+        self.off as usize
+    }
+
+    /// Whether the calling rank owns the referent (paper: local()-nullable).
+    pub fn is_local(&self) -> bool {
+        !self.is_null() && self.rank as usize == ctx().me
+    }
+
+    /// Pointer arithmetic in elements (paper: global pointers "support
+    /// arithmetic").
+    pub fn add(&self, elems: usize) -> GlobalPtr<T> {
+        assert!(!self.is_null(), "arithmetic on null global pointer");
+        GlobalPtr {
+            rank: self.rank,
+            off: self.off + (elems * std::mem::size_of::<T>()) as u64,
+            _pd: PhantomData,
+        }
+    }
+
+    /// Signed element offset.
+    pub fn offset_elems(&self, elems: isize) -> GlobalPtr<T> {
+        assert!(!self.is_null(), "arithmetic on null global pointer");
+        let delta = elems * std::mem::size_of::<T>() as isize;
+        let off = (self.off as i128 + delta as i128) as u64;
+        GlobalPtr {
+            rank: self.rank,
+            off,
+            _pd: PhantomData,
+        }
+    }
+
+    /// Reinterpret as a pointer to a different `Pod` element type at the
+    /// same byte address (UPC++'s `reinterpret_pointer_cast` for shared
+    /// memory; the DHT motif casts byte landing zones to element views).
+    pub fn cast<U: Pod>(self) -> GlobalPtr<U> {
+        GlobalPtr {
+            rank: self.rank,
+            off: self.off,
+            _pd: PhantomData,
+        }
+    }
+
+    /// Element distance `self - origin` (must share rank; panics otherwise).
+    pub fn elems_from(&self, origin: &GlobalPtr<T>) -> isize {
+        assert_eq!(self.rank, origin.rank, "pointers from different ranks");
+        ((self.off as i128 - origin.off as i128) / std::mem::size_of::<T>() as i128) as isize
+    }
+
+    /// Read `dst.len()` elements from the referent, **owning rank only** —
+    /// the paper's downcast of a global pointer to a local pointer. Remote
+    /// data must travel via `rget`.
+    pub fn local_read(&self, dst: &mut [T]) {
+        assert!(self.is_local(), "local_read on a non-local global pointer");
+        let c = ctx();
+        let bytes_len = std::mem::size_of_val(dst);
+        match &c.backend {
+            Backend::Smp(h) => {
+                let mut buf = vec![0u8; bytes_len];
+                h.get_bytes(c.me, self.off as usize, &mut buf);
+                dst.copy_from_slice(&crate::ser::pod_from_bytes(&buf));
+            }
+            Backend::Sim(w) => {
+                let mut buf = vec![0u8; bytes_len];
+                w.seg_read(c.me, self.off as usize, &mut buf);
+                dst.copy_from_slice(&crate::ser::pod_from_bytes(&buf));
+            }
+        }
+    }
+
+    /// Write elements to the referent, **owning rank only**.
+    pub fn local_write(&self, src: &[T]) {
+        assert!(self.is_local(), "local_write on a non-local global pointer");
+        let c = ctx();
+        let bytes = crate::ser::pod_to_bytes(src);
+        match &c.backend {
+            Backend::Smp(h) => h.put_bytes(c.me, self.off as usize, &bytes),
+            Backend::Sim(w) => w.seg_write(c.me, self.off as usize, &bytes),
+        }
+    }
+
+    /// Raw local pointer to the referent — **smp conduit and owning rank
+    /// only** (simulated segments have no stable raw address). The PGAS
+    /// synchronization contract applies to all access through it.
+    pub fn local_ptr(&self) -> *mut T {
+        assert!(self.is_local(), "local_ptr on a non-local global pointer");
+        let c = ctx();
+        match &c.backend {
+            Backend::Smp(h) => unsafe { h.seg_base(c.me).add(self.off as usize) as *mut T },
+            Backend::Sim(_) => panic!("local_ptr is unavailable under the sim conduit; use local_read/local_write"),
+        }
+    }
+}
+
+impl<T: Pod> Ser for GlobalPtr<T> {
+    fn ser(&self, out: &mut Vec<u8>) {
+        self.rank.ser(out);
+        self.off.ser(out);
+    }
+    fn deser(r: &mut Reader) -> Self {
+        let rank = u64::deser(r);
+        let off = u64::deser(r);
+        GlobalPtr {
+            rank,
+            off,
+            _pd: PhantomData,
+        }
+    }
+    fn ser_size(&self) -> usize {
+        16
+    }
+}
+
+/// Allocate `count` elements of `T` in the **calling rank's** shared segment
+/// (paper: `upcxx::allocate`; non-collective). Panics when the segment is
+/// exhausted — sized segments are a deliberate PGAS design point.
+pub fn allocate<T: Pod>(count: usize) -> GlobalPtr<T> {
+    let c = ctx();
+    let len = count * std::mem::size_of::<T>();
+    let off = c
+        .alloc
+        .borrow_mut()
+        .alloc(len)
+        .unwrap_or_else(|| panic!("shared segment exhausted allocating {len} bytes"));
+    GlobalPtr::from_parts(c.me, off)
+}
+
+/// Release memory obtained from [`allocate`] (owning rank only).
+pub fn deallocate<T: Pod>(p: GlobalPtr<T>) {
+    assert!(p.is_local(), "deallocate must run on the owning rank");
+    ctx().alloc.borrow_mut().dealloc(p.byte_offset());
+}

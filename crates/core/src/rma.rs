@@ -1,0 +1,134 @@
+//! One-sided Remote Memory Access: `rput` / `rget` and friends (§II–III).
+//!
+//! All operations are **asynchronous by default** (the paper's first design
+//! principle) and return a [`Future`]; completion can alternatively feed a
+//! [`Promise`] dependency counter (the paper's `operation_cx::as_promise`,
+//! used by its flood-bandwidth benchmark) via the `*_promise` variants.
+//!
+//! Injection follows §III exactly: the call creates the operation in the
+//! deferred queue, internal progress hands it to the conduit, and the
+//! returned future readies when user-level progress drains the completion
+//! queue.
+//!
+//! Beyond contiguous transfers, the non-contiguous family the paper lists
+//! (§II: "vector, indexed and strided") is provided as [`rput_irregular`],
+//! [`rput_strided`] and their get counterparts, implemented — as in early
+//! GASNet conduits — by decomposing into contiguous operations conjoined
+//! through one promise.
+
+use crate::ctx::{ctx, DefOp};
+use crate::future::{Future, Promise};
+use crate::global_ptr::GlobalPtr;
+use crate::ser::{pod_from_bytes, pod_to_bytes, Pod};
+
+/// Non-blocking one-sided put of `src` to the remote location `dest`
+/// (paper: `upcxx::rput(src, dest, count)`). The returned future readies at
+/// *operation completion* — the data is globally visible and the source
+/// buffer (copied at injection) is reusable immediately.
+pub fn rput<T: Pod>(src: &[T], dest: GlobalPtr<T>) -> Future<()> {
+    let p = Promise::<()>::new();
+    rput_promise(src, dest, &p);
+    p.finalize()
+}
+
+/// Single-value put (paper: `upcxx::rput(value, dest)`).
+pub fn rput_val<T: Pod>(v: T, dest: GlobalPtr<T>) -> Future<()> {
+    rput(std::slice::from_ref(&v), dest)
+}
+
+/// Put registering completion on `p` instead of returning a future — the
+/// paper's flood benchmark idiom:
+/// `rput(src, dest, size, operation_cx::as_promise(p))`.
+pub fn rput_promise<T: Pod>(src: &[T], dest: GlobalPtr<T>, p: &Promise<()>) {
+    let c = ctx();
+    assert!(!dest.is_null(), "rput to null global pointer");
+    c.stats.rma_ops.set(c.stats.rma_ops.get() + 1);
+    let bytes = pod_to_bytes(src);
+    c.stats.bytes_out.set(c.stats.bytes_out.get() + bytes.len() as u64);
+    p.require_anonymous(1);
+    let p2 = p.clone();
+    c.inject(DefOp::Put {
+        target: dest.rank(),
+        dst_off: dest.byte_offset(),
+        bytes,
+        done: Box::new(move || p2.fulfill_anonymous(1)),
+    });
+}
+
+/// Non-blocking one-sided get of `count` elements from `src`
+/// (paper: `upcxx::rget`). The future carries the data.
+pub fn rget<T: Pod>(src: GlobalPtr<T>, count: usize) -> Future<Vec<T>>
+where
+    T: Clone,
+{
+    let c = ctx();
+    assert!(!src.is_null(), "rget from null global pointer");
+    c.stats.rma_ops.set(c.stats.rma_ops.get() + 1);
+    let p = Promise::<Vec<T>>::new();
+    let p2 = p.clone();
+    c.inject(DefOp::Get {
+        target: src.rank(),
+        src_off: src.byte_offset(),
+        len: count * std::mem::size_of::<T>(),
+        done: Box::new(move |bytes| p2.fulfill(pod_from_bytes(&bytes))),
+    });
+    p.get_future()
+}
+
+/// Single-value get.
+pub fn rget_val<T: Pod>(src: GlobalPtr<T>) -> Future<T>
+where
+    T: Clone,
+{
+    rget(src, 1).then(|v| v[0])
+}
+
+/// Irregular ("vector") put: a batch of (source chunk, destination) pairs
+/// completing as one operation. Paper §II's `rput_irregular`.
+pub fn rput_irregular<T: Pod>(pairs: &[(&[T], GlobalPtr<T>)]) -> Future<()> {
+    let p = Promise::<()>::new();
+    for (src, dest) in pairs {
+        rput_promise(src, *dest, &p);
+    }
+    p.finalize()
+}
+
+/// Strided put: `count` chunks of `chunk` elements taken every
+/// `src_stride` elements from `src`, landing every `dst_stride` elements
+/// from `dest` (paper §II's `rput_strided`; the 2-D block update pattern of
+/// multidimensional-array libraries).
+pub fn rput_strided<T: Pod>(
+    src: &[T],
+    src_stride: usize,
+    dest: GlobalPtr<T>,
+    dst_stride: usize,
+    chunk: usize,
+    count: usize,
+) -> Future<()> {
+    assert!(chunk <= src_stride || count <= 1, "overlapping source chunks");
+    let p = Promise::<()>::new();
+    for i in 0..count {
+        let s = &src[i * src_stride..i * src_stride + chunk];
+        rput_promise(s, dest.add(i * dst_stride), &p);
+    }
+    p.finalize()
+}
+
+/// Indexed get: one future carrying the concatenation of `count`-element
+/// reads at each pointer (completing when all arrive).
+pub fn rget_irregular<T: Pod + Clone>(srcs: &[(GlobalPtr<T>, usize)]) -> Future<Vec<Vec<T>>> {
+    crate::future::when_all_vec(srcs.iter().map(|&(p, n)| rget(p, n)).collect())
+}
+
+/// Strided get mirroring [`rput_strided`].
+pub fn rget_strided<T: Pod + Clone>(
+    src: GlobalPtr<T>,
+    src_stride: usize,
+    chunk: usize,
+    count: usize,
+) -> Future<Vec<T>> {
+    let futs: Vec<Future<Vec<T>>> = (0..count)
+        .map(|i| rget(src.add(i * src_stride), chunk))
+        .collect();
+    crate::future::when_all_vec(futs).then(|chunks| chunks.into_iter().flatten().collect())
+}

@@ -1,0 +1,141 @@
+//! Generalized Remote Procedure Call (§II–III, Fig. 2).
+//!
+//! `rpc(target, f, args)` ships `f` plus serialized `args` to `target`,
+//! executes it there during the target's user-level progress, and returns a
+//! future carrying the (serialized, shipped-back) result — the progression of
+//! Fig. 2: initiator defQ → actQ → AM → target compQ → execute → reply AM →
+//! initiator compQ.
+//!
+//! Rust spelling of the C++ restriction: UPC++ lambdas sent by RPC must be
+//! trivially serializable (no captured heap state); here `f` is a plain
+//! `fn` item — stateless closures coerce — and all data travels through the
+//! explicit `args`, which implement [`crate::ser::Ser`]. Arguments really
+//! are serialized to bytes and deserialized at the target (so the sim
+//! conduit charges true wire sizes and `View` arguments are zero-copy on
+//! arrival, as in the paper's extend-add).
+//!
+//! `rpc_ff` is the paper's fire-and-forget variant (footnote 5): no
+//! acknowledgment, "its progress is more like rget/rput".
+
+use crate::ctx::{ctx, DefOp};
+use crate::future::{Future, Promise};
+use crate::ser::{from_bytes, to_bytes, Reader, Ser};
+use gasnet::Rank;
+
+/// Header bytes we model per RPC message (handler id + op id + framing).
+const RPC_HDR: usize = 24;
+
+/// Execute `f(args)` on `target`; the future readies with the result after
+/// the round trip (paper: `upcxx::rpc`). `target` is a world rank; see
+/// [`crate::team::Team::rpc`] for team-relative addressing.
+pub fn rpc<A, R>(target: Rank, f: fn(A) -> R, args: A) -> Future<R>
+where
+    A: Ser,
+    R: Ser + Clone + 'static,
+{
+    let c = ctx();
+    c.stats.rpcs.set(c.stats.rpcs.get() + 1);
+    let initiator = c.me;
+    let op_id = c.new_op_id();
+
+    // Register the reply continuation (holds the promise; rank-local).
+    let p = Promise::<R>::new();
+    {
+        let p2 = p.clone();
+        c.reply_tbl.borrow_mut().insert(
+            op_id,
+            Box::new(move |mut r: Reader| {
+                p2.fulfill(R::deser(&mut r));
+            }),
+        );
+    }
+
+    let arg_bytes = to_bytes(&args);
+    c.charge_ser(arg_bytes.len());
+    c.stats
+        .bytes_out
+        .set(c.stats.bytes_out.get() + arg_bytes.len() as u64);
+    let wire = arg_bytes.len() + RPC_HDR;
+
+    let item: gasnet::Item = Box::new(move || {
+        // Runs on the target rank with its context installed.
+        let tc = ctx();
+        tc.charge_ser(arg_bytes.len());
+        let a: A = from_bytes(arg_bytes);
+        let ret = f(a);
+        let ret_bytes = to_bytes(&ret);
+        tc.charge_ser(ret_bytes.len());
+        // Ship the result back; at the initiator the reply continuation
+        // fulfills the promise from its compQ.
+        send_reply(initiator, op_id, ret_bytes);
+    });
+
+    c.inject(DefOp::Am {
+        target,
+        wire_bytes: wire,
+        item,
+    });
+    p.get_future()
+}
+
+/// Fire-and-forget RPC (paper: `upcxx::rpc_ff`): executes `f(args)` at the
+/// target, returns nothing, sends no acknowledgment.
+pub fn rpc_ff<A>(target: Rank, f: fn(A), args: A)
+where
+    A: Ser,
+{
+    let c = ctx();
+    c.stats.rpcs.set(c.stats.rpcs.get() + 1);
+    let arg_bytes = to_bytes(&args);
+    c.charge_ser(arg_bytes.len());
+    c.stats
+        .bytes_out
+        .set(c.stats.bytes_out.get() + arg_bytes.len() as u64);
+    let wire = arg_bytes.len() + RPC_HDR;
+    let item: gasnet::Item = Box::new(move || {
+        let tc = ctx();
+        tc.charge_ser(arg_bytes.len());
+        f(from_bytes(arg_bytes));
+    });
+    c.inject(DefOp::Am {
+        target,
+        wire_bytes: wire,
+        item,
+    });
+}
+
+/// Internal: deliver `bytes` to `initiator`'s reply continuation `op_id`.
+fn send_reply(initiator: Rank, op_id: u64, bytes: Vec<u8>) {
+    let c = ctx();
+    let wire = bytes.len() + RPC_HDR;
+    let item: gasnet::Item = Box::new(move || {
+        let ic = ctx();
+        let handler = ic
+            .reply_tbl
+            .borrow_mut()
+            .remove(&op_id)
+            .expect("RPC reply without a registered continuation");
+        handler(Reader::new(bytes));
+    });
+    c.inject(DefOp::Am {
+        target: initiator,
+        wire_bytes: wire,
+        item,
+    });
+}
+
+/// Crate-internal "system AM": run a `fn(A)` on `target` outside the RPC
+/// accounting (collectives' flags and payloads ride on this).
+pub(crate) fn sys_am<A: Ser>(target: Rank, f: fn(A), args: A) {
+    let c = ctx();
+    let bytes = to_bytes(&args);
+    let wire = bytes.len() + RPC_HDR;
+    let item: gasnet::Item = Box::new(move || {
+        f(from_bytes(bytes));
+    });
+    c.inject(DefOp::Am {
+        target,
+        wire_bytes: wire,
+        item,
+    });
+}

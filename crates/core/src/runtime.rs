@@ -1,0 +1,181 @@
+//! World construction: SPMD launch over the smp conduit and the driver-based
+//! builder for the sim conduit.
+//!
+//! * [`run_spmd`] reproduces the classic UPC++ lifecycle: `upcxx::init()` …
+//!   SPMD main … `upcxx::finalize()` — one OS thread per rank, a barrier on
+//!   the way out so no rank exits while traffic is in flight.
+//! * [`SimRuntime`] hosts thousands of ranks on the discrete-event conduit.
+//!   Rank programs are *drivers*: closures scheduled onto ranks that express
+//!   their control flow with futures/`then` chains (exactly the style of the
+//!   paper's own benchmark listings). `run()` executes the virtual timeline
+//!   to quiescence and reports the final virtual time.
+
+use crate::ctx::{ctx, with_ctx, RankCtx};
+use gasnet::sim::SimWorld;
+use gasnet::smp::{self, SmpConfig};
+use netsim::MachineConfig;
+use pgas_des::Time;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Options for an smp world.
+#[derive(Clone, Debug)]
+pub struct SpmdConfig {
+    /// Shared-segment bytes per rank.
+    pub seg_size: usize,
+}
+
+impl Default for SpmdConfig {
+    fn default() -> Self {
+        SpmdConfig { seg_size: 8 << 20 }
+    }
+}
+
+/// Run `f` as the rank main of an `n`-rank SPMD world over real threads.
+/// Returns when every rank main has finished and a closing barrier has
+/// drained in-flight communication. Panics propagate.
+pub fn run_spmd<F>(n: usize, cfg: SpmdConfig, f: F)
+where
+    F: Fn() + Send + Sync,
+{
+    smp::launch(n, SmpConfig { seg_size: cfg.seg_size }, move |h| {
+        let c = RankCtx::new_smp(h);
+        with_ctx(c, || {
+            f();
+            // Finalize: no rank leaves while others may still address it.
+            crate::coll::barrier();
+            // Drain one more round of progress so late completion items
+            // (e.g. barrier acks to peers) are serviced before teardown.
+            crate::ctx::progress();
+        });
+    });
+}
+
+/// Convenience wrapper with default configuration.
+pub fn run_spmd_default<F>(n: usize, f: F)
+where
+    F: Fn() + Send + Sync,
+{
+    run_spmd(n, SpmdConfig::default(), f)
+}
+
+/// A simulated UPC++ world (see module docs).
+pub struct SimRuntime {
+    world: SimWorld,
+    ctxs: Rc<RefCell<Vec<Rc<RankCtx>>>>,
+}
+
+impl SimRuntime {
+    /// Build a world of `n` ranks on `machine` with `seg_size`-byte segments.
+    pub fn new(machine: MachineConfig, n: usize, seg_size: usize) -> SimRuntime {
+        let world = SimWorld::new(machine, n, seg_size);
+        let ctxs: Rc<RefCell<Vec<Rc<RankCtx>>>> = Rc::new(RefCell::new(
+            (0..n).map(|r| RankCtx::new_sim(world.clone(), r)).collect(),
+        ));
+        let cx2 = ctxs.clone();
+        world.set_exec_wrapper(Rc::new(move |rank, item| {
+            let c = cx2.borrow()[rank].clone();
+            with_ctx(c, item);
+        }));
+        SimRuntime { world, ctxs }
+    }
+
+    /// Number of ranks.
+    pub fn rank_n(&self) -> usize {
+        self.world.rank_n()
+    }
+
+    /// The underlying simulated world (virtual clock, traffic counters).
+    pub fn world(&self) -> &SimWorld {
+        &self.world
+    }
+
+    /// Schedule `f` to run as (part of) `rank`'s program at virtual time
+    /// `at`. Inside `f`, the full `upcxx` API is available.
+    pub fn spawn_at(&self, rank: usize, at: Time, f: impl FnOnce() + 'static) {
+        self.world.spawn_at(rank, at, Box::new(f));
+    }
+
+    /// Schedule `f` on `rank` at time zero.
+    pub fn spawn(&self, rank: usize, f: impl FnOnce() + 'static) {
+        self.spawn_at(rank, Time::ZERO, f);
+    }
+
+    /// Schedule a driver on every rank at time zero (`make(rank)` builds each
+    /// rank's program — the SPMD pattern under simulation).
+    pub fn spawn_all(&self, make: impl Fn(usize) -> Box<dyn FnOnce()>) {
+        for r in 0..self.rank_n() {
+            self.world.spawn_at(r, Time::ZERO, make(r));
+        }
+    }
+
+    /// Run the virtual timeline to quiescence; returns the final time.
+    pub fn run(&self) -> Time {
+        self.world.run()
+    }
+
+    /// Model `cost` of application compute on `rank` (drivers use this to
+    /// represent work between communication calls).
+    pub fn compute(&self, rank: usize, cost: Time) {
+        self.world.compute(rank, cost);
+    }
+
+    /// Access a rank's context outside driver execution (test assertions).
+    pub fn with_rank<R>(&self, rank: usize, f: impl FnOnce() -> R) -> R {
+        let c = self.ctxs.borrow()[rank].clone();
+        let mut out = None;
+        with_ctx(c, || out = Some(f()));
+        out.unwrap()
+    }
+}
+
+/// Model application compute on the current rank (no-op on smp where real
+/// compute is real). Drivers use this to represent work between
+/// communication calls — it also models *inattentiveness*: incoming RPCs
+/// wait out the window, as §III requires.
+pub fn compute(cost: Time) {
+    if let crate::ctx::Backend::Sim(w) = &ctx().backend {
+        w.charge(ctx().me, cost);
+    }
+}
+
+/// A future that readies after `delay` of virtual time (sim conduit); on
+/// smp it readies immediately (real pipelined library latencies are real
+/// there). Used by layered libraries to model internal latency that is
+/// pipelined rather than CPU-occupying.
+pub fn after(delay: Time) -> crate::future::Future<()> {
+    let c = ctx();
+    match &c.backend {
+        crate::ctx::Backend::Smp(_) => crate::future::make_future(()),
+        crate::ctx::Backend::Sim(w) => {
+            let p = crate::future::Promise::<()>::new();
+            let p2 = p.clone();
+            w.after(c.me, delay, Box::new(move || p2.fulfill(())));
+            p.get_future()
+        }
+    }
+}
+
+/// The sim conduit's software-cost table, or `None` on smp. Layers built
+/// *above* UPC++ (e.g. the mini-MPI baseline) use this to charge their own
+/// additional per-operation software costs against the rank's virtual CPU.
+pub fn sim_sw_costs() -> Option<netsim::config::SwCosts> {
+    ctx().sw()
+}
+
+/// The current virtual time under sim, or `None` on smp (use `Instant`).
+pub fn sim_now() -> Option<Time> {
+    match &ctx().backend {
+        crate::ctx::Backend::Sim(w) => Some(w.now()),
+        crate::ctx::Backend::Smp(_) => None,
+    }
+}
+
+/// The current rank's virtual "local clock" under sim (includes charged CPU
+/// work not yet reflected in global event time).
+pub fn sim_rank_now() -> Option<Time> {
+    match &ctx().backend {
+        crate::ctx::Backend::Sim(w) => Some(w.rank_now(ctx().me)),
+        crate::ctx::Backend::Smp(_) => None,
+    }
+}

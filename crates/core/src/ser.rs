@@ -1,0 +1,541 @@
+//! Serialization for RPC arguments and results.
+//!
+//! UPC++ serializes RPC callables and arguments into Active Message payloads
+//! (§III). We reproduce that with a compact little-endian codec rather than
+//! `serde`, for two reasons: the network model charges per *wire byte*, so
+//! the runtime must own the byte layout; and UPC++'s `view` semantics —
+//! deserializing a sequence as a non-owning window into the incoming network
+//! buffer — map directly onto [`View`] but poorly onto serde's data model.
+//!
+//! * [`Ser`] — types that can cross ranks by value (the analogue of UPC++
+//!   `Serializable`).
+//! * [`Pod`] — plain-old-data marker (analogue of `TriviallySerializable`):
+//!   these move as raw bytes, may live in shared segments, and may be viewed
+//!   zero-copy.
+//! * [`View`] — the paper's `upcxx::view`: a sequence serialized from any
+//!   slice and deserialized as a window into the landing buffer, traversed at
+//!   the target without an intermediate owned copy (used by the extend-add
+//!   motif, Fig. 6–7).
+
+use std::rc::Rc;
+
+/// Plain-old-data: `T` may be transported and stored as raw bytes.
+///
+/// # Safety
+/// Implementors must be `Copy`, have no padding whose content matters, no
+/// pointers/references, and tolerate any bit pattern produced by a prior
+/// `Pod` store of the same type (we only ever reread bytes we wrote).
+pub unsafe trait Pod: Copy + 'static {}
+
+unsafe impl Pod for u8 {}
+unsafe impl Pod for i8 {}
+unsafe impl Pod for u16 {}
+unsafe impl Pod for i16 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for i32 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for i64 {}
+unsafe impl Pod for usize {}
+unsafe impl Pod for isize {}
+unsafe impl Pod for f32 {}
+unsafe impl Pod for f64 {}
+unsafe impl<T: Pod, const N: usize> Pod for [T; N] {}
+
+/// Copy a `Pod` slice to raw bytes (native endianness: both "ends" are the
+/// same process in this reproduction, as on a homogeneous Cray system).
+pub fn pod_to_bytes<T: Pod>(src: &[T]) -> Vec<u8> {
+    let len = std::mem::size_of_val(src);
+    let mut out = vec![0u8; len];
+    // SAFETY: Pod guarantees plain bytes; sizes match by construction.
+    unsafe {
+        std::ptr::copy_nonoverlapping(src.as_ptr() as *const u8, out.as_mut_ptr(), len);
+    }
+    out
+}
+
+/// Reconstruct a `Pod` vector from raw bytes (length must divide evenly).
+pub fn pod_from_bytes<T: Pod>(bytes: &[u8]) -> Vec<T> {
+    let sz = std::mem::size_of::<T>();
+    assert!(sz > 0 && bytes.len() % sz == 0, "byte length not a multiple of element size");
+    let n = bytes.len() / sz;
+    let mut out = Vec::<T>::with_capacity(n);
+    // SAFETY: Pod tolerates any previously-written bit pattern; capacity
+    // reserved; read_unaligned handles arbitrary source alignment.
+    unsafe {
+        std::ptr::copy_nonoverlapping(bytes.as_ptr(), out.as_mut_ptr() as *mut u8, bytes.len());
+        out.set_len(n);
+    }
+    out
+}
+
+/// A cursor over an incoming message buffer. Holds the buffer by `Rc` so
+/// [`View`]s deserialized from it stay valid zero-copy windows.
+pub struct Reader {
+    buf: Rc<Vec<u8>>,
+    pos: usize,
+}
+
+impl Reader {
+    /// Wrap an owned message buffer.
+    pub fn new(buf: Vec<u8>) -> Reader {
+        Reader {
+            buf: Rc::new(buf),
+            pos: 0,
+        }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consume `n` bytes, returning their range start.
+    fn take(&mut self, n: usize) -> usize {
+        assert!(self.remaining() >= n, "message truncated: need {n}, have {}", self.remaining());
+        let at = self.pos;
+        self.pos += n;
+        at
+    }
+
+    /// Read a little-endian fixed-size array.
+    fn read_arr<const N: usize>(&mut self) -> [u8; N] {
+        let at = self.take(N);
+        self.buf[at..at + N].try_into().unwrap()
+    }
+}
+
+/// Types transportable by value in RPC arguments and results.
+pub trait Ser: Sized + 'static {
+    /// Append this value's encoding to `out`.
+    fn ser(&self, out: &mut Vec<u8>);
+    /// Decode one value from the reader.
+    fn deser(r: &mut Reader) -> Self;
+    /// Encoded size in bytes (drives the network model's wire charges).
+    fn ser_size(&self) -> usize {
+        let mut tmp = Vec::new();
+        self.ser(&mut tmp);
+        tmp.len()
+    }
+}
+
+macro_rules! ser_prim {
+    ($($t:ty),*) => {$(
+        impl Ser for $t {
+            fn ser(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn deser(r: &mut Reader) -> Self {
+                <$t>::from_le_bytes(r.read_arr())
+            }
+            fn ser_size(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        }
+    )*};
+}
+ser_prim!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
+
+impl Ser for usize {
+    fn ser(&self, out: &mut Vec<u8>) {
+        (*self as u64).ser(out);
+    }
+    fn deser(r: &mut Reader) -> Self {
+        u64::deser(r) as usize
+    }
+    fn ser_size(&self) -> usize {
+        8
+    }
+}
+
+impl Ser for bool {
+    fn ser(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn deser(r: &mut Reader) -> Self {
+        let at = r.take(1);
+        r.buf[at] != 0
+    }
+    fn ser_size(&self) -> usize {
+        1
+    }
+}
+
+impl Ser for () {
+    fn ser(&self, _out: &mut Vec<u8>) {}
+    fn deser(_r: &mut Reader) -> Self {}
+    fn ser_size(&self) -> usize {
+        0
+    }
+}
+
+impl Ser for String {
+    fn ser(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).ser(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn deser(r: &mut Reader) -> Self {
+        let n = u64::deser(r) as usize;
+        let at = r.take(n);
+        String::from_utf8(r.buf[at..at + n].to_vec()).expect("invalid utf8 in message")
+    }
+    fn ser_size(&self) -> usize {
+        8 + self.len()
+    }
+}
+
+impl<T: Ser> Ser for Vec<T> {
+    fn ser(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).ser(out);
+        for v in self {
+            v.ser(out);
+        }
+    }
+    fn deser(r: &mut Reader) -> Self {
+        let n = u64::deser(r) as usize;
+        (0..n).map(|_| T::deser(r)).collect()
+    }
+    fn ser_size(&self) -> usize {
+        8 + self.iter().map(Ser::ser_size).sum::<usize>()
+    }
+}
+
+impl<T: Ser> Ser for Option<T> {
+    fn ser(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.ser(out);
+            }
+        }
+    }
+    fn deser(r: &mut Reader) -> Self {
+        let at = r.take(1);
+        if r.buf[at] == 0 {
+            None
+        } else {
+            Some(T::deser(r))
+        }
+    }
+    fn ser_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, Ser::ser_size)
+    }
+}
+
+impl<T: Pod + 'static, const N: usize> Ser for [T; N] {
+    fn ser(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&pod_to_bytes(self));
+    }
+    fn deser(r: &mut Reader) -> Self {
+        let bytes = N * std::mem::size_of::<T>();
+        let at = r.take(bytes);
+        let v = pod_from_bytes::<T>(&r.buf[at..at + bytes]);
+        v.try_into().map_err(|_| ()).expect("array length mismatch")
+    }
+    fn ser_size(&self) -> usize {
+        N * std::mem::size_of::<T>()
+    }
+}
+
+macro_rules! ser_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Ser),+> Ser for ($($name,)+) {
+            fn ser(&self, out: &mut Vec<u8>) {
+                $(self.$idx.ser(out);)+
+            }
+            fn deser(r: &mut Reader) -> Self {
+                ($($name::deser(r),)+)
+            }
+            fn ser_size(&self) -> usize {
+                0 $(+ self.$idx.ser_size())+
+            }
+        }
+    };
+}
+ser_tuple!(A: 0);
+ser_tuple!(A: 0, B: 1);
+ser_tuple!(A: 0, B: 1, C: 2);
+ser_tuple!(A: 0, B: 1, C: 2, D: 3);
+ser_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+/// The paper's `upcxx::view<T>`: a serializable window over a sequence.
+///
+/// On the **sending** side, construct with [`make_view`] over any `Pod`
+/// slice: serialization writes length + raw element bytes straight from the
+/// caller's buffer. On the **receiving** side, deserialization produces a
+/// `View` backed by the incoming network buffer (shared `Rc`) — no owned
+/// copy. Handlers traverse it with [`View::iter`] or copy out explicitly
+/// with [`View::to_vec`], matching the paper's "non-owning view into the
+/// incoming network buffer" used by `accum` in the extend-add motif.
+pub struct View<T: Pod> {
+    buf: Rc<Vec<u8>>,
+    off: usize,
+    len: usize, // element count
+    _pd: std::marker::PhantomData<T>,
+}
+
+impl<T: Pod> Clone for View<T> {
+    fn clone(&self) -> Self {
+        View {
+            buf: self.buf.clone(),
+            off: self.off,
+            len: self.len,
+            _pd: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Build a serializable view of `data` (paper: `upcxx::make_view`). The
+/// elements are copied into the view eagerly so the view owns its bytes on
+/// the send side; the zero-copy property applies on the receive side.
+pub fn make_view<T: Pod>(data: &[T]) -> View<T> {
+    let bytes = pod_to_bytes(data);
+    View {
+        buf: Rc::new(bytes),
+        off: 0,
+        len: data.len(),
+        _pd: std::marker::PhantomData,
+    }
+}
+
+impl<T: Pod> View<T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Element at `i` (reads unaligned from the underlying buffer).
+    pub fn get(&self, i: usize) -> T {
+        assert!(i < self.len, "view index {i} out of {}", self.len);
+        let p = self.off + i * std::mem::size_of::<T>();
+        // SAFETY: in-bounds by construction; Pod tolerates unaligned reads
+        // via read_unaligned.
+        unsafe { (self.buf.as_ptr().add(p) as *const T).read_unaligned() }
+    }
+
+    /// Iterate elements without materializing an owned copy.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        (0..self.len).map(|i| self.get(i))
+    }
+
+    /// Copy out into an owned vector.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.iter().collect()
+    }
+}
+
+impl<T: Pod> Ser for View<T> {
+    fn ser(&self, out: &mut Vec<u8>) {
+        (self.len as u64).ser(out);
+        let bytes = self.len * std::mem::size_of::<T>();
+        out.extend_from_slice(&self.buf[self.off..self.off + bytes]);
+    }
+    fn deser(r: &mut Reader) -> Self {
+        let len = u64::deser(r) as usize;
+        let bytes = len * std::mem::size_of::<T>();
+        let at = r.take(bytes);
+        // Zero-copy: share the reader's buffer.
+        View {
+            buf: r.buf.clone(),
+            off: at,
+            len,
+            _pd: std::marker::PhantomData,
+        }
+    }
+    fn ser_size(&self) -> usize {
+        8 + self.len * std::mem::size_of::<T>()
+    }
+}
+
+/// Serialize a value to a fresh buffer.
+pub fn to_bytes<T: Ser>(v: &T) -> Vec<u8> {
+    let mut out = Vec::with_capacity(v.ser_size());
+    v.ser(&mut out);
+    out
+}
+
+/// Deserialize a value from an owned buffer (must consume it exactly).
+pub fn from_bytes<T: Ser>(buf: Vec<u8>) -> T {
+    let mut r = Reader::new(buf);
+    let v = T::deser(&mut r);
+    assert_eq!(r.remaining(), 0, "trailing bytes after deserialization");
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Ser + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = to_bytes(&v);
+        assert_eq!(bytes.len(), v.ser_size(), "ser_size mismatch for {v:?}");
+        let back: T = from_bytes(bytes);
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(-7i8);
+        roundtrip(53191u16);
+        roundtrip(-12345i16);
+        roundtrip(0xdead_beefu32);
+        roundtrip(-1_000_000i32);
+        roundtrip(u64::MAX);
+        roundtrip(i64::MIN);
+        roundtrip(3.5f32);
+        roundtrip(-2.25e300f64);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(usize::MAX);
+        roundtrip(());
+    }
+
+    #[test]
+    fn strings_and_collections_roundtrip() {
+        roundtrip(String::from(""));
+        roundtrip(String::from("Bonn"));
+        roundtrip(String::from("ünïcødé ✓"));
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<u32>::new());
+        roundtrip(vec![String::from("a"), String::from("bb")]);
+        roundtrip(Some(42u32));
+        roundtrip(Option::<u32>::None);
+        roundtrip([1u64, 2, 3, 4]);
+    }
+
+    #[test]
+    fn tuples_roundtrip() {
+        roundtrip((1u32,));
+        roundtrip((String::from("Germany"), String::from("Bonn")));
+        roundtrip((1u8, 2u16, 3u32, 4u64, 5i64));
+    }
+
+    #[test]
+    fn pod_bytes_roundtrip() {
+        let v = vec![1.5f64, -2.5, 1e-300];
+        let b = pod_to_bytes(&v);
+        assert_eq!(b.len(), 24);
+        assert_eq!(pod_from_bytes::<f64>(&b), v);
+    }
+
+    #[test]
+    fn view_roundtrips_and_is_zero_copy() {
+        let data: Vec<u64> = (0..100).map(|i| i * i).collect();
+        let v = make_view(&data);
+        assert_eq!(v.len(), 100);
+        let bytes = to_bytes(&v);
+        let mut r = Reader::new(bytes);
+        let back = View::<u64>::deser(&mut r);
+        assert_eq!(back.len(), 100);
+        assert_eq!(back.to_vec(), data);
+        assert_eq!(back.get(7), 49);
+        // Zero-copy: the view shares the reader's buffer.
+        assert_eq!(Rc::strong_count(&back.buf), 2); // reader + view
+        assert_eq!(back.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn view_survives_reader_drop() {
+        let data = vec![3u32, 1, 4, 1, 5];
+        let bytes = to_bytes(&make_view(&data));
+        let back = {
+            let mut r = Reader::new(bytes);
+            View::<u32>::deser(&mut r)
+        };
+        assert_eq!(back.to_vec(), data);
+    }
+
+    #[test]
+    fn view_inside_tuple_message() {
+        // The extend-add wire format: (sender_rank, view-of-doubles).
+        let vals = vec![1.0f64, 2.0, 3.0];
+        let msg = (7usize, make_view(&vals));
+        let bytes = to_bytes(&msg);
+        let mut r = Reader::new(bytes);
+        let (rank, view) = <(usize, View<f64>)>::deser(&mut r);
+        assert_eq!(rank, 7);
+        assert_eq!(view.to_vec(), vals);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated")]
+    fn truncated_message_panics() {
+        let bytes = to_bytes(&12345u64);
+        let mut r = Reader::new(bytes[..4].to_vec());
+        let _ = u64::deser(&mut r);
+    }
+
+    #[test]
+    #[should_panic(expected = "trailing bytes")]
+    fn trailing_bytes_detected() {
+        let mut bytes = to_bytes(&1u32);
+        bytes.push(99);
+        let _: u32 = from_bytes(bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn view_index_bounds_checked() {
+        let v = make_view(&[1u8, 2]);
+        let _ = v.get(2);
+    }
+
+    #[test]
+    fn ser_size_matches_for_views() {
+        let v = make_view(&[0u64; 13]);
+        assert_eq!(v.ser_size(), 8 + 13 * 8);
+        assert_eq!(to_bytes(&v).len(), v.ser_size());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn u64_roundtrip(v: u64) {
+            prop_assert_eq!(from_bytes::<u64>(to_bytes(&v)), v);
+        }
+
+        #[test]
+        fn string_roundtrip(s in ".*") {
+            let v = s.to_string();
+            prop_assert_eq!(from_bytes::<String>(to_bytes(&v)), v);
+        }
+
+        #[test]
+        fn vec_f64_roundtrip(v in proptest::collection::vec(proptest::num::f64::NORMAL, 0..100)) {
+            let got: Vec<f64> = from_bytes(to_bytes(&v));
+            prop_assert_eq!(got, v);
+        }
+
+        #[test]
+        fn nested_tuple_roundtrip(a: u32, b in ".*", c in proptest::collection::vec(any::<u64>(), 0..20)) {
+            let v = (a, b.to_string(), c);
+            let got: (u32, String, Vec<u64>) = from_bytes(to_bytes(&v));
+            prop_assert_eq!(got, v);
+        }
+
+        #[test]
+        fn view_roundtrip_arbitrary(v in proptest::collection::vec(any::<u64>(), 0..200)) {
+            let bytes = to_bytes(&make_view(&v));
+            let mut r = Reader::new(bytes);
+            let view = View::<u64>::deser(&mut r);
+            prop_assert_eq!(view.to_vec(), v);
+        }
+
+        #[test]
+        fn ser_size_always_matches(a: u64, s in ".*", v in proptest::collection::vec(any::<u32>(), 0..50)) {
+            let msg = (a, s.to_string(), v);
+            prop_assert_eq!(to_bytes(&msg).len(), msg.ser_size());
+        }
+    }
+}

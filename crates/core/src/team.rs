@@ -1,0 +1,146 @@
+//! Teams: ordered subsets of ranks (the paper's `upcxx::team`, "similar in
+//! functionality to an MPI communicator").
+//!
+//! The extend-add motif maps every frontal matrix onto a team
+//! (`front_team`, Fig. 7) produced by proportional mapping. Those teams are
+//! computed *deterministically from replicated metadata* on every rank, so
+//! [`Team::from_world_ranks`] needs no communication — consistent with the
+//! paper's scalability principle (no global state proportional to world
+//! size is required beyond the member list the application already owns).
+//! [`Team::split_by`] provides UPC++'s `split` for color functions every
+//! rank can evaluate locally.
+
+use gasnet::Rank;
+use std::rc::Rc;
+
+#[derive(Debug)]
+enum Members {
+    /// The world team: identity mapping, no member storage (scalable).
+    World { n: usize },
+    /// An explicit subset, ordered; position = team rank.
+    Subset { ranks: Vec<Rank> },
+}
+
+/// An ordered set of ranks. Cheap to clone (shared).
+#[derive(Clone, Debug)]
+pub struct Team {
+    members: Rc<Members>,
+    /// Stable identifier for matching collective operations across ranks.
+    id: u64,
+}
+
+impl Team {
+    /// The world team containing every rank (paper: `upcxx::world()`).
+    pub fn world() -> Team {
+        Team {
+            members: Rc::new(Members::World {
+                n: crate::ctx::ctx().n,
+            }),
+            id: 0,
+        }
+    }
+
+    /// Build a team from an explicit, ordered world-rank list. Every member
+    /// must construct the team with the *same list* (deterministic metadata),
+    /// mirroring collective team construction without communication.
+    pub fn from_world_ranks(ranks: Vec<Rank>) -> Team {
+        assert!(!ranks.is_empty(), "team cannot be empty");
+        let id = hash_members(&ranks);
+        Team {
+            members: Rc::new(Members::Subset { ranks }),
+            id,
+        }
+    }
+
+    /// UPC++ `split` restricted to locally-evaluable color functions: ranks
+    /// with the same `color(rank)` form a team, ordered by world rank. Every
+    /// caller computes the same result without communication.
+    pub fn split_by(&self, color: impl Fn(Rank) -> u64) -> Team {
+        let me = crate::ctx::ctx().me;
+        let my_color = color(me);
+        let ranks: Vec<Rank> = (0..self.rank_n())
+            .map(|i| self.world_rank(i))
+            .filter(|&r| color(r) == my_color)
+            .collect();
+        Team::from_world_ranks(ranks)
+    }
+
+    /// Number of ranks in the team (paper: `rank_n()`).
+    pub fn rank_n(&self) -> usize {
+        match &*self.members {
+            Members::World { n } => *n,
+            Members::Subset { ranks } => ranks.len(),
+        }
+    }
+
+    /// The calling rank's position within the team (paper: `rank_me()`).
+    /// Panics if the caller is not a member.
+    pub fn rank_me(&self) -> usize {
+        self.try_rank_me()
+            .expect("calling rank is not a member of this team")
+    }
+
+    /// Team rank of the caller, or `None` when not a member.
+    pub fn try_rank_me(&self) -> Option<usize> {
+        let me = crate::ctx::ctx().me;
+        match &*self.members {
+            Members::World { .. } => Some(me),
+            Members::Subset { ranks } => ranks.iter().position(|&r| r == me),
+        }
+    }
+
+    /// Whether the calling rank belongs to the team.
+    pub fn contains_me(&self) -> bool {
+        self.try_rank_me().is_some()
+    }
+
+    /// Translate a team rank to a world rank (paper: `team[i]`, used at
+    /// Fig. 7 line 28: `rpc(front_team[p_dest], …)`).
+    pub fn world_rank(&self, team_rank: usize) -> Rank {
+        match &*self.members {
+            Members::World { n } => {
+                assert!(team_rank < *n, "team rank {team_rank} out of {n}");
+                team_rank
+            }
+            Members::Subset { ranks } => ranks[team_rank],
+        }
+    }
+
+    /// Stable team identifier (collective-operation matching key).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Iterate the member world ranks in team order.
+    pub fn world_ranks(&self) -> Vec<Rank> {
+        (0..self.rank_n()).map(|i| self.world_rank(i)).collect()
+    }
+
+    /// RPC addressed by team rank (paper: `rpc(front_team[p], f, args)`).
+    pub fn rpc<A, R>(&self, team_rank: usize, f: fn(A) -> R, args: A) -> crate::future::Future<R>
+    where
+        A: crate::ser::Ser,
+        R: crate::ser::Ser + Clone + 'static,
+    {
+        crate::rpc::rpc(self.world_rank(team_rank), f, args)
+    }
+
+    /// The team of ranks sharing this rank's node (paper: `local_team()`),
+    /// when the world was built with `ranks_per_node` (sim conduit); on smp
+    /// all ranks share one node.
+    pub fn local(ranks_per_node: usize) -> Team {
+        Team::world().split_by(move |r| (r / ranks_per_node) as u64)
+    }
+}
+
+/// FNV-1a over the member list: deterministic across ranks, cheap, and
+/// collision-safe enough for collective matching in one program.
+fn hash_members(ranks: &[Rank]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &r in ranks {
+        h ^= r as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    // Never collide with the world team's reserved id 0.
+    h | 1
+}

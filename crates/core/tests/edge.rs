@@ -1,0 +1,187 @@
+//! Edge cases and failure injection: misuse must fail loudly (never
+//! corrupt runtime state), and stress shapes must hold up.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+#[test]
+fn rput_to_null_pointer_panics() {
+    upcxx::run_spmd_default(1, || {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            upcxx::rput(&[1u8], upcxx::GlobalPtr::<u8>::null());
+        }));
+        assert!(r.is_err());
+    });
+}
+
+#[test]
+fn segment_exhaustion_panics_with_message() {
+    upcxx::run_spmd(
+        1,
+        upcxx::SpmdConfig { seg_size: 1 << 10 },
+        || {
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                let _ = upcxx::allocate::<u8>(1 << 20);
+            }));
+            let err = r.unwrap_err();
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("segment exhausted"), "got: {msg}");
+        },
+    );
+}
+
+#[test]
+fn deallocate_remote_pointer_panics() {
+    upcxx::run_spmd_default(2, || {
+        let p = upcxx::allocate::<u64>(1);
+        let ps = upcxx::broadcast_gather(p);
+        if upcxx::rank_me() == 0 {
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                upcxx::deallocate(ps[1]);
+            }));
+            assert!(r.is_err());
+        }
+        upcxx::barrier();
+    });
+}
+
+#[test]
+fn dist_lookup_before_construction_parks_until_ready() {
+    // when_constructed queues work that arrives before DistObject::new.
+    upcxx::run_spmd_default(1, || {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let ran = Rc::new(Cell::new(false));
+        let r2 = ran.clone();
+        let future_id = upcxx::DistId(0); // first object this rank will create
+        upcxx::when_constructed(future_id, move || r2.set(true));
+        assert!(!ran.get());
+        let _obj = upcxx::DistObject::new(42u32);
+        assert!(ran.get(), "parked continuation did not run at construction");
+        assert_eq!(*upcxx::dist_lookup::<u32>(future_id), 42);
+    });
+}
+
+#[test]
+fn team_membership_is_enforced() {
+    upcxx::run_spmd_default(4, || {
+        let evens = upcxx::Team::world().split_by(|r| (r % 2) as u64);
+        // split_by builds MY color's team: every caller is a member.
+        assert!(evens.contains_me());
+        // A hand-built team I am not in reports rank_me() as a panic.
+        let me = upcxx::rank_me();
+        let others: Vec<usize> = (0..4).filter(|&r| r != me).collect();
+        let not_mine = upcxx::Team::from_world_ranks(others);
+        assert!(!not_mine.contains_me());
+        let r = catch_unwind(AssertUnwindSafe(|| not_mine.rank_me()));
+        assert!(r.is_err());
+        upcxx::barrier();
+    });
+}
+
+#[test]
+fn deep_then_chain_does_not_overflow() {
+    upcxx::run_spmd_default(1, || {
+        let p = upcxx::Promise::<u64>::new();
+        let mut f = p.get_future();
+        for _ in 0..10_000 {
+            f = f.then(|v| v + 1);
+        }
+        p.fulfill(0);
+        assert_eq!(f.wait(), 10_000);
+    });
+}
+
+#[test]
+fn many_barrier_epochs() {
+    upcxx::run_spmd_default(3, || {
+        for _ in 0..200 {
+            upcxx::barrier();
+        }
+    });
+}
+
+fn echo_len(v: Vec<u8>) -> usize {
+    v.len()
+}
+
+#[test]
+fn megabyte_rpc_payload() {
+    upcxx::run_spmd_default(2, || {
+        if upcxx::rank_me() == 0 {
+            let big = vec![3u8; 1 << 20];
+            assert_eq!(upcxx::rpc(1, echo_len, big).wait(), 1 << 20);
+        }
+        upcxx::barrier();
+    });
+}
+
+#[test]
+fn interleaved_collectives_many_rounds() {
+    // Broadcasts and reductions issued back to back must match by sequence
+    // even with arbitrary completion interleavings.
+    upcxx::run_spmd_default(4, || {
+        let me = upcxx::rank_me();
+        let mut futs = Vec::new();
+        for round in 0..20u64 {
+            let b = upcxx::broadcast((round % 4) as usize, (me == (round % 4) as usize).then_some(round * 7));
+            let r = upcxx::reduce_all(round + me as u64, upcxx::ops::add_u64);
+            futs.push((round, b, r));
+        }
+        for (round, b, r) in futs {
+            assert_eq!(b.wait(), round * 7);
+            assert_eq!(r.wait(), 4 * round + 6);
+        }
+        upcxx::barrier();
+    });
+}
+
+#[test]
+fn alloc_dealloc_churn_many_cycles() {
+    upcxx::run_spmd_default(1, || {
+        for cycle in 0..100 {
+            let ptrs: Vec<_> = (0..32)
+                .map(|i| upcxx::allocate::<u64>(1 + (cycle + i) % 64))
+                .collect();
+            for p in ptrs {
+                upcxx::deallocate(p);
+            }
+        }
+    });
+}
+
+#[test]
+fn rget_strided_reassembles_rows() {
+    upcxx::run_spmd_default(2, || {
+        if upcxx::rank_me() == 0 {
+            fn alloc64(_: ()) -> upcxx::GlobalPtr<u64> {
+                upcxx::allocate::<u64>(64)
+            }
+            let dest = upcxx::rpc(1, alloc64, ()).wait();
+            upcxx::rput(&(0..64u64).collect::<Vec<_>>(), dest).wait();
+            // Read a 4x3 sub-block of the 8x8 row-major "matrix" at (2,1).
+            let block = upcxx::rget_strided(dest.add(2 * 8 + 1), 8, 3, 4).wait();
+            assert_eq!(block, vec![17, 18, 19, 25, 26, 27, 33, 34, 35, 41, 42, 43]);
+        }
+        upcxx::barrier();
+    });
+}
+
+#[test]
+fn stats_counters_advance() {
+    upcxx::run_spmd_default(2, || {
+        if upcxx::rank_me() == 0 {
+            let rma0 = upcxx::ctx::stats_rma_ops();
+            let rpc0 = upcxx::ctx::stats_rpcs();
+            fn nothing(_: ()) {}
+            upcxx::rpc_ff(1, nothing, ());
+            fn alloc8(_: ()) -> upcxx::GlobalPtr<u8> {
+                upcxx::allocate::<u8>(8)
+            }
+            let gp = upcxx::rpc(1, alloc8, ()).wait();
+            upcxx::rput(&[1u8; 8], gp).wait();
+            assert!(upcxx::ctx::stats_rma_ops() > rma0);
+            assert!(upcxx::ctx::stats_rpcs() >= rpc0 + 2);
+        }
+        upcxx::barrier();
+    });
+}

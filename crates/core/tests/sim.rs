@@ -1,0 +1,313 @@
+//! Integration tests of the UPC++ API over the sim conduit: driver-style
+//! programs under virtual time, including the attentiveness semantics and
+//! determinism guarantees the large-scale figure harnesses rely on.
+
+use netsim::MachineConfig;
+use pgas_des::Time;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+use upcxx::SimRuntime;
+
+fn test_rt(n: usize) -> SimRuntime {
+    SimRuntime::new(MachineConfig::test_2x4(), n, 1 << 16)
+}
+
+#[test]
+fn rput_then_chain_lands_data() {
+    // The paper's DHT chain: rank 4 allocates on request (RPC returns the
+    // landing pointer), rank 0 rputs through the returned future, then reads
+    // back with rget.
+    fn alloc_slot(count: usize) -> upcxx::GlobalPtr<u64> {
+        upcxx::allocate::<u64>(count)
+    }
+    let rt = test_rt(8);
+    let done = Rc::new(Cell::new(false));
+    let d = done.clone();
+    rt.spawn(0, move || {
+        let d = d.clone();
+        upcxx::rpc(4, alloc_slot, 4usize)
+            .then_fut(|gp| upcxx::rput(&[5u64, 6, 7, 8], gp).then(move |_| gp))
+            .then_fut(|gp| upcxx::rget(gp, 4))
+            .then(move |v| {
+                assert_eq!(v, vec![5, 6, 7, 8]);
+                d.set(true);
+            });
+    });
+    let t = rt.run();
+    assert!(t > Time::ZERO);
+    assert!(done.get(), "chain never completed");
+}
+
+fn bump(x: u64) -> u64 {
+    x + 1
+}
+
+#[test]
+fn rpc_ring_visits_every_rank() {
+    // Each rank RPCs its neighbor; total hops == n.
+    let n = 16;
+    let rt = test_rt(n);
+    let hops = Rc::new(Cell::new(0u64));
+    for r in 0..n {
+        let hops = hops.clone();
+        rt.spawn(r, move || {
+            upcxx::rpc((r + 1) % n, bump, r as u64).then(move |v| {
+                assert_eq!(v, r as u64 + 1);
+                hops.set(hops.get() + 1);
+            });
+        });
+    }
+    rt.run();
+    assert_eq!(hops.get(), n as u64);
+}
+
+#[test]
+fn barrier_async_synchronizes_virtual_time() {
+    let n = 32;
+    let rt = test_rt(n);
+    let after = Rc::new(RefCell::new(Vec::new()));
+    for r in 0..n {
+        let after = after.clone();
+        rt.spawn(r, move || {
+            // Rank 3 computes 1ms before entering; everyone's barrier must
+            // complete at >= 1ms of virtual time.
+            if r == 3 {
+                upcxx::compute(Time::from_ms(1));
+            }
+            let after = after.clone();
+            upcxx::barrier_async().then(move |_| {
+                after.borrow_mut().push(upcxx::sim_now().unwrap());
+            });
+        });
+    }
+    rt.run();
+    let after = after.borrow();
+    assert_eq!(after.len(), n);
+    for t in after.iter() {
+        assert!(*t >= Time::from_ms(1), "barrier exited early at {t}");
+    }
+}
+
+#[test]
+fn reduce_all_sums_across_simulated_ranks() {
+    let n = 24;
+    let rt = test_rt(n);
+    let results = Rc::new(RefCell::new(Vec::new()));
+    for r in 0..n {
+        let results = results.clone();
+        rt.spawn(r, move || {
+            let results = results.clone();
+            upcxx::reduce_all(r as u64, upcxx::ops::add_u64).then(move |s| {
+                results.borrow_mut().push(s);
+            });
+        });
+    }
+    rt.run();
+    let expect: u64 = (0..n as u64).sum();
+    let results = results.borrow();
+    assert_eq!(results.len(), n);
+    assert!(results.iter().all(|&s| s == expect));
+}
+
+#[test]
+fn broadcast_reaches_all_ranks() {
+    let n = 13;
+    let rt = test_rt(n);
+    let got = Rc::new(Cell::new(0u32));
+    for r in 0..n {
+        let got = got.clone();
+        rt.spawn(r, move || {
+            let v = if r == 5 { Some(777u64) } else { None };
+            let got = got.clone();
+            upcxx::broadcast(5, v).then(move |x| {
+                assert_eq!(x, 777);
+                got.set(got.get() + 1);
+            });
+        });
+    }
+    rt.run();
+    assert_eq!(got.get(), n as u32);
+}
+
+type LocalMap = RefCell<HashMap<u64, u64>>;
+
+fn sim_insert(kv: (u64, u64)) {
+    let m = upcxx::rank_state::<LocalMap>(|| RefCell::new(HashMap::new()));
+    m.borrow_mut().insert(kv.0, kv.1);
+}
+
+fn sim_lookup(k: u64) -> Option<u64> {
+    let m = upcxx::rank_state::<LocalMap>(|| RefCell::new(HashMap::new()));
+    let v = m.borrow().get(&k).copied();
+    v
+}
+
+#[test]
+fn rank_state_is_per_rank_under_sim() {
+    // All ranks share one OS thread; rank_state must still be per-rank.
+    let n = 8;
+    let rt = test_rt(n);
+    let checked = Rc::new(Cell::new(0u32));
+    for r in 0..n {
+        let checked = checked.clone();
+        rt.spawn(r, move || {
+            let dst = (r + 1) % n;
+            let checked = checked.clone();
+            upcxx::rpc(dst, sim_insert, (r as u64, 100 + r as u64))
+                .then_fut(move |_| upcxx::rpc(dst, sim_lookup, r as u64))
+                .then(move |v| {
+                    assert_eq!(v, Some(100 + r as u64));
+                    checked.set(checked.get() + 1);
+                });
+            // A key another rank inserted elsewhere must NOT appear here.
+        });
+    }
+    rt.run();
+    assert_eq!(checked.get(), n as u32);
+    // Each rank's map holds exactly the one key addressed to it.
+    for r in 0..n {
+        rt.with_rank(r, || {
+            let m = upcxx::rank_state::<LocalMap>(|| RefCell::new(HashMap::new()));
+            assert_eq!(m.borrow().len(), 1);
+        });
+    }
+}
+
+#[test]
+fn attentiveness_busy_target_delays_rpc_reply() {
+    // Paper §III: "if the target enters intensive, protracted computation
+    // without calls to progress, incoming RPCs will stall."
+    let run = |busy: bool| {
+        let rt = test_rt(8);
+        let done_at = Rc::new(Cell::new(Time::ZERO));
+        if busy {
+            rt.spawn(4, || upcxx::compute(Time::from_ms(5)));
+        }
+        let d = done_at.clone();
+        rt.spawn(0, move || {
+            let d = d.clone();
+            upcxx::rpc(4, bump, 1u64).then(move |_| {
+                d.set(upcxx::sim_now().unwrap());
+            });
+        });
+        rt.run();
+        done_at.get()
+    };
+    let idle = run(false);
+    let busy = run(true);
+    assert!(busy >= Time::from_ms(5), "busy target replied at {busy}");
+    assert!(idle < Time::from_ms(1), "idle target too slow: {idle}");
+}
+
+#[test]
+fn remote_atomics_offloaded_in_sim() {
+    let n = 8;
+    let rt = test_rt(n);
+    // Rank 0 allocates a counter; its pointer is deterministic (first
+    // allocation), so other ranks reconstruct it via an RPC fetch.
+    fn get_counter(_: ()) -> upcxx::GlobalPtr<u64> {
+        upcxx::rank_state::<Cell<Option<upcxx::GlobalPtr<u64>>>>(|| Cell::new(None))
+            .get()
+            .expect("counter not yet allocated")
+    }
+    rt.spawn(0, || {
+        let c = upcxx::allocate::<u64>(1);
+        upcxx::rank_state::<Cell<Option<upcxx::GlobalPtr<u64>>>>(|| Cell::new(None)).set(Some(c));
+    });
+    let added = Rc::new(Cell::new(0u32));
+    for r in 1..n {
+        let added = added.clone();
+        rt.spawn_at(r, Time::from_us(10), move || {
+            let added = added.clone();
+            upcxx::rpc(0, get_counter, ())
+                .then_fut(move |gp| upcxx::AtomicDomain::all().fetch_add(gp, r as u64))
+                .then(move |_| added.set(added.get() + 1));
+        });
+    }
+    rt.run();
+    assert_eq!(added.get(), (n - 1) as u32);
+    rt.with_rank(0, || {
+        let gp = upcxx::rank_state::<Cell<Option<upcxx::GlobalPtr<u64>>>>(|| Cell::new(None))
+            .get()
+            .unwrap();
+        assert_eq!(gp.try_local_value(), Some((1..8u64).sum()));
+    });
+}
+
+#[test]
+fn deterministic_virtual_time() {
+    let run_once = || {
+        let n = 16;
+        let rt = test_rt(n);
+        for r in 0..n {
+            rt.spawn(r, move || {
+                for i in 0..5usize {
+                    let dst = (r + i + 1) % n;
+                    upcxx::rpc(dst, bump, (r * 100 + i) as u64).then(|_| {});
+                }
+            });
+        }
+        rt.run()
+    };
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a, b);
+    assert!(a > Time::ZERO);
+}
+
+#[test]
+#[should_panic(expected = "blocking wait()")]
+fn blocking_wait_panics_under_sim() {
+    let rt = test_rt(4);
+    rt.spawn(0, || {
+        // An RPC round trip needs virtual time; wait() cannot provide it.
+        let f = upcxx::rpc(1, bump, 1u64);
+        let _ = f.wait();
+    });
+    rt.run();
+}
+
+#[test]
+fn knl_world_is_slower_than_haswell() {
+    let run_on = |cfg: MachineConfig| {
+        let rt = SimRuntime::new(cfg, 64, 1 << 14);
+        for r in 0..64 {
+            rt.spawn(r, move || {
+                // A little RPC burst; KNL's slower cores must stretch it.
+                for i in 0..8usize {
+                    upcxx::rpc((r + i * 7 + 1) % 64, bump, i as u64).then(|_| {});
+                }
+            });
+        }
+        rt.run()
+    };
+    let h = run_on(MachineConfig::cori_haswell());
+    let k = run_on(MachineConfig::cori_knl());
+    assert!(k > h, "knl {k} should be slower than haswell {h}");
+}
+
+#[test]
+fn view_rpc_under_sim_charges_wire_bytes() {
+    fn sum_view(v: upcxx::View<u64>) -> u64 {
+        v.iter().sum()
+    }
+    let rt = test_rt(8);
+    rt.spawn(0, move || {
+        let data: Vec<u64> = (0..4).collect();
+        upcxx::rpc(4, sum_view, upcxx::make_view(&data)).then(|s| assert_eq!(s, 6));
+    });
+    rt.run();
+    let msgs_small = rt.world().msg_count();
+    assert!(msgs_small >= 2); // request + reply
+    let t_small = rt.world().now();
+
+    // A much larger view must take longer on the wire.
+    let rt2 = test_rt(8);
+    rt2.spawn(0, move || {
+        let data: Vec<u64> = (0..100_000).collect();
+        upcxx::rpc(4, sum_view, upcxx::make_view(&data)).then(|_| {});
+    });
+    let t_large = rt2.run();
+    assert!(t_large > t_small, "large view {t_large} vs small {t_small}");
+}

@@ -1,0 +1,148 @@
+//! Per-actor CPU occupancy clocks.
+//!
+//! The UPC++ runtime makes progress only on CPU cycles the application donates
+//! (there are no hidden progress threads — §III of the paper). To model that
+//! faithfully, every simulated rank owns a [`CpuClock`] tracking when its one
+//! core becomes free. Charging a software overhead (an injection `o`, an AM
+//! handler, a deserialization) serializes on this clock, so a rank that is
+//! busy computing delays incoming RPC execution — this is exactly the
+//! *attentiveness* effect the paper describes.
+
+use crate::time::Time;
+
+/// Tracks the time at which a simulated core becomes free, and accumulates
+/// total busy time for utilization reporting.
+#[derive(Clone, Debug, Default)]
+pub struct CpuClock {
+    free_at: Time,
+    busy_total: Time,
+    /// Dimensionless multiplier applied to every charged cost. 1.0 for the
+    /// Haswell baseline; ~2.8 for KNL's slower in-order cores.
+    speed_factor: f64,
+}
+
+impl CpuClock {
+    /// A clock for a core with the given cost multiplier (1.0 = baseline).
+    pub fn new(speed_factor: f64) -> Self {
+        assert!(speed_factor > 0.0 && speed_factor.is_finite());
+        CpuClock {
+            free_at: Time::ZERO,
+            busy_total: Time::ZERO,
+            speed_factor,
+        }
+    }
+
+    /// When the core next becomes free.
+    #[inline]
+    pub fn free_at(&self) -> Time {
+        self.free_at
+    }
+
+    /// Total busy time accumulated so far.
+    #[inline]
+    pub fn busy_total(&self) -> Time {
+        self.busy_total
+    }
+
+    /// The configured speed factor.
+    #[inline]
+    pub fn speed_factor(&self) -> f64 {
+        self.speed_factor
+    }
+
+    /// Charge `cost` (scaled by the speed factor) of CPU work that *becomes
+    /// runnable* at `ready`. The work starts at `max(ready, free_at)` and the
+    /// clock advances past it. Returns the **completion time** of the work.
+    pub fn charge(&mut self, ready: Time, cost: Time) -> Time {
+        let scaled = cost.scale(self.speed_factor);
+        let start = self.free_at.max(ready);
+        self.free_at = start + scaled;
+        self.busy_total += scaled;
+        self.free_at
+    }
+
+    /// Like [`charge`](Self::charge) but returns `(start, end)` — useful when
+    /// the caller needs the moment the work began (e.g. to model a message
+    /// leaving the send queue).
+    pub fn charge_span(&mut self, ready: Time, cost: Time) -> (Time, Time) {
+        let scaled = cost.scale(self.speed_factor);
+        let start = self.free_at.max(ready);
+        self.free_at = start + scaled;
+        self.busy_total += scaled;
+        (start, self.free_at)
+    }
+
+    /// Push the free time forward without accounting busy time (e.g. a rank
+    /// blocked in a barrier is idle, not busy).
+    pub fn idle_until(&mut self, t: Time) {
+        self.free_at = self.free_at.max(t);
+    }
+
+    /// Fraction of `[0, horizon]` this core spent busy.
+    pub fn utilization(&self, horizon: Time) -> f64 {
+        if horizon == Time::ZERO {
+            0.0
+        } else {
+            self.busy_total.as_ns_f64() / horizon.as_ns_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_serializes_work() {
+        let mut c = CpuClock::new(1.0);
+        // Two units of work both ready at t=0 execute back to back.
+        assert_eq!(c.charge(Time::ZERO, Time::from_ns(100)), Time::from_ns(100));
+        assert_eq!(c.charge(Time::ZERO, Time::from_ns(50)), Time::from_ns(150));
+        assert_eq!(c.busy_total(), Time::from_ns(150));
+    }
+
+    #[test]
+    fn charge_waits_for_ready_time() {
+        let mut c = CpuClock::new(1.0);
+        let end = c.charge(Time::from_ns(500), Time::from_ns(10));
+        assert_eq!(end, Time::from_ns(510));
+        // Idle gap is not busy time.
+        assert_eq!(c.busy_total(), Time::from_ns(10));
+    }
+
+    #[test]
+    fn speed_factor_scales_costs() {
+        let mut c = CpuClock::new(2.8);
+        let end = c.charge(Time::ZERO, Time::from_ns(100));
+        assert_eq!(end, Time::from_ns(280));
+    }
+
+    #[test]
+    fn charge_span_reports_start_and_end() {
+        let mut c = CpuClock::new(1.0);
+        c.charge(Time::ZERO, Time::from_ns(40));
+        let (s, e) = c.charge_span(Time::from_ns(10), Time::from_ns(5));
+        assert_eq!(s, Time::from_ns(40)); // had to wait for the core
+        assert_eq!(e, Time::from_ns(45));
+    }
+
+    #[test]
+    fn idle_until_moves_clock_without_busy() {
+        let mut c = CpuClock::new(1.0);
+        c.idle_until(Time::from_us(1));
+        assert_eq!(c.free_at(), Time::from_us(1));
+        assert_eq!(c.busy_total(), Time::ZERO);
+        // idle_until never moves the clock backwards
+        c.idle_until(Time::from_ns(10));
+        assert_eq!(c.free_at(), Time::from_us(1));
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let mut c = CpuClock::new(1.0);
+        c.charge(Time::ZERO, Time::from_ns(250));
+        let u = c.utilization(Time::from_us(1));
+        assert!((u - 0.25).abs() < 1e-9);
+        assert_eq!(c.utilization(Time::ZERO), 0.0);
+    }
+}

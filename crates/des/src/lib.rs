@@ -1,0 +1,326 @@
+//! # pgas-des — deterministic discrete-event simulation engine
+//!
+//! This crate is the bottom layer of the UPC++ reproduction stack. The paper's
+//! large-scale experiments (distributed hash table weak scaling to 34816 ranks,
+//! extend-add strong scaling to 2048 ranks) cannot be reproduced with one OS
+//! thread per rank, so the `gasnet` crate provides a *sim* conduit in which
+//! every rank is an actor multiplexed on this engine under virtual time.
+//!
+//! Design goals:
+//! * **Determinism** — identical inputs produce identical event orders. Ties in
+//!   timestamps are broken by a monotonically increasing sequence number, so
+//!   the execution is a pure function of the schedule calls.
+//! * **Zero hidden state** — events are `FnOnce(&mut Sim)` closures; all model
+//!   state lives in the caller's `Rc<RefCell<…>>` world, mirroring how the
+//!   UPC++ runtime itself keeps rank state external to the progress engine.
+//! * **Cheap events** — a simulation of a 34816-rank DHT run executes tens of
+//!   millions of events; the hot path is one `BinaryHeap` pop and one boxed
+//!   call.
+//!
+//! The companion modules provide [`time`] (fixed-point nanosecond virtual
+//! time), [`cpu`] (per-actor CPU occupancy clocks used to charge software
+//! overheads, the `o` in LogGP terms), and [`stats`] (online moments,
+//! log-scale histograms and labeled series used by the figure harnesses).
+
+pub mod cpu;
+pub mod shared;
+pub mod stats;
+pub mod time;
+
+pub use cpu::CpuClock;
+pub use shared::{SharedEvent, SharedSim};
+pub use stats::{Histogram, OnlineStats, Series};
+pub use time::Time;
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled simulation event: a one-shot closure run at its timestamp with
+/// mutable access to the engine (so it can schedule follow-up events).
+pub type Event = Box<dyn FnOnce(&mut Sim)>;
+
+struct Entry {
+    at: Time,
+    seq: u64,
+    ev: Event,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    // BinaryHeap is a max-heap; invert so the earliest (then lowest-seq) entry
+    // is popped first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The discrete-event simulation engine.
+///
+/// ```
+/// use pgas_des::{Sim, Time};
+/// use std::cell::Cell;
+/// use std::rc::Rc;
+///
+/// let mut sim = Sim::new();
+/// let hits = Rc::new(Cell::new(0u32));
+/// let h = hits.clone();
+/// sim.schedule_at(Time::from_ns(10), Box::new(move |sim| {
+///     h.set(h.get() + 1);
+///     let h2 = h.clone();
+///     sim.schedule_after(Time::from_ns(5), Box::new(move |_| h2.set(h2.get() + 1)));
+/// }));
+/// sim.run();
+/// assert_eq!(hits.get(), 2);
+/// assert_eq!(sim.now(), Time::from_ns(15));
+/// ```
+pub struct Sim {
+    now: Time,
+    seq: u64,
+    heap: BinaryHeap<Entry>,
+    executed: u64,
+    /// Optional hard limit on executed events (guards against runaway models).
+    pub max_events: Option<u64>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Create an empty simulation at time zero.
+    pub fn new() -> Self {
+        Sim {
+            now: Time::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            executed: 0,
+            max_events: None,
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    #[inline]
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedule `ev` at absolute time `at`.
+    ///
+    /// Scheduling in the past is a model bug; it panics rather than silently
+    /// reordering history.
+    pub fn schedule_at(&mut self, at: Time, ev: Event) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, ev });
+    }
+
+    /// Schedule `ev` after a relative delay from the current time.
+    pub fn schedule_after(&mut self, delay: Time, ev: Event) {
+        self.schedule_at(self.now + delay, ev);
+    }
+
+    /// Execute the single earliest pending event. Returns `false` when the
+    /// event queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.heap.pop() {
+            None => false,
+            Some(Entry { at, ev, .. }) => {
+                debug_assert!(at >= self.now);
+                self.now = at;
+                self.executed += 1;
+                if let Some(max) = self.max_events {
+                    assert!(
+                        self.executed <= max,
+                        "simulation exceeded max_events={max} (runaway model?)"
+                    );
+                }
+                ev(self);
+                true
+            }
+        }
+    }
+
+    /// Run until no events remain. Returns the final virtual time.
+    pub fn run(&mut self) -> Time {
+        while self.step() {}
+        self.now
+    }
+
+    /// Run until the queue empties or virtual time would exceed `deadline`.
+    /// Events with timestamps beyond the deadline remain queued; `now` is
+    /// advanced to `deadline` if the run stopped for that reason.
+    pub fn run_until(&mut self, deadline: Time) -> Time {
+        loop {
+            match self.heap.peek() {
+                None => break,
+                Some(e) if e.at > deadline => {
+                    self.now = deadline;
+                    break;
+                }
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+        self.now
+    }
+
+    /// Run while `cond` stays true and events remain.
+    pub fn run_while(&mut self, mut cond: impl FnMut() -> bool) -> Time {
+        while cond() && self.step() {}
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn empty_sim_runs_to_zero() {
+        let mut sim = Sim::new();
+        assert_eq!(sim.run(), Time::ZERO);
+        assert_eq!(sim.events_executed(), 0);
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Sim::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for &t in &[30u64, 10, 20] {
+            let o = order.clone();
+            sim.schedule_at(Time::from_ns(t), Box::new(move |_| o.borrow_mut().push(t)));
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_in_fifo_order() {
+        let mut sim = Sim::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..100 {
+            let o = order.clone();
+            sim.schedule_at(Time::from_ns(5), Box::new(move |_| o.borrow_mut().push(i)));
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_scheduling_advances_clock() {
+        let mut sim = Sim::new();
+        let done = Rc::new(RefCell::new(Time::ZERO));
+        let d = done.clone();
+        sim.schedule_at(
+            Time::from_ns(1),
+            Box::new(move |sim| {
+                let d2 = d.clone();
+                sim.schedule_after(
+                    Time::from_us(2),
+                    Box::new(move |sim| *d2.borrow_mut() = sim.now()),
+                );
+            }),
+        );
+        sim.run();
+        assert_eq!(*done.borrow(), Time::from_ns(2001));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = Sim::new();
+        sim.schedule_at(
+            Time::from_ns(100),
+            Box::new(|sim| {
+                sim.schedule_at(Time::from_ns(50), Box::new(|_| {}));
+            }),
+        );
+        sim.run();
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Sim::new();
+        let fired = Rc::new(RefCell::new(0));
+        for t in [10u64, 20, 30, 40] {
+            let f = fired.clone();
+            sim.schedule_at(Time::from_ns(t), Box::new(move |_| *f.borrow_mut() += 1));
+        }
+        sim.run_until(Time::from_ns(25));
+        assert_eq!(*fired.borrow(), 2);
+        assert_eq!(sim.now(), Time::from_ns(25));
+        assert_eq!(sim.pending(), 2);
+        sim.run();
+        assert_eq!(*fired.borrow(), 4);
+    }
+
+    #[test]
+    fn run_while_predicate_stops_run() {
+        let mut sim = Sim::new();
+        let count = Rc::new(RefCell::new(0u32));
+        for t in 0..10u64 {
+            let c = count.clone();
+            sim.schedule_at(Time::from_ns(t), Box::new(move |_| *c.borrow_mut() += 1));
+        }
+        let c = count.clone();
+        sim.run_while(move || *c.borrow() < 4);
+        assert_eq!(*count.borrow(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_events")]
+    fn max_events_guard_trips() {
+        let mut sim = Sim::new();
+        sim.max_events = Some(10);
+        fn respawn(sim: &mut Sim) {
+            sim.schedule_after(Time::from_ns(1), Box::new(respawn));
+        }
+        sim.schedule_at(Time::ZERO, Box::new(respawn));
+        sim.run();
+    }
+
+    #[test]
+    fn executed_counter_tracks_events() {
+        let mut sim = Sim::new();
+        for t in 0..7u64 {
+            sim.schedule_at(Time::from_ns(t), Box::new(|_| {}));
+        }
+        sim.run();
+        assert_eq!(sim.events_executed(), 7);
+    }
+}

@@ -1,0 +1,230 @@
+//! A shared-handle event loop for re-entrant models.
+//!
+//! [`crate::Sim`] hands each event `&mut Sim`, which is ideal for closed
+//! models but impossible to thread through a user-facing API like the UPC++
+//! runtime: an application callback deep inside `rput` must be able to
+//! schedule follow-up events without ever seeing the simulator. [`SharedSim`]
+//! solves this with interior mutability: scheduling borrows the queue only
+//! for the duration of a push, and the run loop releases all borrows before
+//! invoking an event, so events may freely call back into the scheduler.
+//!
+//! Determinism matches `Sim`: time order, FIFO within a timestamp.
+
+use crate::time::Time;
+use std::cell::{Cell, RefCell};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event for the shared loop: a plain one-shot closure. Anything it needs
+/// (including the `SharedSim` handle itself, via `Rc`) is captured.
+pub type SharedEvent = Box<dyn FnOnce()>;
+
+struct Entry {
+    at: Time,
+    seq: u64,
+    ev: SharedEvent,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Re-entrant discrete-event loop. Typically owned inside an `Rc` so that
+/// scheduled events can capture a handle and schedule more events.
+pub struct SharedSim {
+    heap: RefCell<BinaryHeap<Entry>>,
+    seq: Cell<u64>,
+    now: Cell<Time>,
+    executed: Cell<u64>,
+}
+
+impl Default for SharedSim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedSim {
+    /// Empty loop at time zero.
+    pub fn new() -> Self {
+        SharedSim {
+            heap: RefCell::new(BinaryHeap::new()),
+            seq: Cell::new(0),
+            now: Cell::new(Time::ZERO),
+            executed: Cell::new(0),
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now.get()
+    }
+
+    /// Events executed so far.
+    #[inline]
+    pub fn events_executed(&self) -> u64 {
+        self.executed.get()
+    }
+
+    /// Pending event count.
+    pub fn pending(&self) -> usize {
+        self.heap.borrow().len()
+    }
+
+    /// Schedule at an absolute time. Panics if `at` is in the past. Safe to
+    /// call from inside a running event.
+    pub fn schedule_at(&self, at: Time, ev: SharedEvent) {
+        assert!(
+            at >= self.now.get(),
+            "event scheduled in the past: at={at} now={}",
+            self.now.get()
+        );
+        let seq = self.seq.get();
+        self.seq.set(seq + 1);
+        self.heap.borrow_mut().push(Entry { at, seq, ev });
+    }
+
+    /// Schedule after a delay relative to now.
+    pub fn schedule_after(&self, delay: Time, ev: SharedEvent) {
+        self.schedule_at(self.now.get() + delay, ev);
+    }
+
+    /// Pop and run the earliest event; `false` when the queue is empty.
+    /// No queue borrow is held while the event runs.
+    pub fn step(&self) -> bool {
+        let entry = self.heap.borrow_mut().pop();
+        match entry {
+            None => false,
+            Some(Entry { at, ev, .. }) => {
+                debug_assert!(at >= self.now.get());
+                self.now.set(at);
+                self.executed.set(self.executed.get() + 1);
+                ev();
+                true
+            }
+        }
+    }
+
+    /// Run to quiescence; returns the final virtual time.
+    pub fn run(&self) -> Time {
+        while self.step() {}
+        self.now.get()
+    }
+
+    /// Run until quiescent or the next event lies beyond `deadline`.
+    pub fn run_until(&self, deadline: Time) -> Time {
+        loop {
+            let next_at = self.heap.borrow().peek().map(|e| e.at);
+            match next_at {
+                None => break,
+                Some(at) if at > deadline => {
+                    self.now.set(deadline);
+                    break;
+                }
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+        self.now.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn runs_in_order_with_reentrant_scheduling() {
+        let sim = Rc::new(SharedSim::new());
+        let log = Rc::new(RefCell::new(Vec::new()));
+        {
+            let (s2, l2) = (sim.clone(), log.clone());
+            sim.schedule_at(
+                Time::from_ns(10),
+                Box::new(move || {
+                    l2.borrow_mut().push("a");
+                    let l3 = l2.clone();
+                    // Re-entrant scheduling from inside an event.
+                    s2.schedule_after(Time::from_ns(1), Box::new(move || l3.borrow_mut().push("c")));
+                }),
+            );
+        }
+        {
+            let l2 = log.clone();
+            sim.schedule_at(Time::from_ns(10), Box::new(move || l2.borrow_mut().push("b")));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec!["a", "b", "c"]);
+        assert_eq!(sim.now(), Time::from_ns(11));
+        assert_eq!(sim.events_executed(), 3);
+    }
+
+    #[test]
+    fn deep_chains_do_not_overflow() {
+        // A long self-scheduling chain exercises the borrow discipline.
+        let sim = Rc::new(SharedSim::new());
+        let count = Rc::new(Cell::new(0u32));
+        fn chain(sim: Rc<SharedSim>, count: Rc<Cell<u32>>) {
+            if count.get() < 10_000 {
+                count.set(count.get() + 1);
+                let s = sim.clone();
+                let c = count.clone();
+                sim.schedule_after(Time::from_ns(1), Box::new(move || chain(s.clone(), c)));
+            }
+        }
+        chain(sim.clone(), count.clone());
+        sim.run();
+        assert_eq!(count.get(), 10_000);
+        assert_eq!(sim.now(), Time::from_ns(10_000));
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let sim = SharedSim::new();
+        let hit = Rc::new(Cell::new(0));
+        for t in [5u64, 15] {
+            let h = hit.clone();
+            sim.schedule_at(Time::from_ns(t), Box::new(move || h.set(h.get() + 1)));
+        }
+        sim.run_until(Time::from_ns(10));
+        assert_eq!(hit.get(), 1);
+        assert_eq!(sim.now(), Time::from_ns(10));
+        assert_eq!(sim.pending(), 1);
+    }
+
+    use std::cell::Cell;
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn past_scheduling_panics() {
+        let sim = Rc::new(SharedSim::new());
+        let s = sim.clone();
+        sim.schedule_at(
+            Time::from_ns(10),
+            Box::new(move || {
+                s.schedule_at(Time::from_ns(5), Box::new(|| {}));
+            }),
+        );
+        sim.run();
+    }
+}

@@ -1,0 +1,318 @@
+//! Measurement helpers shared by the benchmark harnesses.
+//!
+//! [`OnlineStats`] implements Welford's single-pass algorithm for mean and
+//! variance; [`Histogram`] is a power-of-two-bucket latency histogram;
+//! [`Series`] is a labeled (x, y) sequence used by the figure regenerators to
+//! print paper-style rows.
+
+use std::fmt;
+
+/// Single-pass mean / variance / min / max accumulator (Welford).
+#[derive(Clone, Debug, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Fresh, empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+    /// Sample mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+    /// Unbiased sample variance (0.0 for < 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+    /// Smallest sample (NaN-free input assumed); 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+    /// Largest sample; 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+impl fmt::Display for OnlineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} max={:.4}",
+            self.n,
+            self.mean(),
+            self.stddev(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+/// Power-of-two bucket histogram for positive integer samples (e.g. latency in
+/// nanoseconds). Bucket `i` counts samples whose floor(log2) is `i`.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Empty histogram covering the full u64 range (64 buckets + zero bucket).
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; 65],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = if v == 0 { 0 } else { 64 - v.leading_zeros() as usize };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile: returns the *upper bound* of the bucket holding
+    /// the q-th sample (q in [0,1]).
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i == 0 { 0 } else { (1u128 << i).min(u64::MAX as u128) as u64 - 1 };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Iterate non-empty buckets as `(lower_bound, count)`.
+    pub fn nonempty(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << (i - 1) }, c))
+    }
+}
+
+/// A labeled sequence of (x, y) points, printed in the aligned column format
+/// the figure harnesses use.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Series label (e.g. "UPC++ RPC", "MPI Alltoallv").
+    pub label: String,
+    /// The data points in insertion order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Empty series with a label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Look up y at an exact x (first match).
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points.iter().find(|(px, _)| *px == x).map(|(_, y)| *y)
+    }
+
+    /// Render a table of several series sharing an x column.
+    /// `xfmt` formats the x value (e.g. byte sizes vs process counts).
+    pub fn table(xhdr: &str, series: &[Series], xfmt: impl Fn(f64) -> String) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut xs: Vec<f64> = series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|(x, _)| *x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.dedup();
+        let _ = write!(out, "{xhdr:>12}");
+        for s in series {
+            let _ = write!(out, " {:>16}", s.label);
+        }
+        let _ = writeln!(out);
+        for x in xs {
+            let _ = write!(out, "{:>12}", xfmt(x));
+            for s in series {
+                match s.y_at(x) {
+                    Some(y) => {
+                        let _ = write!(out, " {y:>16.3}");
+                    }
+                    None => {
+                        let _ = write!(out, " {:>16}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic_moments() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // population variance is 4.0; unbiased sample variance = 32/7
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_empty_is_zeroed() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn online_stats_single_sample() {
+        let mut s = OnlineStats::new();
+        s.push(3.5);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert!((h.mean() - (1010.0 / 6.0)).abs() < 1e-9);
+        let buckets: Vec<_> = h.nonempty().collect();
+        // 0 -> bucket 0; 1 -> [1,2); 2,3 -> [2,4); 4 -> [4,8); 1000 -> [512,1024)
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (2, 2), (4, 1), (512, 1)]);
+    }
+
+    #[test]
+    fn histogram_quantiles_monotone() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let q50 = h.quantile(0.5);
+        let q99 = h.quantile(0.99);
+        assert!(q50 <= q99);
+        assert!(q50 >= 255 && q50 <= 1023); // log-bucket resolution
+    }
+
+    #[test]
+    fn series_table_renders_all_points() {
+        let mut a = Series::new("A");
+        a.push(1.0, 10.0);
+        a.push(2.0, 20.0);
+        let mut b = Series::new("B");
+        b.push(2.0, 200.0);
+        let t = Series::table("x", &[a, b], |x| format!("{x}"));
+        assert!(t.contains("A"));
+        assert!(t.contains("B"));
+        assert!(t.contains("20.000"));
+        assert!(t.contains("200.000"));
+        assert!(t.contains('-')); // B has no point at x=1
+    }
+
+    #[test]
+    fn series_y_at_finds_points() {
+        let mut s = Series::new("s");
+        s.push(4.0, 44.0);
+        assert_eq!(s.y_at(4.0), Some(44.0));
+        assert_eq!(s.y_at(5.0), None);
+    }
+}

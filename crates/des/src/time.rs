@@ -1,0 +1,256 @@
+//! Fixed-point virtual time.
+//!
+//! Virtual time is a `u64` count of **picoseconds**. Nanoseconds would be the
+//! obvious unit, but byte-granularity network costs are sub-nanosecond (an
+//! Aries NIC moves a byte in ~0.085 ns), and accumulating millions of per-byte
+//! charges in floating point drifts nondeterministically across optimization
+//! levels. Picoseconds keep everything exact in integers while still allowing
+//! ~213 days of virtual time — far beyond any experiment here.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or span of) virtual time, stored as integer picoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+impl Time {
+    /// Time zero — the start of every simulation.
+    pub const ZERO: Time = Time(0);
+    /// The maximum representable time; useful as an "infinite" deadline.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Construct from integer picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Time {
+        Time(ps)
+    }
+    /// Construct from integer nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Time {
+        Time(ns * 1_000)
+    }
+    /// Construct from integer microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Time {
+        Time(us * 1_000_000)
+    }
+    /// Construct from integer milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Time {
+        Time(ms * 1_000_000_000)
+    }
+    /// Construct from integer seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Time {
+        Time(s * 1_000_000_000_000)
+    }
+    /// Construct from fractional nanoseconds (rounds to nearest picosecond).
+    /// Used for calibration constants like "0.085 ns per byte".
+    #[inline]
+    pub fn from_ns_f64(ns: f64) -> Time {
+        assert!(ns >= 0.0 && ns.is_finite(), "invalid time: {ns} ns");
+        Time((ns * 1_000.0).round() as u64)
+    }
+    /// Construct from fractional microseconds.
+    #[inline]
+    pub fn from_us_f64(us: f64) -> Time {
+        Time::from_ns_f64(us * 1_000.0)
+    }
+
+    /// Raw picosecond count.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+    /// As fractional nanoseconds.
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+    /// As fractional microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+    /// As fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000_000.0
+    }
+
+    /// Saturating subtraction: `a.saturating_sub(b)` is zero when `b > a`.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Larger of two times.
+    #[inline]
+    pub fn max(self, rhs: Time) -> Time {
+        if self >= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+    /// Smaller of two times.
+    #[inline]
+    pub fn min(self, rhs: Time) -> Time {
+        if self <= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Scale a span by a dimensionless f64 factor (rounds to picoseconds).
+    /// Used for CPU-speed multipliers such as the KNL slowdown factor.
+    #[inline]
+    pub fn scale(self, factor: f64) -> Time {
+        assert!(factor >= 0.0 && factor.is_finite());
+        Time((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0.checked_add(rhs.0).expect("virtual time overflow"))
+    }
+}
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        *self = *self + rhs;
+    }
+}
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("virtual time underflow (negative span)"),
+        )
+    }
+}
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        *self = *self - rhs;
+    }
+}
+impl Mul<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0.checked_mul(rhs).expect("virtual time overflow"))
+    }
+}
+impl Div<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: u64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Time({self})")
+    }
+}
+
+impl fmt::Display for Time {
+    /// Human-scaled display: picks ns/µs/ms/s by magnitude.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps < 1_000 {
+            write!(f, "{ps}ps")
+        } else if ps < 1_000_000 {
+            write!(f, "{:.3}ns", self.as_ns_f64())
+        } else if ps < 1_000_000_000 {
+            write!(f, "{:.3}us", self.as_us_f64())
+        } else if ps < 1_000_000_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e9)
+        } else {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors_agree() {
+        assert_eq!(Time::from_ns(1), Time::from_ps(1_000));
+        assert_eq!(Time::from_us(1), Time::from_ns(1_000));
+        assert_eq!(Time::from_ms(1), Time::from_us(1_000));
+        assert_eq!(Time::from_secs(1), Time::from_ms(1_000));
+    }
+
+    #[test]
+    fn fractional_ns_rounds_to_ps() {
+        assert_eq!(Time::from_ns_f64(0.085), Time::from_ps(85));
+        assert_eq!(Time::from_ns_f64(1.2345), Time::from_ps(1235)); // rounds
+        assert_eq!(Time::from_us_f64(1.3), Time::from_ns(1300));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::from_ns(10);
+        let b = Time::from_ns(3);
+        assert_eq!(a + b, Time::from_ns(13));
+        assert_eq!(a - b, Time::from_ns(7));
+        assert_eq!(a * 4, Time::from_ns(40));
+        assert_eq!(a / 2, Time::from_ns(5));
+        assert_eq!(b.saturating_sub(a), Time::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn negative_span_panics() {
+        let _ = Time::from_ns(1) - Time::from_ns(2);
+    }
+
+    #[test]
+    fn scale_applies_factor() {
+        assert_eq!(Time::from_ns(100).scale(2.8), Time::from_ns(280));
+        assert_eq!(Time::from_ns(100).scale(0.0), Time::ZERO);
+    }
+
+    #[test]
+    fn sum_of_spans() {
+        let total: Time = (1..=4u64).map(Time::from_ns).sum();
+        assert_eq!(total, Time::from_ns(10));
+    }
+
+    #[test]
+    fn display_picks_scale() {
+        assert_eq!(format!("{}", Time::from_ps(5)), "5ps");
+        assert_eq!(format!("{}", Time::from_ns(5)), "5.000ns");
+        assert_eq!(format!("{}", Time::from_us(5)), "5.000us");
+        assert_eq!(format!("{}", Time::from_ms(5)), "5.000ms");
+        assert_eq!(format!("{}", Time::from_secs(5)), "5.000s");
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let t = Time::from_ns(123_456_789);
+        assert!((t.as_secs_f64() - 0.123456789).abs() < 1e-12);
+        assert!((t.as_us_f64() - 123_456.789).abs() < 1e-6);
+    }
+}

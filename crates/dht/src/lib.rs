@@ -1,0 +1,185 @@
+//! # pgas-dht — the distributed hash table motif (§IV-C)
+//!
+//! "In our first example application motif, we show how to implement a
+//! distributed hash table that scales efficiently to large numbers of
+//! processes." Two variants, exactly as the paper presents them:
+//!
+//! * [`insert_rpc`] — the RPC-only table: one RPC carries key and value to
+//!   the owner, which stores them in its `local_map`;
+//! * [`insert`] — the RMA-enabled table: an RPC of `make_lz` allocates a
+//!   *landing zone* in the owner's shared segment and returns its global
+//!   pointer; a `.then` callback rputs the value bytes zero-copy into it
+//!   (the paper's exact future chain).
+//!
+//! As in the paper's benchmark (footnote 7), keys are integers and values
+//! are fixed-size byte blocks. The owner of a key is `hash(key) % rank_n`
+//! ([`get_target`]). `find` is provided for both variants.
+//!
+//! The module works unchanged over both conduits; the Fig. 4 weak-scaling
+//! harness drives it on the sim conduit with up to 34816 ranks.
+
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use upcxx::{Future, GlobalPtr};
+
+/// A stored value's location in the owner's shared segment — the paper's
+/// `lz_t { global_ptr<char> gptr; size_t len; }`.
+#[derive(Clone, Copy, Debug)]
+pub struct Lz {
+    /// Landing-zone pointer in the owner's segment.
+    pub gptr: GlobalPtr<u8>,
+    /// Stored length in bytes.
+    pub len: usize,
+}
+
+/// The owner-side map: key -> landing zone (RMA variant) and
+/// key -> inline value (RPC variant). One per rank via `rank_state`.
+#[derive(Default)]
+pub struct LocalMap {
+    /// RMA variant: landing zones.
+    pub lz: RefCell<HashMap<u64, Lz>>,
+    /// RPC-only variant: inline values.
+    pub inline: RefCell<HashMap<u64, Vec<u8>>>,
+    /// Set true by the benchmark to recycle landing zones (bounded-memory
+    /// weak-scaling runs; the communication pattern is unchanged).
+    pub recycle: std::cell::Cell<bool>,
+    /// Free list of recyclable landing zones by padded size class.
+    pub pool: RefCell<HashMap<usize, Vec<GlobalPtr<u8>>>>,
+}
+
+/// This rank's map instance.
+pub fn local_map() -> Rc<LocalMap> {
+    upcxx::rank_state::<LocalMap>(LocalMap::default)
+}
+
+/// Owner of `key` (the paper's `get_target`): a multiplicative hash onto
+/// ranks, so random keys spread traffic uniformly — "the network traffic is
+/// well-distributed, which aids in the scaling".
+pub fn get_target(key: u64, rank_n: usize) -> usize {
+    // splitmix64 finalizer: cheap, well-mixed.
+    let mut x = key.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^= x >> 31;
+    (x % rank_n as u64) as usize
+}
+
+// ------------------------------------------------------------ RPC variant
+
+fn rpc_insert_handler(args: (u64, Vec<u8>)) {
+    let (key, val) = args;
+    local_map().inline.borrow_mut().insert(key, val);
+}
+
+fn rpc_find_handler(key: u64) -> Option<Vec<u8>> {
+    local_map().inline.borrow().get(&key).cloned()
+}
+
+/// RPC-only insert (the paper's first listing): ships key and value in one
+/// RPC; the returned future readies when the owner has stored them.
+pub fn insert_rpc(key: u64, val: Vec<u8>) -> Future<()> {
+    let target = get_target(key, upcxx::rank_n());
+    upcxx::rpc(target, rpc_insert_handler, (key, val))
+}
+
+/// Find for the RPC-only variant.
+pub fn find_rpc(key: u64) -> Future<Option<Vec<u8>>> {
+    let target = get_target(key, upcxx::rank_n());
+    upcxx::rpc(target, rpc_find_handler, key)
+}
+
+// ------------------------------------------------------------ RMA variant
+
+/// Owner-side allocation of a landing zone (the paper's `make_lz`): creates
+/// uninitialized space in the owner's shared segment, records it in the
+/// local map, and returns a global pointer suitable for RMA.
+fn make_lz(args: (u64, usize)) -> GlobalPtr<u8> {
+    let (key, len) = args;
+    let m = local_map();
+    let dest = if m.recycle.get() {
+        // Bounded-memory mode: reuse a previously released zone of the same
+        // size class if available (identical wire traffic either way).
+        let class = len.next_power_of_two();
+        let reused = m.pool.borrow_mut().get_mut(&class).and_then(Vec::pop);
+        match reused {
+            Some(p) => p,
+            None => upcxx::allocate::<u8>(class),
+        }
+    } else {
+        upcxx::allocate::<u8>(len)
+    };
+    let prev = m.lz.borrow_mut().insert(key, Lz { gptr: dest, len });
+    if let (Some(old), true) = (prev, m.recycle.get()) {
+        let class = old.len.next_power_of_two();
+        m.pool.borrow_mut().entry(class).or_default().push(old.gptr);
+    }
+    dest
+}
+
+/// RMA-enabled insert — the paper's second listing, verbatim in shape:
+/// RPC `make_lz` to the owner, then `.then` chains an `rput` of the value
+/// into the returned landing zone. The returned future represents the whole
+/// chain.
+pub fn insert(key: u64, val: Vec<u8>) -> Future<()> {
+    let target = get_target(key, upcxx::rank_n());
+    upcxx::rpc(target, make_lz, (key, val.len())).then_fut(move |dest| upcxx::rput(&val, dest))
+}
+
+fn rma_find_lz(key: u64) -> Option<(GlobalPtr<u8>, usize)> {
+    local_map().lz.borrow().get(&key).map(|lz| (lz.gptr, lz.len))
+}
+
+/// Find for the RMA variant: an RPC fetches the landing-zone pointer, then
+/// an `rget` pulls the value one-sided — the symmetric read path.
+pub fn find(key: u64) -> Future<Option<Vec<u8>>> {
+    let target = get_target(key, upcxx::rank_n());
+    upcxx::rpc(target, rma_find_lz, key).then_fut(move |lz| match lz {
+        None => upcxx::make_future(None),
+        Some((gptr, len)) => upcxx::rget(gptr, len).then(Some),
+    })
+}
+
+/// Enable landing-zone recycling on the calling rank (benchmark use; see
+/// [`LocalMap::recycle`]).
+pub fn enable_recycling() {
+    local_map().recycle.set(true);
+}
+
+/// Number of keys stored on the calling rank (both variants).
+pub fn local_len() -> usize {
+    let m = local_map();
+    let a = m.lz.borrow().len();
+    let b = m.inline.borrow().len();
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_target_is_deterministic_and_in_range() {
+        for n in [1usize, 2, 7, 64, 34816] {
+            for key in 0..1000u64 {
+                let t = get_target(key, n);
+                assert!(t < n);
+                assert_eq!(t, get_target(key, n));
+            }
+        }
+    }
+
+    #[test]
+    fn get_target_spreads_keys() {
+        let n = 64;
+        let mut counts = vec![0usize; n];
+        for key in 0..64_000u64 {
+            counts[get_target(key, n)] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        // Uniform expectation is 1000/rank; demand better than 2x skew.
+        assert!(*min > 500 && *max < 2000, "min {min} max {max}");
+    }
+}

@@ -1,0 +1,62 @@
+//! # gasnet — a GASNet-EX-like communication substrate
+//!
+//! The UPC++ runtime in the paper sits on GASNet-EX, which provides exactly
+//! two data-movement primitives (§III): one-sided **RMA** (put/get into
+//! remotely allocated shared segments) and **Active Messages** (run a handler
+//! with a payload on a remote process). This crate reproduces that contract
+//! with two interchangeable conduits:
+//!
+//! * [`smp`] — every rank is an OS thread inside one process; shared segments
+//!   are real memory, puts are real one-sided `memcpy`s performed by the
+//!   initiating thread, AMs travel through lock-protected inboxes and run on
+//!   the target thread when it polls. This conduit is *real*: it exercises
+//!   every runtime code path under true concurrency and real time, and backs
+//!   the Criterion microbenchmarks, the examples and most tests.
+//!
+//! * [`sim`] — every rank is an actor on a [`pgas_des::Sim`] discrete-event
+//!   loop under virtual time; communication costs come from a
+//!   [`netsim::Machine`] (Aries-like model). This conduit reproduces the
+//!   paper's *scale*: 34816-rank DHT weak scaling and 2048-rank extend-add
+//!   runs execute on a laptop with faithful contention structure.
+//!
+//! Both conduits share the same vocabulary:
+//!
+//! * a **segment** per rank — a flat byte array remotely addressable by
+//!   `(rank, offset)` pairs (the `upcxx` crate builds `GlobalPtr<T>` and its
+//!   shared-heap allocator on top);
+//! * an **item** ([`Item`]) — a boxed one-shot closure delivered to a rank and
+//!   executed when that rank makes progress. The `upcxx` runtime encodes
+//!   incoming RPCs, RPC replies, and operation-completion notifications as
+//!   items, so *attentiveness* (the paper's term for a rank's obligation to
+//!   call progress) behaves identically over both conduits.
+//!
+//! The substrate never interprets item contents and never spawns hidden
+//! threads — progress happens only when a rank explicitly polls (smp) or when
+//! the simulation delivers an arrival event (sim), mirroring the paper's
+//! "no hidden threads" design principle.
+
+pub mod sim;
+pub mod smp;
+
+/// A PGAS process identifier, dense in `0..rank_n`.
+pub type Rank = usize;
+
+/// A unit of deliverable work: runs on the destination rank during progress.
+///
+/// Items must be `Send` because the smp conduit moves them across real
+/// threads. Closures should capture only `Send` data (byte buffers, plain
+/// values, rank/operation identifiers) and resolve any rank-local state
+/// (promise tables, local maps) through the target rank's thread-local
+/// context at execution time.
+pub type Item = Box<dyn FnOnce() + Send>;
+
+#[cfg(test)]
+mod lib_tests {
+    /// `Item` must stay an alias for a Send closure; this is a compile-time
+    /// guarantee test.
+    #[test]
+    fn item_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<super::Item>();
+    }
+}

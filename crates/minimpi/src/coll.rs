@@ -1,0 +1,126 @@
+//! MPI collectives used by the paper's baselines: barrier, `alltoallv`, and
+//! an allreduce.
+//!
+//! `alltoallv` is the communication step of the STRUMPACK-style extend-add
+//! (Fig. 8, "MPI Alltoallv" series). It is implemented as the classic
+//! pairwise-exchange schedule over the two-sided layer, and it pays the two
+//! structural costs the paper's analysis implies:
+//!
+//! * an **O(P) argument scan** per call (`sendcounts`/`displs` processing),
+//!   charged even for ranks with nothing to say;
+//! * an exchange with **every** partner, including empty ones — MPI
+//!   semantics require the pairwise pattern regardless of payload.
+
+use crate::charge;
+use crate::p2p::{irecv_bytes, isend_bytes, state};
+use upcxx::{Future, Promise, Team};
+
+/// Non-blocking barrier over `team` (pays the MPI entry overhead, then the
+/// same dissemination rounds the UPC++ barrier uses — both libraries sit on
+/// the identical transport, as on Cori).
+pub fn barrier_async_team(team: &Team) -> Future<()> {
+    if let Some(sw) = crate::sw() {
+        charge(sw.mpi_send_inject);
+    }
+    upcxx::barrier_async_team(team)
+}
+
+/// Non-blocking world barrier.
+pub fn barrier_async() -> Future<()> {
+    barrier_async_team(&Team::world())
+}
+
+/// Blocking world barrier (smp conduit).
+pub fn barrier() {
+    barrier_async().wait();
+}
+
+/// Non-blocking `MPI_Alltoallv` over `team`: `send[i]` goes to team rank
+/// `i`; the future carries the vector received from each team rank (indexed
+/// by team rank). Byte-level; see [`alltoallv`] for the typed wrapper.
+pub fn alltoallv_bytes(team: &Team, send: Vec<Vec<u8>>) -> Future<Vec<Vec<u8>>> {
+    // Tag space: one sequence number per collective call on this rank.
+    // Callers whose members issue different collective sequences (e.g. one
+    // alltoallv per frontal matrix, with membership varying by front) must
+    // use the explicitly tagged variant instead.
+    let st = state();
+    let seq = st.coll_seq.get();
+    st.coll_seq.set(seq + 1);
+    let tag = 0x40_0000 | (seq as i32 & 0x3f_ffff);
+    alltoallv_bytes_with_tag(team, send, tag)
+}
+
+/// `alltoallv` with an explicit matching tag (see [`alltoallv_bytes`]).
+pub fn alltoallv_bytes_with_tag(team: &Team, send: Vec<Vec<u8>>, tag: i32) -> Future<Vec<Vec<u8>>> {
+    let p = team.rank_n();
+    let me = team.rank_me();
+    assert_eq!(send.len(), p, "alltoallv needs one buffer per team rank");
+
+    // O(P) argument scan — the cost the RPC approach avoids.
+    if let Some(sw) = crate::sw() {
+        charge(sw.mpi_a2a_setup_per_rank * p as u64);
+    }
+
+    let mut send = send;
+    let mut result_futs: Vec<Future<(usize, Vec<u8>)>> = Vec::with_capacity(p);
+    // Own contribution: local copy.
+    let mine = std::mem::take(&mut send[me]);
+    result_futs.push(upcxx::make_future((me, mine)));
+
+    // Pairwise exchange: round r pairs me with (me±r) mod p.
+    for r in 1..p {
+        let dst_t = (me + r) % p;
+        let src_t = (me + p - r) % p;
+        let dst_w = team.world_rank(dst_t);
+        let src_w = team.world_rank(src_t);
+        // Post the receive first (real MPI implementations do), then send.
+        let fut = irecv_bytes(src_w as i64, tag).then(move |(bytes, _st)| (src_t, bytes));
+        result_futs.push(fut);
+        isend_bytes(dst_w, tag, std::mem::take(&mut send[dst_t]));
+    }
+
+    upcxx::when_all_vec(result_futs).then(move |pairs| {
+        let mut out = vec![Vec::new(); p];
+        for (src, bytes) in pairs {
+            out[src] = bytes;
+        }
+        out
+    })
+}
+
+/// Typed `alltoallv` over `f64` payloads (the extend-add element type).
+pub fn alltoallv(team: &Team, send: Vec<Vec<f64>>) -> Future<Vec<Vec<f64>>> {
+    let bytes = send
+        .into_iter()
+        .map(|v| upcxx::ser::pod_to_bytes(&v))
+        .collect();
+    alltoallv_bytes(team, bytes).then(|recv| {
+        recv.into_iter()
+            .map(|b| upcxx::ser::pod_from_bytes(&b))
+            .collect()
+    })
+}
+
+/// Non-blocking allreduce (sum of `f64`) over `team` — used by solver
+/// residual checks; pays MPI entry cost then rides the tree reduction.
+pub fn allreduce_sum(team: &Team, value: f64) -> Future<f64> {
+    if let Some(sw) = crate::sw() {
+        charge(sw.mpi_send_inject);
+    }
+    upcxx::reduce_all_team(team, value, add_f64)
+}
+
+fn add_f64(a: f64, b: f64) -> f64 {
+    a + b
+}
+
+/// `MPI_Waitall` convenience: conjoin a set of request futures.
+pub fn waitall(reqs: Vec<Future<()>>) -> Future<()> {
+    let p = Promise::<()>::new();
+    for r in reqs {
+        p.require_anonymous(1);
+        let p2 = p.clone();
+        r.then(move |_| p2.fulfill_anonymous(1));
+    }
+    p.finalize()
+}

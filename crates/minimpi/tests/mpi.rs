@@ -1,0 +1,270 @@
+//! minimpi integration tests over both conduits: matching semantics,
+//! protocols, collectives, RMA windows.
+
+use netsim::MachineConfig;
+use pgas_des::Time;
+use std::cell::Cell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use upcxx::Team;
+
+#[test]
+fn smp_send_recv_roundtrip() {
+    upcxx::run_spmd_default(2, || {
+        if upcxx::rank_me() == 0 {
+            minimpi::send(1, 7, &[1u64, 2, 3]);
+            let (data, st) = minimpi::recv::<u64>(1, 8);
+            assert_eq!(data, vec![9, 9]);
+            assert_eq!(st.source, 1);
+        } else {
+            let (data, st) = minimpi::recv::<u64>(0, 7);
+            assert_eq!(data, vec![1, 2, 3]);
+            assert_eq!((st.source, st.tag), (0, 7));
+            minimpi::send(0, 8, &[9u64, 9]);
+        }
+        minimpi::barrier();
+    });
+}
+
+#[test]
+fn smp_tag_matching_orders_messages() {
+    upcxx::run_spmd_default(2, || {
+        if upcxx::rank_me() == 0 {
+            // Two messages with distinct tags; receiver takes them in
+            // reverse tag order.
+            minimpi::send(1, 1, &[11u64]);
+            minimpi::send(1, 2, &[22u64]);
+        } else {
+            let (b, _) = minimpi::recv::<u64>(0, 2);
+            assert_eq!(b, vec![22]);
+            let (a, _) = minimpi::recv::<u64>(0, 1);
+            assert_eq!(a, vec![11]);
+        }
+        minimpi::barrier();
+    });
+}
+
+#[test]
+fn smp_any_source_receives() {
+    upcxx::run_spmd_default(3, || {
+        let me = upcxx::rank_me();
+        if me == 0 {
+            let (a, s1) = minimpi::irecv_from_any::<u64>(5).wait();
+            let (b, s2) = minimpi::irecv_from_any::<u64>(5).wait();
+            let mut seen = vec![(s1.source, a[0]), (s2.source, b[0])];
+            seen.sort_unstable();
+            assert_eq!(seen, vec![(1, 100), (2, 200)]);
+        } else {
+            minimpi::send(0, 5, &[me as u64 * 100]);
+        }
+        minimpi::barrier();
+    });
+}
+
+#[test]
+fn smp_large_message_uses_rendezvous_path() {
+    // On smp the threshold is effectively infinite (no sim costs), so force
+    // the rendezvous code path via the sim conduit below; here just verify
+    // a large payload arrives intact.
+    upcxx::run_spmd_default(2, || {
+        if upcxx::rank_me() == 0 {
+            let big: Vec<u64> = (0..100_000).collect();
+            minimpi::send(1, 3, &big);
+        } else {
+            let (data, _) = minimpi::recv::<u64>(0, 3);
+            assert_eq!(data.len(), 100_000);
+            assert_eq!(data[99_999], 99_999);
+        }
+        minimpi::barrier();
+    });
+}
+
+#[test]
+fn smp_alltoallv_exchanges_rows() {
+    upcxx::run_spmd_default(4, || {
+        let me = upcxx::rank_me();
+        let n = upcxx::rank_n();
+        // Rank r sends [r*10 + d] to rank d (and nothing to itself + 2).
+        let send: Vec<Vec<f64>> = (0..n)
+            .map(|d| {
+                if d == (me + 2) % n {
+                    Vec::new()
+                } else {
+                    vec![(me * 10 + d) as f64]
+                }
+            })
+            .collect();
+        let recv = minimpi::alltoallv(&Team::world(), send).wait();
+        for (src, v) in recv.iter().enumerate() {
+            if me == (src + 2) % n {
+                assert!(v.is_empty());
+            } else {
+                assert_eq!(v, &vec![(src * 10 + me) as f64]);
+            }
+        }
+        minimpi::barrier();
+    });
+}
+
+#[test]
+fn smp_rma_window_put_flush_get() {
+    upcxx::run_spmd_default(2, || {
+        let win = minimpi::Win::create(4096);
+        if upcxx::rank_me() == 0 {
+            win.put(1, 64, &[5u8; 32]);
+            win.flush(1).wait();
+            let back = win.get(1, 64, 32).wait();
+            assert_eq!(back, vec![5u8; 32]);
+        }
+        minimpi::barrier();
+    });
+}
+
+#[test]
+fn smp_flush_waits_for_many_puts() {
+    upcxx::run_spmd_default(2, || {
+        let win = minimpi::Win::create(1 << 16);
+        if upcxx::rank_me() == 0 {
+            for i in 0..64usize {
+                win.put(1, i * 8, &(i as u64).to_le_bytes());
+            }
+            win.flush(1).wait();
+            let all = win.get(1, 0, 64 * 8).wait();
+            let vals: Vec<u64> = upcxx::ser::pod_from_bytes(&all);
+            assert_eq!(vals, (0..64u64).collect::<Vec<_>>());
+        }
+        minimpi::barrier();
+    });
+}
+
+// ------------------------------------------------------------ sim conduit
+
+#[test]
+fn sim_eager_vs_rendezvous_latency_structure() {
+    // A rendezvous message (above the threshold) pays the RTS/CTS round
+    // trip; per byte it still approaches wire speed, so compare completion
+    // time of one small vs one just-over-threshold message.
+    let run = |bytes: usize| {
+        let rt = upcxx::SimRuntime::new(MachineConfig::cori_haswell(), 64, 1 << 12);
+        let done = Rc::new(Cell::new(Time::ZERO));
+        let d = done.clone();
+        rt.spawn(0, move || {
+            minimpi::isend_bytes(32, 1, vec![0u8; bytes]);
+        });
+        rt.spawn(32, move || {
+            let d2 = d.clone();
+            minimpi::irecv_bytes(0, 1).then(move |_| {
+                d2.set(upcxx::sim_now().unwrap());
+            });
+        });
+        rt.run();
+        done.get()
+    };
+    let eager = run(1024);
+    let rndv = run(8192);
+    // Rendezvous adds ≥ one extra round trip over the eager path.
+    assert!(
+        rndv > eager + Time::from_ns(800),
+        "eager {eager} vs rendezvous {rndv}"
+    );
+}
+
+#[test]
+fn sim_mpi_put_latency_exceeds_upcxx_rput() {
+    // The Fig. 3a premise, at one data point: blocking put+flush through
+    // the MPI window costs more than the UPC++ rput round trip.
+    let p = 64;
+    static UPCXX_NS: AtomicU64 = AtomicU64::new(0);
+    static MPI_NS: AtomicU64 = AtomicU64::new(0);
+
+    // UPC++ blocking rput.
+    {
+        let rt = upcxx::SimRuntime::new(MachineConfig::cori_haswell(), p, 1 << 12);
+        fn slot(_: ()) -> upcxx::GlobalPtr<u8> {
+            upcxx::rank_state::<Cell<Option<upcxx::GlobalPtr<u8>>>>(|| Cell::new(None))
+                .get()
+                .unwrap()
+        }
+        rt.spawn(32, || {
+            let gp = upcxx::allocate::<u8>(256);
+            upcxx::rank_state::<Cell<Option<upcxx::GlobalPtr<u8>>>>(|| Cell::new(None))
+                .set(Some(gp));
+        });
+        rt.spawn_at(0, Time::from_us(5), move || {
+            upcxx::rpc(32, slot, ()).then_fut(|gp| {
+                let t0 = upcxx::sim_rank_now().unwrap();
+                upcxx::rput(&[7u8; 64], gp).then(move |_| {
+                    let dt = upcxx::sim_now().unwrap() - t0;
+                    UPCXX_NS.store(dt.as_ns_f64() as u64, Ordering::SeqCst);
+                })
+            });
+        });
+        rt.run();
+    }
+    // MPI put + flush.
+    {
+        let rt = upcxx::SimRuntime::new(MachineConfig::cori_haswell(), p, 1 << 12);
+        for r in 0..p {
+            rt.spawn(r, move || {
+                minimpi::Win::create_async(4096).then(move |win| {
+                    if r == 0 {
+                        let t0 = upcxx::sim_rank_now().unwrap();
+                        win.put(32, 0, &[7u8; 64]);
+                        win.flush(32).then(move |_| {
+                            let dt = upcxx::sim_now().unwrap() - t0;
+                            MPI_NS.store(dt.as_ns_f64() as u64, Ordering::SeqCst);
+                        });
+                    }
+                });
+            });
+        }
+        rt.run();
+    }
+    let (u, m) = (
+        UPCXX_NS.load(Ordering::SeqCst),
+        MPI_NS.load(Ordering::SeqCst),
+    );
+    assert!(u > 0 && m > 0, "measurements missing: upcxx={u} mpi={m}");
+    assert!(m > u, "MPI put+flush ({m} ns) should exceed UPC++ rput ({u} ns)");
+}
+
+#[test]
+fn sim_matching_cost_grows_with_posted_queue() {
+    // Posting many unmatched receives first makes the eventual match walk a
+    // long queue — the structural penalty of the naive P2P extend-add.
+    let run = |decoys: usize| {
+        let rt = upcxx::SimRuntime::new(MachineConfig::cori_haswell(), 64, 1 << 12);
+        let done = Rc::new(Cell::new(Time::ZERO));
+        let d = done.clone();
+        rt.spawn(32, move || {
+            for t in 0..decoys {
+                // Receives that never match (wrong tag).
+                let _ = minimpi::irecv_bytes(0, 1000 + t as i32);
+            }
+            let d2 = d.clone();
+            minimpi::irecv_bytes(0, 7).then(move |_| {
+                d2.set(upcxx::sim_now().unwrap());
+            });
+        });
+        rt.spawn_at(0, Time::from_us(2), || {
+            minimpi::isend_bytes(32, 7, vec![1u8; 16]);
+        });
+        rt.run_until_quiet()
+            .unwrap_or_else(|| done.get());
+        done.get()
+    };
+    let short = run(0);
+    let long = run(512);
+    assert!(long > short, "queue scan cost missing: {short} vs {long}");
+}
+
+/// Helper so the test reads naturally; the sim has no explicit quiesce API
+/// beyond run(), which `run` above already invoked.
+trait RunQuiet {
+    fn run_until_quiet(&self) -> Option<Time>;
+}
+impl RunQuiet for upcxx::SimRuntime {
+    fn run_until_quiet(&self) -> Option<Time> {
+        Some(self.run())
+    }
+}

@@ -1,0 +1,130 @@
+//! minimpi edge cases: self-messaging, wildcard ordering, waitall,
+//! allreduce, window misuse, rendezvous stress.
+
+use upcxx::Team;
+
+#[test]
+fn send_to_self_matches() {
+    upcxx::run_spmd_default(2, || {
+        let me = upcxx::rank_me();
+        minimpi::isend(me, 3, &[me as u64 * 5]);
+        let (v, st) = minimpi::recv::<u64>(me, 3);
+        assert_eq!(v, vec![me as u64 * 5]);
+        assert_eq!(st.source, me);
+        minimpi::barrier();
+    });
+}
+
+#[test]
+fn fifo_order_per_source_and_tag() {
+    upcxx::run_spmd_default(2, || {
+        if upcxx::rank_me() == 0 {
+            for i in 0..20u64 {
+                minimpi::isend(1, 4, &[i]);
+            }
+        } else {
+            // MPI non-overtaking: same (src, tag) messages arrive in order.
+            for i in 0..20u64 {
+                let (v, _) = minimpi::recv::<u64>(0, 4);
+                assert_eq!(v, vec![i]);
+            }
+        }
+        minimpi::barrier();
+    });
+}
+
+#[test]
+fn waitall_conjoins_requests() {
+    upcxx::run_spmd_default(2, || {
+        if upcxx::rank_me() == 0 {
+            let reqs: Vec<_> = (0..8).map(|i| minimpi::isend(1, i, &[i as u64])).collect();
+            minimpi::waitall(reqs).wait();
+        } else {
+            let futs: Vec<_> = (0..8).map(|i| minimpi::irecv::<u64>(0, i)).collect();
+            for (i, f) in futs.into_iter().enumerate() {
+                assert_eq!(f.wait().0, vec![i as u64]);
+            }
+        }
+        minimpi::barrier();
+    });
+}
+
+#[test]
+fn allreduce_sums_f64() {
+    upcxx::run_spmd_default(5, || {
+        let me = upcxx::rank_me() as f64;
+        let s = minimpi::coll::allreduce_sum(&Team::world(), me + 0.5).wait();
+        assert!((s - (0.0 + 1.0 + 2.0 + 3.0 + 4.0 + 2.5)).abs() < 1e-12);
+        minimpi::barrier();
+    });
+}
+
+#[test]
+#[should_panic]
+fn window_put_beyond_bounds_panics() {
+    upcxx::run_spmd_default(1, || {
+        let win = minimpi::Win::create(64);
+        win.put(0, 60, &[0u8; 16]);
+    });
+}
+
+#[test]
+fn many_rendezvous_in_flight() {
+    // More large sends than any plausible pipeline bound; all must land.
+    upcxx::run_spmd_default(2, || {
+        if upcxx::rank_me() == 0 {
+            for i in 0..8u64 {
+                minimpi::isend(1, 9, &vec![i; 4096]);
+            }
+            minimpi::barrier();
+        } else {
+            for i in 0..8u64 {
+                let (v, _) = minimpi::recv::<u64>(0, 9);
+                assert_eq!(v.len(), 4096);
+                assert!(v.iter().all(|&x| x == i));
+            }
+            minimpi::barrier();
+        }
+    });
+}
+
+#[test]
+fn alltoallv_with_all_empty_buffers() {
+    upcxx::run_spmd_default(3, || {
+        let send: Vec<Vec<f64>> = vec![Vec::new(); 3];
+        let recv = minimpi::alltoallv(&Team::world(), send).wait();
+        assert!(recv.iter().all(Vec::is_empty));
+        minimpi::barrier();
+    });
+}
+
+#[test]
+fn alltoallv_over_subteam() {
+    upcxx::run_spmd_default(4, || {
+        let team = Team::world().split_by(|r| (r % 2) as u64);
+        let tn = team.rank_n();
+        let me_t = team.rank_me();
+        let send: Vec<Vec<f64>> = (0..tn).map(|d| vec![(me_t * 10 + d) as f64]).collect();
+        let recv = minimpi::alltoallv(&team, send).wait();
+        for (src, v) in recv.iter().enumerate() {
+            assert_eq!(v, &vec![(src * 10 + me_t) as f64]);
+        }
+        upcxx::barrier();
+    });
+}
+
+#[test]
+fn window_get_reads_initialized_contents() {
+    upcxx::run_spmd_default(2, || {
+        let win = minimpi::Win::create(256);
+        // Each rank initializes its own window region locally.
+        let base = win.local_base();
+        let me = upcxx::rank_me() as u8;
+        base.local_write(&vec![me; 256]);
+        minimpi::barrier();
+        let other = 1 - upcxx::rank_me();
+        let got = win.get(other, 0, 256).wait();
+        assert_eq!(got, vec![other as u8; 256]);
+        minimpi::barrier();
+    });
+}

@@ -1,0 +1,347 @@
+//! # netsim — an Aries-like network cost model
+//!
+//! The paper's testbed is the Cori Cray XC40 (Aries interconnect, Dragonfly
+//! topology) in two flavors: Haswell (32 ranks/node in the paper's runs) and
+//! KNL (68 ranks/node, slower cores). We cannot run on Cori, so the `gasnet`
+//! sim conduit charges communication costs through this model instead. The
+//! model is deliberately structural rather than curve-fitted:
+//!
+//! * every **node** has one NIC with separate transmit and receive engines;
+//!   a message occupies the engine for `gap + bytes·per_byte` (LogGP's `g` and
+//!   `G`), which is what creates injection-rate contention when many ranks on
+//!   one node communicate at once (the weak-scaling stress in Fig. 4);
+//! * **inter-node** messages pay a one-way wire latency `L`; **intra-node**
+//!   messages bypass the NIC entirely and use shared-memory constants;
+//! * per-message **wire headers** are accounted, so tiny transfers see
+//!   realistic effective bandwidth;
+//! * CPU-side software costs (the LogGP `o`) are *not* charged here — the
+//!   `gasnet` and `minimpi` layers charge them against the owning rank's
+//!   [`pgas_des::CpuClock`], because that is where the UPC++-vs-MPI structural
+//!   differences live.
+//!
+//! Nothing in this crate depends on the event loop; [`Machine::transfer`] is a
+//! pure cost function over mutable NIC clocks, returning the delivery time.
+
+pub mod config;
+
+pub use config::{MachineConfig, NetParams};
+
+use pgas_des::Time;
+
+/// Identifies a simulated process (PGAS rank) within a [`Machine`].
+pub type Rank = usize;
+
+/// A machine instance: a rank→node mapping plus per-node NIC clocks.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    n_ranks: usize,
+    n_nodes: usize,
+    /// Per-node transmit engine: time at which it next becomes free.
+    nic_tx_free: Vec<Time>,
+    /// Per-node receive engine.
+    nic_rx_free: Vec<Time>,
+    /// Counters for reporting.
+    msgs: u64,
+    bytes: u64,
+}
+
+/// The outcome of routing one message through the model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// When the payload is fully available at the destination rank's memory
+    /// (for RMA) or AM queue (for active messages).
+    pub arrive: Time,
+    /// When the source NIC finished injecting — the earliest moment the source
+    /// may reuse the send buffer or inject the next message ("local
+    /// completion" in GASNet-EX terms).
+    pub tx_done: Time,
+}
+
+impl Machine {
+    /// Build a machine hosting `n_ranks` ranks packed densely onto nodes
+    /// (`ranks_per_node` from the config; the last node may be partial).
+    pub fn new(cfg: MachineConfig, n_ranks: usize) -> Self {
+        assert!(n_ranks > 0, "machine needs at least one rank");
+        let n_nodes = n_ranks.div_ceil(cfg.ranks_per_node);
+        Machine {
+            cfg,
+            n_ranks,
+            n_nodes,
+            nic_tx_free: vec![Time::ZERO; n_nodes],
+            nic_rx_free: vec![Time::ZERO; n_nodes],
+            msgs: 0,
+            bytes: 0,
+        }
+    }
+
+    /// The configuration this machine was built from.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+    /// Total ranks hosted.
+    pub fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+    /// Number of nodes (`ceil(n_ranks / ranks_per_node)`).
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+    /// Messages routed so far.
+    pub fn msg_count(&self) -> u64 {
+        self.msgs
+    }
+    /// Payload bytes routed so far (headers excluded).
+    pub fn byte_count(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Node hosting `rank`.
+    #[inline]
+    pub fn node_of(&self, rank: Rank) -> usize {
+        debug_assert!(rank < self.n_ranks, "rank {rank} out of range");
+        rank / self.cfg.ranks_per_node
+    }
+
+    /// Whether two ranks share a node (and thus the shared-memory transport).
+    #[inline]
+    pub fn same_node(&self, a: Rank, b: Rank) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Route one message of `payload` bytes from `src` to `dst`, handed to the
+    /// transport at time `ready`. Advances the involved NIC clocks.
+    ///
+    /// Self-sends are permitted (loopback: intra-node constants, no NIC).
+    pub fn transfer(&mut self, src: Rank, dst: Rank, payload: usize, ready: Time) -> Delivery {
+        self.msgs += 1;
+        self.bytes += payload as u64;
+        let p = &self.cfg.net;
+        let wire = payload + p.wire_header;
+        if self.same_node(src, dst) {
+            // Shared-memory transport: latency + copy cost, no NIC involvement.
+            let copy = p.byte_intra * wire as u64;
+            let arrive = ready + p.lat_intra + copy;
+            Delivery {
+                arrive,
+                tx_done: ready + copy,
+            }
+        } else {
+            let sn = self.node_of(src);
+            let dn = self.node_of(dst);
+            let occupy = p.inj_gap + p.byte_inter * wire as u64;
+            // Transmit engine serializes injections from all ranks on the node.
+            let tx_start = self.nic_tx_free[sn].max(ready);
+            let tx_done = tx_start + occupy;
+            self.nic_tx_free[sn] = tx_done;
+            // Wire latency, then the receive engine serializes arrivals.
+            let wire_arrive = tx_done + p.lat_inter;
+            let rx_occupy = p.rx_gap + p.byte_inter * wire as u64;
+            let rx_start = self.nic_rx_free[dn].max(wire_arrive);
+            let arrive = rx_start + rx_occupy;
+            self.nic_rx_free[dn] = arrive;
+            Delivery { arrive, tx_done }
+        }
+    }
+
+    /// Cost of a zero-payload hardware-level acknowledgment from `src` to
+    /// `dst` handed off at `ready` (used for put remote-completion acks and
+    /// rendezvous handshakes). Acks ride the NIC but skip receive-side
+    /// serialization (they are consumed by the NIC, not delivered to memory).
+    pub fn ack(&mut self, src: Rank, dst: Rank, ready: Time) -> Time {
+        let p = &self.cfg.net;
+        if self.same_node(src, dst) {
+            return ready + p.lat_intra;
+        }
+        let sn = self.node_of(src);
+        let tx_start = self.nic_tx_free[sn].max(ready);
+        let tx_done = tx_start + p.inj_gap;
+        self.nic_tx_free[sn] = tx_done;
+        tx_done + p.lat_inter
+    }
+
+    /// Reset NIC clocks and counters (between benchmark repetitions).
+    pub fn reset(&mut self) {
+        self.nic_tx_free.fill(Time::ZERO);
+        self.nic_rx_free.fill(Time::ZERO);
+        self.msgs = 0;
+        self.bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MachineConfig {
+        MachineConfig::cori_haswell()
+    }
+
+    #[test]
+    fn node_mapping_is_dense() {
+        let m = Machine::new(tiny(), 70);
+        let rpn = m.config().ranks_per_node;
+        assert_eq!(m.node_of(0), 0);
+        assert_eq!(m.node_of(rpn - 1), 0);
+        assert_eq!(m.node_of(rpn), 1);
+        assert_eq!(m.n_nodes(), 70usize.div_ceil(rpn));
+        assert!(m.same_node(0, 1));
+        assert!(!m.same_node(0, rpn));
+    }
+
+    #[test]
+    fn intra_node_skips_nic() {
+        let mut m = Machine::new(tiny(), 4);
+        let d1 = m.transfer(0, 1, 8, Time::ZERO);
+        let d2 = m.transfer(2, 3, 8, Time::ZERO);
+        // Same-node transfers do not serialize on each other.
+        assert_eq!(d1.arrive, d2.arrive);
+        let p = &m.config().net;
+        let expect = p.lat_intra + p.byte_intra * (8 + p.wire_header) as u64;
+        assert_eq!(d1.arrive, expect);
+    }
+
+    #[test]
+    fn inter_node_pays_latency_and_serializes() {
+        let cfg = tiny();
+        let rpn = cfg.ranks_per_node;
+        let mut m = Machine::new(cfg, 2 * rpn);
+        let a = m.transfer(0, rpn, 8, Time::ZERO);
+        let b = m.transfer(1, rpn, 8, Time::ZERO);
+        // Second message waits for the shared transmit engine.
+        assert!(b.tx_done > a.tx_done);
+        assert!(a.arrive > a.tx_done);
+        let p = &m.config().net;
+        assert!(a.arrive >= p.lat_inter);
+    }
+
+    #[test]
+    fn bandwidth_asymptote_matches_per_byte_cost() {
+        let cfg = tiny();
+        let rpn = cfg.ranks_per_node;
+        let per_byte = cfg.net.byte_inter;
+        let mut m = Machine::new(cfg, rpn + 1);
+        // Flood 100 x 1MiB messages; steady-state rate ~ 1/byte_inter.
+        let sz = 1 << 20;
+        let mut last = Delivery {
+            arrive: Time::ZERO,
+            tx_done: Time::ZERO,
+        };
+        for _ in 0..100 {
+            last = m.transfer(0, rpn, sz, Time::ZERO);
+        }
+        let total_bytes = 100 * sz as u64;
+        let gbps_model = 1.0 / per_byte.as_ns_f64(); // bytes per ns = GB/s
+        let measured = total_bytes as f64 / last.arrive.as_ns_f64();
+        assert!(
+            (measured - gbps_model).abs() / gbps_model < 0.05,
+            "measured {measured} GB/s vs model {gbps_model} GB/s"
+        );
+    }
+
+    #[test]
+    fn acks_are_cheap_and_skip_rx() {
+        let cfg = tiny();
+        let rpn = cfg.ranks_per_node;
+        let mut m = Machine::new(cfg, rpn + 1);
+        let t = m.ack(0, rpn, Time::ZERO);
+        let p = &m.config().net;
+        assert_eq!(t, p.inj_gap + p.lat_inter);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let cfg = tiny();
+        let rpn = cfg.ranks_per_node;
+        let mut m = Machine::new(cfg, rpn + 1);
+        m.transfer(0, rpn, 64, Time::ZERO);
+        assert_eq!(m.msg_count(), 1);
+        m.reset();
+        assert_eq!(m.msg_count(), 0);
+        assert_eq!(m.byte_count(), 0);
+        let d = m.transfer(0, rpn, 64, Time::ZERO);
+        let d2 = {
+            m.reset();
+            m.transfer(0, rpn, 64, Time::ZERO)
+        };
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_outputs() {
+        let run = || {
+            let cfg = tiny();
+            let rpn = cfg.ranks_per_node;
+            let mut m = Machine::new(cfg, 4 * rpn);
+            let mut acc = Vec::new();
+            for i in 0..200usize {
+                let src = i % (2 * rpn);
+                let dst = 2 * rpn + (i * 7) % (2 * rpn);
+                acc.push(m.transfer(src, dst, 32 * (i % 9 + 1), Time::from_ns(i as u64)));
+            }
+            acc
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn knl_config_differs_from_haswell() {
+        let h = MachineConfig::cori_haswell();
+        let k = MachineConfig::cori_knl();
+        assert!(k.cpu_factor > h.cpu_factor);
+        assert!(k.ranks_per_node > h.ranks_per_node);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Delivery never precedes hand-off plus the one-way latency floor.
+        #[test]
+        fn delivery_respects_latency_floor(
+            payload in 0usize..1_000_000,
+            ready_ns in 0u64..1_000_000,
+            src in 0usize..256,
+            dst in 0usize..256,
+        ) {
+            let cfg = MachineConfig::cori_haswell();
+            let mut m = Machine::new(cfg, 256);
+            let ready = Time::from_ns(ready_ns);
+            let d = m.transfer(src, dst, payload, ready);
+            let p = &m.config().net;
+            let floor = if m.same_node(src, dst) { p.lat_intra } else { p.lat_inter };
+            prop_assert!(d.arrive >= ready + floor);
+            prop_assert!(d.tx_done >= ready);
+            prop_assert!(d.arrive >= d.tx_done);
+        }
+
+        /// Larger payloads on an otherwise idle machine never arrive earlier.
+        #[test]
+        fn monotone_in_payload(a in 0usize..500_000, b in 0usize..500_000) {
+            let cfg = MachineConfig::cori_haswell();
+            let rpn = cfg.ranks_per_node;
+            let (small, large) = if a <= b { (a, b) } else { (b, a) };
+            let d_small = Machine::new(cfg.clone(), rpn + 1).transfer(0, rpn, small, Time::ZERO);
+            let d_large = Machine::new(cfg, rpn + 1).transfer(0, rpn, large, Time::ZERO);
+            prop_assert!(d_large.arrive >= d_small.arrive);
+        }
+
+        /// The node-0 transmit clock only moves forward under arbitrary traffic.
+        #[test]
+        fn nic_clocks_monotone(ops in proptest::collection::vec((0usize..128, 0usize..128, 0usize..4096), 1..200)) {
+            let cfg = MachineConfig::cori_haswell();
+            let mut m = Machine::new(cfg, 128);
+            let mut prev_tx = Time::ZERO;
+            for (src, dst, len) in ops {
+                let d = m.transfer(src, dst, len, Time::ZERO);
+                if !m.same_node(src, dst) && m.node_of(src) == 0 {
+                    prop_assert!(d.tx_done >= prev_tx);
+                    prev_tx = d.tx_done;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Small dense kernels for the multifrontal factorization: Cholesky of the
+//! pivot block, triangular solve of the panel, and the Schur-complement
+//! update — the numeric work inside one front. Plain loops (no BLAS
+//! dependency); the sim conduit charges modeled flop time separately.
+
+/// Row-major dense square matrix view helpers.
+#[inline]
+fn at(n: usize, i: usize, j: usize) -> usize {
+    i * n + j
+}
+
+/// In-place lower Cholesky of the leading `nc × nc` block, panel solve of
+/// the `nr × nc` block below it, and Schur update of the trailing
+/// `nr × nr` block — the *partial factorization* of a front of dimension
+/// `n = nc + nr` (paper §IV-D1: F11, F21 factors; F22 contribution block).
+///
+/// On return: F11 holds L11 (lower), F21 holds L21, F22 holds
+/// `F22 - L21·L21ᵀ`. The strict upper triangle of F11 and the F12 block are
+/// left untouched (unreferenced). Panics on a non-positive pivot.
+pub fn partial_cholesky(f: &mut [f64], n: usize, nc: usize) {
+    assert!(nc <= n && f.len() == n * n);
+    for k in 0..nc {
+        let d = f[at(n, k, k)];
+        assert!(d > 0.0, "non-positive pivot {d} at column {k}");
+        let l = d.sqrt();
+        f[at(n, k, k)] = l;
+        for i in (k + 1)..n {
+            f[at(n, i, k)] /= l;
+        }
+        // Rank-1 update of the trailing submatrix (lower part only would do,
+        // but fronts are stored full; update the full trailing square so the
+        // contribution block stays symmetric).
+        for i in (k + 1)..n {
+            let lik = f[at(n, i, k)];
+            if lik == 0.0 {
+                continue;
+            }
+            for j in (k + 1)..n {
+                f[at(n, i, j)] -= lik * f[at(n, j, k)];
+            }
+        }
+    }
+}
+
+/// Flops of [`partial_cholesky`] (the proportional-mapping cost model and
+/// the sim conduit's compute charge).
+pub fn partial_cholesky_flops(n: usize, nc: usize) -> f64 {
+    let nc = nc as f64;
+    let nr = n as f64 - nc;
+    nc * nc * nc / 3.0 + nc * nc * nr + nc * nr * nr
+}
+
+/// Full lower Cholesky (convenience for tests): `a` becomes L with the
+/// strict upper triangle zeroed.
+pub fn cholesky(a: &mut [f64], n: usize) {
+    partial_cholesky(a, n, n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            a[at(n, i, j)] = 0.0;
+        }
+    }
+}
+
+/// `L · Lᵀ` for a lower-triangular L (tests).
+pub fn llt(l: &[f64], n: usize) -> Vec<f64> {
+    let mut out = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut s = 0.0;
+            for k in 0..=i.min(j) {
+                s += l[at(n, i, k)] * l[at(n, j, k)];
+            }
+            out[at(n, i, j)] = s;
+        }
+    }
+    out
+}
+
+/// Forward substitution `L y = b` (lower, unit diag not assumed).
+pub fn forward_solve(l: &[f64], n: usize, b: &mut [f64]) {
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l[at(n, i, k)] * b[k];
+        }
+        b[i] = s / l[at(n, i, i)];
+    }
+}
+
+/// Backward substitution `Lᵀ x = y`.
+pub fn backward_solve(l: &[f64], n: usize, y: &mut [f64]) {
+    for i in (0..n).rev() {
+        let mut s = y[i];
+        for k in (i + 1)..n {
+            s -= l[at(n, k, i)] * y[k];
+        }
+        y[i] = s / l[at(n, i, i)];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd(n: usize, seed: u64) -> Vec<f64> {
+        // A = B·Bᵀ + n·I is SPD for any B.
+        let mut b = vec![0.0; n * n];
+        let mut s = seed.wrapping_add(0x9e3779b97f4a7c15);
+        for v in b.iter_mut() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *v = ((s >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
+        }
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut x = 0.0;
+                for k in 0..n {
+                    x += b[at(n, i, k)] * b[at(n, j, k)];
+                }
+                a[at(n, i, j)] = x + if i == j { n as f64 } else { 0.0 };
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn full_cholesky_reconstructs() {
+        for n in [1usize, 2, 5, 12] {
+            let a = spd(n, n as u64);
+            let mut l = a.clone();
+            cholesky(&mut l, n);
+            let r = llt(&l, n);
+            for (x, y) in r.iter().zip(a.iter()) {
+                assert!((x - y).abs() < 1e-9, "n={n}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_equals_full_restricted() {
+        // Partial factorization of nc columns then full Cholesky of the
+        // Schur complement == full Cholesky.
+        let n = 10;
+        let nc = 4;
+        let a = spd(n, 7);
+        let mut full = a.clone();
+        cholesky(&mut full, n);
+        let mut part = a.clone();
+        partial_cholesky(&mut part, n, nc);
+        // L11/L21 agree with the full factor.
+        for i in 0..n {
+            for j in 0..nc.min(i + 1) {
+                assert!(
+                    (part[at(n, i, j)] - full[at(n, i, j)]).abs() < 1e-9,
+                    "L({i},{j})"
+                );
+            }
+        }
+        // Cholesky of the Schur block agrees with the trailing factor.
+        let nr = n - nc;
+        let mut schur = vec![0.0; nr * nr];
+        for i in 0..nr {
+            for j in 0..nr {
+                schur[at(nr, i, j)] = part[at(n, nc + i, nc + j)];
+            }
+        }
+        cholesky(&mut schur, nr);
+        for i in 0..nr {
+            for j in 0..=i {
+                assert!(
+                    (schur[at(nr, i, j)] - full[at(n, nc + i, nc + j)]).abs() < 1e-9,
+                    "S({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_roundtrip() {
+        let n = 8;
+        let a = spd(n, 3);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 2.5).collect();
+        // b = A x
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            for j in 0..n {
+                b[i] += a[at(n, i, j)] * x_true[j];
+            }
+        }
+        let mut l = a.clone();
+        cholesky(&mut l, n);
+        forward_solve(&l, n, &mut b);
+        backward_solve(&l, n, &mut b);
+        for (x, t) in b.iter().zip(x_true.iter()) {
+            assert!((x - t).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive pivot")]
+    fn indefinite_matrix_panics() {
+        let mut a = vec![1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, -1
+        cholesky(&mut a, 2);
+    }
+
+    #[test]
+    fn flops_formula_sane() {
+        assert_eq!(partial_cholesky_flops(10, 10), 1000.0 / 3.0);
+        assert!(partial_cholesky_flops(10, 4) < partial_cholesky_flops(10, 10));
+        assert!(partial_cholesky_flops(20, 4) > partial_cholesky_flops(10, 4));
+    }
+}

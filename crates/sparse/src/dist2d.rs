@@ -1,0 +1,242 @@
+//! 2-D block-cyclic distribution of dense fronts over a process grid.
+//!
+//! "Frontal matrices are then distributed in a 2D block-cyclic manner with a
+//! fixed block size among processes of each group" (§IV-D1, the colored
+//! blocks of Fig. 5). This module is the ScaLAPACK-style index algebra:
+//! owner of a global cell, global↔local translation, and local storage
+//! extents (`numroc`).
+
+/// A block-cyclic layout of an `n × n` front over a `pr × pc` grid with
+/// square blocks of `nb`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Layout2D {
+    /// Front dimension.
+    pub n: usize,
+    /// Process-grid rows.
+    pub pr: usize,
+    /// Process-grid columns.
+    pub pc: usize,
+    /// Block size.
+    pub nb: usize,
+}
+
+impl Layout2D {
+    /// Choose a near-square grid for a team of `p` ranks (pr·pc ≤ p, pr ≤ pc
+    /// — the STRUMPACK default) and the given block size.
+    pub fn for_team(n: usize, p: usize, nb: usize) -> Layout2D {
+        assert!(p >= 1 && nb >= 1);
+        let pr = (1..=p)
+            .take_while(|r| r * r <= p)
+            .last()
+            .unwrap_or(1);
+        let pc = p / pr;
+        Layout2D { n, pr, pc, nb }
+    }
+
+    /// Number of grid slots actually used (`pr * pc`; may be < team size).
+    pub fn active_ranks(&self) -> usize {
+        self.pr * self.pc
+    }
+
+    /// Grid coordinates of a team rank (row-major over the grid). Ranks
+    /// ≥ `active_ranks` hold no data.
+    pub fn coords(&self, team_rank: usize) -> Option<(usize, usize)> {
+        if team_rank < self.active_ranks() {
+            Some((team_rank / self.pc, team_rank % self.pc))
+        } else {
+            None
+        }
+    }
+
+    /// Team rank owning global cell `(i, j)`.
+    pub fn owner(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.n && j < self.n);
+        let gr = (i / self.nb) % self.pr;
+        let gc = (j / self.nb) % self.pc;
+        gr * self.pc + gc
+    }
+
+    /// `numroc`: how many of `n` indices land on grid coordinate `coord` of
+    /// a `nprocs`-strip with block `nb`.
+    pub fn numroc(n: usize, nb: usize, coord: usize, nprocs: usize) -> usize {
+        let nblocks = n / nb;
+        let mut cnt = (nblocks / nprocs) * nb;
+        let extra = nblocks % nprocs;
+        if coord < extra {
+            cnt += nb;
+        } else if coord == extra {
+            cnt += n % nb;
+        }
+        cnt
+    }
+
+    /// Local storage extent (rows, cols) for a team rank.
+    pub fn local_dims(&self, team_rank: usize) -> (usize, usize) {
+        match self.coords(team_rank) {
+            None => (0, 0),
+            Some((r, c)) => (
+                Self::numroc(self.n, self.nb, r, self.pr),
+                Self::numroc(self.n, self.nb, c, self.pc),
+            ),
+        }
+    }
+
+    /// Local (row, col) of global `(i, j)` on its owner.
+    pub fn global_to_local(&self, i: usize, j: usize) -> (usize, usize) {
+        let li = (i / (self.nb * self.pr)) * self.nb + i % self.nb;
+        let lj = (j / (self.nb * self.pc)) * self.nb + j % self.nb;
+        (li, lj)
+    }
+
+    /// Global row index of local row `li` on grid row `r` (inverse of the
+    /// row half of [`global_to_local`]).
+    pub fn local_to_global_row(&self, li: usize, r: usize) -> usize {
+        (li / self.nb) * self.nb * self.pr + r * self.nb + li % self.nb
+    }
+
+    /// Global col index of local col `lj` on grid col `c`.
+    pub fn local_to_global_col(&self, lj: usize, c: usize) -> usize {
+        (lj / self.nb) * self.nb * self.pc + c * self.nb + lj % self.nb
+    }
+
+    /// Iterate the global cells owned by `team_rank`, row-major in local
+    /// storage order.
+    pub fn owned_cells(&self, team_rank: usize) -> Vec<(usize, usize)> {
+        let Some((r, c)) = self.coords(team_rank) else {
+            return Vec::new();
+        };
+        let (lr, lc) = self.local_dims(team_rank);
+        let mut out = Vec::with_capacity(lr * lc);
+        for li in 0..lr {
+            let gi = self.local_to_global_row(li, r);
+            for lj in 0..lc {
+                out.push((gi, self.local_to_global_col(lj, c)));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_team_grids_are_near_square() {
+        let l = Layout2D::for_team(100, 6, 8);
+        assert_eq!((l.pr, l.pc), (2, 3));
+        let l = Layout2D::for_team(100, 16, 8);
+        assert_eq!((l.pr, l.pc), (4, 4));
+        let l = Layout2D::for_team(100, 1, 8);
+        assert_eq!((l.pr, l.pc), (1, 1));
+        let l = Layout2D::for_team(100, 7, 8);
+        assert_eq!((l.pr, l.pc), (2, 3)); // one idle rank
+    }
+
+    #[test]
+    fn owner_and_locals_consistent() {
+        let l = Layout2D {
+            n: 37,
+            pr: 2,
+            pc: 3,
+            nb: 4,
+        };
+        // Every cell: owner's owned_cells contains it exactly once, and the
+        // local index maps back.
+        let mut owned: Vec<Vec<(usize, usize)>> =
+            (0..l.active_ranks()).map(|t| l.owned_cells(t)).collect();
+        let mut count = 0;
+        for i in 0..l.n {
+            for j in 0..l.n {
+                let t = l.owner(i, j);
+                let (li, lj) = l.global_to_local(i, j);
+                let (r, c) = l.coords(t).unwrap();
+                assert_eq!(l.local_to_global_row(li, r), i);
+                assert_eq!(l.local_to_global_col(lj, c), j);
+                let (lr, lc) = l.local_dims(t);
+                assert!(li < lr && lj < lc, "local index out of extent");
+                count += 1;
+                // Membership check via sorted search later; collect here.
+                assert!(owned[t].contains(&(i, j)));
+            }
+        }
+        assert_eq!(count, l.n * l.n);
+        // owned_cells partition the matrix.
+        let total: usize = owned.iter_mut().map(|v| v.len()).sum();
+        assert_eq!(total, l.n * l.n);
+    }
+
+    #[test]
+    fn numroc_partitions_exactly() {
+        for n in [1usize, 7, 16, 37, 100] {
+            for nb in [1usize, 3, 8] {
+                for p in [1usize, 2, 3, 5] {
+                    let total: usize = (0..p).map(|c| Layout2D::numroc(n, nb, c, p)).sum();
+                    assert_eq!(total, n, "n={n} nb={nb} p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_extents_match_owned_counts() {
+        let l = Layout2D {
+            n: 23,
+            pr: 3,
+            pc: 2,
+            nb: 5,
+        };
+        for t in 0..l.active_ranks() {
+            let (lr, lc) = l.local_dims(t);
+            assert_eq!(l.owned_cells(t).len(), lr * lc);
+        }
+    }
+
+    #[test]
+    fn inactive_ranks_own_nothing() {
+        let l = Layout2D::for_team(50, 7, 8); // 2x3 grid, rank 6 idle
+        assert_eq!(l.local_dims(6), (0, 0));
+        assert!(l.owned_cells(6).is_empty());
+        assert!(l.coords(6).is_none());
+    }
+
+    #[test]
+    fn single_rank_owns_everything() {
+        let l = Layout2D::for_team(10, 1, 4);
+        assert_eq!(l.owned_cells(0).len(), 100);
+        for i in 0..10 {
+            for j in 0..10 {
+                assert_eq!(l.owner(i, j), 0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn roundtrip_global_local(
+            n in 1usize..200,
+            pr in 1usize..5,
+            pc in 1usize..5,
+            nb in 1usize..9,
+            seed in 0usize..10_000,
+        ) {
+            let l = Layout2D { n, pr, pc, nb };
+            let i = seed % n;
+            let j = (seed * 31) % n;
+            let t = l.owner(i, j);
+            prop_assert!(t < l.active_ranks());
+            let (li, lj) = l.global_to_local(i, j);
+            let (r, c) = l.coords(t).unwrap();
+            prop_assert_eq!(l.local_to_global_row(li, r), i);
+            prop_assert_eq!(l.local_to_global_col(lj, c), j);
+            let (lr, lc) = l.local_dims(t);
+            prop_assert!(li < lr && lj < lc);
+        }
+    }
+}

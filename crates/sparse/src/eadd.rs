@@ -1,0 +1,645 @@
+//! The extend-add (`e_add`) operation — the paper's second application
+//! motif (§IV-D, Figs. 5–7) — in three communication variants:
+//!
+//! * [`Variant::UpcxxRpc`] — the paper's contribution: each child-team rank
+//!   packs per-destination bins, issues one RPC per non-empty destination
+//!   with a zero-copy [`upcxx::View`] of the entries, and conjoins the
+//!   acknowledgment futures; each parent-team rank counts expected incoming
+//!   RPCs on a promise initialized from replicated metadata
+//!   (`e_add_prom` in the paper's Fig. 7);
+//! * [`Variant::MpiAlltoallv`] — the STRUMPACK strategy: one `alltoallv`
+//!   over the parent team per front, empty partners included;
+//! * [`Variant::MpiP2p`] — the MUMPS-style non-blocking point-to-point
+//!   strategy: every parent-team pair exchanges a (possibly empty) message
+//!   with `isend`/`irecv`.
+//!
+//! All three move **exactly the same numerical payload** and accumulate with
+//! the same kernel, as the paper requires ("each variant executes the exact
+//! same amount of computation and communicates the same amount of data").
+//!
+//! The driver is continuation-style so it runs unchanged over the smp
+//! conduit (tests) and the sim conduit at 2048 ranks (Fig. 8 harness).
+
+use crate::dist2d::Layout2D;
+use crate::mapping::RankRange;
+use crate::ordering::SnTree;
+use crate::symbolic::FrontSym;
+use pgas_des::Time;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+use upcxx::{Future, Promise, Team, View};
+
+/// One packed update entry: destination cell in the **parent front's** index
+/// space plus the value (the paper sends values with their target locations
+/// resolved via the Ip/IlC index translation — Fig. 6).
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[repr(C)]
+pub struct Entry {
+    /// Parent-front row.
+    pub i: u32,
+    /// Parent-front column.
+    pub j: u32,
+    /// Value to accumulate.
+    pub v: f64,
+}
+
+// SAFETY: #[repr(C)] (u32, u32, f64) is 16 bytes with no padding and no
+// pointers; any bit pattern we wrote is valid to reread.
+unsafe impl upcxx::Pod for Entry {}
+
+/// The communication strategy under test (Fig. 8's three series).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// UPC++ RPC with views and promise counting.
+    UpcxxRpc,
+    /// MPI alltoallv over the parent team.
+    MpiAlltoallv,
+    /// MPI non-blocking point-to-point.
+    MpiP2p,
+}
+
+impl Variant {
+    /// Display label matching the paper's legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::UpcxxRpc => "UPC++ RPC",
+            Variant::MpiAlltoallv => "MPI Alltoallv",
+            Variant::MpiP2p => "MPI P2P",
+        }
+    }
+}
+
+/// Replicated problem metadata: tree, symbolic structure, team mapping,
+/// per-front layouts, and the expected-incoming-RPC counts (which the paper
+/// derives from the same replicated analysis data — `e_add_prom` is
+/// "initialized with the number of incoming RPCs expected").
+pub struct EaddPlan {
+    /// The supernode tree.
+    pub tree: SnTree,
+    /// Per-node symbolic fronts.
+    pub fronts: Vec<FrontSym>,
+    /// Per-node team (proportional mapping).
+    pub map: Vec<RankRange>,
+    /// Per-node block-cyclic layout over its team.
+    pub layouts: Vec<Layout2D>,
+    /// World size.
+    pub p: usize,
+    /// Per parent node: world rank -> number of incoming child messages
+    /// (RPC-variant promise initialization).
+    pub expected: Vec<HashMap<usize, usize>>,
+    /// Per child node: front index -> parent front index (u32::MAX for the
+    /// eliminated columns, which never extend-add). Precomputed once so the
+    /// packing hot loop does no binary searches.
+    pub to_parent: Vec<Vec<u32>>,
+    /// Per-element accumulation cost charged under sim (models the paper's
+    /// "accumulation of numerical values").
+    pub accum_cost_per_elem: Time,
+}
+
+impl EaddPlan {
+    /// Build the full replicated plan for `p` ranks with block size `nb`.
+    pub fn build(tree: SnTree, fronts: Vec<FrontSym>, p: usize, nb: usize) -> Rc<EaddPlan> {
+        let map = crate::mapping::proportional_mapping(&tree, &fronts, p);
+        let layouts: Vec<Layout2D> = (0..tree.nodes.len())
+            .map(|id| Layout2D::for_team(fronts[id].dim(), map[id].len, nb))
+            .collect();
+        // Child-front-index -> parent-front-index translation tables.
+        let mut to_parent: Vec<Vec<u32>> = vec![Vec::new(); tree.nodes.len()];
+        for id in 0..tree.nodes.len() {
+            let Some(parent) = tree.nodes[id].parent else { continue };
+            let f = &fronts[id];
+            let nc = f.ncols();
+            to_parent[id] = (0..f.dim())
+                .map(|fi| {
+                    if fi < nc {
+                        u32::MAX
+                    } else {
+                        fronts[parent].global_to_front(f.front_to_global(fi)) as u32
+                    }
+                })
+                .collect();
+        }
+        // Expected incoming messages per parent rank: walk every child's F22
+        // cells once, tallying (child_rank -> parent_rank) adjacency.
+        let mut expected: Vec<HashMap<usize, usize>> =
+            vec![HashMap::new(); tree.nodes.len()];
+        for id in 0..tree.nodes.len() {
+            let Some(parent) = tree.nodes[id].parent else { continue };
+            let mut pairs: std::collections::HashSet<(usize, usize)> =
+                std::collections::HashSet::new();
+            let child_front = &fronts[id];
+            let nc = child_front.ncols();
+            let lay_c = &layouts[id];
+            let lay_p = &layouts[parent];
+            for fi in nc..child_front.dim() {
+                let pi = to_parent[id][fi] as usize;
+                for fj in nc..child_front.dim() {
+                    let src_team = lay_c.owner(fi, fj);
+                    let src_world = map[id].world_rank(src_team.min(map[id].len - 1));
+                    let pj = to_parent[id][fj] as usize;
+                    let dst_team = lay_p.owner(pi, pj);
+                    let dst_world = map[parent].world_rank(dst_team.min(map[parent].len - 1));
+                    pairs.insert((src_world, dst_world));
+                }
+            }
+            for (src, dst) in pairs {
+                // Self-contributions accumulate locally without an RPC
+                // (both here and in the send path below).
+                if src != dst {
+                    *expected[parent].entry(dst).or_insert(0) += 1;
+                }
+            }
+        }
+        Rc::new(EaddPlan {
+            tree,
+            fronts,
+            map,
+            layouts,
+            p,
+            expected,
+            to_parent,
+            accum_cost_per_elem: Time::from_ns(2),
+        })
+    }
+
+    /// World rank owning cell `(i, j)` of front `id`'s dense index space.
+    pub fn cell_owner_world(&self, id: usize, i: usize, j: usize) -> usize {
+        let t = self.layouts[id].owner(i, j);
+        // Inactive grid slots never own cells; owner() < active_ranks by
+        // construction, but clamp defensively for 1-rank teams.
+        self.map[id].world_rank(t.min(self.map[id].len - 1))
+    }
+
+    /// Fronts at `level` whose child or parent teams include `world_rank`.
+    pub fn my_level_work(&self, level: usize, world_rank: usize) -> Vec<usize> {
+        self.tree
+            .level_nodes(level)
+            .into_iter()
+            .filter(|&id| {
+                self.map[id].contains(world_rank)
+                    || self.tree.nodes[id]
+                        .children
+                        .iter()
+                        .any(|&c| self.map[c].contains(world_rank))
+            })
+            .collect()
+    }
+
+    /// Total expected incoming messages for `world_rank` across the parents
+    /// at `level` (RPC-variant promise initialization).
+    pub fn expected_at_level(&self, level: usize, world_rank: usize) -> usize {
+        self.tree
+            .level_nodes(level)
+            .into_iter()
+            .map(|id| self.expected[id].get(&world_rank).copied().unwrap_or(0))
+            .sum()
+    }
+}
+
+/// Per-rank numeric storage: front id -> local block-cyclic part
+/// (row-major `lr × lc`).
+#[derive(Default)]
+pub struct FrontStore {
+    /// Local parts by front id.
+    pub data: RefCell<HashMap<usize, Vec<f64>>>,
+}
+
+/// This rank's front storage.
+pub fn store() -> Rc<FrontStore> {
+    upcxx::rank_state::<FrontStore>(FrontStore::default)
+}
+
+/// Deterministic seed value for child front `id` cell `(i, j)` — lets the
+/// serial reference and every variant agree exactly.
+pub fn seed_value(id: usize, i: usize, j: usize) -> f64 {
+    let mut x = (id as u64)
+        .wrapping_mul(0x9e3779b97f4a7c15)
+        .wrapping_add((i as u64) << 32 | j as u64);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51afd7ed558ccd);
+    x ^= x >> 33;
+    // Small magnitudes keep sums exact enough for equality checks.
+    ((x % 2048) as f64 - 1024.0) / 64.0
+}
+
+/// Allocate and seed this rank's local parts for every front at every level:
+/// contribution-block cells (i ≥ nc and j ≥ nc) get [`seed_value`]; all
+/// other cells start at zero. Call once per rank before the traversal.
+pub fn init_rank_storage(plan: &EaddPlan) {
+    let me = upcxx::rank_me();
+    let st = store();
+    let mut data = st.data.borrow_mut();
+    data.clear();
+    for id in 0..plan.tree.nodes.len() {
+        if !plan.map[id].contains(me) {
+            continue;
+        }
+        let team_rank = plan.map[id].team_rank(me);
+        let lay = &plan.layouts[id];
+        let (lr, lc) = lay.local_dims(team_rank);
+        let mut local = vec![0.0f64; lr * lc];
+        let nc = plan.fronts[id].ncols();
+        if let Some((r, c)) = lay.coords(team_rank) {
+            for li in 0..lr {
+                let gi = lay.local_to_global_row(li, r);
+                if gi < nc {
+                    continue;
+                }
+                for lj in 0..lc {
+                    let gj = lay.local_to_global_col(lj, c);
+                    if gj < nc {
+                        continue;
+                    }
+                    local[li * lc + lj] = seed_value(id, gi, gj);
+                }
+            }
+        }
+        data.insert(id, local);
+    }
+}
+
+/// Pack this rank's slice of child `id`'s contribution block into
+/// per-destination bins (the paper's `pack`, Fig. 7 line 20): maps child
+/// front indices to the parent's dense index space and bins by the owning
+/// **world** rank of the destination cell.
+pub fn pack(plan: &EaddPlan, id: usize) -> BTreeMap<usize, Vec<Entry>> {
+    let me = upcxx::rank_me();
+    let parent = plan.tree.nodes[id].parent.expect("root has no parent");
+    let child_front = &plan.fronts[id];
+    let tp = &plan.to_parent[id];
+    let nc = child_front.ncols();
+    let team_rank = plan.map[id].team_rank(me);
+    let lay = &plan.layouts[id];
+    let Some((r, c)) = lay.coords(team_rank) else {
+        return BTreeMap::new();
+    };
+    let st = store();
+    let data = st.data.borrow();
+    let local = data.get(&id).expect("front storage missing");
+    let (lr, lc) = lay.local_dims(team_rank);
+    // BTreeMap: deterministic destination order, so simulated timings are
+    // reproducible run to run.
+    let mut bins: BTreeMap<usize, Vec<Entry>> = BTreeMap::new();
+    for li in 0..lr {
+        let gi = lay.local_to_global_row(li, r);
+        if gi < nc {
+            continue;
+        }
+        let pi = tp[gi];
+        for lj in 0..lc {
+            let gj = lay.local_to_global_col(lj, c);
+            if gj < nc {
+                continue;
+            }
+            let v = local[li * lc + lj];
+            let pj = tp[gj];
+            let dst = plan.cell_owner_world(parent, pi as usize, pj as usize);
+            bins.entry(dst).or_default().push(Entry { i: pi, j: pj, v });
+        }
+    }
+    bins
+}
+
+/// Accumulate entries into this rank's local part of front `id` (the
+/// paper's `accum` callback). Charges the modeled per-element cost.
+pub fn accumulate(plan: &EaddPlan, id: usize, entries: impl Iterator<Item = Entry>, count_hint: usize) {
+    let me = upcxx::rank_me();
+    let team_rank = plan.map[id].team_rank(me);
+    let lay = &plan.layouts[id];
+    let (_lr, lc) = lay.local_dims(team_rank);
+    upcxx::compute(plan.accum_cost_per_elem * count_hint as u64);
+    let st = store();
+    let mut data = st.data.borrow_mut();
+    let local = data.get_mut(&id).expect("parent storage missing");
+    for e in entries {
+        debug_assert_eq!(plan.cell_owner_world(id, e.i as usize, e.j as usize), me);
+        let (li, lj) = lay.global_to_local(e.i as usize, e.j as usize);
+        local[li * lc + lj] += e.v;
+    }
+}
+
+// ------------------------------------------------------------- RPC variant
+
+/// Per-rank slot shared with the RPC handler: the active plan and the
+/// per-level expected-incoming promises.
+///
+/// Promises are keyed by level and created lazily by **either** side (the
+/// local `e_add` call or the first incoming RPC): a fast sender can clear
+/// the level barrier and deliver a level-l+1 update before this rank's
+/// driver has resumed — UPC++'s promise counting tolerates that because the
+/// expected count comes from replicated metadata, not from call order.
+#[derive(Default)]
+pub struct EaddCtx {
+    /// The plan the handlers resolve front metadata from.
+    pub plan: RefCell<Option<Rc<EaddPlan>>>,
+    /// Per-level expected-incoming promises.
+    pub proms: RefCell<HashMap<usize, Promise<()>>>,
+}
+
+/// This rank's handler context.
+pub fn eadd_ctx() -> Rc<EaddCtx> {
+    upcxx::rank_state::<EaddCtx>(EaddCtx::default)
+}
+
+/// Install the plan on the calling rank and reset per-traversal state.
+/// Collective in the SPMD sense: every rank must call this (and synchronize,
+/// e.g. with a barrier) before any rank starts a traversal.
+pub fn install_plan(plan: Rc<EaddPlan>) {
+    let cx = eadd_ctx();
+    *cx.plan.borrow_mut() = Some(plan);
+    cx.proms.borrow_mut().clear();
+}
+
+/// The level promise, created on first touch with its expected count
+/// (the paper's `e_add_prom`, "initialized with the number of incoming RPCs
+/// expected by the current process").
+fn level_prom(cx: &EaddCtx, plan: &EaddPlan, level: usize) -> Promise<()> {
+    let me = upcxx::rank_me();
+    cx.proms
+        .borrow_mut()
+        .entry(level)
+        .or_insert_with(|| {
+            let p = Promise::<()>::new();
+            p.require_anonymous(plan.expected_at_level(level, me));
+            p
+        })
+        .clone()
+}
+
+/// The paper's `accum` RPC: traverse the view zero-copy, accumulate, and
+/// retire one dependency of the level promise (Fig. 7's
+/// `e_add_prom.fulfill_anonymous(1)`).
+fn accum_rpc(args: (usize, View<Entry>)) {
+    let (parent_id, view) = args;
+    let cx = eadd_ctx();
+    let plan = cx.plan.borrow().clone().expect("eadd plan not installed");
+    accumulate(&plan, parent_id, view.iter(), view.len());
+    let level = plan.tree.nodes[parent_id].level;
+    level_prom(&cx, &plan, level).fulfill_anonymous(1);
+}
+
+/// One rank's extend-add work for every front at `level`, RPC variant
+/// (the paper's Fig. 7 `e_add`). Returns the completion future:
+/// `when_all(f_conj, e_add_prom.finalize())`.
+fn eadd_level_rpc(plan: &Rc<EaddPlan>, level: usize) -> Future<()> {
+    let me = upcxx::rank_me();
+    let cx = eadd_ctx();
+    let prom = level_prom(&cx, plan, level);
+
+    let mut f_conj = upcxx::make_ready_future();
+    for id in plan.my_level_work(level, me) {
+        for &ch in &plan.tree.nodes[id].children {
+            if !plan.map[ch].contains(me) {
+                continue;
+            }
+            // eadd_send: pack, then one RPC per non-empty remote
+            // destination; the local bin accumulates in place.
+            let bins = pack(plan, ch);
+            for (dst, entries) in bins {
+                if dst == me {
+                    let n = entries.len();
+                    accumulate(plan, id, entries.into_iter(), n);
+                    continue;
+                }
+                let view = upcxx::make_view(&entries);
+                let fut = upcxx::rpc(dst, accum_rpc, (id, view));
+                f_conj = upcxx::conjoin(&f_conj, &fut.ignore());
+            }
+        }
+    }
+    let fin = prom.finalize();
+    upcxx::conjoin(&f_conj, &fin)
+}
+
+// ------------------------------------------------------------- MPI variants
+
+fn entries_to_bytes(entries: &[Entry]) -> Vec<u8> {
+    upcxx::ser::pod_to_bytes(entries)
+}
+
+fn bytes_to_entries(bytes: &[u8]) -> Vec<Entry> {
+    upcxx::ser::pod_from_bytes(bytes)
+}
+
+/// Alltoallv variant: one collective over the parent team per front at the
+/// level (empty partners included — the MPI semantics the paper contrasts).
+fn eadd_level_a2a(plan: &Rc<EaddPlan>, level: usize) -> Future<()> {
+    let me = upcxx::rank_me();
+    let mut futs: Vec<Future<()>> = Vec::new();
+    for id in plan.my_level_work(level, me) {
+        if !plan.map[id].contains(me) {
+            // Not in the parent team: children teams ⊆ parent team under
+            // proportional mapping, so nothing to do here.
+            continue;
+        }
+        let team = Team::from_world_ranks(plan.map[id].world_ranks());
+        let pn = team.rank_n();
+        // Merge bins from every child I belong to.
+        let mut send: Vec<Vec<Entry>> = vec![Vec::new(); pn];
+        for &ch in &plan.tree.nodes[id].children {
+            if plan.map[ch].contains(me) {
+                for (dst_world, mut es) in pack(plan, ch) {
+                    let dst_t = plan.map[id].team_rank(dst_world);
+                    send[dst_t].append(&mut es);
+                }
+            }
+        }
+        let send_bytes = send.iter().map(|v| entries_to_bytes(v)).collect();
+        let plan2 = plan.clone();
+        let fut = minimpi::alltoallv_bytes_with_tag(&team, send_bytes, id as i32)
+            .then(move |recv| {
+                for bytes in recv {
+                    if !bytes.is_empty() {
+                        let entries = bytes_to_entries(&bytes);
+                        let n = entries.len();
+                        accumulate(&plan2, id, entries.into_iter(), n);
+                    }
+                }
+            });
+        futs.push(fut);
+    }
+    upcxx::when_all_vec(futs).then(|_| ())
+}
+
+/// Point-to-point variant (the MUMPS-style strategy): because a receiver
+/// does not know which team members will contribute, a **counts exchange**
+/// (an `MPI_Alltoall` of per-destination element counts) runs first; data
+/// then moves with `isend`/`irecv` between the non-empty pairs. The extra
+/// full-team phase plus per-message matching through long posted queues is
+/// what makes this variant slowest at scale (Fig. 8).
+fn eadd_level_p2p(plan: &Rc<EaddPlan>, level: usize) -> Future<()> {
+    let me = upcxx::rank_me();
+    let mut futs: Vec<Future<()>> = Vec::new();
+    for id in plan.my_level_work(level, me) {
+        if !plan.map[id].contains(me) {
+            continue;
+        }
+        let pr = &plan.map[id];
+        let pn = pr.len;
+        let team = Team::from_world_ranks(pr.world_ranks());
+        let counts_tag = 0x200_0000 | id as i32;
+        let data_tag = 0x400_0000 | id as i32;
+        // Merge bins by destination world rank (ordered for determinism).
+        let mut send: BTreeMap<usize, Vec<Entry>> = BTreeMap::new();
+        for &ch in &plan.tree.nodes[id].children {
+            if plan.map[ch].contains(me) {
+                for (dst, mut es) in pack(plan, ch) {
+                    send.entry(dst).or_default().append(&mut es);
+                }
+            }
+        }
+        // Local contribution accumulates directly.
+        if let Some(es) = send.remove(&me) {
+            let n = es.len();
+            accumulate(plan, id, es.into_iter(), n);
+        }
+        // Phase 1: alltoall of counts (8 bytes per pair, empties included).
+        let counts_bytes: Vec<Vec<u8>> = (0..pn)
+            .map(|t| {
+                let dst = pr.world_rank(t);
+                let c = send.get(&dst).map(|v| v.len() as u64).unwrap_or(0);
+                c.to_le_bytes().to_vec()
+            })
+            .collect();
+        let plan2 = plan.clone();
+        let pr2 = *pr;
+        let fut = minimpi::alltoallv_bytes_with_tag(&team, counts_bytes, counts_tag)
+            .then_fut(move |recv_counts| {
+                // Phase 2: data only between non-empty pairs.
+                let me = upcxx::rank_me();
+                let mut phase2: Vec<Future<()>> = Vec::new();
+                for (t, c) in recv_counts.iter().enumerate() {
+                    let src = pr2.world_rank(t);
+                    if src == me {
+                        continue;
+                    }
+                    let cnt = u64::from_le_bytes(c[..8].try_into().unwrap());
+                    if cnt == 0 {
+                        continue;
+                    }
+                    let plan3 = plan2.clone();
+                    phase2.push(minimpi::irecv_bytes(src as i64, data_tag).then(
+                        move |(bytes, _)| {
+                            let entries = bytes_to_entries(&bytes);
+                            let n = entries.len();
+                            accumulate(&plan3, id, entries.into_iter(), n);
+                        },
+                    ));
+                }
+                for (dst, es) in send {
+                    phase2.push(minimpi::isend_bytes(dst, data_tag, entries_to_bytes(&es)));
+                }
+                upcxx::when_all_vec(phase2).then(|_| ())
+            });
+        futs.push(fut);
+    }
+    upcxx::when_all_vec(futs).then(|_| ())
+}
+
+/// One rank's extend-add for all fronts at `level` with the chosen variant.
+pub fn eadd_level(plan: &Rc<EaddPlan>, level: usize, variant: Variant) -> Future<()> {
+    match variant {
+        Variant::UpcxxRpc => eadd_level_rpc(plan, level),
+        Variant::MpiAlltoallv => eadd_level_a2a(plan, level),
+        Variant::MpiP2p => eadd_level_p2p(plan, level),
+    }
+}
+
+/// The full bottom-up traversal for the calling rank: levels 1..n_levels in
+/// order, each gated on the previous level's completion plus a world
+/// barrier (the paper's per-level synchronization; a rank's level-l sends
+/// read cells finalized by its level-(l-1) completion).
+///
+/// [`install_plan`] must have run (and been synchronized) on every rank.
+pub fn eadd_traverse(plan: Rc<EaddPlan>, variant: Variant) -> Future<()> {
+    fn step(plan: Rc<EaddPlan>, level: usize, variant: Variant) -> Future<()> {
+        if level >= plan.tree.n_levels {
+            return upcxx::make_ready_future();
+        }
+        let done = eadd_level(&plan, level, variant);
+        done.then_fut(move |_| {
+            upcxx::barrier_async().then_fut(move |_| step(plan, level + 1, variant))
+        })
+    }
+    step(plan, 1, variant)
+}
+
+/// Serial reference: accumulate every child contribution block directly
+/// (single address space), returning parent-front dense matrices indexed by
+/// node id. Used to validate all three variants.
+pub fn serial_reference(plan: &EaddPlan) -> HashMap<usize, Vec<f64>> {
+    // Seed every front's full F22 (dense dim × dim, zeros elsewhere).
+    let mut dense: HashMap<usize, Vec<f64>> = HashMap::new();
+    for id in 0..plan.tree.nodes.len() {
+        let d = plan.fronts[id].dim();
+        let nc = plan.fronts[id].ncols();
+        let mut m = vec![0.0; d * d];
+        for i in nc..d {
+            for j in nc..d {
+                m[i * d + j] = seed_value(id, i, j);
+            }
+        }
+        dense.insert(id, m);
+    }
+    // Bottom-up accumulation.
+    for level in 1..plan.tree.n_levels {
+        for id in plan.tree.level_nodes(level) {
+            let children = plan.tree.nodes[id].children.clone();
+            for ch in children {
+                let cd = plan.fronts[ch].dim();
+                let cnc = plan.fronts[ch].ncols();
+                let child = dense.get(&ch).unwrap().clone();
+                let pd = plan.fronts[id].dim();
+                let parent = dense.get_mut(&id).unwrap();
+                for fi in cnc..cd {
+                    let pi = plan.fronts[id]
+                        .global_to_front(plan.fronts[ch].front_to_global(fi));
+                    for fj in cnc..cd {
+                        let pj = plan.fronts[id]
+                            .global_to_front(plan.fronts[ch].front_to_global(fj));
+                        parent[pi * pd + pj] += child[fi * cd + fj];
+                    }
+                }
+            }
+        }
+    }
+    dense
+}
+
+/// Compare a rank's distributed storage of front `id` against the serial
+/// reference (tests). Returns the number of cells checked.
+pub fn verify_against_reference(
+    plan: &EaddPlan,
+    reference: &HashMap<usize, Vec<f64>>,
+    id: usize,
+) -> usize {
+    let me = upcxx::rank_me();
+    assert!(plan.map[id].contains(me));
+    let team_rank = plan.map[id].team_rank(me);
+    let lay = &plan.layouts[id];
+    let Some((r, c)) = lay.coords(team_rank) else {
+        return 0;
+    };
+    let st = store();
+    let data = st.data.borrow();
+    let local = data.get(&id).expect("front storage missing");
+    let (lr, lc) = lay.local_dims(team_rank);
+    let d = plan.fronts[id].dim();
+    let reference = reference.get(&id).unwrap();
+    let mut checked = 0;
+    for li in 0..lr {
+        let gi = lay.local_to_global_row(li, r);
+        for lj in 0..lc {
+            let gj = lay.local_to_global_col(lj, c);
+            let got = local[li * lc + lj];
+            let want = reference[gi * d + gj];
+            assert!(
+                (got - want).abs() < 1e-9,
+                "front {id} cell ({gi},{gj}): got {got}, want {want}"
+            );
+            checked += 1;
+        }
+    }
+    checked
+}

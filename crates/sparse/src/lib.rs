@@ -1,0 +1,37 @@
+//! # sparse-solver — the paper's sparse-solver application motif (§IV-D)
+//!
+//! Everything the extend-add and symPACK experiments need, built from
+//! scratch:
+//!
+//! * [`matrix`] — CSR symmetric matrices and the 3-D grid Laplacian
+//!   stand-in for the paper's SuiteSparse inputs;
+//! * [`ordering`] — geometric nested dissection producing the supernode /
+//!   frontal-matrix tree (the elimination-tree hierarchy of Fig. 5);
+//! * [`symbolic`] — per-front row structure (`Ip`, `IlC`, `IrC`);
+//! * [`mapping`] — the proportional-mapping heuristic assigning process
+//!   teams to subtrees;
+//! * [`dist2d`] — 2-D block-cyclic distribution of fronts over team grids;
+//! * [`dense`] — the partial-Cholesky kernel that factorizes a front;
+//! * [`eadd`] — the extend-add operation in the paper's three communication
+//!   variants (UPC++ RPC / MPI alltoallv / MPI point-to-point), Fig. 6–8;
+//! * [`sympack`] — a miniature symPACK comparing UPC++ v0.1 events/asyncs
+//!   against v1.0 futures/RPC on an identical factorization, Fig. 9.
+
+#![warn(missing_docs)]
+
+pub mod dense;
+pub mod dist2d;
+pub mod eadd;
+pub mod mapping;
+pub mod matrix;
+pub mod ordering;
+pub mod symbolic;
+pub mod sympack;
+
+pub use dist2d::Layout2D;
+pub use eadd::{EaddPlan, Entry, Variant};
+pub use mapping::{proportional_mapping, RankRange};
+pub use matrix::{grid3d_laplacian, CsrMatrix};
+pub use ordering::{nested_dissection, SnTree};
+pub use symbolic::{symbolic_factorize, FrontSym};
+pub use sympack::{Api, CholPlan};

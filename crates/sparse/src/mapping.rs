@@ -1,0 +1,205 @@
+//! Proportional mapping of the frontal tree onto process teams.
+//!
+//! "Frontal matrices are … mapped onto groups of processes using the
+//! proportional mapping heuristic, which assigns subtrees of frontal
+//! matrices to groups of processes of varying size depending on their
+//! computational cost" (§IV-D1, citing Pothen & Sun). The root gets all P
+//! ranks; each node splits its rank range among its children's subtrees in
+//! proportion to their flop counts, every child receiving at least one rank.
+
+use crate::ordering::SnTree;
+use crate::symbolic::FrontSym;
+
+/// Rank assignment per tree node: a contiguous world-rank range
+/// `start..start+len` (teams in the paper's sense; contiguity is what the
+/// proportional-mapping recursion produces).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankRange {
+    /// First world rank of the team.
+    pub start: usize,
+    /// Team size (≥ 1).
+    pub len: usize,
+}
+
+impl RankRange {
+    /// Whether `rank` belongs to this team.
+    pub fn contains(&self, rank: usize) -> bool {
+        rank >= self.start && rank < self.start + self.len
+    }
+    /// Team-relative index of a world rank.
+    pub fn team_rank(&self, world: usize) -> usize {
+        assert!(self.contains(world));
+        world - self.start
+    }
+    /// World rank of a team-relative index.
+    pub fn world_rank(&self, team: usize) -> usize {
+        assert!(team < self.len);
+        self.start + team
+    }
+    /// The member world ranks in team order.
+    pub fn world_ranks(&self) -> Vec<usize> {
+        (self.start..self.start + self.len).collect()
+    }
+}
+
+/// Subtree work: the node's own front flops plus all descendants'.
+pub fn subtree_flops(tree: &SnTree, fronts: &[FrontSym]) -> Vec<f64> {
+    let mut w = vec![0.0f64; tree.nodes.len()];
+    // Postorder: children precede parents.
+    for id in 0..tree.nodes.len() {
+        let mut total = fronts[id].flops().max(1.0);
+        for &ch in &tree.nodes[id].children {
+            total += w[ch];
+        }
+        w[id] = total;
+    }
+    w
+}
+
+/// Assign every tree node a rank range by proportional mapping over `p`
+/// total ranks.
+pub fn proportional_mapping(tree: &SnTree, fronts: &[FrontSym], p: usize) -> Vec<RankRange> {
+    assert!(p >= 1);
+    let w = subtree_flops(tree, fronts);
+    let mut out = vec![RankRange { start: 0, len: 0 }; tree.nodes.len()];
+    let root = tree.root();
+    out[root] = RankRange { start: 0, len: p };
+    // Top-down (reverse postorder): parents before children.
+    for id in (0..tree.nodes.len()).rev() {
+        let my = out[id];
+        debug_assert!(my.len >= 1, "unassigned node {id}");
+        let kids = &tree.nodes[id].children;
+        if kids.is_empty() {
+            continue;
+        }
+        let total: f64 = kids.iter().map(|&c| w[c]).sum();
+        if my.len == 1 {
+            // One rank serves the whole subtree.
+            for &c in kids {
+                out[c] = my;
+            }
+            continue;
+        }
+        // Contiguous proportional split; every child gets ≥ 1 rank (ranges
+        // may overlap when children outnumber ranks — sharing, as in the
+        // classic heuristic's sequential fallback).
+        let mut cum = 0.0f64;
+        for &c in kids {
+            let lo = ((cum / total) * my.len as f64).floor() as usize;
+            cum += w[c];
+            let hi = ((cum / total) * my.len as f64).ceil() as usize;
+            let lo = lo.min(my.len - 1);
+            let hi = hi.clamp(lo + 1, my.len);
+            out[c] = RankRange {
+                start: my.start + lo,
+                len: hi - lo,
+            };
+        }
+    }
+    out
+}
+
+/// Every rank participating anywhere at a given tree level (for barriers).
+pub fn ranks_at_level(tree: &SnTree, map: &[RankRange], level: usize) -> Vec<usize> {
+    let mut set = std::collections::BTreeSet::new();
+    for id in tree.level_nodes(level) {
+        for r in map[id].world_ranks() {
+            set.insert(r);
+        }
+    }
+    set.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::grid3d_laplacian;
+    use crate::ordering::nested_dissection;
+    use crate::symbolic::symbolic_factorize;
+
+    fn setup(k: usize) -> (SnTree, Vec<FrontSym>) {
+        let tree = nested_dissection(k, 8);
+        let a = grid3d_laplacian(k).permute(&tree.perm);
+        let fronts = symbolic_factorize(&a, &tree);
+        (tree, fronts)
+    }
+
+    #[test]
+    fn root_gets_all_ranks() {
+        let (tree, fronts) = setup(6);
+        for p in [1usize, 2, 7, 32] {
+            let map = proportional_mapping(&tree, &fronts, p);
+            assert_eq!(map[tree.root()], RankRange { start: 0, len: p });
+        }
+    }
+
+    #[test]
+    fn children_stay_within_parent_range() {
+        let (tree, fronts) = setup(6);
+        let map = proportional_mapping(&tree, &fronts, 16);
+        for (id, node) in tree.nodes.iter().enumerate() {
+            for &c in &node.children {
+                assert!(map[c].len >= 1);
+                assert!(map[c].start >= map[id].start);
+                assert!(map[c].start + map[c].len <= map[id].start + map[id].len);
+            }
+        }
+    }
+
+    #[test]
+    fn siblings_partition_without_gaps_when_ranks_suffice() {
+        let (tree, fronts) = setup(6);
+        let map = proportional_mapping(&tree, &fronts, 64);
+        let root = tree.root();
+        let kids = &tree.nodes[root].children;
+        if kids.len() == 2 {
+            let (a, b) = (map[kids[0]], map[kids[1]]);
+            // Two halves of a symmetric grid: roughly equal splits.
+            let ratio = a.len as f64 / b.len as f64;
+            assert!((0.5..2.0).contains(&ratio), "split ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn single_rank_maps_everything_to_rank_zero() {
+        let (tree, fronts) = setup(4);
+        let map = proportional_mapping(&tree, &fronts, 1);
+        for r in &map {
+            assert_eq!(*r, RankRange { start: 0, len: 1 });
+        }
+    }
+
+    #[test]
+    fn subtree_flops_accumulate() {
+        let (tree, fronts) = setup(4);
+        let w = subtree_flops(&tree, &fronts);
+        let root = tree.root();
+        for &c in &tree.nodes[root].children {
+            assert!(w[root] > w[c]);
+        }
+        // Root subtree ≥ sum of all front flops.
+        let total: f64 = fronts.iter().map(|f| f.flops().max(1.0)).sum();
+        assert!((w[root] - total).abs() / total < 1e-9);
+    }
+
+    #[test]
+    fn rank_range_arithmetic() {
+        let r = RankRange { start: 4, len: 3 };
+        assert!(r.contains(4) && r.contains(6) && !r.contains(7));
+        assert_eq!(r.team_rank(5), 1);
+        assert_eq!(r.world_rank(2), 6);
+        assert_eq!(r.world_ranks(), vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn level_rank_union_is_sorted_unique() {
+        let (tree, fronts) = setup(6);
+        let map = proportional_mapping(&tree, &fronts, 8);
+        for l in 0..tree.n_levels {
+            let rs = ranks_at_level(&tree, &map, l);
+            for w in rs.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+}

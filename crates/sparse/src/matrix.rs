@@ -1,0 +1,217 @@
+//! Sparse symmetric matrices in CSR form and the synthetic problem
+//! generator.
+//!
+//! The paper's extend-add and symPACK experiments use `audikw_1` and
+//! `Flan_1565` from SuiteSparse — large SPD matrices from 3-D mechanical
+//! models. Offline, we substitute the 7-point Laplacian on a k×k×k grid
+//! (`grid3d_laplacian`): the same problem class (3-D mesh, SPD, planar-ish
+//! separators growing as k² toward the elimination-tree root), which is what
+//! drives the communication structure the benchmarks measure. DESIGN.md
+//! records the substitution.
+
+/// A sparse symmetric matrix stored as full (both triangles) CSR.
+#[derive(Clone, Debug)]
+pub struct CsrMatrix {
+    /// Dimension.
+    pub n: usize,
+    /// Row pointers (len n+1).
+    pub rowptr: Vec<usize>,
+    /// Column indices, sorted within each row.
+    pub colind: Vec<usize>,
+    /// Values, aligned with `colind`.
+    pub values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.colind.len()
+    }
+
+    /// Iterate the (col, value) pairs of `row`.
+    pub fn row(&self, row: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.rowptr[row];
+        let hi = self.rowptr[row + 1];
+        self.colind[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Value at (i, j), or 0.0 when not stored.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let lo = self.rowptr[i];
+        let hi = self.rowptr[i + 1];
+        match self.colind[lo..hi].binary_search(&j) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Check structural and numerical symmetry (tests).
+    pub fn is_symmetric(&self) -> bool {
+        for i in 0..self.n {
+            for (j, v) in self.row(i) {
+                if (self.get(j, i) - v).abs() > 1e-12 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Symmetrically permute: `out[p(i)][p(j)] = self[i][j]` where
+    /// `perm[new] = old` (i.e. `perm` lists old indices in new order).
+    pub fn permute(&self, perm: &[usize]) -> CsrMatrix {
+        assert_eq!(perm.len(), self.n);
+        let mut inv = vec![0usize; self.n];
+        for (new, &old) in perm.iter().enumerate() {
+            inv[old] = new;
+        }
+        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.n];
+        for i_old in 0..self.n {
+            for (j_old, v) in self.row(i_old) {
+                rows[inv[i_old]].push((inv[j_old], v));
+            }
+        }
+        let mut rowptr = Vec::with_capacity(self.n + 1);
+        let mut colind = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        rowptr.push(0);
+        for mut r in rows {
+            r.sort_unstable_by_key(|&(j, _)| j);
+            for (j, v) in r {
+                colind.push(j);
+                values.push(v);
+            }
+            rowptr.push(colind.len());
+        }
+        CsrMatrix {
+            n: self.n,
+            rowptr,
+            colind,
+            values,
+        }
+    }
+
+    /// Multiply y = A x (tests: residual checks for the solver).
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        (0..self.n)
+            .map(|i| self.row(i).map(|(j, v)| v * x[j]).sum())
+            .collect()
+    }
+}
+
+/// Linear index of grid point (x, y, z) in a k×k×k grid.
+pub fn grid_index(k: usize, x: usize, y: usize, z: usize) -> usize {
+    (z * k + y) * k + x
+}
+
+/// The 7-point Laplacian on a k×k×k grid: diagonal 6 + ε (SPD), off-diagonal
+/// -1 to the six axis neighbors. The stand-in for the paper's SuiteSparse
+/// inputs (module docs).
+pub fn grid3d_laplacian(k: usize) -> CsrMatrix {
+    assert!(k >= 1);
+    let n = k * k * k;
+    let mut rowptr = Vec::with_capacity(n + 1);
+    let mut colind = Vec::new();
+    let mut values = Vec::new();
+    rowptr.push(0);
+    for z in 0..k {
+        for y in 0..k {
+            for x in 0..k {
+                let mut entries: Vec<(usize, f64)> = Vec::with_capacity(7);
+                // Strong diagonal keeps Cholesky comfortably stable.
+                entries.push((grid_index(k, x, y, z), 6.5));
+                if x > 0 {
+                    entries.push((grid_index(k, x - 1, y, z), -1.0));
+                }
+                if x + 1 < k {
+                    entries.push((grid_index(k, x + 1, y, z), -1.0));
+                }
+                if y > 0 {
+                    entries.push((grid_index(k, x, y - 1, z), -1.0));
+                }
+                if y + 1 < k {
+                    entries.push((grid_index(k, x, y + 1, z), -1.0));
+                }
+                if z > 0 {
+                    entries.push((grid_index(k, x, y, z - 1), -1.0));
+                }
+                if z + 1 < k {
+                    entries.push((grid_index(k, x, y, z + 1), -1.0));
+                }
+                entries.sort_unstable_by_key(|&(j, _)| j);
+                for (j, v) in entries {
+                    colind.push(j);
+                    values.push(v);
+                }
+                rowptr.push(colind.len());
+            }
+        }
+    }
+    CsrMatrix {
+        n,
+        rowptr,
+        colind,
+        values,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laplacian_shape_and_symmetry() {
+        let a = grid3d_laplacian(4);
+        assert_eq!(a.n, 64);
+        // Interior points have 7 entries; corners 4.
+        assert_eq!(a.row(grid_index(4, 1, 1, 1)).count(), 7);
+        assert_eq!(a.row(grid_index(4, 0, 0, 0)).count(), 4);
+        assert!(a.is_symmetric());
+    }
+
+    #[test]
+    fn laplacian_is_diagonally_dominant() {
+        let a = grid3d_laplacian(3);
+        for i in 0..a.n {
+            let diag = a.get(i, i);
+            let off: f64 = a.row(i).filter(|&(j, _)| j != i).map(|(_, v)| v.abs()).sum();
+            assert!(diag > off, "row {i}: {diag} <= {off}");
+        }
+    }
+
+    #[test]
+    fn get_returns_zero_off_pattern() {
+        let a = grid3d_laplacian(3);
+        assert_eq!(a.get(0, 26), 0.0);
+        assert_eq!(a.get(0, 1), -1.0);
+        assert_eq!(a.get(0, 0), 6.5);
+    }
+
+    #[test]
+    fn permute_preserves_symmetry_and_values() {
+        let a = grid3d_laplacian(3);
+        // Reverse permutation.
+        let perm: Vec<usize> = (0..a.n).rev().collect();
+        let b = a.permute(&perm);
+        assert!(b.is_symmetric());
+        assert_eq!(b.nnz(), a.nnz());
+        // b[new_i][new_j] == a[old_i][old_j]
+        assert_eq!(b.get(a.n - 1, a.n - 1), a.get(0, 0));
+        assert_eq!(b.get(a.n - 1, a.n - 2), a.get(0, 1));
+    }
+
+    #[test]
+    fn spmv_constant_vector() {
+        // A * 1 has row sums: 6.5 - (#neighbors).
+        let a = grid3d_laplacian(3);
+        let y = a.spmv(&vec![1.0; a.n]);
+        let corner = grid_index(3, 0, 0, 0);
+        let center = grid_index(3, 1, 1, 1);
+        assert!((y[corner] - (6.5 - 3.0)).abs() < 1e-12);
+        assert!((y[center] - (6.5 - 6.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,274 @@
+//! Geometric nested dissection and the supernode (frontal-matrix) tree.
+//!
+//! Multifrontal solvers organize computation along the elimination tree
+//! (§IV-D1); with a nested-dissection ordering the tree's supernodes are the
+//! recursive separators. For the k×k×k grid stand-in we use *geometric*
+//! dissection: split the longest box dimension with a one-cell-thick plane,
+//! recurse on the halves, and order separator columns after both halves —
+//! the textbook construction (George 1973) that STRUMPACK's analysis would
+//! produce on this mesh.
+//!
+//! The result is a [`SnTree`]: a postordered forest of supernodes where each
+//! node's columns occupy a contiguous range of the permuted index space and
+//! parents follow children — exactly the layout the extend-add traversal
+//! (Fig. 5) wants.
+
+use crate::matrix::grid_index;
+
+/// One supernode / frontal matrix in the elimination tree.
+#[derive(Clone, Debug)]
+pub struct SnNode {
+    /// Column range in the permuted ordering (contiguous, after children).
+    pub cols: std::ops::Range<usize>,
+    /// Child node ids.
+    pub children: Vec<usize>,
+    /// Parent node id (`None` at the root).
+    pub parent: Option<usize>,
+    /// Distance from the deepest leaf (leaves are level 0) — the traversal
+    /// processes level l before level l+1.
+    pub level: usize,
+}
+
+impl SnNode {
+    /// Number of columns eliminated at this supernode.
+    pub fn ncols(&self) -> usize {
+        self.cols.len()
+    }
+}
+
+/// A postordered supernode tree plus the fill-reducing permutation.
+#[derive(Clone, Debug)]
+pub struct SnTree {
+    /// Nodes in postorder (children precede parents; the root is last).
+    pub nodes: Vec<SnNode>,
+    /// Permutation: `perm[new] = old` grid index.
+    pub perm: Vec<usize>,
+    /// Number of levels (max level + 1).
+    pub n_levels: usize,
+}
+
+impl SnTree {
+    /// The root node id (postorder ⇒ last).
+    pub fn root(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Ids of nodes at `level`, in postorder.
+    pub fn level_nodes(&self, level: usize) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].level == level)
+            .collect()
+    }
+
+    /// Validate postorder and column-range invariants (tests, debug).
+    pub fn check_invariants(&self, n: usize) {
+        let mut seen = vec![false; n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for c in node.cols.clone() {
+                assert!(!seen[c], "column {c} in two supernodes");
+                seen[c] = true;
+            }
+            for &ch in &node.children {
+                assert!(ch < i, "child {ch} after parent {i} (postorder violated)");
+                assert_eq!(self.nodes[ch].parent, Some(i));
+                assert!(
+                    self.nodes[ch].cols.end <= node.cols.start,
+                    "child columns must precede parent columns"
+                );
+                assert!(self.nodes[ch].level < node.level);
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "permutation not a bijection");
+        assert_eq!(self.perm.len(), n);
+        let mut sorted = self.perm.clone();
+        sorted.sort_unstable();
+        assert!(sorted.into_iter().eq(0..n), "perm is not a permutation");
+    }
+}
+
+/// A box of grid cells `[x0, x1) × [y0, y1) × [z0, z1)`.
+#[derive(Clone, Copy, Debug)]
+struct GridBox {
+    x0: usize,
+    x1: usize,
+    y0: usize,
+    y1: usize,
+    z0: usize,
+    z1: usize,
+}
+
+impl GridBox {
+    fn dims(&self) -> (usize, usize, usize) {
+        (self.x1 - self.x0, self.y1 - self.y0, self.z1 - self.z0)
+    }
+    fn cells(&self) -> usize {
+        let (dx, dy, dz) = self.dims();
+        dx * dy * dz
+    }
+    fn indices(&self, k: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.cells());
+        for z in self.z0..self.z1 {
+            for y in self.y0..self.y1 {
+                for x in self.x0..self.x1 {
+                    out.push(grid_index(k, x, y, z));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Build the nested-dissection supernode tree for the k×k×k grid. Boxes of
+/// at most `leaf_size` cells become leaf supernodes.
+pub fn nested_dissection(k: usize, leaf_size: usize) -> SnTree {
+    assert!(k >= 1 && leaf_size >= 1);
+    let mut nodes: Vec<SnNode> = Vec::new();
+    let mut order: Vec<usize> = Vec::with_capacity(k * k * k);
+
+    // Recursive dissection returning the new node's id.
+    fn dissect(
+        k: usize,
+        b: GridBox,
+        leaf_size: usize,
+        nodes: &mut Vec<SnNode>,
+        order: &mut Vec<usize>,
+    ) -> usize {
+        let (dx, dy, dz) = b.dims();
+        if b.cells() <= leaf_size || dx.max(dy).max(dz) <= 1 {
+            let start = order.len();
+            order.extend(b.indices(k));
+            let id = nodes.len();
+            nodes.push(SnNode {
+                cols: start..order.len(),
+                children: Vec::new(),
+                parent: None,
+                level: 0,
+            });
+            return id;
+        }
+        // Split the longest dimension with a one-thick separator plane.
+        let (mut lo, mut hi) = (b, b);
+        let sep: GridBox;
+        if dx >= dy && dx >= dz {
+            let m = b.x0 + dx / 2;
+            lo.x1 = m;
+            hi.x0 = m + 1;
+            sep = GridBox { x0: m, x1: m + 1, ..b };
+        } else if dy >= dz {
+            let m = b.y0 + dy / 2;
+            lo.y1 = m;
+            hi.y0 = m + 1;
+            sep = GridBox { y0: m, y1: m + 1, ..b };
+        } else {
+            let m = b.z0 + dz / 2;
+            lo.z1 = m;
+            hi.z0 = m + 1;
+            sep = GridBox { z0: m, z1: m + 1, ..b };
+        }
+        let mut children = Vec::new();
+        if lo.cells() > 0 {
+            children.push(dissect(k, lo, leaf_size, nodes, order));
+        }
+        if hi.cells() > 0 {
+            children.push(dissect(k, hi, leaf_size, nodes, order));
+        }
+        let start = order.len();
+        order.extend(sep.indices(k));
+        let level = children
+            .iter()
+            .map(|&c| nodes[c].level + 1)
+            .max()
+            .unwrap_or(0);
+        let id = nodes.len();
+        for &c in &children {
+            nodes[c].parent = Some(id);
+        }
+        nodes.push(SnNode {
+            cols: start..order.len(),
+            children,
+            parent: None,
+            level,
+        });
+        id
+    }
+
+    let whole = GridBox {
+        x0: 0,
+        x1: k,
+        y0: 0,
+        y1: k,
+        z0: 0,
+        z1: k,
+    };
+    dissect(k, whole, leaf_size, &mut nodes, &mut order);
+    let n_levels = nodes.iter().map(|n| n.level).max().unwrap_or(0) + 1;
+    SnTree {
+        nodes,
+        perm: order,
+        n_levels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_invariants_hold_for_various_grids() {
+        for k in [1usize, 2, 3, 4, 5, 8] {
+            let t = nested_dissection(k, 4);
+            t.check_invariants(k * k * k);
+        }
+    }
+
+    #[test]
+    fn single_cell_grid_is_one_leaf() {
+        let t = nested_dissection(1, 4);
+        assert_eq!(t.nodes.len(), 1);
+        assert_eq!(t.nodes[0].cols, 0..1);
+        assert_eq!(t.n_levels, 1);
+    }
+
+    #[test]
+    fn root_separator_of_cube_is_a_plane() {
+        let k = 8;
+        let t = nested_dissection(k, 8);
+        let root = &t.nodes[t.root()];
+        // Root separator of a cube: one k×k plane.
+        assert_eq!(root.ncols(), k * k);
+        assert_eq!(root.children.len(), 2);
+        assert!(root.parent.is_none());
+    }
+
+    #[test]
+    fn levels_increase_toward_root() {
+        let t = nested_dissection(8, 8);
+        let root = t.root();
+        assert_eq!(t.nodes[root].level, t.n_levels - 1);
+        for id in t.level_nodes(0) {
+            assert!(t.nodes[id].children.is_empty());
+        }
+        // Every level is non-empty.
+        for l in 0..t.n_levels {
+            assert!(!t.level_nodes(l).is_empty(), "empty level {l}");
+        }
+    }
+
+    #[test]
+    fn leaf_size_bounds_leaves() {
+        let t = nested_dissection(8, 16);
+        for n in &t.nodes {
+            if n.children.is_empty() {
+                assert!(n.ncols() <= 16, "leaf with {} cols", n.ncols());
+            }
+        }
+    }
+
+    #[test]
+    fn column_count_matches_grid() {
+        let k = 6;
+        let t = nested_dissection(k, 5);
+        let total: usize = t.nodes.iter().map(SnNode::ncols).sum();
+        assert_eq!(total, k * k * k);
+    }
+}

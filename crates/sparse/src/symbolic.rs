@@ -1,0 +1,215 @@
+//! Symbolic factorization: the row structure of every frontal matrix.
+//!
+//! In a multifrontal method each supernode owns a dense *front* indexed by
+//! its eliminated columns followed by its *row indices* — the paper's
+//! `row_indices` field "containing the global indices of the frontal matrix
+//! in the sparse matrix (corresponding to Ip, IlC and IrC in Fig. 5)". The
+//! classic bottom-up recurrence computes them:
+//!
+//! `rows(f) = ( struct(A[:, cols(f)]) ∪ ⋃_child rows(child) ) \ {0..cols(f).end}`
+//!
+//! i.e. the below-diagonal sparsity of the supernode's columns plus
+//! everything the children's contribution blocks touch, minus what this
+//! front eliminates.
+
+use crate::matrix::CsrMatrix;
+use crate::ordering::SnTree;
+
+/// Per-front symbolic structure.
+#[derive(Clone, Debug)]
+pub struct FrontSym {
+    /// Eliminated columns (permuted indices; contiguous).
+    pub cols: std::ops::Range<usize>,
+    /// Sorted row indices strictly beyond `cols` (the F21/F22 border) —
+    /// the paper's `Ip`/`IlC`/`IrC`.
+    pub rows: Vec<usize>,
+}
+
+impl FrontSym {
+    /// Dense dimension of the front: `ncols + nrows`.
+    pub fn dim(&self) -> usize {
+        self.cols.len() + self.rows.len()
+    }
+    /// Number of eliminated columns.
+    pub fn ncols(&self) -> usize {
+        self.cols.len()
+    }
+    /// Number of border rows (the contribution block is nrows × nrows).
+    pub fn nrows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Map a global (permuted) index into this front's dense index space:
+    /// eliminated columns map to `0..ncols`, border rows to `ncols..dim`.
+    /// Panics when the index is not part of the front — the extend-add
+    /// invariant is that every child border index appears in the parent.
+    pub fn global_to_front(&self, g: usize) -> usize {
+        if self.cols.contains(&g) {
+            g - self.cols.start
+        } else {
+            match self.rows.binary_search(&g) {
+                Ok(i) => self.cols.len() + i,
+                Err(_) => panic!("index {g} not in front"),
+            }
+        }
+    }
+
+    /// Inverse of [`global_to_front`].
+    pub fn front_to_global(&self, f: usize) -> usize {
+        if f < self.cols.len() {
+            self.cols.start + f
+        } else {
+            self.rows[f - self.cols.len()]
+        }
+    }
+
+    /// Estimated factorization flops for this front (dense partial LDLᵀ):
+    /// used by proportional mapping.
+    pub fn flops(&self) -> f64 {
+        let nc = self.ncols() as f64;
+        let nr = self.nrows() as f64;
+        // Cholesky of F11 + triangular solve for F21 + Schur update of F22.
+        nc * nc * nc / 3.0 + nc * nc * nr + nc * nr * nr
+    }
+}
+
+/// Compute every front's row structure for `a` (already permuted by the
+/// tree's ordering) over the supernode tree.
+pub fn symbolic_factorize(a: &CsrMatrix, tree: &SnTree) -> Vec<FrontSym> {
+    let mut fronts: Vec<FrontSym> = Vec::with_capacity(tree.nodes.len());
+    for (id, node) in tree.nodes.iter().enumerate() {
+        let mut set: Vec<usize> = Vec::new();
+        // Sparsity of A below the supernode's diagonal block.
+        for j in node.cols.clone() {
+            for (i, _) in a.row(j) {
+                if i >= node.cols.end {
+                    set.push(i);
+                }
+            }
+        }
+        // Children's border rows, minus what this supernode eliminates.
+        for &ch in &node.children {
+            debug_assert!(ch < id);
+            for &r in &fronts[ch].rows {
+                if r >= node.cols.end {
+                    set.push(r);
+                }
+            }
+        }
+        set.sort_unstable();
+        set.dedup();
+        fronts.push(FrontSym {
+            cols: node.cols.clone(),
+            rows: set,
+        });
+    }
+    fronts
+}
+
+/// Sanity checks connecting the tree and the symbolic structure (tests).
+pub fn check_symbolic(a: &CsrMatrix, tree: &SnTree, fronts: &[FrontSym]) {
+    assert_eq!(fronts.len(), tree.nodes.len());
+    for (id, node) in tree.nodes.iter().enumerate() {
+        let f = &fronts[id];
+        // Rows strictly increase and lie beyond the column range.
+        for w in f.rows.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        if let Some(&r0) = f.rows.first() {
+            assert!(r0 >= node.cols.end);
+        }
+        // Every child border index is covered by the parent front
+        // (the extend-add invariant: child F22 lands wholly in the parent).
+        for &ch in &node.children {
+            for &r in &fronts[ch].rows {
+                if r >= node.cols.end {
+                    assert!(
+                        f.rows.binary_search(&r).is_ok(),
+                        "child row {r} missing from parent front {id}"
+                    );
+                } else {
+                    assert!(node.cols.contains(&r));
+                }
+            }
+        }
+        // The root eliminates the tail of the matrix and has no border.
+        if node.parent.is_none() {
+            assert_eq!(node.cols.end, a.n);
+            assert!(f.rows.is_empty());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::grid3d_laplacian;
+    use crate::ordering::nested_dissection;
+
+    fn setup(k: usize, leaf: usize) -> (CsrMatrix, SnTree, Vec<FrontSym>) {
+        let tree = nested_dissection(k, leaf);
+        let a = grid3d_laplacian(k).permute(&tree.perm);
+        let fronts = symbolic_factorize(&a, &tree);
+        (a, tree, fronts)
+    }
+
+    #[test]
+    fn symbolic_invariants_small_grids() {
+        for k in [2usize, 3, 4, 6] {
+            let (a, tree, fronts) = setup(k, 4);
+            check_symbolic(&a, &tree, &fronts);
+        }
+    }
+
+    #[test]
+    fn front_index_mapping_roundtrips() {
+        let (_a, _tree, fronts) = setup(4, 4);
+        for f in &fronts {
+            for d in 0..f.dim() {
+                let g = f.front_to_global(d);
+                assert_eq!(f.global_to_front(g), d);
+            }
+        }
+    }
+
+    #[test]
+    fn root_front_has_no_border() {
+        let (_a, tree, fronts) = setup(4, 4);
+        assert!(fronts[tree.root()].rows.is_empty());
+    }
+
+    #[test]
+    fn leaf_fronts_touch_only_matrix_structure() {
+        let (a, tree, fronts) = setup(3, 2);
+        for (id, node) in tree.nodes.iter().enumerate() {
+            if !node.children.is_empty() {
+                continue;
+            }
+            // Leaf rows must appear in A's structure for those columns.
+            for &r in &fronts[id].rows {
+                let touched = node.cols.clone().any(|j| a.get(r, j) != 0.0);
+                assert!(touched, "leaf {id} row {r} not in A");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not in front")]
+    fn global_to_front_rejects_foreign_index() {
+        let (_a, tree, fronts) = setup(3, 2);
+        // The first leaf cannot contain the last column of the matrix unless
+        // it is also the root (k=3 trees have > 1 node).
+        assert!(tree.nodes.len() > 1);
+        let f = &fronts[0];
+        let foreign = tree.nodes[tree.root()].cols.end - 1;
+        assert!(!f.cols.contains(&foreign));
+        let _ = f.global_to_front(foreign);
+    }
+
+    #[test]
+    fn flops_monotone_in_front_size() {
+        let small = FrontSym { cols: 0..4, rows: vec![5, 6] };
+        let big = FrontSym { cols: 0..8, rows: vec![9, 10, 11, 12] };
+        assert!(big.flops() > small.flops());
+    }
+}

@@ -1,0 +1,350 @@
+//! A miniature symPACK: distributed multifrontal sparse Cholesky, written
+//! twice against the two UPC++ generations — the paper's Fig. 9 experiment.
+//!
+//! §IV-D4: symPACK "was originally implemented using the predecessor UPC++
+//! and has recently been ported to UPC++ v1.0. The previous implementation
+//! used v0.1 asyncs and events to schedule the asynchronous communication.
+//! These translated naturally to RPCs and futures, respectively, in v1.0."
+//!
+//! Here the solver core (assembly, per-front partial Cholesky, contribution
+//! propagation up the elimination tree) is shared; only the communication
+//! scheduling differs by [`Api`]:
+//!
+//! * [`Api::V10`] — contribution blocks travel as `rpc` with a zero-copy
+//!   [`upcxx::View`]; initiator-side completion is the RPC future.
+//! * [`Api::V01`] — contribution blocks travel as v0.1 `async` carrying an
+//!   owned `Vec` (v0.1 had no view serialization — §V-A), with initiator
+//!   completion tracked by an [`upcxx_v01::Event`].
+//!
+//! Fronts are owned whole by single ranks (1-D proportional mapping), the
+//! layout symPACK-like solvers use for supernode panels. Real numerics run
+//! in both conduits; the sim conduit additionally charges modeled flop time
+//! so virtual timings reflect compute as well as communication.
+
+use crate::dense::{partial_cholesky, partial_cholesky_flops};
+use crate::eadd::Entry;
+use crate::matrix::CsrMatrix;
+use crate::ordering::SnTree;
+use crate::symbolic::FrontSym;
+use pgas_des::Time;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+use upcxx::View;
+
+/// Which UPC++ generation schedules the communication.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Api {
+    /// Predecessor: events + asyncs (no return values, owned payloads).
+    V01,
+    /// v1.0: futures + RPC with views.
+    V10,
+}
+
+impl Api {
+    /// Legend label matching the paper's Fig. 9.
+    pub fn label(self) -> &'static str {
+        match self {
+            Api::V01 => "UPC++ v0.1",
+            Api::V10 => "UPC++ v1.0",
+        }
+    }
+}
+
+/// Replicated factorization metadata.
+pub struct CholPlan {
+    /// Supernode tree.
+    pub tree: SnTree,
+    /// Symbolic fronts.
+    pub fronts: Vec<FrontSym>,
+    /// Owning world rank per front (1-D proportional mapping).
+    pub owner: Vec<usize>,
+    /// The permuted input matrix (assembled into fronts at install).
+    pub a: Rc<CsrMatrix>,
+    /// Modeled time per flop (sim conduit compute charge).
+    pub flop_time: Time,
+    /// World size the plan was built for.
+    pub p_world: usize,
+    /// Per child node: front index -> parent front index (u32::MAX for
+    /// eliminated columns). Precomputed to keep packing off binary searches.
+    pub to_parent: Vec<Vec<u32>>,
+    /// Proportional-mapping team size per front. symPACK distributes each
+    /// supernode panel over its team, so the modeled kernel time is
+    /// `flops / team_len`; the numerics here run replicated on the owner
+    /// (identical results), with the cost model reflecting the
+    /// team-parallel dense kernel the real solver uses.
+    pub team_len: Vec<usize>,
+}
+
+impl CholPlan {
+    /// Build the replicated plan over `p` ranks: proportional mapping
+    /// collapsed to its first rank per node (supernode-owner layout).
+    pub fn build(tree: SnTree, fronts: Vec<FrontSym>, a: CsrMatrix, p: usize) -> Rc<CholPlan> {
+        let map = crate::mapping::proportional_mapping(&tree, &fronts, p);
+        let owner = map.iter().map(|r| r.start).collect();
+        let team_len = map.iter().map(|r| r.len).collect();
+        let mut to_parent: Vec<Vec<u32>> = vec![Vec::new(); tree.nodes.len()];
+        for id in 0..tree.nodes.len() {
+            let Some(parent) = tree.nodes[id].parent else { continue };
+            let f = &fronts[id];
+            let nc = f.ncols();
+            to_parent[id] = (0..f.dim())
+                .map(|fi| {
+                    if fi < nc {
+                        u32::MAX
+                    } else {
+                        fronts[parent].global_to_front(f.front_to_global(fi)) as u32
+                    }
+                })
+                .collect();
+        }
+        Rc::new(CholPlan {
+            tree,
+            fronts,
+            owner,
+            a: Rc::new(a),
+            flop_time: Time::from_ps(150), // ≈ 6.7 Gflop/s naive kernel
+            p_world: p,
+            to_parent,
+            team_len,
+        })
+    }
+
+    /// Fronts owned by `rank`.
+    pub fn owned_fronts(&self, rank: usize) -> Vec<usize> {
+        (0..self.owner.len())
+            .filter(|&id| self.owner[id] == rank)
+            .collect()
+    }
+}
+
+/// Per-rank solver state.
+#[derive(Default)]
+pub struct CholState {
+    /// Active plan.
+    pub plan: RefCell<Option<Rc<CholPlan>>>,
+    /// Active API generation.
+    api: Cell<Option<Api>>,
+    /// Owned fronts' dense storage (dim × dim, row-major).
+    pub fronts: RefCell<HashMap<usize, Vec<f64>>>,
+    /// Outstanding child contributions per owned front.
+    pending: RefCell<HashMap<usize, usize>>,
+    /// Owned fronts factorized so far.
+    factored: Cell<usize>,
+    /// Total owned fronts.
+    owned_total: Cell<usize>,
+    /// v0.1 initiator-side completion tracking.
+    pub v01_event: RefCell<Option<upcxx_v01::Event>>,
+}
+
+/// This rank's solver state.
+pub fn state() -> Rc<CholState> {
+    upcxx::rank_state::<CholState>(CholState::default)
+}
+
+/// Install the plan on the calling rank: assemble every owned front from
+/// the (permuted) matrix and set child counters. Collective in the SPMD
+/// sense; synchronize (barrier) before [`start`].
+pub fn install(plan: Rc<CholPlan>, api: Api) {
+    let me = upcxx::rank_me();
+    let st = state();
+    st.api.set(Some(api));
+    st.factored.set(0);
+    *st.v01_event.borrow_mut() = Some(upcxx_v01::Event::new());
+    let mut fronts = st.fronts.borrow_mut();
+    let mut pending = st.pending.borrow_mut();
+    fronts.clear();
+    pending.clear();
+    let owned = plan.owned_fronts(me);
+    st.owned_total.set(owned.len());
+    for id in owned {
+        let f = &plan.fronts[id];
+        let d = f.dim();
+        let mut m = vec![0.0f64; d * d];
+        // Assemble A's entries whose column is eliminated here and whose row
+        // belongs to this front (symmetric full storage).
+        for j in f.cols.clone() {
+            let fj = f.global_to_front(j);
+            for (i, v) in plan.a.row(j) {
+                if i >= j && (f.cols.contains(&i) || f.rows.binary_search(&i).is_ok()) {
+                    let fi = f.global_to_front(i);
+                    m[fi * d + fj] += v;
+                    if fi != fj {
+                        m[fj * d + fi] += v;
+                    }
+                }
+            }
+        }
+        fronts.insert(id, m);
+        pending.insert(id, plan.tree.nodes[id].children.len());
+    }
+    drop((fronts, pending));
+    *st.plan.borrow_mut() = Some(plan);
+}
+
+/// Kick off the calling rank's ready work (leaf fronts). The cascade is
+/// event-driven from here; completion is observable via [`is_done`]
+/// (smp: `upcxx::wait_until(is_done)`), or by running the sim to
+/// quiescence.
+pub fn start() {
+    let st = state();
+    let plan = st.plan.borrow().clone().expect("sympack plan not installed");
+    let ready: Vec<usize> = st
+        .pending
+        .borrow()
+        .iter()
+        .filter(|&(_, &c)| c == 0)
+        .map(|(&id, _)| id)
+        .collect();
+    let mut ready = ready;
+    ready.sort_unstable();
+    for id in ready {
+        process_front(&plan, id);
+    }
+}
+
+/// Whether this rank has factorized all fronts it owns (and, for v0.1, all
+/// its outbound asyncs have been acknowledged).
+pub fn is_done() -> bool {
+    let st = state();
+    let ev_done = st
+        .v01_event
+        .borrow()
+        .as_ref()
+        .map(|e| e.isdone())
+        .unwrap_or(true);
+    st.factored.get() == st.owned_total.get() && ev_done
+}
+
+/// Factorize front `id` (its contributions are all in) and propagate the
+/// contribution block to the parent's owner.
+fn process_front(plan: &Rc<CholPlan>, id: usize) {
+    let st = state();
+    let f = &plan.fronts[id];
+    let (d, nc) = (f.dim(), f.ncols());
+    // Model the factorization cost: the team-parallel dense kernel
+    // (see CholPlan::team_len). Real numerics run below either way.
+    let kernel_flops = partial_cholesky_flops(d, nc).max(1.0) / plan.team_len[id] as f64;
+    upcxx::compute(plan.flop_time.scale(kernel_flops));
+    let contrib: Vec<Entry> = {
+        let mut fronts = st.fronts.borrow_mut();
+        let m = fronts.get_mut(&id).expect("front not assembled");
+        partial_cholesky(m, d, nc);
+        // Pack F22 in the parent's front coordinates.
+        match plan.tree.nodes[id].parent {
+            None => Vec::new(),
+            Some(_) => {
+                let tp = &plan.to_parent[id];
+                let mut out = Vec::with_capacity((d - nc) * (d - nc));
+                for fi in nc..d {
+                    let pi = tp[fi];
+                    for fj in nc..d {
+                        out.push(Entry {
+                            i: pi,
+                            j: tp[fj],
+                            v: m[fi * d + fj],
+                        });
+                    }
+                }
+                out
+            }
+        }
+    };
+    st.factored.set(st.factored.get() + 1);
+
+    let Some(parent) = plan.tree.nodes[id].parent else {
+        return; // root: factorization complete on this rank
+    };
+    let dst = plan.owner[parent];
+    match st.api.get().expect("api not installed") {
+        Api::V10 => {
+            // v1.0: RPC with a zero-copy view; the future is the ack.
+            upcxx::rpc(dst, accum_v10, (parent, upcxx::make_view(&contrib))).then(|_| {});
+        }
+        Api::V01 => {
+            // v0.1: async with an owned payload, tracked by an event.
+            let ev = st.v01_event.borrow().clone().expect("v01 event missing");
+            upcxx_v01::async_launch(dst, accum_v01, (parent, contrib), Some(&ev));
+        }
+    }
+}
+
+/// Shared accumulate-and-maybe-factorize path at the parent's owner.
+fn accum_common(parent: usize, entries: impl Iterator<Item = Entry>, count: usize) {
+    let st = state();
+    let plan = st.plan.borrow().clone().expect("sympack plan not installed");
+    upcxx::compute(Time::from_ns(2) * count as u64);
+    {
+        let pf = &plan.fronts[parent];
+        let d = pf.dim();
+        let mut fronts = st.fronts.borrow_mut();
+        let m = fronts.get_mut(&parent).expect("parent front not assembled");
+        for e in entries {
+            m[e.i as usize * d + e.j as usize] += e.v;
+        }
+    }
+    let now_ready = {
+        let mut pending = st.pending.borrow_mut();
+        let c = pending.get_mut(&parent).expect("pending count missing");
+        *c -= 1;
+        *c == 0
+    };
+    if now_ready {
+        process_front(&plan, parent);
+    }
+}
+
+/// v1.0 handler: traverses the incoming view zero-copy.
+fn accum_v10(args: (usize, View<Entry>)) {
+    let (parent, view) = args;
+    let n = view.len();
+    accum_common(parent, view.iter(), n);
+}
+
+/// v0.1 handler: receives an owned vector — v0.1 had no view-based
+/// serialization (§V-A), so the payload deserializes element-wise into an
+/// owned container; the extra per-element cost is charged here (this is the
+/// small edge v1.0 shows in Fig. 9).
+fn accum_v01(args: (usize, Vec<Entry>)) {
+    let (parent, entries) = args;
+    let n = entries.len();
+    upcxx::compute(Time::from_ns_f64(0.1).scale(n as f64));
+    accum_common(parent, entries.into_iter(), n);
+}
+
+/// Gather the factor into a dense lower-triangular matrix (single-rank
+/// verification helper; call on a rank that owns everything, or after
+/// collecting all fronts). Reads this rank's fronts only.
+pub fn local_dense_factor(plan: &CholPlan) -> Vec<f64> {
+    let st = state();
+    let n = plan.a.n;
+    let mut l = vec![0.0f64; n * n];
+    let fronts = st.fronts.borrow();
+    for (id, m) in fronts.iter() {
+        let f = &plan.fronts[*id];
+        let d = f.dim();
+        for fj in 0..f.ncols() {
+            let gj = f.front_to_global(fj);
+            for fi in fj..d {
+                let gi = f.front_to_global(fi);
+                l[gi * n + gj] = m[fi * d + fj];
+            }
+        }
+    }
+    l
+}
+
+/// `Vec<Entry>` must serialize for the v0.1 path: provided via the generic
+/// `Vec<T: Ser>` impl, with `Entry: Ser` as raw pod bytes.
+impl upcxx::Ser for Entry {
+    fn ser(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&upcxx::ser::pod_to_bytes(std::slice::from_ref(self)));
+    }
+    fn deser(r: &mut upcxx::ser::Reader) -> Self {
+        let v: [u8; 16] = <[u8; 16] as upcxx::Ser>::deser(r);
+        upcxx::ser::pod_from_bytes::<Entry>(&v)[0]
+    }
+    fn ser_size(&self) -> usize {
+        16
+    }
+}

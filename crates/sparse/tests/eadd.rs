@@ -1,0 +1,136 @@
+//! Extend-add integration tests: all three communication variants must
+//! produce exactly the serial-reference accumulation, over both conduits.
+
+use netsim::MachineConfig;
+use sparse_solver::eadd::{
+    eadd_traverse, init_rank_storage, install_plan, serial_reference, verify_against_reference,
+    EaddPlan,
+};
+use sparse_solver::{grid3d_laplacian, nested_dissection, symbolic_factorize, Variant};
+use std::cell::Cell;
+use std::rc::Rc;
+
+fn build_plan(k: usize, leaf: usize, p: usize, nb: usize) -> Rc<EaddPlan> {
+    let tree = nested_dissection(k, leaf);
+    let a = grid3d_laplacian(k).permute(&tree.perm);
+    let fronts = symbolic_factorize(&a, &tree);
+    sparse_solver::eadd::EaddPlan::build(tree, fronts, p, nb)
+}
+
+fn check_all_parents(plan: &EaddPlan, reference: &std::collections::HashMap<usize, Vec<f64>>) {
+    let me = upcxx::rank_me();
+    let mut checked = 0usize;
+    for id in 0..plan.tree.nodes.len() {
+        if plan.tree.nodes[id].level > 0 && plan.map[id].contains(me) {
+            checked += verify_against_reference(plan, reference, id);
+        }
+    }
+    // Every rank in some parent team must have verified something.
+    let any_parent = (0..plan.tree.nodes.len())
+        .any(|id| plan.tree.nodes[id].level > 0 && plan.map[id].contains(me));
+    if any_parent {
+        assert!(checked > 0, "rank {me} verified nothing");
+    }
+}
+
+fn run_smp_variant(variant: Variant, p: usize) {
+    // The plan is replicated metadata: deterministic, so every rank builds
+    // its own copy (it is Rc-based and cannot cross threads; on a real
+    // machine each process would run the same analysis — §IV-D3's
+    // "frontal matrix tree and data distribution information").
+    let reference = serial_reference(&build_plan(4, 6, p, 2));
+    upcxx::run_spmd_default(p, move || {
+        let plan = build_plan(4, 6, p, 2);
+        init_rank_storage(&plan);
+        install_plan(plan.clone());
+        upcxx::barrier();
+        eadd_traverse(plan.clone(), variant).wait();
+        upcxx::barrier();
+        check_all_parents(&plan, &reference);
+        upcxx::barrier();
+    });
+}
+
+#[test]
+fn smp_rpc_variant_matches_reference() {
+    run_smp_variant(Variant::UpcxxRpc, 4);
+}
+
+#[test]
+fn smp_alltoallv_variant_matches_reference() {
+    run_smp_variant(Variant::MpiAlltoallv, 4);
+}
+
+#[test]
+fn smp_p2p_variant_matches_reference() {
+    run_smp_variant(Variant::MpiP2p, 4);
+}
+
+#[test]
+fn smp_single_rank_all_variants() {
+    for v in [Variant::UpcxxRpc, Variant::MpiAlltoallv, Variant::MpiP2p] {
+        run_smp_variant(v, 1);
+    }
+}
+
+#[test]
+fn smp_more_ranks_than_leaf_teams() {
+    run_smp_variant(Variant::UpcxxRpc, 7);
+}
+
+fn run_sim_variant(variant: Variant, p: usize, k: usize) -> pgas_des::Time {
+    let plan = build_plan(k, 6, p, 2);
+    let reference = serial_reference(&plan);
+    let rt = upcxx::SimRuntime::new(MachineConfig::test_2x4(), p, 1 << 14);
+    let done = Rc::new(Cell::new(0usize));
+    for r in 0..p {
+        let plan = plan.clone();
+        let done = done.clone();
+        rt.spawn(r, move || {
+            init_rank_storage(&plan);
+            install_plan(plan.clone());
+            let plan2 = plan.clone();
+            let done2 = done.clone();
+            upcxx::barrier_async().then_fut(move |_| eadd_traverse(plan2, variant)).then(move |_| {
+                done2.set(done2.get() + 1);
+            });
+        });
+    }
+    let t = rt.run();
+    assert_eq!(done.get(), p, "not every rank finished the traversal");
+    for r in 0..p {
+        let plan = plan.clone();
+        let reference = &reference;
+        rt.with_rank(r, || check_all_parents(&plan, reference));
+    }
+    t
+}
+
+#[test]
+fn sim_all_variants_match_reference() {
+    for v in [Variant::UpcxxRpc, Variant::MpiAlltoallv, Variant::MpiP2p] {
+        let t = run_sim_variant(v, 8, 4);
+        assert!(t > pgas_des::Time::ZERO);
+    }
+}
+
+#[test]
+fn sim_is_deterministic_per_variant() {
+    let a = run_sim_variant(Variant::UpcxxRpc, 6, 3);
+    let b = run_sim_variant(Variant::UpcxxRpc, 6, 3);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn sim_rpc_beats_p2p_at_scale() {
+    // The Fig. 8 ordering on a modest simulated machine: the RPC variant
+    // avoids empty exchanges and O(P) scans, so with enough ranks it must
+    // finish the identical traversal sooner in virtual time.
+    let p = 32;
+    let rpc = run_sim_variant(Variant::UpcxxRpc, p, 6);
+    let p2p = run_sim_variant(Variant::MpiP2p, p, 6);
+    assert!(
+        rpc < p2p,
+        "expected RPC ({rpc}) faster than P2P ({p2p}) at {p} ranks"
+    );
+}

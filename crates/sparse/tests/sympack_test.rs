@@ -1,0 +1,124 @@
+//! Mini-symPACK integration tests: both API generations must produce the
+//! same (correct) Cholesky factor, validated as ‖LLᵀ − A‖ small, over both
+//! conduits.
+
+use netsim::MachineConfig;
+use sparse_solver::dense::llt;
+use sparse_solver::sympack::{install, is_done, local_dense_factor, start, Api, CholPlan};
+use sparse_solver::{grid3d_laplacian, nested_dissection, symbolic_factorize};
+use std::rc::Rc;
+
+fn build_plan(k: usize, leaf: usize, p: usize) -> Rc<CholPlan> {
+    let tree = nested_dissection(k, leaf);
+    let a = grid3d_laplacian(k).permute(&tree.perm);
+    let fronts = symbolic_factorize(&a, &tree);
+    CholPlan::build(tree, fronts, a, p)
+}
+
+/// Merge per-rank dense factors (each rank fills only its owned fronts'
+/// columns) and validate the factorization.
+fn validate_merged_factor(parts: Vec<Vec<f64>>, plan: &CholPlan) {
+    let n = plan.a.n;
+    let mut l = vec![0.0f64; n * n];
+    for part in parts {
+        for (dst, src) in l.iter_mut().zip(part.iter()) {
+            if *src != 0.0 {
+                *dst = *src;
+            }
+        }
+    }
+    let r = llt(&l, n);
+    for i in 0..n {
+        for j in 0..n {
+            let want = plan.a.get(i, j);
+            assert!(
+                (r[i * n + j] - want).abs() < 1e-8,
+                "LL^T({i},{j}) = {} but A = {want}",
+                r[i * n + j]
+            );
+        }
+    }
+}
+
+fn run_smp(api: Api, p: usize, k: usize) {
+    // Deterministic replicated metadata: each rank rebuilds the plan
+    // (Rc-based, cannot cross threads).
+    let parts = std::sync::Mutex::new(Vec::new());
+    upcxx::run_spmd_default(p, || {
+        let plan = build_plan(k, 4, p);
+        install(plan.clone(), api);
+        upcxx::barrier();
+        start();
+        upcxx::wait_until(is_done);
+        upcxx::barrier();
+        parts.lock().unwrap().push(local_dense_factor(&plan));
+        upcxx::barrier();
+    });
+    let plan = build_plan(k, 4, p);
+    validate_merged_factor(parts.into_inner().unwrap(), &plan);
+}
+
+#[test]
+fn smp_v10_factorization_correct() {
+    run_smp(Api::V10, 3, 3);
+}
+
+#[test]
+fn smp_v01_factorization_correct() {
+    run_smp(Api::V01, 3, 3);
+}
+
+#[test]
+fn smp_single_rank_both_apis() {
+    run_smp(Api::V10, 1, 3);
+    run_smp(Api::V01, 1, 3);
+}
+
+fn run_sim(api: Api, p: usize, k: usize) -> pgas_des::Time {
+    let plan = build_plan(k, 4, p);
+    let rt = upcxx::SimRuntime::new(MachineConfig::cori_haswell(), p, 1 << 12);
+    for r in 0..p {
+        let plan = plan.clone();
+        rt.spawn(r, move || {
+            install(plan.clone(), api);
+            upcxx::barrier_async().then(|_| start());
+        });
+    }
+    let t = rt.run();
+    // Quiescence implies completion; verify every rank reports done and the
+    // merged factor is correct.
+    let mut parts = Vec::new();
+    for r in 0..p {
+        let plan2 = plan.clone();
+        parts.push(rt.with_rank(r, move || {
+            assert!(is_done(), "rank {r} not done at quiescence");
+            local_dense_factor(&plan2)
+        }));
+    }
+    validate_merged_factor(parts, &plan);
+    t
+}
+
+#[test]
+fn sim_both_apis_factorize_correctly() {
+    let t10 = run_sim(Api::V10, 6, 4);
+    let t01 = run_sim(Api::V01, 6, 4);
+    assert!(t10 > pgas_des::Time::ZERO && t01 > pgas_des::Time::ZERO);
+}
+
+#[test]
+fn sim_apis_perform_nearly_identically() {
+    // The Fig. 9 claim: same solver, two API generations, ~equal times.
+    let t10 = run_sim(Api::V10, 8, 5);
+    let t01 = run_sim(Api::V01, 8, 5);
+    let ratio = t01.as_ns_f64() / t10.as_ns_f64();
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "v0.1/v1.0 time ratio {ratio} outside the near-identical band"
+    );
+}
+
+#[test]
+fn sim_deterministic() {
+    assert_eq!(run_sim(Api::V10, 4, 3), run_sim(Api::V10, 4, 3));
+}

@@ -1,0 +1,202 @@
+//! # upcxx-v01 — the predecessor API (events + `async`), for Fig. 9
+//!
+//! The paper's §IV-D4 compares symPACK built on the *old* UPC++ v0.1
+//! (Zheng et al., IPDPS 2014) against the same solver ported to v1.0:
+//! "The previous implementation used v0.1 asyncs and events to schedule the
+//! asynchronous communication. These translated naturally to RPCs and
+//! futures, respectively, in v1.0." This crate reproduces that old surface —
+//! with the old limitations §V-A lists:
+//!
+//! * [`Event`] carries **readiness information only** (no values — unlike a
+//!   future, which "encapsulates both data values as well as readiness");
+//! * [`async_launch`] (v0.1's `async(place)(fn, args…)`) **cannot return a
+//!   value** to the initiator — it only signals an event;
+//! * event-object **lifetime is the programmer's burden** (events here are
+//!   reference-counted handles the application must keep alive and reuse
+//!   correctly — the footgun the paper calls out);
+//! * [`copy`] is the v0.1 bulk transfer: source or destination must be
+//!   local, completion signals an event.
+//!
+//! It is implemented as a thin veneer over the v1.0 runtime, exactly like
+//! the paper's measurement premise (same transport underneath, different
+//! programming surface) — so Fig. 9's "nearly identical performance" has a
+//! structural reason to reproduce.
+
+#![warn(missing_docs)]
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use upcxx::{GlobalPtr, Pod, Ser};
+
+struct EventInner {
+    pending: Cell<usize>,
+    /// Continuations to run when the count returns to zero.
+    cbs: RefCell<Vec<Box<dyn FnOnce()>>>,
+}
+
+/// A v0.1-style completion event: a bare counter of outstanding operations
+/// with no associated value (see module docs).
+#[derive(Clone)]
+pub struct Event(Rc<EventInner>);
+
+impl Default for Event {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Event {
+    /// Fresh event with no outstanding operations (immediately "done").
+    pub fn new() -> Event {
+        Event(Rc::new(EventInner {
+            pending: Cell::new(0),
+            cbs: RefCell::new(Vec::new()),
+        }))
+    }
+
+    /// Register `n` more outstanding operations (v0.1 `incref`).
+    pub fn incref(&self, n: usize) {
+        self.0.pending.set(self.0.pending.get() + n);
+    }
+
+    /// Signal completion of one operation (v0.1 `decref`); runs deferred
+    /// continuations when the count reaches zero.
+    pub fn decref(&self) {
+        let p = self.0.pending.get();
+        assert!(p > 0, "event signaled more times than registered");
+        self.0.pending.set(p - 1);
+        if p == 1 {
+            let cbs = std::mem::take(&mut *self.0.cbs.borrow_mut());
+            for cb in cbs {
+                cb();
+            }
+        }
+    }
+
+    /// Whether no operations remain outstanding (v0.1 `isdone`).
+    pub fn isdone(&self) -> bool {
+        self.0.pending.get() == 0
+    }
+
+    /// Outstanding-operation count (diagnostics).
+    pub fn pending(&self) -> usize {
+        self.0.pending.get()
+    }
+
+    /// Block until done (smp conduit; v0.1 `wait`).
+    pub fn wait(&self) {
+        let e = self.clone();
+        upcxx::wait_until(move || e.isdone());
+    }
+
+    /// Run `f` when the event completes (the trigger half of v0.1
+    /// `async_after`). Runs immediately if already done.
+    pub fn on_done(&self, f: impl FnOnce() + 'static) {
+        if self.isdone() {
+            f();
+        } else {
+            self.0.cbs.borrow_mut().push(Box::new(f));
+        }
+    }
+}
+
+/// v0.1 `async_(place)(f, args)`: execute `f(args)` on `target`. No return
+/// value reaches the initiator (the limitation §V-A highlights); `event`
+/// (if provided) is signaled at the initiator once the remote execution has
+/// been **acknowledged** — v0.1 asyncs tracked completion through events
+/// (request + ack over GASNet AMs).
+pub fn async_launch<A>(target: usize, f: fn(A), args: A, event: Option<&Event>)
+where
+    A: Ser,
+{
+    match event {
+        None => upcxx::rpc_ff(target, f, args),
+        Some(ev) => {
+            ev.incref(1);
+            let ev = ev.clone();
+            // `fn(A)` is the same type as `fn(A) -> ()`; ship it as an RPC
+            // whose empty reply signals the event.
+            upcxx::rpc(target, f, args).then(move |()| ev.decref());
+        }
+    }
+}
+
+/// v0.1 `async_after(place, after, f, args)`: launch `f(args)` on `target`
+/// once `after` completes; signals `done` (if given) at acknowledgment.
+pub fn async_after<A>(target: usize, after: &Event, f: fn(A), args: A, done: Option<&Event>)
+where
+    A: Ser + 'static,
+{
+    let done = done.cloned();
+    after.on_done(move || {
+        async_launch(target, f, args, done.as_ref());
+    });
+}
+
+/// v0.1 `copy(src, dst, count, event)`: bulk transfer between global
+/// pointers where at least one side is local; signals `event` on completion.
+/// (v0.1 RMA "did not support events" per operation and offered no
+/// completion chaining — this narrow surface is all it had.)
+pub fn copy<T: Pod>(src: GlobalPtr<T>, dst: GlobalPtr<T>, count: usize, event: &Event) {
+    event.incref(1);
+    let ev = event.clone();
+    if src.is_local() {
+        let mut buf: Vec<T> = vec![unsafe { std::mem::zeroed() }; count];
+        src.local_read(&mut buf);
+        upcxx::rput(&buf, dst).then(move |_| ev.decref());
+    } else if dst.is_local() {
+        upcxx::rget(src, count).then(move |data| {
+            dst.local_write(&data);
+            ev.decref();
+        });
+    } else {
+        panic!("v0.1 copy requires a local source or destination");
+    }
+}
+
+/// v0.1's blocking remote allocation (the paper notes the old DHT needed
+/// "a blocking remote allocation", hurting latency and overlap): allocate
+/// `count` elements of `T` in `target`'s shared segment and wait for the
+/// pointer. smp conduit only (it blocks).
+pub fn allocate_remote_blocking<T: Pod>(target: usize, count: usize) -> GlobalPtr<T> {
+    fn do_alloc<T: Pod>(count: usize) -> GlobalPtr<T> {
+        upcxx::allocate::<T>(count)
+    }
+    upcxx::rpc(target, do_alloc::<T>, count).wait()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_counting_and_callbacks() {
+        let e = Event::new();
+        assert!(e.isdone());
+        e.incref(2);
+        assert!(!e.isdone());
+        let hit = Rc::new(Cell::new(0u32));
+        let h = hit.clone();
+        e.on_done(move || h.set(h.get() + 1));
+        e.decref();
+        assert_eq!(hit.get(), 0);
+        e.decref();
+        assert_eq!(hit.get(), 1);
+        assert!(e.isdone());
+    }
+
+    #[test]
+    fn on_done_after_completion_runs_immediately() {
+        let e = Event::new();
+        let hit = Rc::new(Cell::new(false));
+        let h = hit.clone();
+        e.on_done(move || h.set(true));
+        assert!(hit.get());
+    }
+
+    #[test]
+    #[should_panic(expected = "more times than registered")]
+    fn over_signal_panics() {
+        Event::new().decref();
+    }
+}

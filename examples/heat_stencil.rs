@@ -1,0 +1,82 @@
+//! 1-D heat diffusion with halo exchange over one-sided RMA — the classic
+//! PGAS stencil: each rank owns a strip of the rod plus two ghost cells;
+//! every step it rputs its boundary values into its neighbors' ghost cells,
+//! barriers, and relaxes. Demonstrates `rput_val` into remotely allocated
+//! memory, `broadcast_gather` bootstrap, and convergence via `reduce_all`.
+//!
+//! Run: `cargo run --release --example heat_stencil`
+
+const CELLS_PER_RANK: usize = 64;
+const ALPHA: f64 = 0.25;
+const STEPS: usize = 400;
+
+fn main() {
+    let ranks = 4;
+    upcxx::run_spmd_default(ranks, || {
+        let me = upcxx::rank_me();
+        let n = upcxx::rank_n();
+        let total = n * CELLS_PER_RANK;
+
+        // Local strip with ghost cells at [0] and [len-1], in shared memory
+        // so neighbors can rput into them.
+        let strip = upcxx::allocate::<f64>(CELLS_PER_RANK + 2);
+        let strips = upcxx::broadcast_gather(strip);
+
+        // Initial condition: a hot spike in the middle of the rod.
+        let mut u = vec![0.0f64; CELLS_PER_RANK + 2];
+        for (i, v) in u.iter_mut().enumerate().skip(1).take(CELLS_PER_RANK) {
+            let gi = me * CELLS_PER_RANK + (i - 1);
+            *v = if gi == total / 2 { 1000.0 } else { 0.0 };
+        }
+        strip.local_write(&u);
+        upcxx::barrier();
+
+        let left = me.checked_sub(1);
+        let right = if me + 1 < n { Some(me + 1) } else { None };
+
+        for _step in 0..STEPS {
+            // Publish my boundary cells into the neighbors' ghost cells
+            // (one-sided; the paper's explicit-data-motion principle).
+            let p = upcxx::Promise::<()>::new();
+            if let Some(l) = left {
+                // My first interior cell -> left neighbor's right ghost.
+                upcxx::rput_promise(&u[1..2], strips[l].add(CELLS_PER_RANK + 1), &p);
+            }
+            if let Some(r) = right {
+                // My last interior cell -> right neighbor's left ghost.
+                upcxx::rput_promise(&u[CELLS_PER_RANK..CELLS_PER_RANK + 1], strips[r], &p);
+            }
+            p.finalize().wait();
+            upcxx::barrier(); // all halos in place
+
+            strip.local_read(&mut u);
+            // Insulated rod ends: mirror the boundary.
+            if left.is_none() {
+                u[0] = u[1];
+            }
+            if right.is_none() {
+                u[CELLS_PER_RANK + 1] = u[CELLS_PER_RANK];
+            }
+            let old = u.clone();
+            for i in 1..=CELLS_PER_RANK {
+                u[i] = old[i] + ALPHA * (old[i - 1] - 2.0 * old[i] + old[i + 1]);
+            }
+            strip.local_write(&u);
+            upcxx::barrier(); // nobody reads halos while others still relax
+        }
+
+        // Heat is conserved (insulated ends) and has spread off the spike.
+        let local_sum: f64 = u[1..=CELLS_PER_RANK].iter().sum();
+        let total_heat = upcxx::reduce_all(local_sum, upcxx::ops::add_f64).wait();
+        assert!((total_heat - 1000.0).abs() < 1e-6, "heat not conserved: {total_heat}");
+        let local_max = u[1..=CELLS_PER_RANK].iter().cloned().fold(0.0, f64::max);
+        let peak = upcxx::reduce_all(local_max, upcxx::ops::max_f64).wait();
+        assert!(peak < 1000.0 && peak > 0.0);
+        if me == 0 {
+            println!(
+                "heat_stencil: OK — {total} cells / {n} ranks, {STEPS} steps, heat {total_heat:.3}, peak {peak:.3}"
+            );
+        }
+        upcxx::barrier();
+    });
+}

@@ -1,0 +1,73 @@
+//! Quickstart: the core UPC++ vocabulary in one SPMD program over the smp
+//! conduit — global pointers, one-sided RMA, RPC with a returned value,
+//! future chaining, remote atomics, and collectives.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Rank-local state reachable from RPC handlers (the SPMD "global").
+type Inbox = RefCell<HashMap<u64, String>>;
+
+fn deposit(args: (u64, String)) -> usize {
+    let inbox = upcxx::rank_state::<Inbox>(|| RefCell::new(HashMap::new()));
+    inbox.borrow_mut().insert(args.0, args.1);
+    let n = inbox.borrow().len();
+    n
+}
+
+fn main() {
+    let ranks = 4;
+    upcxx::run_spmd_default(ranks, || {
+        let me = upcxx::rank_me();
+        let n = upcxx::rank_n();
+
+        // --- global memory + one-sided RMA ------------------------------
+        // Every rank contributes a slot; pointers are exchanged collectively.
+        let slot = upcxx::allocate::<u64>(1);
+        let slots = upcxx::broadcast_gather(slot);
+        // Publish my rank id into my right neighbor's slot, one-sided.
+        upcxx::rput_val(me as u64 * 11, slots[(me + 1) % n]).wait();
+        upcxx::barrier();
+        let got = slot.try_local_value().unwrap();
+        assert_eq!(got, (((me + n - 1) % n) as u64) * 11);
+
+        // --- RPC with a return value + future chaining ------------------
+        let target = (me + 2) % n;
+        let fut = upcxx::rpc(target, deposit, (me as u64, format!("hello from {me}")))
+            .then(move |entries| (target, entries));
+        let (who, entries) = fut.wait();
+        assert!(entries >= 1);
+        if me == 0 {
+            println!("rank 0: rank {who} now holds {entries} inbox entr{}",
+                if entries == 1 { "y" } else { "ies" });
+        }
+        upcxx::barrier();
+
+        // --- remote atomics ----------------------------------------------
+        let counter = upcxx::allocate::<u64>(1);
+        let counters = upcxx::broadcast_gather(counter);
+        let ad = upcxx::AtomicDomain::all();
+        ad.fetch_add(counters[0], 1).wait();
+        upcxx::barrier();
+        if me == 0 {
+            assert_eq!(ad.load(counters[0]).wait(), n as u64);
+            println!("rank 0: all {n} ranks checked in via remote fetch_add");
+        }
+
+        // --- collectives --------------------------------------------------
+        let sum = upcxx::reduce_all(me as u64 + 1, upcxx::ops::add_u64).wait();
+        assert_eq!(sum, (n * (n + 1) / 2) as u64);
+        let motto = upcxx::broadcast(
+            0,
+            (me == 0).then(|| String::from("asynchrony by default")),
+        )
+        .wait();
+        if me == n - 1 {
+            println!("rank {me}: broadcast says '{motto}', reduce_all says {sum}");
+        }
+        upcxx::barrier();
+    });
+    println!("quickstart: OK ({ranks} ranks)");
+}

@@ -1,0 +1,13 @@
+#!/bin/bash
+# Regenerates every figure of the paper's evaluation. Sequential; ~30-60 min
+# on one core. Individual binaries accept --quick for smoke runs.
+set -x
+cd /root/repo
+B=target/release
+$B/fig3 > results/fig3.txt 2>&1
+$B/fig9 --k 20 > results/fig9.txt 2>&1
+$B/fig8 haswell --k 24 > results/fig8_haswell.txt 2>&1
+$B/fig8 knl --k 24 > results/fig8_knl.txt 2>&1
+$B/fig4 haswell > results/fig4_haswell.txt 2>&1
+$B/fig4 knl > results/fig4_knl.txt 2>&1
+echo ALL_FIGS_DONE > results/STATUS

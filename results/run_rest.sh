@@ -1,0 +1,10 @@
+#!/bin/bash
+cd /root/repo
+# wait for the current fig8 haswell process to finish
+while pgrep -x fig8 > /dev/null; do sleep 5; done
+B=target/release
+$B/fig4 haswell > results/fig4_haswell.txt 2>&1
+$B/fig4 knl > results/fig4_knl.txt 2>&1
+$B/ablation > results/ablation.txt 2>&1
+$B/fig8 knl --k 20 > results/fig8_knl.txt 2>&1
+echo ALL_DONE > results/STATUS

@@ -1,0 +1,29 @@
+//! # upcxx-repro — workspace façade
+//!
+//! A Rust reproduction of *"UPC++: A High-Performance Communication
+//! Framework for Asynchronous Computation"* (Bachan et al., IPDPS 2019).
+//! This crate re-exports the workspace so examples and integration tests
+//! have one import surface; the implementation lives in:
+//!
+//! * [`upcxx`] — the PGAS library itself (futures/promises, global
+//!   pointers, RMA, RPC, atomics, teams, collectives, distributed objects);
+//! * [`gasnet`] — the GASNet-EX-like substrate (smp + sim conduits);
+//! * [`netsim`] / [`pgas_des`] — the Aries-like network model and the
+//!   discrete-event engine under the sim conduit;
+//! * [`minimpi`] — the MPI baseline of the paper's comparisons;
+//! * [`upcxx_v01`] — the predecessor events/asyncs API (Fig. 9);
+//! * [`pgas_dht`] — the distributed hash table motif (§IV-C);
+//! * [`sparse_solver`] — the multifrontal extend-add and mini-symPACK
+//!   motifs (§IV-D).
+//!
+//! See README.md for a tour, DESIGN.md for the system inventory and
+//! substitutions, and EXPERIMENTS.md for paper-vs-measured results.
+
+pub use gasnet;
+pub use minimpi;
+pub use netsim;
+pub use pgas_des;
+pub use pgas_dht;
+pub use sparse_solver;
+pub use upcxx;
+pub use upcxx_v01;
