@@ -1,94 +1,124 @@
-//! Criterion microbenchmarks of the library's *real* overheads (smp conduit
-//! and pure in-process paths) — these complement the fig* harnesses, which
-//! reproduce the paper's plots on the modeled machine. What's measured here
-//! is the runtime itself: future/promise machinery, the serialization codec,
-//! the shared-segment allocator, RPC round trips through real inboxes, and
-//! the DES engine's event throughput.
+//! Microbenchmarks of the library's *real* overheads (smp conduit and pure
+//! in-process paths) — these complement the fig* harnesses, which reproduce
+//! the paper's plots on the modeled machine. What's measured here is the
+//! runtime itself: future/promise machinery, the serialization codec, the
+//! shared-segment allocator, RPC round trips through real inboxes, and the
+//! DES engine's event throughput.
+//!
+//! Hand-rolled harness (`harness = false`): the workspace builds offline with
+//! zero external crates, so there is no criterion. Each scenario is measured
+//! with a warmup pass followed by a timed loop; results print as ns/iter.
+//! Run with `cargo bench` or `cargo bench --bench micro -- <filter>`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
-fn bench_futures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("futures");
-    g.bench_function("then_chain_100", |b| {
-        b.iter(|| {
+/// Measure `f` called `iters` times after `warmup` untimed calls; print
+/// mean ns/iter. Returns the mean for callers that assert on it.
+fn bench(name: &str, warmup: u64, iters: u64, mut f: impl FnMut()) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    report(name, t0.elapsed(), iters)
+}
+
+/// Measure a scenario that times itself (e.g. from inside an spmd world):
+/// `f(iters)` returns the elapsed time for exactly `iters` operations.
+fn bench_custom(name: &str, iters: u64, f: impl Fn(u64) -> Duration) -> f64 {
+    f(iters.min(16)); // warmup
+    report(name, f(iters), iters)
+}
+
+fn report(name: &str, elapsed: Duration, iters: u64) -> f64 {
+    let per = elapsed.as_nanos() as f64 / iters as f64;
+    println!("{name:<32} {per:>12.1} ns/iter   ({iters} iters, {elapsed:.2?} total)");
+    per
+}
+
+fn want(filter: &Option<String>, name: &str) -> bool {
+    filter.as_deref().is_none_or(|f| name.contains(f))
+}
+
+fn bench_futures(filter: &Option<String>) {
+    if want(filter, "then_chain_100") {
+        bench("then_chain_100", 100, 10_000, || {
             let p = upcxx::Promise::<u64>::new();
             let mut f = p.get_future();
             for _ in 0..100 {
                 f = f.then(|v| v + 1);
             }
             p.fulfill(black_box(1));
-            black_box(f.try_get())
-        })
-    });
-    g.bench_function("promise_count_1000", |b| {
-        b.iter(|| {
+            black_box(f.try_get());
+        });
+    }
+    if want(filter, "promise_count_1000") {
+        bench("promise_count_1000", 100, 10_000, || {
             let p = upcxx::Promise::<()>::new();
             p.require_anonymous(1000);
             let f = p.finalize();
             for _ in 0..1000 {
                 p.fulfill_anonymous(1);
             }
-            black_box(f.is_ready())
-        })
-    });
-    g.bench_function("when_all_vec_64", |b| {
-        b.iter(|| {
+            black_box(f.is_ready());
+        });
+    }
+    if want(filter, "when_all_vec_64") {
+        bench("when_all_vec_64", 100, 10_000, || {
             let ps: Vec<upcxx::Promise<u64>> = (0..64).map(|_| upcxx::Promise::new()).collect();
             let f = upcxx::when_all_vec(ps.iter().map(|p| p.get_future()).collect());
             for (i, p) in ps.iter().enumerate() {
                 p.fulfill(i as u64);
             }
-            black_box(f.try_get())
-        })
-    });
-    g.finish();
+            black_box(f.try_get());
+        });
+    }
 }
 
-fn bench_serialization(c: &mut Criterion) {
-    let mut g = c.benchmark_group("serialization");
+fn bench_serialization(filter: &Option<String>) {
     let payload: Vec<u64> = (0..512).collect();
-    g.throughput(Throughput::Bytes(512 * 8));
-    g.bench_function("view_roundtrip_4KiB", |b| {
-        b.iter(|| {
+    if want(filter, "view_roundtrip_4KiB") {
+        bench("view_roundtrip_4KiB", 100, 50_000, || {
             let bytes = upcxx::ser::to_bytes(&upcxx::make_view(black_box(&payload)));
             let mut r = upcxx::ser::Reader::new(bytes);
             let v = <upcxx::View<u64> as upcxx::Ser>::deser(&mut r);
-            black_box(v.iter().sum::<u64>())
-        })
-    });
-    g.bench_function("tuple_message_roundtrip", |b| {
+            black_box(v.iter().sum::<u64>());
+        });
+    }
+    if want(filter, "tuple_message_roundtrip") {
         let msg = (42usize, String::from("extend-add"), vec![1.5f64; 64]);
-        b.iter(|| {
+        bench("tuple_message_roundtrip", 100, 50_000, || {
             let bytes = upcxx::ser::to_bytes(black_box(&msg));
             let back: (usize, String, Vec<f64>) = upcxx::ser::from_bytes(bytes);
-            black_box(back)
-        })
-    });
-    g.finish();
+            black_box(back);
+        });
+    }
 }
 
-fn bench_allocator(c: &mut Criterion) {
-    c.bench_function("seg_alloc_dealloc_64", |b| {
-        let mut a = upcxx::alloc::SegAlloc::new(1 << 20);
-        b.iter(|| {
-            let offs: Vec<usize> = (0..64).map(|i| a.alloc(64 + i * 8).unwrap()).collect();
-            for off in offs {
-                a.dealloc(off);
-            }
-        })
+fn bench_allocator(filter: &Option<String>) {
+    if !want(filter, "seg_alloc_dealloc_64") {
+        return;
+    }
+    let mut a = upcxx::alloc::SegAlloc::new(1 << 20);
+    bench("seg_alloc_dealloc_64", 100, 20_000, || {
+        let offs: Vec<usize> = (0..64).map(|i| a.alloc(64 + i * 8).unwrap()).collect();
+        for off in offs {
+            a.dealloc(off);
+        }
     });
 }
 
 /// Real smp-conduit RPC round trips: `iters` ping-pongs between two OS
-/// threads through the lock-free inboxes, timed from inside the world.
-fn bench_smp_rpc(c: &mut Criterion) {
+/// threads through the MPSC inboxes, timed from inside the world.
+fn bench_smp_rpc(filter: &Option<String>) {
     fn bump(x: u64) -> u64 {
         x + 1
     }
-    c.bench_function("smp_rpc_roundtrip", |b| {
-        b.iter_custom(|iters| {
+    if want(filter, "smp_rpc_roundtrip") {
+        bench_custom("smp_rpc_roundtrip", 20_000, |iters| {
             let out = std::sync::Mutex::new(Duration::ZERO);
             upcxx::run_spmd_default(2, || {
                 if upcxx::rank_me() == 0 {
@@ -101,10 +131,10 @@ fn bench_smp_rpc(c: &mut Criterion) {
                 upcxx::barrier();
             });
             out.into_inner().unwrap()
-        })
-    });
-    c.bench_function("smp_rput_1KiB", |b| {
-        b.iter_custom(|iters| {
+        });
+    }
+    if want(filter, "smp_rput_1KiB") {
+        bench_custom("smp_rput_1KiB", 20_000, |iters| {
             let out = std::sync::Mutex::new(Duration::ZERO);
             upcxx::run_spmd_default(2, || {
                 let buf = upcxx::allocate::<u8>(1024);
@@ -120,60 +150,103 @@ fn bench_smp_rpc(c: &mut Criterion) {
                 upcxx::barrier();
             });
             out.into_inner().unwrap()
-        })
-    });
+        });
+    }
 }
 
-fn bench_sim_engine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_engine");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("event_throughput_10k", |b| {
-        b.iter(|| {
-            let sim = pgas_des::SharedSim::new();
-            for i in 0..10_000u64 {
-                sim.schedule_at(pgas_des::Time::from_ns(i), Box::new(|| {}));
+/// Aggregated vs direct fire-and-forget RPC throughput on the smp conduit:
+/// rank 0 streams `iters` tiny rpc_ffs at rank 1, either injecting each as
+/// its own wire message or coalescing through the per-target aggregator.
+/// This is the hot path the aggregation layer exists for.
+fn bench_rpc_agg_throughput(filter: &Option<String>) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static HITS: AtomicU64 = AtomicU64::new(0);
+    fn poke(x: u64) {
+        HITS.fetch_add(x, Ordering::Relaxed);
+    }
+    let run = |agg: bool, iters: u64| {
+        let out = std::sync::Mutex::new(Duration::ZERO);
+        upcxx::run_spmd_default(2, || {
+            if agg {
+                upcxx::set_agg_config(upcxx::AggConfig {
+                    enabled: true,
+                    max_bytes: 4096,
+                });
             }
-            sim.run()
-        })
-    });
-    g.finish();
-}
-
-fn bench_eadd_pack(c: &mut Criterion) {
-    use sparse_solver::{grid3d_laplacian, nested_dissection, symbolic_factorize};
-    c.bench_function("eadd_pack_k8_p4", |b| {
-        b.iter_custom(|iters| {
-            let out = std::sync::Mutex::new(Duration::ZERO);
-            upcxx::run_spmd_default(4, || {
-                let tree = nested_dissection(8, 16);
-                let a = grid3d_laplacian(8).permute(&tree.perm);
-                let fronts = symbolic_factorize(&a, &tree);
-                let plan = sparse_solver::EaddPlan::build(tree, fronts, 4, 8);
-                sparse_solver::eadd::init_rank_storage(&plan);
-                upcxx::barrier();
-                if upcxx::rank_me() == 0 {
-                    // Pack the first non-root front this rank participates in.
-                    let id = (0..plan.tree.nodes.len())
-                        .find(|&id| {
-                            plan.tree.nodes[id].parent.is_some() && plan.map[id].contains(0)
-                        })
-                        .unwrap();
-                    let t0 = Instant::now();
-                    for _ in 0..iters {
-                        black_box(sparse_solver::eadd::pack(&plan, id));
-                    }
-                    *out.lock().unwrap() = t0.elapsed();
+            upcxx::barrier();
+            if upcxx::rank_me() == 0 {
+                let t0 = Instant::now();
+                for i in 0..iters {
+                    upcxx::rpc_ff(1, poke, i % 3);
                 }
-                upcxx::barrier();
-            });
-            out.into_inner().unwrap()
-        })
+                upcxx::flush_all();
+                *out.lock().unwrap() = t0.elapsed();
+            }
+            upcxx::barrier();
+        });
+        out.into_inner().unwrap()
+    };
+    if want(filter, "rpc_agg_throughput_off") {
+        bench_custom("rpc_agg_throughput_off", 100_000, |iters| run(false, iters));
+    }
+    if want(filter, "rpc_agg_throughput_on") {
+        bench_custom("rpc_agg_throughput_on", 100_000, |iters| run(true, iters));
+    }
+}
+
+fn bench_sim_engine(filter: &Option<String>) {
+    if !want(filter, "sim_event_throughput_10k") {
+        return;
+    }
+    bench("sim_event_throughput_10k", 5, 200, || {
+        let sim = pgas_des::SharedSim::new();
+        for i in 0..10_000u64 {
+            sim.schedule_at(pgas_des::Time::from_ns(i), Box::new(|| {}));
+        }
+        sim.run();
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3));
-    targets = bench_futures, bench_serialization, bench_allocator, bench_smp_rpc, bench_sim_engine, bench_eadd_pack
+fn bench_eadd_pack(filter: &Option<String>) {
+    use sparse_solver::{grid3d_laplacian, nested_dissection, symbolic_factorize};
+    if !want(filter, "eadd_pack_k8_p4") {
+        return;
+    }
+    bench_custom("eadd_pack_k8_p4", 2_000, |iters| {
+        let out = std::sync::Mutex::new(Duration::ZERO);
+        upcxx::run_spmd_default(4, || {
+            let tree = nested_dissection(8, 16);
+            let a = grid3d_laplacian(8).permute(&tree.perm);
+            let fronts = symbolic_factorize(&a, &tree);
+            let plan = sparse_solver::EaddPlan::build(tree, fronts, 4, 8);
+            sparse_solver::eadd::init_rank_storage(&plan);
+            upcxx::barrier();
+            if upcxx::rank_me() == 0 {
+                // Pack the first non-root front this rank participates in.
+                let id = (0..plan.tree.nodes.len())
+                    .find(|&id| plan.tree.nodes[id].parent.is_some() && plan.map[id].contains(0))
+                    .unwrap();
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    black_box(sparse_solver::eadd::pack(&plan, id));
+                }
+                *out.lock().unwrap() = t0.elapsed();
+            }
+            upcxx::barrier();
+        });
+        out.into_inner().unwrap()
+    });
 }
-criterion_main!(benches);
+
+fn main() {
+    let filter: Option<String> = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-') && a != "--bench");
+    bench_futures(&filter);
+    bench_serialization(&filter);
+    bench_allocator(&filter);
+    bench_smp_rpc(&filter);
+    bench_rpc_agg_throughput(&filter);
+    bench_sim_engine(&filter);
+    bench_eadd_pack(&filter);
+}

@@ -8,8 +8,11 @@
 //!    Fig. 3b dip).
 //! 3. **Progress frequency** — the paper's flood loop calls `progress()`
 //!    every 10 injections; sweep that interval and watch completion time.
+//! 4. **RPC aggregation threshold** — fine-grained `rpc_ff` flood throughput
+//!    as the per-target coalescing buffer grows 256 B → 16 KiB, against the
+//!    unaggregated baseline (the tentpole's headline: ≥2x at 8–64 B).
 //!
-//! Usage: `ablation [dht|eager|progress|all]`
+//! Usage: `ablation [dht|eager|progress|agg|all]`
 
 use bench::{check, fmt_bytes, gbps, rule};
 use netsim::MachineConfig;
@@ -52,7 +55,10 @@ fn dht_run(use_rma: bool, p: usize, size: usize, iters: usize) -> Time {
 }
 
 fn ablate_dht() {
-    println!("{}", rule("Ablation 1 — DHT insert: RPC-only vs RMA landing zone"));
+    println!(
+        "{}",
+        rule("Ablation 1 — DHT insert: RPC-only vs RMA landing zone")
+    );
     println!(
         "{:>10} {:>14} {:>14} {:>10}",
         "value", "RPC-only (ms)", "RPC+RMA (ms)", "RPC/RMA"
@@ -122,7 +128,10 @@ fn mpi_flood_with_threshold(threshold: usize, size: usize, iters: usize) -> f64 
 }
 
 fn ablate_eager() {
-    println!("{}", rule("Ablation 2 — MPI RMA eager threshold vs 8 KiB flood"));
+    println!(
+        "{}",
+        rule("Ablation 2 — MPI RMA eager threshold vs 8 KiB flood")
+    );
     println!("{:>12} {:>16}", "threshold", "8KiB flood GB/s");
     let size = 8 << 10;
     let iters = 1000;
@@ -173,7 +182,10 @@ fn flood_with_progress_every(every: usize, iters: usize) -> Time {
 }
 
 fn ablate_progress() {
-    println!("{}", rule("Ablation 3 — progress() frequency in the flood loop"));
+    println!(
+        "{}",
+        rule("Ablation 3 — progress() frequency in the flood loop")
+    );
     println!("{:>16} {:>14}", "progress every", "flood time (ms)");
     let iters = 2000;
     let mut times = Vec::new();
@@ -181,7 +193,11 @@ fn ablate_progress() {
         let t = flood_with_progress_every(every, iters);
         println!(
             "{:>16} {:>14.3}",
-            if every == 0 { "never".into() } else { format!("{every} injects") },
+            if every == 0 {
+                "never".into()
+            } else {
+                format!("{every} injects")
+            },
             t.as_ns_f64() / 1e6
         );
         times.push(t);
@@ -201,6 +217,71 @@ fn ablate_progress() {
     );
 }
 
+// ------------------------------------------------ 4. aggregation threshold
+
+fn agg_sink(_: Vec<u8>) {}
+
+/// Fine-grained flood: rank 0 fires `iters` `rpc_ff`s of `payload` bytes at
+/// rank 1 (inter-node on this machine), flushes, and the run's final virtual
+/// time gives message throughput in Mmsg/s. `max_bytes == 0` disables
+/// aggregation (the baseline).
+fn agg_flood(max_bytes: usize, payload: usize, iters: usize) -> f64 {
+    let rt = SimRuntime::new(machine(), 2, 1 << 16);
+    rt.spawn(0, move || {
+        upcxx::set_agg_config(upcxx::AggConfig {
+            enabled: max_bytes > 0,
+            max_bytes: max_bytes.max(64),
+        });
+        for _ in 0..iters {
+            upcxx::rpc_ff(1, agg_sink, vec![0u8; payload]);
+        }
+        upcxx::flush_all();
+    });
+    let t = rt.run();
+    iters as f64 / t.as_ns_f64() * 1e3
+}
+
+fn ablate_agg() {
+    println!(
+        "{}",
+        rule("Ablation 4 — RPC aggregation threshold vs fine-grained flood")
+    );
+    let payloads = [8usize, 64, 512];
+    let iters = 4096;
+    print!("{:>12}", "max_bytes");
+    for p in payloads {
+        print!(" {:>14}", format!("{p}B Mmsg/s"));
+    }
+    println!();
+    let base: Vec<f64> = payloads.iter().map(|&p| agg_flood(0, p, iters)).collect();
+    print!("{:>12}", "off");
+    for b in &base {
+        print!(" {:>14.3}", b);
+    }
+    println!();
+    let mut best = vec![0.0f64; payloads.len()];
+    for &mb in &[256usize, 512, 1024, 2048, 4096, 8192, 16384] {
+        print!("{:>12}", fmt_bytes(mb as f64));
+        for (i, &p) in payloads.iter().enumerate() {
+            let r = agg_flood(mb, p, iters);
+            best[i] = best[i].max(r);
+            print!(" {:>14.3}", r);
+        }
+        println!();
+    }
+    for (i, &p) in payloads.iter().enumerate() {
+        let speedup = best[i] / base[i];
+        check(
+            &format!("{p}B: best aggregated throughput {speedup:.1}x the unaggregated baseline"),
+            if p <= 64 {
+                speedup >= 2.0
+            } else {
+                speedup > 1.0
+            },
+        );
+    }
+}
+
 fn main() {
     let mode = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     println!("deterministic sim; single run per configuration");
@@ -212,5 +293,8 @@ fn main() {
     }
     if mode == "progress" || mode == "all" {
         ablate_progress();
+    }
+    if mode == "agg" || mode == "all" {
+        ablate_agg();
     }
 }

@@ -160,7 +160,10 @@ fn iters_for(size: usize) -> usize {
 }
 
 fn run_latency(sizes: &[usize]) -> (Series, Series) {
-    println!("{}", rule("Fig. 3a — round-trip put latency (lower is better)"));
+    println!(
+        "{}",
+        rule("Fig. 3a — round-trip put latency (lower is better)")
+    );
     println!(
         "{:>10} {:>16} {:>16} {:>10}",
         "size", "UPC++ (us)", "MPI RMA (us)", "MPI/UPC++"
@@ -185,7 +188,10 @@ fn run_latency(sizes: &[usize]) -> (Series, Series) {
 }
 
 fn run_bandwidth(sizes: &[usize]) -> (Series, Series) {
-    println!("{}", rule("Fig. 3b — flood put bandwidth (higher is better)"));
+    println!(
+        "{}",
+        rule("Fig. 3b — flood put bandwidth (higher is better)")
+    );
     println!(
         "{:>10} {:>16} {:>16} {:>10}",
         "size", "UPC++ (GB/s)", "MPI RMA (GB/s)", "UPC++/MPI"
@@ -269,11 +275,17 @@ fn main() {
             ratio_at(8192) >= ratio_at(128 << 10),
         );
         check(
-            &format!("bandwidths comparable at 4MiB (ratio {:.2})", ratio_at(4 << 20)),
+            &format!(
+                "bandwidths comparable at 4MiB (ratio {:.2})",
+                ratio_at(4 << 20)
+            ),
             (0.85..1.2).contains(&ratio_at(4 << 20)),
         );
         check(
-            &format!("bandwidths comparable at small sizes (64B ratio {:.2})", ratio_at(64)),
+            &format!(
+                "bandwidths comparable at small sizes (64B ratio {:.2})",
+                ratio_at(64)
+            ),
             (0.8..1.35).contains(&ratio_at(64)),
         );
     }

@@ -117,11 +117,12 @@ fn shape_checks(results: &[(usize, [f64; 3])]) {
     // Robust strong scaling of the RPC variant: the best point of the sweep
     // is far below the 1-rank time, and the largest point has not collapsed.
     let t1 = results.first().unwrap().1[0];
-    let best = results.iter().map(|(_, t)| t[0]).fold(f64::INFINITY, f64::min);
+    let best = results
+        .iter()
+        .map(|(_, t)| t[0])
+        .fold(f64::INFINITY, f64::min);
     check(
-        &format!(
-            "UPC++ RPC strong-scales: t(1)={t1:.4}s, best {best:.4}s, t({p_max})={rpc:.4}s"
-        ),
+        &format!("UPC++ RPC strong-scales: t(1)={t1:.4}s, best {best:.4}s, t({p_max})={rpc:.4}s"),
         best < t1 / 4.0 && rpc < t1,
     );
 }

@@ -85,7 +85,11 @@ fn main() {
         ),
         worst < 0.15,
     );
-    let avg: f64 = rows.iter().map(|(_, a, b)| (a / b - 1.0).abs()).sum::<f64>() / rows.len() as f64;
+    let avg: f64 = rows
+        .iter()
+        .map(|(_, a, b)| (a / b - 1.0).abs())
+        .sum::<f64>()
+        / rows.len() as f64;
     check(
         &format!("average difference small (got {:.1}%)", avg * 100.0),
         avg < 0.08,

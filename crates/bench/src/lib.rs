@@ -43,7 +43,10 @@ pub fn gbps(bytes: u64, t: Time) -> f64 {
 
 /// Pretty horizontal rule for report sections.
 pub fn rule(title: &str) -> String {
-    format!("\n==== {title} {}", "=".repeat(60_usize.saturating_sub(title.len())))
+    format!(
+        "\n==== {title} {}",
+        "=".repeat(60_usize.saturating_sub(title.len()))
+    )
 }
 
 /// A single shape-check line: prints PASS/FAIL with the claim.

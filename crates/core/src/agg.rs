@@ -1,0 +1,214 @@
+//! Per-target RPC aggregation: coalescing many small AM payloads into one
+//! wire message.
+//!
+//! The paper's fine-grained benchmarks (Fig. 4's 8–64 B RPC throughput, the
+//! DHT's one-element inserts) are dominated by per-message costs: on the
+//! modeled machine every AM pays an injection gap, a [`crate::wire::RPC_HDR`]
+//! framing charge and a dispatch overhead at the target, regardless of how
+//! few payload bytes it carries. This module buffers outgoing RPC payloads
+//! per destination rank and ships each buffer as a **single batch**: one
+//! conduit injection (one inbox push on smp, one modeled transfer — hence one
+//! NIC gap — on sim), one header, one dispatch, `n` payloads.
+//!
+//! ## What is batched
+//!
+//! `rpc`, `rpc_ff` and RPC replies go through [`submit`]. Internal system AMs
+//! (barrier flags, collective payloads) never aggregate — they are latency-
+//! critical control traffic — but they flush the destination's buffer first
+//! so per-target injection order is preserved. A payload at or above the
+//! flush threshold also bypasses the buffer (again flushing first).
+//!
+//! ## When a buffer flushes
+//!
+//! * its accounted wire size reaches [`AggConfig::max_bytes`];
+//! * the application calls [`flush_all`] (or [`set_agg_config`]);
+//! * the rank enters a barrier ([`crate::coll::barrier_async_team`]);
+//! * user-level progress runs ([`crate::progress`], blocking waits);
+//! * a batch finishes executing at its target (the tail of every batch
+//!   flushes whatever the handlers buffered — typically replies — so a
+//!   passive rank cannot strand them; on the sim conduit every delivered
+//!   item additionally flushes on exit for the same reason).
+//!
+//! Aggregation is **opt-in** ([`AggConfig::enabled`] defaults to `false`):
+//! it trades latency for throughput, exactly the trade the paper leaves to
+//! the application.
+
+use crate::ctx::{ctx, try_ctx, DefOp, RankCtx};
+use crate::wire;
+use gasnet::{Item, Rank};
+use std::collections::HashMap;
+
+/// Configuration of the per-target aggregation layer (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AggConfig {
+    /// Whether outgoing RPC traffic is coalesced at all. Off by default:
+    /// unaggregated behavior is bit-identical to a runtime without this
+    /// module.
+    pub enabled: bool,
+    /// Flush threshold on the accounted wire size (header + packed records)
+    /// of one target's buffer. Payloads whose lone batch would already
+    /// exceed this bypass the aggregator.
+    pub max_bytes: usize,
+}
+
+impl Default for AggConfig {
+    fn default() -> Self {
+        AggConfig {
+            enabled: false,
+            max_bytes: 4096,
+        }
+    }
+}
+
+/// One destination's coalescing buffer.
+#[derive(Default)]
+struct TargetBuf {
+    /// Buffered executable payloads, in injection order.
+    items: Vec<Item>,
+    /// Accounted record bytes: Σ [`wire::batch_rec_size`] over `items`.
+    rec_bytes: usize,
+}
+
+/// Per-rank aggregation state (lives in [`RankCtx`]).
+pub(crate) struct AggState {
+    cfg: AggConfig,
+    bufs: HashMap<Rank, TargetBuf>,
+    /// Targets with non-empty buffers, in first-touch order. Flushing in
+    /// this deterministic order (never HashMap iteration order) keeps sim
+    /// runs reproducible.
+    order: Vec<Rank>,
+}
+
+impl AggState {
+    pub(crate) fn new() -> AggState {
+        AggState {
+            cfg: AggConfig::default(),
+            bufs: HashMap::new(),
+            order: Vec::new(),
+        }
+    }
+}
+
+/// Route one outgoing AM payload: buffer it when aggregation is on and the
+/// payload is small, otherwise inject it directly (flushing the target's
+/// buffer first so per-target order is preserved).
+pub(crate) fn submit(c: &RankCtx, target: Rank, payload: usize, item: Item) {
+    let cfg = c.agg.borrow().cfg;
+    if !cfg.enabled {
+        inject_single(c, target, payload, item);
+        return;
+    }
+    let rec = wire::batch_rec_size(payload);
+    if wire::RPC_HDR + rec >= cfg.max_bytes {
+        // Oversize: would fill (or overflow) a batch on its own. Keep order
+        // by draining what is already queued for this target, then go direct.
+        flush_target(c, target);
+        inject_single(c, target, payload, item);
+        return;
+    }
+    // Would this record push the queued batch over the threshold? Ship what
+    // is queued first, so no batch ever exceeds `max_bytes`.
+    let would_overflow =
+        c.agg.borrow().bufs.get(&target).is_some_and(|b| {
+            !b.items.is_empty() && wire::RPC_HDR + b.rec_bytes + rec > cfg.max_bytes
+        });
+    if would_overflow {
+        flush_target(c, target);
+    }
+    let full = {
+        let mut st = c.agg.borrow_mut();
+        // Invariant: `order` lists exactly the targets with non-empty bufs.
+        if st.bufs.get(&target).is_none_or(|b| b.items.is_empty()) {
+            st.order.push(target);
+        }
+        let buf = st.bufs.entry(target).or_default();
+        buf.items.push(item);
+        buf.rec_bytes += rec;
+        wire::RPC_HDR + buf.rec_bytes >= cfg.max_bytes
+    };
+    c.stats.agg_msgs.set(c.stats.agg_msgs.get() + 1);
+    if full {
+        flush_target(c, target);
+    }
+}
+
+/// Inject a plain single-payload AM (the unaggregated path).
+fn inject_single(c: &RankCtx, target: Rank, payload: usize, item: Item) {
+    c.inject(DefOp::Am {
+        target,
+        wire_bytes: wire::am_wire_size(payload),
+        item,
+    });
+}
+
+/// Ship `target`'s buffer now, if non-empty. A one-item buffer degenerates to
+/// a plain AM (charged exactly like the unaggregated path); larger buffers
+/// become one [`DefOp::AmBatch`] whose tail flushes the receiver's own
+/// aggregator, so buffered replies flow without waiting for the receiver to
+/// reach progress.
+pub(crate) fn flush_target(c: &RankCtx, target: Rank) {
+    let buf = {
+        let mut st = c.agg.borrow_mut();
+        if st.bufs.get(&target).is_none_or(|b| b.items.is_empty()) {
+            return;
+        }
+        st.order.retain(|&t| t != target);
+        st.bufs.remove(&target).unwrap()
+    };
+    let TargetBuf {
+        mut items,
+        rec_bytes,
+    } = buf;
+    if items.len() == 1 {
+        let payload = rec_bytes - wire::AGG_REC_HDR;
+        inject_single(c, target, payload, items.pop().unwrap());
+        return;
+    }
+    items.push(Box::new(|| {
+        if let Some(rc) = try_ctx() {
+            flush_all_ctx(&rc);
+        }
+    }));
+    c.stats.agg_batches.set(c.stats.agg_batches.get() + 1);
+    c.inject(DefOp::AmBatch {
+        target,
+        wire_bytes: wire::RPC_HDR + rec_bytes,
+        items,
+    });
+}
+
+/// Flush every non-empty buffer of `c`, in first-touch order.
+pub(crate) fn flush_all_ctx(c: &RankCtx) {
+    loop {
+        let Some(target) = c.agg.borrow_mut().order.first().copied() else {
+            break;
+        };
+        flush_target(c, target);
+    }
+}
+
+/// Flush all of the **current rank's** aggregation buffers immediately
+/// (paper-level analogue: conduit message coalescing always pairs a buffer
+/// with an explicit flush). Safe (a no-op) when nothing is buffered or
+/// aggregation is disabled.
+pub fn flush_all() {
+    flush_all_ctx(&ctx());
+}
+
+/// The current rank's aggregation configuration.
+pub fn agg_config() -> AggConfig {
+    ctx().agg.borrow().cfg
+}
+
+/// Install a new aggregation configuration for the current rank. Any
+/// buffered payloads are flushed first, so no traffic is stranded by
+/// disabling or shrinking the aggregator.
+pub fn set_agg_config(cfg: AggConfig) {
+    let c = ctx();
+    flush_all_ctx(&c);
+    assert!(
+        !cfg.enabled || cfg.max_bytes > wire::RPC_HDR + wire::AGG_REC_HDR,
+        "AggConfig::max_bytes too small to hold any record"
+    );
+    c.agg.borrow_mut().cfg = cfg;
+}

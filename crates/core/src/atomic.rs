@@ -85,12 +85,7 @@ impl AtomicDomain {
 
     /// Atomic compare-and-swap: writes `new` iff the word equals `expected`;
     /// future carries the prior value (success iff it equals `expected`).
-    pub fn compare_exchange(
-        &self,
-        target: GlobalPtr<u64>,
-        expected: u64,
-        new: u64,
-    ) -> Future<u64> {
+    pub fn compare_exchange(&self, target: GlobalPtr<u64>, expected: u64, new: u64) -> Future<u64> {
         self.check(AtomicOp::CompareExchange);
         amo(target, AmoOp::CompareExchange, new, expected)
     }

@@ -25,6 +25,10 @@ use std::rc::Rc;
 /// barrier.
 pub fn barrier_async_team(team: &Team) -> Future<()> {
     let c = ctx();
+    // Entering a barrier is a quiescence point for this rank's outgoing
+    // traffic: ship every aggregation buffer before the first flag leaves,
+    // so buffered payloads are ordered ahead of the barrier on every target.
+    crate::agg::flush_all_ctx(&c);
     let n = team.rank_n();
     let p = Promise::<()>::new();
     if n == 1 {
@@ -128,7 +132,11 @@ pub(crate) fn broadcast_with_seq<T: Ser + Clone>(
     let n = team.rank_n();
     let me_t = team.rank_me();
     let rel = (me_t + n - root) % n;
-    assert_eq!(rel == 0, value.is_some(), "exactly the root must supply the value");
+    assert_eq!(
+        rel == 0,
+        value.is_some(),
+        "exactly the root must supply the value"
+    );
     let p = Promise::<T>::new();
     let key = (team.id(), seq);
 
@@ -253,9 +261,8 @@ where
     let bc_seq = next_seq(team);
     let team2 = team.clone();
     let me0 = team.rank_me() == 0;
-    reduce_with_seq(team, 0, value, op, red_seq).then_fut(move |v| {
-        broadcast_with_seq(&team2, 0, if me0 { Some(v) } else { None }, bc_seq)
-    })
+    reduce_with_seq(team, 0, value, op, red_seq)
+        .then_fut(move |v| broadcast_with_seq(&team2, 0, if me0 { Some(v) } else { None }, bc_seq))
 }
 
 /// World all-reduction.

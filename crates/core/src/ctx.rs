@@ -63,6 +63,16 @@ pub(crate) enum DefOp {
         wire_bytes: usize,
         item: gasnet::Item,
     },
+    /// An aggregated batch of active messages for one target (built by
+    /// `crate::agg`): `items` execute in order at the target, but the whole
+    /// batch costs **one** conduit injection — one inbox push on smp, one
+    /// modeled transfer (single NIC gap + dispatch) on sim. `wire_bytes` is
+    /// the accounted batch size (one header + per-record framing + payloads).
+    AmBatch {
+        target: Rank,
+        wire_bytes: usize,
+        items: Vec<gasnet::Item>,
+    },
     /// Remote atomic operation on a u64 in `target`'s segment.
     Amo {
         target: Rank,
@@ -74,6 +84,12 @@ pub(crate) enum DefOp {
     },
 }
 
+/// A parked continuation.
+pub(crate) type Thunk = Box<dyn FnOnce()>;
+
+/// A parked RPC-reply continuation (receives the reply payload).
+pub(crate) type ReplyHandler = Box<dyn FnOnce(Reader)>;
+
 /// Per-rank collective-operation state (dissemination barrier, broadcast and
 /// reduction slots). See `coll.rs` for the algorithms.
 #[derive(Default)]
@@ -83,7 +99,7 @@ pub(crate) struct CollState {
     /// Arrived dissemination flags: (team, epoch, round) -> ().
     pub barrier_flags: HashMap<(u64, u64, u32), ()>,
     /// Parked barrier continuations keyed like the flags.
-    pub barrier_waiters: HashMap<(u64, u64, u32), Box<dyn FnOnce()>>,
+    pub barrier_waiters: HashMap<(u64, u64, u32), Thunk>,
     /// Next broadcast/reduce sequence number per team id.
     pub coll_seq: HashMap<u64, u64>,
     /// Broadcast slots: (team, seq) -> slot.
@@ -125,6 +141,10 @@ pub struct CtxStats {
     pub bytes_out: Cell<u64>,
     /// Items executed from compQ by user progress.
     pub comp_items: Cell<u64>,
+    /// Messages routed through the aggregation layer's buffers.
+    pub agg_msgs: Cell<u64>,
+    /// Aggregated batches shipped (each one wire message carrying >1 payload).
+    pub agg_batches: Cell<u64>,
 }
 
 /// The per-rank runtime state. One per rank; reached via the thread-local.
@@ -137,14 +157,16 @@ pub struct RankCtx {
     pub(crate) comp_q: RefCell<VecDeque<Box<dyn FnOnce()>>>,
     pub(crate) active_ops: Cell<usize>,
     pub(crate) next_op: Cell<u64>,
-    pub(crate) reply_tbl: RefCell<HashMap<u64, Box<dyn FnOnce(Reader)>>>,
+    pub(crate) reply_tbl: RefCell<HashMap<u64, ReplyHandler>>,
     pub(crate) dist_next: Cell<u64>,
     pub(crate) dist_tbl: RefCell<HashMap<u64, Rc<dyn Any>>>,
     /// Continuations parked until a dist-object id is registered (RPCs that
     /// raced ahead of local construction; UPC++ queues these too).
-    pub(crate) dist_waiters: RefCell<HashMap<u64, Vec<Box<dyn FnOnce()>>>>,
+    pub(crate) dist_waiters: RefCell<HashMap<u64, Vec<Thunk>>>,
     pub(crate) coll: RefCell<CollState>,
     pub(crate) rank_state: RefCell<HashMap<std::any::TypeId, Rc<dyn Any>>>,
+    /// Per-target RPC aggregation buffers (see `crate::agg`).
+    pub(crate) agg: RefCell<crate::agg::AggState>,
     /// Statistics counters.
     pub stats: CtxStats,
 }
@@ -190,6 +212,7 @@ impl RankCtx {
             dist_waiters: RefCell::new(HashMap::new()),
             coll: RefCell::new(CollState::default()),
             rank_state: RefCell::new(HashMap::new()),
+            agg: RefCell::new(crate::agg::AggState::new()),
             stats: CtxStats::default(),
         })
     }
@@ -212,6 +235,7 @@ impl RankCtx {
             dist_waiters: RefCell::new(HashMap::new()),
             coll: RefCell::new(CollState::default()),
             rank_state: RefCell::new(HashMap::new()),
+            agg: RefCell::new(crate::agg::AggState::new()),
             stats: CtxStats::default(),
         })
     }
@@ -299,6 +323,10 @@ impl RankCtx {
             }
             (Backend::Smp(h), DefOp::Am { target, item, .. }) => {
                 h.send_item(target, item);
+                self.active_ops.set(self.active_ops.get() - 1);
+            }
+            (Backend::Smp(h), DefOp::AmBatch { target, items, .. }) => {
+                h.send_batch(target, items);
                 self.active_ops.set(self.active_ops.get() - 1);
             }
             (
@@ -391,6 +419,26 @@ impl RankCtx {
             }
             (
                 Backend::Sim(w),
+                DefOp::AmBatch {
+                    target,
+                    wire_bytes,
+                    items,
+                },
+            ) => {
+                // One injection overhead and one modeled transfer for the
+                // whole batch — the per-message gap amortization that makes
+                // aggregation pay off on the fine-grained path.
+                let sw = &w.config().sw;
+                let o = sw.gex_am_inject + sw.upcxx_op_overhead;
+                let items: Vec<gasnet::sim::LocalItem> = items
+                    .into_iter()
+                    .map(|i| -> gasnet::sim::LocalItem { i })
+                    .collect();
+                w.am_batch(self.me, target, wire_bytes, o, items);
+                self.active_ops.set(self.active_ops.get() - 1);
+            }
+            (
+                Backend::Sim(w),
                 DefOp::Amo {
                     target,
                     off,
@@ -427,10 +475,13 @@ impl RankCtx {
         self.comp_q.borrow_mut().push_back(eff);
     }
 
-    /// User-level progress: internal progress, conduit poll (smp), compQ
-    /// drain. This is the only place `.then` callbacks, future fulfillments
-    /// and incoming RPC bodies execute.
+    /// User-level progress: aggregation flush, internal progress, conduit
+    /// poll (smp), compQ drain. This is the only place `.then` callbacks,
+    /// future fulfillments and incoming RPC bodies execute.
     pub(crate) fn progress_user(&self) {
+        // Buffered aggregated payloads leave at every progress opportunity,
+        // so a blocking wait can never deadlock on this rank's own buffers.
+        crate::agg::flush_all_ctx(self);
         self.progress_internal();
         if let Backend::Smp(h) = &self.backend {
             // Incoming items enqueue their effects into compQ.
@@ -442,6 +493,10 @@ impl RankCtx {
             self.stats.comp_items.set(self.stats.comp_items.get() + 1);
             eff();
         }
+        // Handlers executed above may have buffered replies or forwards;
+        // pushing them out now keeps round-trip latency at one progress call.
+        crate::agg::flush_all_ctx(self);
+        self.progress_internal();
     }
 }
 
@@ -477,7 +532,7 @@ pub fn wait_until(pred: impl Fn() -> bool) {
             while !pred() {
                 c.progress_user();
                 spins = spins.wrapping_add(1);
-                if spins % 32 == 0 {
+                if spins.is_multiple_of(32) {
                     std::thread::yield_now();
                 }
             }
@@ -504,7 +559,10 @@ pub fn rank_state<T: 'static>(init: impl FnOnce() -> T) -> Rc<T> {
     let c = ctx();
     let key = std::any::TypeId::of::<T>();
     if let Some(v) = c.rank_state.borrow().get(&key) {
-        return v.clone().downcast::<T>().expect("rank_state type confusion");
+        return v
+            .clone()
+            .downcast::<T>()
+            .expect("rank_state type confusion");
     }
     let v: Rc<T> = Rc::new(init());
     c.rank_state.borrow_mut().insert(key, v.clone());
@@ -518,6 +576,15 @@ pub fn stats_rma_ops() -> u64 {
 /// RPCs injected by the current rank so far.
 pub fn stats_rpcs() -> u64 {
     ctx().stats.rpcs.get()
+}
+/// Messages this rank has routed through the aggregation buffers so far.
+pub fn stats_agg_msgs() -> u64 {
+    ctx().stats.agg_msgs.get()
+}
+/// Aggregated batches this rank has shipped so far (each a single wire
+/// message carrying more than one payload).
+pub fn stats_agg_batches() -> u64 {
+    ctx().stats.agg_batches.get()
 }
 
 /// A `Future<()>` that is already complete — start of a conjunction chain

@@ -26,14 +26,17 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
+/// A callback awaiting a future's value.
+type Callback<T> = Box<dyn FnOnce(&T)>;
+
 enum State<T> {
     /// Not ready; holds callbacks awaiting the value.
-    Pending(Vec<Box<dyn FnOnce(&T)>>),
+    Pending(Vec<Callback<T>>),
     /// Value available but temporarily moved out while callbacks execute;
     /// callbacks attached meanwhile queue here and run in the same drain.
     /// Only observable from *inside* a callback on the same future
     /// (single-threaded runtime).
-    Running(Vec<Box<dyn FnOnce(&T)>>),
+    Running(Vec<Callback<T>>),
     /// Value available.
     Ready(T),
 }
@@ -81,7 +84,7 @@ impl<T: 'static> Core<T> {
     /// Run callbacks with no borrow held (they may attach more callbacks to
     /// this same future — those land in the Running queue and drain here),
     /// then park the value as Ready.
-    fn drain(self: &Rc<Self>, v: T, mut cbs: Vec<Box<dyn FnOnce(&T)>>) {
+    fn drain(self: &Rc<Self>, v: T, mut cbs: Vec<Callback<T>>) {
         loop {
             for cb in cbs.drain(..) {
                 cb(&v);
@@ -244,10 +247,12 @@ impl<T: 'static> Future<T> {
     /// Like [`then`](Self::then) but for callbacks that launch further
     /// asynchronous work: the returned future readies when the *inner* future
     /// does (UPC++ `.then` auto-unwraps futures; Rust needs a second method).
-    pub fn then_fut<U: 'static>(&self, f: impl FnOnce(T) -> Future<U> + 'static) -> Future<U>
+    pub fn then_fut<U: Clone + 'static>(
+        &self,
+        f: impl FnOnce(T) -> Future<U> + 'static,
+    ) -> Future<U>
     where
         T: Clone,
-        U: Clone,
     {
         let out = Future {
             core: Core::<U>::new_pending(),
@@ -272,7 +277,8 @@ impl<T: 'static> Future<T> {
         T: Clone,
     {
         crate::ctx::wait_until(|| self.is_ready());
-        self.try_get().expect("wait_until returned before readiness")
+        self.try_get()
+            .expect("wait_until returned before readiness")
     }
 
     /// Discard the value, yielding a `Future<()>` useful for conjoining

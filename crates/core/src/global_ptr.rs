@@ -189,7 +189,9 @@ impl<T: Pod> GlobalPtr<T> {
         let c = ctx();
         match &c.backend {
             Backend::Smp(h) => unsafe { h.seg_base(c.me).add(self.off as usize) as *mut T },
-            Backend::Sim(_) => panic!("local_ptr is unavailable under the sim conduit; use local_read/local_write"),
+            Backend::Sim(_) => {
+                panic!("local_ptr is unavailable under the sim conduit; use local_read/local_write")
+            }
         }
     }
 }

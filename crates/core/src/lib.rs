@@ -45,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+pub mod agg;
 pub mod alloc;
 pub mod atomic;
 pub mod coll;
@@ -57,22 +58,32 @@ pub mod rpc;
 pub mod runtime;
 pub mod ser;
 pub mod team;
+pub mod wire;
 
+pub use agg::{agg_config, flush_all, set_agg_config, AggConfig};
 pub use atomic::{AtomicDomain, AtomicOp};
 pub use coll::{
     barrier, barrier_async, barrier_async_team, broadcast, broadcast_team, ops, reduce_all,
     reduce_all_team, reduce_one, reduce_one_team,
 };
-pub use ctx::{make_ready_future, progress, rank_me, rank_n, rank_state, wait_until};
-pub use dist::{lookup as dist_lookup, try_lookup as dist_try_lookup, when_constructed, DistId, DistObject};
+pub use ctx::{
+    make_ready_future, progress, rank_me, rank_n, rank_state, stats_agg_batches, stats_agg_msgs,
+    stats_rpcs, wait_until,
+};
+pub use dist::{
+    lookup as dist_lookup, try_lookup as dist_try_lookup, when_constructed, DistId, DistObject,
+};
 pub use future::{conjoin, make_future, when_all, when_all_vec, Future, Promise};
 pub use global_ptr::{allocate, deallocate, GlobalPtr};
 pub use rma::{
-    rget, rget_irregular, rget_strided, rget_val, rput, rput_irregular, rput_promise,
-    rput_strided, rput_val,
+    rget, rget_irregular, rget_strided, rget_val, rput, rput_irregular, rput_promise, rput_strided,
+    rput_val,
 };
 pub use rpc::{rpc, rpc_ff};
-pub use runtime::{after, compute, run_spmd, run_spmd_default, sim_now, sim_rank_now, sim_sw_costs, SimRuntime, SpmdConfig};
+pub use runtime::{
+    after, compute, run_spmd, run_spmd_default, sim_now, sim_rank_now, sim_sw_costs, SimRuntime,
+    SpmdConfig,
+};
 pub use ser::{make_view, Pod, Ser, View};
 pub use team::Team;
 
@@ -95,7 +106,10 @@ impl<T: ser::Pod> GlobalPtr<T> {
 pub fn broadcast_gather<T: ser::Pod>(mine: GlobalPtr<T>) -> Vec<GlobalPtr<T>> {
     let me = rank_me();
     let n = rank_n();
-    fn merge(mut a: Vec<(usize, u64, u64)>, mut b: Vec<(usize, u64, u64)>) -> Vec<(usize, u64, u64)> {
+    fn merge(
+        mut a: Vec<(usize, u64, u64)>,
+        mut b: Vec<(usize, u64, u64)>,
+    ) -> Vec<(usize, u64, u64)> {
         a.append(&mut b);
         a
     }

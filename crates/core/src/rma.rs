@@ -44,7 +44,9 @@ pub fn rput_promise<T: Pod>(src: &[T], dest: GlobalPtr<T>, p: &Promise<()>) {
     assert!(!dest.is_null(), "rput to null global pointer");
     c.stats.rma_ops.set(c.stats.rma_ops.get() + 1);
     let bytes = pod_to_bytes(src);
-    c.stats.bytes_out.set(c.stats.bytes_out.get() + bytes.len() as u64);
+    c.stats
+        .bytes_out
+        .set(c.stats.bytes_out.get() + bytes.len() as u64);
     p.require_anonymous(1);
     let p2 = p.clone();
     c.inject(DefOp::Put {
@@ -57,10 +59,7 @@ pub fn rput_promise<T: Pod>(src: &[T], dest: GlobalPtr<T>, p: &Promise<()>) {
 
 /// Non-blocking one-sided get of `count` elements from `src`
 /// (paper: `upcxx::rget`). The future carries the data.
-pub fn rget<T: Pod>(src: GlobalPtr<T>, count: usize) -> Future<Vec<T>>
-where
-    T: Clone,
-{
+pub fn rget<T: Pod + Clone>(src: GlobalPtr<T>, count: usize) -> Future<Vec<T>> {
     let c = ctx();
     assert!(!src.is_null(), "rget from null global pointer");
     c.stats.rma_ops.set(c.stats.rma_ops.get() + 1);
@@ -76,10 +75,7 @@ where
 }
 
 /// Single-value get.
-pub fn rget_val<T: Pod>(src: GlobalPtr<T>) -> Future<T>
-where
-    T: Clone,
-{
+pub fn rget_val<T: Pod + Clone>(src: GlobalPtr<T>) -> Future<T> {
     rget(src, 1).then(|v| v[0])
 }
 
@@ -105,7 +101,10 @@ pub fn rput_strided<T: Pod>(
     chunk: usize,
     count: usize,
 ) -> Future<()> {
-    assert!(chunk <= src_stride || count <= 1, "overlapping source chunks");
+    assert!(
+        chunk <= src_stride || count <= 1,
+        "overlapping source chunks"
+    );
     let p = Promise::<()>::new();
     for i in 0..count {
         let s = &src[i * src_stride..i * src_stride + chunk];

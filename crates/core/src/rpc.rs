@@ -20,10 +20,8 @@
 use crate::ctx::{ctx, DefOp};
 use crate::future::{Future, Promise};
 use crate::ser::{from_bytes, to_bytes, Reader, Ser};
+use crate::wire;
 use gasnet::Rank;
-
-/// Header bytes we model per RPC message (handler id + op id + framing).
-const RPC_HDR: usize = 24;
 
 /// Execute `f(args)` on `target`; the future readies with the result after
 /// the round trip (paper: `upcxx::rpc`). `target` is a world rank; see
@@ -55,7 +53,7 @@ where
     c.stats
         .bytes_out
         .set(c.stats.bytes_out.get() + arg_bytes.len() as u64);
-    let wire = arg_bytes.len() + RPC_HDR;
+    let payload = arg_bytes.len();
 
     let item: gasnet::Item = Box::new(move || {
         // Runs on the target rank with its context installed.
@@ -70,11 +68,7 @@ where
         send_reply(initiator, op_id, ret_bytes);
     });
 
-    c.inject(DefOp::Am {
-        target,
-        wire_bytes: wire,
-        item,
-    });
+    crate::agg::submit(&c, target, payload, item);
     p.get_future()
 }
 
@@ -91,45 +85,59 @@ where
     c.stats
         .bytes_out
         .set(c.stats.bytes_out.get() + arg_bytes.len() as u64);
-    let wire = arg_bytes.len() + RPC_HDR;
+    let payload = arg_bytes.len();
     let item: gasnet::Item = Box::new(move || {
         let tc = ctx();
         tc.charge_ser(arg_bytes.len());
         f(from_bytes(arg_bytes));
     });
-    c.inject(DefOp::Am {
-        target,
-        wire_bytes: wire,
-        item,
-    });
+    crate::agg::submit(&c, target, payload, item);
 }
 
 /// Internal: deliver `bytes` to `initiator`'s reply continuation `op_id`.
+/// Replies ride the aggregation layer too (they are exactly the kind of tiny
+/// message batching exists for); the end-of-batch and end-of-item flush
+/// hooks guarantee they leave the replying rank promptly.
 fn send_reply(initiator: Rank, op_id: u64, bytes: Vec<u8>) {
     let c = ctx();
-    let wire = bytes.len() + RPC_HDR;
+    let replier = c.me;
+    let payload = bytes.len();
     let item: gasnet::Item = Box::new(move || {
         let ic = ctx();
-        let handler = ic
-            .reply_tbl
-            .borrow_mut()
-            .remove(&op_id)
-            .expect("RPC reply without a registered continuation");
-        handler(Reader::new(bytes));
+        let handler = ic.reply_tbl.borrow_mut().remove(&op_id);
+        match handler {
+            Some(handler) => handler(Reader::new(bytes)),
+            None => {
+                // A reply with no parked continuation means the op-id
+                // bookkeeping broke (double reply, or delivery to the wrong
+                // rank) — a runtime bug, never an application one. Abort
+                // loudly in debug builds; in release, drop the reply and
+                // diagnose on stderr rather than tearing down the world.
+                let here = ic.me;
+                debug_assert!(
+                    false,
+                    "RPC reply for op {op_id} (from rank {replier}) arrived at \
+                     rank {here} with no registered continuation"
+                );
+                eprintln!(
+                    "upcxx: dropping RPC reply for op {op_id} (from rank {replier}) \
+                     at rank {here}: no registered continuation"
+                );
+            }
+        }
     });
-    c.inject(DefOp::Am {
-        target: initiator,
-        wire_bytes: wire,
-        item,
-    });
+    crate::agg::submit(&c, initiator, payload, item);
 }
 
 /// Crate-internal "system AM": run a `fn(A)` on `target` outside the RPC
-/// accounting (collectives' flags and payloads ride on this).
+/// accounting (collectives' flags and payloads ride on this). System AMs are
+/// latency-critical control traffic and never aggregate; they do flush the
+/// target's coalescing buffer first so per-target injection order holds.
 pub(crate) fn sys_am<A: Ser>(target: Rank, f: fn(A), args: A) {
     let c = ctx();
+    crate::agg::flush_target(&c, target);
     let bytes = to_bytes(&args);
-    let wire = bytes.len() + RPC_HDR;
+    let wire = wire::am_wire_size(bytes.len());
     let item: gasnet::Item = Box::new(move || {
         f(from_bytes(bytes));
     });

@@ -38,17 +38,23 @@ pub fn run_spmd<F>(n: usize, cfg: SpmdConfig, f: F)
 where
     F: Fn() + Send + Sync,
 {
-    smp::launch(n, SmpConfig { seg_size: cfg.seg_size }, move |h| {
-        let c = RankCtx::new_smp(h);
-        with_ctx(c, || {
-            f();
-            // Finalize: no rank leaves while others may still address it.
-            crate::coll::barrier();
-            // Drain one more round of progress so late completion items
-            // (e.g. barrier acks to peers) are serviced before teardown.
-            crate::ctx::progress();
-        });
-    });
+    smp::launch(
+        n,
+        SmpConfig {
+            seg_size: cfg.seg_size,
+        },
+        move |h| {
+            let c = RankCtx::new_smp(h);
+            with_ctx(c, || {
+                f();
+                // Finalize: no rank leaves while others may still address it.
+                crate::coll::barrier();
+                // Drain one more round of progress so late completion items
+                // (e.g. barrier acks to peers) are serviced before teardown.
+                crate::ctx::progress();
+            });
+        },
+    );
 }
 
 /// Convenience wrapper with default configuration.
@@ -75,7 +81,12 @@ impl SimRuntime {
         let cx2 = ctxs.clone();
         world.set_exec_wrapper(Rc::new(move |rank, item| {
             let c = cx2.borrow()[rank].clone();
-            with_ctx(c, item);
+            with_ctx(c.clone(), item);
+            // Ship anything the item buffered in the aggregation layer (e.g.
+            // an RPC reply): under sim a passive rank gets no further
+            // progress calls, so without this the virtual timeline could
+            // quiesce with traffic stranded in a coalescing buffer.
+            with_ctx(c.clone(), || crate::agg::flush_all_ctx(&c));
         }));
         SimRuntime { world, ctxs }
     }

@@ -17,7 +17,65 @@
 //!   the target without an intermediate owned copy (used by the extend-add
 //!   motif, Fig. 6–7).
 
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
+
+// ------------------------------------------------------------- buffer pool
+//
+// Every RPC serializes its arguments with `to_bytes` and every reply does the
+// same for its result — on the fine-grained hot path that is one heap
+// allocation per message. The pool below recycles those buffers: `to_bytes`
+// takes a pooled `Vec<u8>` and the `Reader` wrapping a fully-consumed message
+// returns its buffer on drop (only when no zero-copy `View` still shares it).
+// Thread-local, so the smp conduit's rank threads never contend; under sim
+// all ranks share one thread and therefore one pool, which only helps.
+
+/// Buffers kept per thread; beyond this, freed buffers go back to the heap.
+const POOL_MAX_BUFS: usize = 32;
+/// Buffers with more capacity than this are not retained (one giant view
+/// payload must not pin megabytes forever).
+const POOL_MAX_CAP: usize = 64 << 10;
+
+thread_local! {
+    static BUF_POOL: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+    static POOL_HITS: Cell<u64> = const { Cell::new(0) };
+    static POOL_MISSES: Cell<u64> = const { Cell::new(0) };
+}
+
+fn pool_take(cap: usize) -> Vec<u8> {
+    BUF_POOL.with(|p| match p.borrow_mut().pop() {
+        Some(mut b) => {
+            POOL_HITS.with(|h| h.set(h.get() + 1));
+            b.clear();
+            b.reserve(cap);
+            b
+        }
+        None => {
+            POOL_MISSES.with(|m| m.set(m.get() + 1));
+            Vec::with_capacity(cap)
+        }
+    })
+}
+
+fn pool_recycle(mut buf: Vec<u8>) {
+    if buf.capacity() == 0 || buf.capacity() > POOL_MAX_CAP {
+        return;
+    }
+    BUF_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < POOL_MAX_BUFS {
+            buf.clear();
+            pool.push(buf);
+        }
+    });
+}
+
+/// This thread's serialization-buffer-pool counters: `(hits, misses)` —
+/// `hits` are `to_bytes` calls served with a recycled buffer, `misses` fell
+/// through to a fresh allocation. Diagnostics for benches and tests.
+pub fn buf_pool_stats() -> (u64, u64) {
+    (POOL_HITS.with(Cell::get), POOL_MISSES.with(Cell::get))
+}
 
 /// Plain-old-data: `T` may be transported and stored as raw bytes.
 ///
@@ -56,7 +114,10 @@ pub fn pod_to_bytes<T: Pod>(src: &[T]) -> Vec<u8> {
 /// Reconstruct a `Pod` vector from raw bytes (length must divide evenly).
 pub fn pod_from_bytes<T: Pod>(bytes: &[u8]) -> Vec<T> {
     let sz = std::mem::size_of::<T>();
-    assert!(sz > 0 && bytes.len() % sz == 0, "byte length not a multiple of element size");
+    assert!(
+        sz > 0 && bytes.len().is_multiple_of(sz),
+        "byte length not a multiple of element size"
+    );
     let n = bytes.len() / sz;
     let mut out = Vec::<T>::with_capacity(n);
     // SAFETY: Pod tolerates any previously-written bit pattern; capacity
@@ -91,7 +152,11 @@ impl Reader {
 
     /// Consume `n` bytes, returning their range start.
     fn take(&mut self, n: usize) -> usize {
-        assert!(self.remaining() >= n, "message truncated: need {n}, have {}", self.remaining());
+        assert!(
+            self.remaining() >= n,
+            "message truncated: need {n}, have {}",
+            self.remaining()
+        );
         let at = self.pos;
         self.pos += n;
         at
@@ -101,6 +166,19 @@ impl Reader {
     fn read_arr<const N: usize>(&mut self) -> [u8; N] {
         let at = self.take(N);
         self.buf[at..at + N].try_into().unwrap()
+    }
+}
+
+impl Drop for Reader {
+    fn drop(&mut self) {
+        // Recycle the message buffer into the thread's pool — but only when
+        // no zero-copy `View` (or clone) still shares it.
+        if Rc::strong_count(&self.buf) == 1 {
+            let rc = std::mem::replace(&mut self.buf, Rc::new(Vec::new()));
+            if let Ok(v) = Rc::try_unwrap(rc) {
+                pool_recycle(v);
+            }
+        }
     }
 }
 
@@ -351,9 +429,10 @@ impl<T: Pod> Ser for View<T> {
     }
 }
 
-/// Serialize a value to a fresh buffer.
+/// Serialize a value to a buffer (recycled from the thread-local pool when
+/// one is available — see the module's buffer-pool section).
 pub fn to_bytes<T: Ser>(v: &T) -> Vec<u8> {
-    let mut out = Vec::with_capacity(v.ser_size());
+    let mut out = pool_take(v.ser_size());
     v.ser(&mut out);
     out
 }
@@ -492,50 +571,124 @@ mod tests {
         assert_eq!(v.ser_size(), 8 + 13 * 8);
         assert_eq!(to_bytes(&v).len(), v.ser_size());
     }
+
+    #[test]
+    fn buffer_pool_recycles_consumed_readers() {
+        let v: Vec<u64> = (0..16).collect();
+        // First roundtrip seeds the pool (its Reader drops fully consumed).
+        let _: Vec<u64> = from_bytes(to_bytes(&v));
+        let (hits_before, _) = buf_pool_stats();
+        let _: Vec<u64> = from_bytes(to_bytes(&v));
+        let (hits_after, _) = buf_pool_stats();
+        assert!(
+            hits_after > hits_before,
+            "second roundtrip should reuse the recycled buffer"
+        );
+    }
+
+    #[test]
+    fn buffer_shared_with_view_is_not_recycled() {
+        let data = vec![11u64, 22, 33];
+        let bytes = to_bytes(&make_view(&data));
+        let view = {
+            let mut r = Reader::new(bytes);
+            View::<u64>::deser(&mut r)
+            // Reader drops here, but the view still shares the buffer: the
+            // pool must not reclaim it out from under the zero-copy window.
+        };
+        // Churn the pool: if the view's bytes had been recycled, this write
+        // would corrupt them.
+        for _ in 0..8 {
+            let _: u64 = from_bytes(to_bytes(&0xdead_beef_u64));
+        }
+        assert_eq!(view.to_vec(), data);
+    }
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
+    //! Deterministic randomized roundtrips (replacing the former proptest
+    //! suite — the workspace builds offline with no external crates).
     use super::*;
-    use proptest::prelude::*;
+    use pgas_des::rng::Rng;
 
-    proptest! {
-        #[test]
-        fn u64_roundtrip(v: u64) {
-            prop_assert_eq!(from_bytes::<u64>(to_bytes(&v)), v);
+    fn rand_string(r: &mut Rng) -> String {
+        let n = r.gen_range(40);
+        (0..n)
+            .map(|_| char::from_u32(r.gen_between(1, 0xD7FF) as u32).unwrap_or('x'))
+            .collect()
+    }
+
+    #[test]
+    fn u64_roundtrip_random() {
+        let mut r = Rng::new(0x5e5);
+        for _ in 0..256 {
+            let v = r.next_u64();
+            assert_eq!(from_bytes::<u64>(to_bytes(&v)), v);
         }
+    }
 
-        #[test]
-        fn string_roundtrip(s in ".*") {
-            let v = s.to_string();
-            prop_assert_eq!(from_bytes::<String>(to_bytes(&v)), v);
+    #[test]
+    fn string_roundtrip_random() {
+        let mut r = Rng::new(0x57);
+        for _ in 0..128 {
+            let v = rand_string(&mut r);
+            assert_eq!(from_bytes::<String>(to_bytes(&v)), v);
         }
+    }
 
-        #[test]
-        fn vec_f64_roundtrip(v in proptest::collection::vec(proptest::num::f64::NORMAL, 0..100)) {
+    #[test]
+    fn vec_f64_roundtrip_random() {
+        let mut r = Rng::new(0xf64);
+        for _ in 0..128 {
+            let v: Vec<f64> = (0..r.gen_range(100))
+                .map(|_| (r.gen_f64() - 0.5) * 1e12)
+                .collect();
             let got: Vec<f64> = from_bytes(to_bytes(&v));
-            prop_assert_eq!(got, v);
+            assert_eq!(got, v);
         }
+    }
 
-        #[test]
-        fn nested_tuple_roundtrip(a: u32, b in ".*", c in proptest::collection::vec(any::<u64>(), 0..20)) {
-            let v = (a, b.to_string(), c);
+    #[test]
+    fn nested_tuple_roundtrip_random() {
+        let mut r = Rng::new(0x70b1e);
+        for _ in 0..128 {
+            let v = (
+                r.next_u64() as u32,
+                rand_string(&mut r),
+                (0..r.gen_range(20))
+                    .map(|_| r.next_u64())
+                    .collect::<Vec<u64>>(),
+            );
             let got: (u32, String, Vec<u64>) = from_bytes(to_bytes(&v));
-            prop_assert_eq!(got, v);
+            assert_eq!(got, v);
         }
+    }
 
-        #[test]
-        fn view_roundtrip_arbitrary(v in proptest::collection::vec(any::<u64>(), 0..200)) {
+    #[test]
+    fn view_roundtrip_random() {
+        let mut r = Rng::new(0x41e);
+        for _ in 0..128 {
+            let v: Vec<u64> = (0..r.gen_range(200)).map(|_| r.next_u64()).collect();
             let bytes = to_bytes(&make_view(&v));
-            let mut r = Reader::new(bytes);
-            let view = View::<u64>::deser(&mut r);
-            prop_assert_eq!(view.to_vec(), v);
+            let mut rd = Reader::new(bytes);
+            let view = View::<u64>::deser(&mut rd);
+            assert_eq!(view.to_vec(), v);
         }
+    }
 
-        #[test]
-        fn ser_size_always_matches(a: u64, s in ".*", v in proptest::collection::vec(any::<u32>(), 0..50)) {
-            let msg = (a, s.to_string(), v);
-            prop_assert_eq!(to_bytes(&msg).len(), msg.ser_size());
+    #[test]
+    fn ser_size_always_matches_random() {
+        let mut r = Rng::new(0x512e);
+        for _ in 0..128 {
+            let msg = (
+                r.next_u64(),
+                rand_string(&mut r),
+                (0..r.gen_range(50))
+                    .map(|_| r.next_u64() as u32)
+                    .collect::<Vec<u32>>(),
+            );
+            assert_eq!(to_bytes(&msg).len(), msg.ser_size());
         }
     }
 }

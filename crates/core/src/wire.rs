@@ -1,0 +1,51 @@
+//! Modeled wire-format constants shared by every AM-bearing path.
+//!
+//! The runtime does not put real headers on the wire (both conduits move
+//! closures, not frames), but the network model charges per byte, so every
+//! injection site must agree on how much framing a message carries. Before
+//! this module the `24`-byte header constant was repeated at each call site
+//! (`rpc`, `rpc_ff`, the reply path and `sys_am`); it now lives here, and the
+//! aggregation layer's batch accounting shares it.
+
+/// Header bytes modeled per AM wire message: GASNet-EX AM header (handler
+/// index, flags) plus our op id and framing. Every non-batched RPC, reply and
+/// system AM is charged `payload + RPC_HDR`; a *batch* is charged one
+/// `RPC_HDR` no matter how many records it carries — that amortization is the
+/// point of the aggregation layer.
+pub const RPC_HDR: usize = 24;
+
+/// Per-record framing inside an aggregated batch: a length/handler word per
+/// packed payload. Much smaller than [`RPC_HDR`]; the per-message saving of
+/// aggregation is `RPC_HDR - AGG_REC_HDR` wire bytes plus the per-message
+/// injection gap and dispatch overhead.
+pub const AGG_REC_HDR: usize = 8;
+
+/// Wire size of a single (non-aggregated) AM carrying `payload` bytes.
+#[inline]
+pub fn am_wire_size(payload: usize) -> usize {
+    payload + RPC_HDR
+}
+
+/// Wire contribution of one record inside an aggregated batch.
+#[inline]
+pub fn batch_rec_size(payload: usize) -> usize {
+    payload + AGG_REC_HDR
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_framing_beats_per_message_framing() {
+        // The whole premise of aggregation: k small messages cost less wire
+        // in one batch than as k singletons, for every k >= 2.
+        for k in 2..100usize {
+            for payload in [0usize, 8, 64] {
+                let singles = k * am_wire_size(payload);
+                let batch = RPC_HDR + k * batch_rec_size(payload);
+                assert!(batch < singles, "k={k} payload={payload}");
+            }
+        }
+    }
+}

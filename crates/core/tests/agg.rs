@@ -1,0 +1,323 @@
+//! Integration tests of the per-target RPC aggregation layer (`upcxx::agg`)
+//! over **both** conduits: injection-order preservation through batches,
+//! flush-on-barrier quiescence, threshold-edge bypass, auto-flush at the
+//! size threshold, round trips with aggregated replies, the modeled cost
+//! amortization on sim, and attentiveness of batched delivery.
+
+use netsim::MachineConfig;
+use pgas_des::Time;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use upcxx::{AggConfig, SimRuntime};
+
+fn test_rt(n: usize) -> SimRuntime {
+    SimRuntime::new(MachineConfig::test_2x4(), n, 1 << 16)
+}
+
+fn agg_on(max_bytes: usize) -> AggConfig {
+    AggConfig {
+        enabled: true,
+        max_bytes,
+    }
+}
+
+// ------------------------------------------------------------ ordering
+
+static SMP_ORDER: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+fn smp_record(x: u64) {
+    SMP_ORDER.lock().unwrap().push(x);
+}
+fn smp_record_big(args: (u64, Vec<u8>)) {
+    SMP_ORDER.lock().unwrap().push(args.0);
+}
+
+#[test]
+fn smp_batched_rpcs_execute_in_injection_order() {
+    // Small messages interleaved with an oversize (bypassing) one: the
+    // per-target order must survive threshold flushes and the bypass path.
+    upcxx::run_spmd_default(2, || {
+        if upcxx::rank_me() == 0 {
+            upcxx::set_agg_config(agg_on(256));
+            for i in 0..20u64 {
+                if i == 7 {
+                    // Oversize: flushes the buffer first, then goes direct.
+                    upcxx::rpc_ff(1, smp_record_big, (i, vec![0u8; 1024]));
+                } else {
+                    upcxx::rpc_ff(1, smp_record, i);
+                }
+            }
+            upcxx::flush_all();
+        }
+        upcxx::barrier();
+        if upcxx::rank_me() == 1 {
+            let got = SMP_ORDER.lock().unwrap().clone();
+            assert_eq!(got, (0..20u64).collect::<Vec<_>>());
+        }
+        upcxx::barrier();
+    });
+}
+
+static SIM_ORDER: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+fn sim_record(x: u64) {
+    SIM_ORDER.lock().unwrap().push(x);
+}
+
+#[test]
+fn sim_batched_rpcs_execute_in_injection_order() {
+    let rt = test_rt(2);
+    rt.spawn(0, || {
+        upcxx::set_agg_config(agg_on(512));
+        for i in 0..40u64 {
+            upcxx::rpc_ff(1, sim_record, i);
+        }
+        upcxx::flush_all();
+    });
+    rt.run();
+    assert_eq!(
+        SIM_ORDER.lock().unwrap().clone(),
+        (0..40u64).collect::<Vec<_>>()
+    );
+}
+
+// ------------------------------------------------ flush-on-barrier quiescence
+
+fn bump_rank_counter(_: u64) {
+    let c = upcxx::rank_state(|| Cell::new(0u64));
+    c.set(c.get() + 1);
+}
+
+#[test]
+fn smp_barrier_flushes_buffered_rpcs() {
+    // Every rank buffers sub-threshold rpc_ffs at every other rank, then
+    // enters a barrier without ever calling flush_all. Barrier entry must
+    // flush, and the delivery order argument (batch pushed before the first
+    // barrier flag) guarantees execution before the barrier exits.
+    let n = 4;
+    let k = 5u64;
+    upcxx::run_spmd_default(n, move || {
+        upcxx::set_agg_config(agg_on(1 << 20)); // threshold never reached
+        let me = upcxx::rank_me();
+        for t in 0..n {
+            if t != me {
+                for i in 0..k {
+                    upcxx::rpc_ff(t, bump_rank_counter, i);
+                }
+            }
+        }
+        upcxx::barrier();
+        let mine = upcxx::rank_state(|| Cell::new(0u64)).get();
+        assert_eq!(mine, k * (n as u64 - 1), "rank {me} missing batched RPCs");
+        assert!(upcxx::stats_agg_batches() >= 1, "nothing was batched");
+        upcxx::barrier();
+    });
+}
+
+static SIM_BARRIER_HITS: AtomicU64 = AtomicU64::new(0);
+fn sim_barrier_hit(_: u64) {
+    SIM_BARRIER_HITS.fetch_add(1, Ordering::SeqCst);
+}
+
+#[test]
+fn sim_barrier_flushes_buffered_rpcs() {
+    let n = 4;
+    let k = 6u64;
+    let rt = test_rt(n);
+    for r in 0..n {
+        rt.spawn(r, move || {
+            upcxx::set_agg_config(agg_on(1 << 20));
+            for t in 0..n {
+                if t != r {
+                    for i in 0..k {
+                        upcxx::rpc_ff(t, sim_barrier_hit, i);
+                    }
+                }
+            }
+            // No explicit flush: barrier entry must ship the buffers, so the
+            // run cannot quiesce with payloads stranded.
+            upcxx::barrier_async().then(|_| {});
+        });
+    }
+    rt.run();
+    assert_eq!(
+        SIM_BARRIER_HITS.load(Ordering::SeqCst),
+        k * (n as u64) * (n as u64 - 1)
+    );
+}
+
+// ----------------------------------------------------- threshold / bypass
+
+static SMP_BIG_HITS: AtomicU64 = AtomicU64::new(0);
+fn smp_big_handler(v: Vec<u8>) {
+    assert_eq!(v.len(), 4096);
+    SMP_BIG_HITS.fetch_add(1, Ordering::SeqCst);
+}
+
+#[test]
+fn smp_oversize_payload_bypasses_aggregator() {
+    upcxx::run_spmd_default(2, || {
+        if upcxx::rank_me() == 0 {
+            upcxx::set_agg_config(agg_on(256));
+            upcxx::rpc_ff(1, smp_big_handler, vec![7u8; 4096]);
+            // Never buffered: no aggregated message, no batch.
+            assert_eq!(upcxx::stats_agg_msgs(), 0);
+            assert_eq!(upcxx::stats_agg_batches(), 0);
+            upcxx::wait_until(|| SMP_BIG_HITS.load(Ordering::SeqCst) == 1);
+        }
+        upcxx::barrier();
+    });
+}
+
+static SMP_AUTO_HITS: AtomicU64 = AtomicU64::new(0);
+fn smp_auto_hit(_: u64) {
+    SMP_AUTO_HITS.fetch_add(1, Ordering::SeqCst);
+}
+
+#[test]
+fn smp_threshold_triggers_auto_flush() {
+    // max_bytes = 256 with 8-byte payloads (16-byte records after framing):
+    // the 15th submission crosses the threshold and must flush on its own,
+    // with no explicit flush_all and no barrier.
+    upcxx::run_spmd_default(2, || {
+        if upcxx::rank_me() == 0 {
+            upcxx::set_agg_config(agg_on(256));
+            for i in 0..20u64 {
+                upcxx::rpc_ff(1, smp_auto_hit, i);
+            }
+            assert_eq!(upcxx::stats_agg_batches(), 1, "threshold flush missing");
+            upcxx::wait_until(|| SMP_AUTO_HITS.load(Ordering::SeqCst) >= 15);
+            upcxx::flush_all();
+            upcxx::wait_until(|| SMP_AUTO_HITS.load(Ordering::SeqCst) == 20);
+        }
+        upcxx::barrier();
+    });
+}
+
+// ----------------------------------------------- round trips / replies
+
+fn bump(x: u64) -> u64 {
+    x + 1
+}
+
+#[test]
+fn smp_rpc_round_trips_through_aggregated_replies() {
+    upcxx::run_spmd_default(2, || {
+        upcxx::set_agg_config(agg_on(4096));
+        if upcxx::rank_me() == 0 {
+            assert_eq!(upcxx::rpc(1, bump, 41u64).wait(), 42);
+            let futs: Vec<_> = (0..64u64).map(|i| upcxx::rpc(1, bump, i)).collect();
+            let got = upcxx::when_all_vec(futs).wait();
+            assert_eq!(got, (1..=64u64).collect::<Vec<_>>());
+        }
+        upcxx::barrier();
+    });
+}
+
+static SIM_RT_SUM: AtomicU64 = AtomicU64::new(0);
+
+#[test]
+fn sim_rpc_round_trips_through_aggregated_replies() {
+    let rt = test_rt(8);
+    rt.spawn(0, || {
+        upcxx::set_agg_config(agg_on(4096));
+        let futs: Vec<_> = (0..50u64).map(|i| upcxx::rpc(4, bump, i)).collect();
+        upcxx::when_all_vec(futs).then(|vs| {
+            SIM_RT_SUM.store(vs.iter().sum(), Ordering::SeqCst);
+        });
+        upcxx::flush_all();
+    });
+    rt.run();
+    assert_eq!(SIM_RT_SUM.load(Ordering::SeqCst), (1..=50u64).sum::<u64>());
+}
+
+// -------------------------------------------------- modeled amortization
+
+static SIM_COST_HITS: AtomicU64 = AtomicU64::new(0);
+fn sim_cost_hit(_: u64) {
+    SIM_COST_HITS.fetch_add(1, Ordering::SeqCst);
+}
+
+#[test]
+fn sim_batching_amortizes_messages_and_time() {
+    // Identical 200-message fine-grained workload, aggregation off vs on:
+    // batching must collapse the modeled message count and shorten the
+    // virtual timeline (one injection gap + one dispatch per batch).
+    let run_workload = |enabled: bool| -> (Time, u64) {
+        let rt = test_rt(8);
+        rt.spawn(0, move || {
+            upcxx::set_agg_config(AggConfig {
+                enabled,
+                max_bytes: 4096,
+            });
+            for i in 0..200u64 {
+                upcxx::rpc_ff(4, sim_cost_hit, i);
+            }
+            upcxx::flush_all();
+        });
+        let t = rt.run();
+        (t, rt.world().msg_count())
+    };
+    let (t_off, msgs_off) = run_workload(false);
+    let (t_on, msgs_on) = run_workload(true);
+    assert_eq!(SIM_COST_HITS.load(Ordering::SeqCst), 400, "payloads lost");
+    assert!(msgs_on * 10 < msgs_off, "msgs: on={msgs_on} off={msgs_off}");
+    assert!(
+        t_off >= t_on + t_on,
+        "aggregation should be >=2x faster here: on={t_on} off={t_off}"
+    );
+}
+
+fn sim_det_hit(_: u64) {}
+
+#[test]
+fn sim_aggregated_runs_are_deterministic() {
+    let run_once = || {
+        let rt = test_rt(8);
+        for r in 0..8usize {
+            rt.spawn(r, move || {
+                upcxx::set_agg_config(agg_on(1024));
+                for i in 0..30u64 {
+                    upcxx::rpc_ff((r + 1) % 8, sim_det_hit, i);
+                }
+                upcxx::barrier_async().then(|_| {});
+            });
+        }
+        rt.run()
+    };
+    assert_eq!(run_once(), run_once());
+}
+
+// ------------------------------------------------------- attentiveness
+
+static SIM_EXEC_AT: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+fn sim_note_time(_: u64) {
+    SIM_EXEC_AT
+        .lock()
+        .unwrap()
+        .push(upcxx::sim_rank_now().unwrap().as_ps());
+}
+
+#[test]
+fn sim_inattentive_rank_stalls_batched_rpcs() {
+    // Rank 1 computes for 1 ms; a batch arriving meanwhile must not execute
+    // any of its payloads until the compute window ends (the paper's
+    // attentiveness requirement applies to batches exactly as to single AMs).
+    let rt = test_rt(2);
+    rt.spawn(1, || upcxx::compute(Time::from_ms(1)));
+    rt.spawn(0, || {
+        upcxx::set_agg_config(agg_on(4096));
+        for i in 0..10u64 {
+            upcxx::rpc_ff(1, sim_note_time, i);
+        }
+        upcxx::flush_all();
+    });
+    rt.run();
+    let times = SIM_EXEC_AT.lock().unwrap().clone();
+    assert_eq!(times.len(), 10);
+    for t in times {
+        assert!(
+            Time::from_ps(t) >= Time::from_ms(1),
+            "batched RPC ran during the compute window at {t} ps"
+        );
+    }
+}

@@ -15,18 +15,14 @@ fn rput_to_null_pointer_panics() {
 
 #[test]
 fn segment_exhaustion_panics_with_message() {
-    upcxx::run_spmd(
-        1,
-        upcxx::SpmdConfig { seg_size: 1 << 10 },
-        || {
-            let r = catch_unwind(AssertUnwindSafe(|| {
-                let _ = upcxx::allocate::<u8>(1 << 20);
-            }));
-            let err = r.unwrap_err();
-            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
-            assert!(msg.contains("segment exhausted"), "got: {msg}");
-        },
-    );
+    upcxx::run_spmd(1, upcxx::SpmdConfig { seg_size: 1 << 10 }, || {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            let _ = upcxx::allocate::<u8>(1 << 20);
+        }));
+        let err = r.unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("segment exhausted"), "got: {msg}");
+    });
 }
 
 #[test]
@@ -123,7 +119,10 @@ fn interleaved_collectives_many_rounds() {
         let me = upcxx::rank_me();
         let mut futs = Vec::new();
         for round in 0..20u64 {
-            let b = upcxx::broadcast((round % 4) as usize, (me == (round % 4) as usize).then_some(round * 7));
+            let b = upcxx::broadcast(
+                (round % 4) as usize,
+                (me == (round % 4) as usize).then_some(round * 7),
+            );
             let r = upcxx::reduce_all(round + me as u64, upcxx::ops::add_u64);
             futs.push((round, b, r));
         }

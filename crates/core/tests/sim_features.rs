@@ -79,13 +79,12 @@ fn dist_object_fetch_under_sim() {
             let got = got.clone();
             // Collective-order construction; fetch from the right neighbor
             // after a barrier guarantees existence.
-            upcxx::barrier_async().then_fut(move |_| {
-                obj.fetch_map((rank + 1) % n, read_it)
-            })
-            .then(move |v| {
-                assert_eq!(v, (((rank + 1) % n) as u64) * 3);
-                got.set(got.get() + 1);
-            });
+            upcxx::barrier_async()
+                .then_fut(move |_| obj.fetch_map((rank + 1) % n, read_it))
+                .then(move |v| {
+                    assert_eq!(v, (((rank + 1) % n) as u64) * 3);
+                    got.set(got.get() + 1);
+                });
         });
     }
     r.run();
@@ -123,9 +122,8 @@ fn nic_contention_slows_many_senders_per_node() {
                         upcxx::rput_promise(&buf, gp, &p);
                     }
                     let d = done.clone();
-                    p.finalize().then(move |_| {
-                        d.set(d.get().max(upcxx::sim_now().unwrap()))
-                    })
+                    p.finalize()
+                        .then(move |_| d.set(d.get().max(upcxx::sim_now().unwrap())))
                 });
             });
         }

@@ -32,7 +32,10 @@ fn rput_val_visible_after_barrier() {
         let slots = upcxx::broadcast_gather(slot);
         upcxx::rput_val(me as u64 + 100, slots[(me + 1) % n]).wait();
         upcxx::barrier();
-        assert_eq!(slot.try_local_value(), Some(((me + n - 1) % n) as u64 + 100));
+        assert_eq!(
+            slot.try_local_value(),
+            Some(((me + n - 1) % n) as u64 + 100)
+        );
         upcxx::barrier();
     });
 }
@@ -112,9 +115,8 @@ fn dht_landing_zone_chain() {
     upcxx::run_spmd_default(2, || {
         if upcxx::rank_me() == 0 {
             let val = vec![0xabu8; 256];
-            let fut = upcxx::rpc(1, make_lz, val.len()).then_fut(move |dest| {
-                upcxx::rput(&val, dest)
-            });
+            let fut =
+                upcxx::rpc(1, make_lz, val.len()).then_fut(move |dest| upcxx::rput(&val, dest));
             fut.wait();
         }
         upcxx::barrier();
@@ -207,8 +209,8 @@ fn barrier_orders_one_sided_writes() {
         let slots = upcxx::broadcast_gather(slot);
         // All-to-all scatter of rank ids by one-sided puts.
         let p = upcxx::Promise::<()>::new();
-        for dst in 0..n {
-            upcxx::rput_promise(&[me as u64], slots[dst].add(me), &p);
+        for slot in &slots {
+            upcxx::rput_promise(&[me as u64], slot.add(me), &p);
         }
         p.finalize().wait();
         upcxx::barrier();
@@ -223,7 +225,15 @@ fn barrier_orders_one_sided_writes() {
 fn broadcast_delivers_roots_value() {
     upcxx::run_spmd_default(6, || {
         let me = upcxx::rank_me();
-        let v = upcxx::broadcast(2, if me == 2 { Some(String::from("hello")) } else { None }).wait();
+        let v = upcxx::broadcast(
+            2,
+            if me == 2 {
+                Some(String::from("hello"))
+            } else {
+                None
+            },
+        )
+        .wait();
         assert_eq!(v, "hello");
         upcxx::barrier();
     });
@@ -358,7 +368,9 @@ fn dist_object_fetch() {
         let me = upcxx::rank_me() as u64;
         let obj = upcxx::DistObject::new(RefCell::new(me * 11));
         upcxx::barrier(); // ensure all representatives exist
-        let v = obj.fetch_map((upcxx::rank_me() + 1) % 3, read_dist_counter).wait();
+        let v = obj
+            .fetch_map((upcxx::rank_me() + 1) % 3, read_dist_counter)
+            .wait();
         assert_eq!(v, (((upcxx::rank_me() + 1) % 3) as u64) * 11);
         upcxx::barrier();
     });

@@ -23,11 +23,13 @@
 //! log-scale histograms and labeled series used by the figure harnesses).
 
 pub mod cpu;
+pub mod rng;
 pub mod shared;
 pub mod stats;
 pub mod time;
 
 pub use cpu::CpuClock;
+pub use rng::Rng;
 pub use shared::{SharedEvent, SharedSim};
 pub use stats::{Histogram, OnlineStats, Series};
 pub use time::Time;

@@ -165,13 +165,19 @@ mod tests {
                     l2.borrow_mut().push("a");
                     let l3 = l2.clone();
                     // Re-entrant scheduling from inside an event.
-                    s2.schedule_after(Time::from_ns(1), Box::new(move || l3.borrow_mut().push("c")));
+                    s2.schedule_after(
+                        Time::from_ns(1),
+                        Box::new(move || l3.borrow_mut().push("c")),
+                    );
                 }),
             );
         }
         {
             let l2 = log.clone();
-            sim.schedule_at(Time::from_ns(10), Box::new(move || l2.borrow_mut().push("b")));
+            sim.schedule_at(
+                Time::from_ns(10),
+                Box::new(move || l2.borrow_mut().push("b")),
+            );
         }
         sim.run();
         assert_eq!(*log.borrow(), vec!["a", "b", "c"]);

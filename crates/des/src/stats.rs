@@ -122,7 +122,11 @@ impl Histogram {
 
     /// Record one sample.
     pub fn record(&mut self, v: u64) {
-        let idx = if v == 0 { 0 } else { 64 - v.leading_zeros() as usize };
+        let idx = if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        };
         self.buckets[idx] += 1;
         self.count += 1;
         self.sum += v as u128;
@@ -154,7 +158,11 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return if i == 0 { 0 } else { (1u128 << i).min(u64::MAX as u128) as u64 - 1 };
+                return if i == 0 {
+                    0
+                } else {
+                    (1u128 << i).min(u64::MAX as u128) as u64 - 1
+                };
             }
         }
         u64::MAX
@@ -290,7 +298,7 @@ mod tests {
         let q50 = h.quantile(0.5);
         let q99 = h.quantile(0.99);
         assert!(q50 <= q99);
-        assert!(q50 >= 255 && q50 <= 1023); // log-bucket resolution
+        assert!((255..=1023).contains(&q50)); // log-bucket resolution
     }
 
     #[test]

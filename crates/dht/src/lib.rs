@@ -91,6 +91,19 @@ pub fn find_rpc(key: u64) -> Future<Option<Vec<u8>>> {
     upcxx::rpc(target, rpc_find_handler, key)
 }
 
+/// Windowed RPC-only insert — the aggregation-friendly batch path. Issues
+/// every insert in `pairs` back-to-back without blocking, so when per-target
+/// aggregation is enabled (`upcxx::set_agg_config`) inserts bound for the
+/// same owner coalesce into one wire message, then flushes the coalescing
+/// buffers and returns a future that readies once every owner has
+/// acknowledged its insert. With aggregation disabled this degenerates to a
+/// plain unordered window of [`insert_rpc`]s.
+pub fn insert_rpc_window(pairs: Vec<(u64, Vec<u8>)>) -> Future<()> {
+    let futs: Vec<_> = pairs.into_iter().map(|(k, v)| insert_rpc(k, v)).collect();
+    upcxx::flush_all();
+    upcxx::when_all_vec(futs).then(|_| ())
+}
+
 // ------------------------------------------------------------ RMA variant
 
 /// Owner-side allocation of a landing zone (the paper's `make_lz`): creates
@@ -129,7 +142,11 @@ pub fn insert(key: u64, val: Vec<u8>) -> Future<()> {
 }
 
 fn rma_find_lz(key: u64) -> Option<(GlobalPtr<u8>, usize)> {
-    local_map().lz.borrow().get(&key).map(|lz| (lz.gptr, lz.len))
+    local_map()
+        .lz
+        .borrow()
+        .get(&key)
+        .map(|lz| (lz.gptr, lz.len))
 }
 
 /// Find for the RMA variant: an RPC fetches the landing-zone pointer, then

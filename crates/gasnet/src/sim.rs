@@ -159,7 +159,10 @@ impl SimWorld {
     /// `rank`'s local view of time: the later of global time and the moment
     /// its CPU becomes free. Outgoing operations are stamped with this.
     pub fn rank_now(&self, rank: Rank) -> Time {
-        self.0.st.borrow().ranks[rank].cpu.free_at().max(self.0.sim.now())
+        self.0.st.borrow().ranks[rank]
+            .cpu
+            .free_at()
+            .max(self.0.sim.now())
     }
 
     /// Busy time accumulated by `rank`'s CPU.
@@ -208,7 +211,13 @@ impl SimWorld {
 
     /// Run a closure with mutable access to a window of `rank`'s segment
     /// (zero-copy accumulate for the extend-add motif).
-    pub fn seg_with_mut<R>(&self, rank: Rank, off: usize, len: usize, f: impl FnOnce(&mut [u8]) -> R) -> R {
+    pub fn seg_with_mut<R>(
+        &self,
+        rank: Rank,
+        off: usize,
+        len: usize,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> R {
         let mut seg = self.0.segs[rank].borrow_mut();
         let end = off.checked_add(len).expect("offset overflow");
         assert!(end <= seg.len(), "seg_with_mut out of bounds");
@@ -278,17 +287,15 @@ impl SimWorld {
                 w.seg_read(target, src_off, &mut data);
                 let back = {
                     let mut st = w.0.st.borrow_mut();
-                    st.machine.transfer(target, src_rank, len, req_arrive).arrive
+                    st.machine
+                        .transfer(target, src_rank, len, req_arrive)
+                        .arrive
                 };
                 let w2 = w.clone();
                 w.0.sim.schedule_at(
                     back,
                     Box::new(move || {
-                        w2.deliver(
-                            src_rank,
-                            Box::new(move || on_done(data)),
-                            Time::ZERO,
-                        )
+                        w2.deliver(src_rank, Box::new(move || on_done(data)), Time::ZERO)
                     }),
                 );
             }),
@@ -300,6 +307,7 @@ impl SimWorld {
     /// delivery time with **no target CPU involvement** (the paper highlights
     /// this offload as the scalability win for remote atomics), and the prior
     /// value returns to the initiator, where `on_done` receives it.
+    #[allow(clippy::too_many_arguments)] // mirrors the conduit AMO signature
     pub fn amo(
         &self,
         src_rank: Rank,
@@ -355,18 +363,63 @@ impl SimWorld {
     /// Active message: run `item` on `target` after a modeled transfer of
     /// `payload_bytes`. `o_inject` is the initiator software cost;
     /// the dispatch cost at the target comes from the machine config.
-    pub fn am(&self, src_rank: Rank, target: Rank, payload_bytes: usize, o_inject: Time, item: LocalItem) {
+    pub fn am(
+        &self,
+        src_rank: Rank,
+        target: Rank,
+        payload_bytes: usize,
+        o_inject: Time,
+        item: LocalItem,
+    ) {
         let arrive = {
             let mut st = self.0.st.borrow_mut();
             let now = self.0.sim.now();
             let ready = st.ranks[src_rank].cpu.charge(now, o_inject);
-            st.machine.transfer(src_rank, target, payload_bytes, ready).arrive
+            st.machine
+                .transfer(src_rank, target, payload_bytes, ready)
+                .arrive
         };
         let dispatch = self.0.cfg.sw.gex_am_dispatch;
         let w = self.clone();
         self.0
             .sim
             .schedule_at(arrive, Box::new(move || w.deliver(target, item, dispatch)));
+    }
+
+    /// Aggregated active-message batch: run `items` back-to-back, in order,
+    /// on `target` after **one** modeled transfer of `payload_bytes` (the
+    /// whole batch pays a single NIC injection gap and per-byte cost) and a
+    /// single dispatch charge at the target. `o_inject` is charged once on
+    /// the source CPU. This is the sim transport of the `upcxx` aggregation
+    /// layer; the per-message gap and dispatch amortization is exactly what
+    /// it models. The batch counts as one delivered item in `items_run`.
+    pub fn am_batch(
+        &self,
+        src_rank: Rank,
+        target: Rank,
+        payload_bytes: usize,
+        o_inject: Time,
+        items: Vec<LocalItem>,
+    ) {
+        let arrive = {
+            let mut st = self.0.st.borrow_mut();
+            let now = self.0.sim.now();
+            let ready = st.ranks[src_rank].cpu.charge(now, o_inject);
+            st.machine
+                .transfer(src_rank, target, payload_bytes, ready)
+                .arrive
+        };
+        let dispatch = self.0.cfg.sw.gex_am_dispatch;
+        let w = self.clone();
+        let combined: LocalItem = Box::new(move || {
+            for item in items {
+                item();
+            }
+        });
+        self.0.sim.schedule_at(
+            arrive,
+            Box::new(move || w.deliver(target, combined, dispatch)),
+        );
     }
 
     /// Schedule `item` to run on `rank` after a virtual delay (a pure
@@ -592,7 +645,10 @@ mod tests {
         }
         w.run();
         let t = Time::from_ps(exec_time.load(Ordering::SeqCst));
-        assert!(t >= Time::from_ms(1), "AM ran at {t} during the compute window");
+        assert!(
+            t >= Time::from_ms(1),
+            "AM ran at {t} during the compute window"
+        );
     }
 
     #[test]
@@ -633,7 +689,10 @@ mod tests {
             Time::from_ps(t1.load(Ordering::SeqCst)),
             Time::from_ps(t2.load(Ordering::SeqCst)),
         );
-        assert!(tb >= ta + Time::from_us(1) - Time::from_ns(1), "ta={ta} tb={tb}");
+        assert!(
+            tb >= ta + Time::from_us(1) - Time::from_ns(1),
+            "ta={ta} tb={tb}"
+        );
     }
 
     #[test]
@@ -677,7 +736,14 @@ mod tests {
                     Box::new(move || {
                         for i in 0..20usize {
                             let dst = (r + i) % 8;
-                            w2.put(r, dst, i * 8, vec![r as u8; 8], Time::from_ns(150), Box::new(|| {}));
+                            w2.put(
+                                r,
+                                dst,
+                                i * 8,
+                                vec![r as u8; 8],
+                                Time::from_ns(150),
+                                Box::new(|| {}),
+                            );
                         }
                     }),
                 );

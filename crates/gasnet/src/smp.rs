@@ -3,7 +3,7 @@
 //! This is the "real" conduit. Shared segments are genuine memory; an
 //! [`RankHandle::put_bytes`] is a true one-sided copy performed by the
 //! initiating thread with no target involvement (exactly the RDMA semantics
-//! GASNet-EX exposes on Aries); active messages travel through lock-free
+//! GASNet-EX exposes on Aries); active messages travel through MPSC
 //! inboxes and execute on the target thread only when it polls — so the
 //! paper's *attentiveness* requirement (§III) is physically real here: a rank
 //! that stops polling stops executing incoming RPCs.
@@ -22,9 +22,46 @@
 //! like real UPC++ programs do.
 
 use crate::{Item, Rank};
-use crossbeam::queue::SegQueue;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// An MPSC inbox of deliverable items: many ranks push, the owner pops from
+/// its own inbox during progress. A `Mutex<VecDeque>` (std-only workspace)
+/// with an atomic length so emptiness probes never take the lock.
+struct Inbox {
+    q: Mutex<VecDeque<Item>>,
+    len: AtomicU64,
+}
+
+impl Inbox {
+    fn new() -> Inbox {
+        Inbox {
+            q: Mutex::new(VecDeque::new()),
+            len: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, item: Item) {
+        self.q.lock().expect("inbox poisoned").push_back(item);
+        self.len.fetch_add(1, Ordering::Release);
+    }
+
+    fn pop(&self) -> Option<Item> {
+        if self.len.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let it = self.q.lock().expect("inbox poisoned").pop_front();
+        if it.is_some() {
+            self.len.fetch_sub(1, Ordering::Release);
+        }
+        it
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len.load(Ordering::Acquire) == 0
+    }
+}
 
 /// Configuration for an smp world.
 #[derive(Clone, Debug)]
@@ -68,7 +105,7 @@ impl Drop for Segment {
     fn drop(&mut self) {
         // SAFETY: reconstructing exactly what `new` forgot.
         unsafe {
-            drop(Box::from_raw(std::slice::from_raw_parts_mut(
+            drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
                 self.base, self.len,
             )));
         }
@@ -79,9 +116,10 @@ struct Shared {
     n: usize,
     seg_size: usize,
     segments: Vec<Segment>,
-    inboxes: Vec<SegQueue<Item>>,
+    inboxes: Vec<Inbox>,
     am_sent: AtomicU64,
     items_run: AtomicU64,
+    batches_sent: AtomicU64,
 }
 
 /// A per-rank handle to the smp world: the conduit endpoint the `upcxx`
@@ -116,6 +154,10 @@ impl RankHandle {
     pub fn items_run_total(&self) -> u64 {
         self.sh.items_run.load(Ordering::Relaxed)
     }
+    /// Total aggregated batches sent across the world so far.
+    pub fn batches_sent_total(&self) -> u64 {
+        self.sh.batches_sent.load(Ordering::Relaxed)
+    }
 
     /// Base pointer of `rank`'s segment. The smp conduit has a flat address
     /// space, so "downcasting" a global address to a local pointer — which the
@@ -134,7 +176,9 @@ impl RankHandle {
     pub fn put_bytes(&self, dst_rank: Rank, dst_off: usize, src: &[u8]) {
         let seg = &self.sh.segments[dst_rank];
         assert!(
-            dst_off.checked_add(src.len()).is_some_and(|end| end <= seg.len),
+            dst_off
+                .checked_add(src.len())
+                .is_some_and(|end| end <= seg.len),
             "put out of segment bounds: off={dst_off} len={} seg={}",
             src.len(),
             seg.len
@@ -151,7 +195,9 @@ impl RankHandle {
     pub fn get_bytes(&self, src_rank: Rank, src_off: usize, dst: &mut [u8]) {
         let seg = &self.sh.segments[src_rank];
         assert!(
-            src_off.checked_add(dst.len()).is_some_and(|end| end <= seg.len),
+            src_off
+                .checked_add(dst.len())
+                .is_some_and(|end| end <= seg.len),
             "get out of segment bounds: off={src_off} len={} seg={}",
             dst.len(),
             seg.len
@@ -184,10 +230,12 @@ impl RankHandle {
     /// Atomic compare-exchange of a `u64` in a remote segment. Returns the
     /// previous value (success iff it equals `expected`).
     pub fn atomic_cas_u64(&self, rank: Rank, off: usize, expected: u64, new: u64) -> u64 {
-        match self
-            .atomic_at(rank, off)
-            .compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire)
-        {
+        match self.atomic_at(rank, off).compare_exchange(
+            expected,
+            new,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
             Ok(v) => v,
             Err(v) => v,
         }
@@ -206,6 +254,21 @@ impl RankHandle {
     pub fn send_item(&self, target: Rank, item: Item) {
         self.sh.am_sent.fetch_add(1, Ordering::Relaxed);
         self.sh.inboxes[target].push(item);
+    }
+
+    /// Deliver a batch of items to `target` as **one** inbox entry: a single
+    /// queue push (one lock acquisition, one allocation in the queue) no
+    /// matter how many payloads ride along; the items run back-to-back, in
+    /// order, when the target polls. This is the aggregation layer's
+    /// transport — the smp analogue of a single wire message.
+    pub fn send_batch(&self, target: Rank, items: Vec<Item>) {
+        self.sh.am_sent.fetch_add(1, Ordering::Relaxed);
+        self.sh.batches_sent.fetch_add(1, Ordering::Relaxed);
+        self.sh.inboxes[target].push(Box::new(move || {
+            for item in items {
+                item();
+            }
+        }));
     }
 
     /// Execute up to `budget` pending items from *this rank's* inbox.
@@ -247,9 +310,10 @@ where
         n,
         seg_size: cfg.seg_size,
         segments: (0..n).map(|_| Segment::new(cfg.seg_size)).collect(),
-        inboxes: (0..n).map(|_| SegQueue::new()).collect(),
+        inboxes: (0..n).map(|_| Inbox::new()).collect(),
         am_sent: AtomicU64::new(0),
         items_run: AtomicU64::new(0),
+        batches_sent: AtomicU64::new(0),
     });
     std::thread::scope(|scope| {
         for me in 0..n {
@@ -282,24 +346,18 @@ mod tests {
     #[test]
     fn put_get_roundtrip_cross_rank() {
         let barrier = Barrier::new(2);
-        launch(
-            2,
-            SmpConfig {
-                seg_size: 4096,
-            },
-            |h| {
-                if h.rank_me() == 0 {
-                    let data: Vec<u8> = (0..=255).collect();
-                    h.put_bytes(1, 128, &data);
-                    barrier.wait();
-                } else {
-                    barrier.wait();
-                    let mut out = vec![0u8; 256];
-                    h.get_bytes(1, 128, &mut out);
-                    assert_eq!(out, (0..=255).collect::<Vec<u8>>());
-                }
-            },
-        );
+        launch(2, SmpConfig { seg_size: 4096 }, |h| {
+            if h.rank_me() == 0 {
+                let data: Vec<u8> = (0..=255).collect();
+                h.put_bytes(1, 128, &data);
+                barrier.wait();
+            } else {
+                barrier.wait();
+                let mut out = vec![0u8; 256];
+                h.get_bytes(1, 128, &mut out);
+                assert_eq!(out, (0..=255).collect::<Vec<u8>>());
+            }
+        });
     }
 
     #[test]
@@ -349,15 +407,9 @@ mod tests {
         // The panic originates on a rank thread; thread::scope re-raises it
         // in the caller but the payload string is not guaranteed to survive,
         // so no `expected` substring here.
-        launch(
-            1,
-            SmpConfig {
-                seg_size: 16,
-            },
-            |h| {
-                h.put_bytes(0, 10, &[0u8; 8]);
-            },
-        );
+        launch(1, SmpConfig { seg_size: 16 }, |h| {
+            h.put_bytes(0, 10, &[0u8; 8]);
+        });
     }
 
     #[test]

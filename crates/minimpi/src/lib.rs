@@ -35,8 +35,14 @@ pub mod coll;
 pub mod p2p;
 pub mod rma;
 
-pub use coll::{alltoallv, alltoallv_bytes, alltoallv_bytes_with_tag, barrier, barrier_async, barrier_async_team, waitall};
-pub use p2p::{irecv, irecv_bytes, irecv_from_any, isend, isend_bytes, recv, send, MpiState, Status, ANY_SOURCE};
+pub use coll::{
+    alltoallv, alltoallv_bytes, alltoallv_bytes_with_tag, barrier, barrier_async,
+    barrier_async_team, waitall,
+};
+pub use p2p::{
+    irecv, irecv_bytes, irecv_from_any, isend, isend_bytes, recv, send, MpiState, Status,
+    ANY_SOURCE,
+};
 pub use rma::Win;
 
 use pgas_des::Time;

@@ -41,9 +41,24 @@ struct PostedRecv {
 }
 
 enum Unexpected {
-    Eager { src: usize, tag: i32, bytes: Vec<u8> },
-    Rts { src: usize, tag: i32, token: u64 },
+    Eager {
+        src: usize,
+        tag: i32,
+        bytes: Vec<u8>,
+    },
+    Rts {
+        src: usize,
+        tag: i32,
+        token: u64,
+    },
 }
+
+/// A rendezvous send parked until its CTS arrives: (dest, payload,
+/// completion promise).
+type RndvSend = (usize, Vec<u8>, Promise<()>);
+
+/// A matched receive awaiting rendezvous data: (delivery promise, status).
+type RndvRecv = (Promise<(Vec<u8>, Status)>, Status);
 
 /// Per-rank MPI library state (posted/unexpected queues, rendezvous
 /// tokens). Reached through `upcxx::rank_state`, so it is rank-correct on
@@ -53,11 +68,11 @@ pub struct MpiState {
     posted: RefCell<Vec<PostedRecv>>,
     unexpected: RefCell<Vec<Unexpected>>,
     /// Sender side: payloads parked until their CTS arrives.
-    rndv_out: RefCell<HashMap<u64, (usize, Vec<u8>, Promise<()>)>>,
+    rndv_out: RefCell<HashMap<u64, RndvSend>>,
     /// Receiver side: matched receives waiting for rendezvous data, keyed
     /// by (sender, sender-local token) — tokens alone collide across
     /// senders.
-    rndv_in: RefCell<HashMap<(usize, u64), (Promise<(Vec<u8>, Status)>, Status)>>,
+    rndv_in: RefCell<HashMap<(usize, u64), RndvRecv>>,
     next_token: Cell<u64>,
     /// Collective sequence number (alltoallv tag space).
     pub(crate) coll_seq: Cell<u64>,
@@ -241,7 +256,11 @@ fn cts_arrival(args: (usize, u64)) {
         charge(sw.mpi_rndv_setup);
     }
     // Payload moves now; the send buffer is handed off.
-    upcxx::rpc_ff(receiver, rndv_data_arrival, (upcxx::rank_me(), token, bytes));
+    upcxx::rpc_ff(
+        receiver,
+        rndv_data_arrival,
+        (upcxx::rank_me(), token, bytes),
+    );
     send_prom.fulfill(());
 }
 

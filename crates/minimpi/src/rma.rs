@@ -60,7 +60,10 @@ impl Win {
     pub fn create_async(size: usize) -> Future<Win> {
         let base = upcxx::allocate::<u8>(size);
         let me = upcxx::rank_me();
-        fn merge(mut a: Vec<(usize, u64, u64)>, mut b: Vec<(usize, u64, u64)>) -> Vec<(usize, u64, u64)> {
+        fn merge(
+            mut a: Vec<(usize, u64, u64)>,
+            mut b: Vec<(usize, u64, u64)>,
+        ) -> Vec<(usize, u64, u64)> {
             a.append(&mut b);
             a
         }
@@ -133,7 +136,12 @@ impl Win {
             ),
         };
         charge(o_put);
-        self.inner.targets.borrow_mut().entry(target).or_default().outstanding += 1;
+        self.inner
+            .targets
+            .borrow_mut()
+            .entry(target)
+            .or_default()
+            .outstanding += 1;
         if data.len() <= inline_thresh {
             self.inject(target, dst_off, data.to_vec(), pgas_des::Time::ZERO);
         } else if data.len() <= eager_thresh {
@@ -148,7 +156,9 @@ impl Win {
             let can_start = {
                 let mut t = self.inner.targets.borrow_mut();
                 let ts = t.get_mut(&target).unwrap();
-                let limit = crate::sw().map(|sw| sw.mpi_rndv_pipeline).unwrap_or(usize::MAX);
+                let limit = crate::sw()
+                    .map(|sw| sw.mpi_rndv_pipeline)
+                    .unwrap_or(usize::MAX);
                 if ts.rndv_inflight < limit {
                     ts.rndv_inflight += 1;
                     true
@@ -178,7 +188,12 @@ impl Win {
         if let Some(sw) = crate::sw() {
             charge(sw.mpi_put_inject);
         }
-        self.inner.targets.borrow_mut().entry(target).or_default().outstanding += 1;
+        self.inner
+            .targets
+            .borrow_mut()
+            .entry(target)
+            .or_default()
+            .outstanding += 1;
         let win = self.clone();
         upcxx::rget(self.inner.bases[target].add(src_off), len).then(move |bytes| {
             win.op_done(target);
@@ -278,5 +293,3 @@ impl Win {
         }
     }
 }
-
-

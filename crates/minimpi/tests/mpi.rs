@@ -225,7 +225,10 @@ fn sim_mpi_put_latency_exceeds_upcxx_rput() {
         MPI_NS.load(Ordering::SeqCst),
     );
     assert!(u > 0 && m > 0, "measurements missing: upcxx={u} mpi={m}");
-    assert!(m > u, "MPI put+flush ({m} ns) should exceed UPC++ rput ({u} ns)");
+    assert!(
+        m > u,
+        "MPI put+flush ({m} ns) should exceed UPC++ rput ({u} ns)"
+    );
 }
 
 #[test]
@@ -249,8 +252,7 @@ fn sim_matching_cost_grows_with_posted_queue() {
         rt.spawn_at(0, Time::from_us(2), || {
             minimpi::isend_bytes(32, 7, vec![1u8; 16]);
         });
-        rt.run_until_quiet()
-            .unwrap_or_else(|| done.get());
+        rt.run_until_quiet().unwrap_or_else(|| done.get());
         done.get()
     };
     let short = run(0);

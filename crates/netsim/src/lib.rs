@@ -294,53 +294,63 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
+    //! Deterministic randomized invariants (replacing the former proptest
+    //! suite — the workspace builds offline with no external crates).
     use super::*;
-    use proptest::prelude::*;
+    use pgas_des::rng::Rng;
 
-    proptest! {
-        /// Delivery never precedes hand-off plus the one-way latency floor.
-        #[test]
-        fn delivery_respects_latency_floor(
-            payload in 0usize..1_000_000,
-            ready_ns in 0u64..1_000_000,
-            src in 0usize..256,
-            dst in 0usize..256,
-        ) {
+    /// Delivery never precedes hand-off plus the one-way latency floor.
+    #[test]
+    fn delivery_respects_latency_floor() {
+        let mut r = Rng::new(0xf100);
+        for _ in 0..256 {
+            let payload = r.gen_range(1_000_000);
+            let ready = Time::from_ns(r.gen_range(1_000_000) as u64);
+            let (src, dst) = (r.gen_range(256), r.gen_range(256));
             let cfg = MachineConfig::cori_haswell();
             let mut m = Machine::new(cfg, 256);
-            let ready = Time::from_ns(ready_ns);
             let d = m.transfer(src, dst, payload, ready);
             let p = &m.config().net;
-            let floor = if m.same_node(src, dst) { p.lat_intra } else { p.lat_inter };
-            prop_assert!(d.arrive >= ready + floor);
-            prop_assert!(d.tx_done >= ready);
-            prop_assert!(d.arrive >= d.tx_done);
+            let floor = if m.same_node(src, dst) {
+                p.lat_intra
+            } else {
+                p.lat_inter
+            };
+            assert!(d.arrive >= ready + floor);
+            assert!(d.tx_done >= ready);
+            assert!(d.arrive >= d.tx_done);
         }
+    }
 
-        /// Larger payloads on an otherwise idle machine never arrive earlier.
-        #[test]
-        fn monotone_in_payload(a in 0usize..500_000, b in 0usize..500_000) {
+    /// Larger payloads on an otherwise idle machine never arrive earlier.
+    #[test]
+    fn monotone_in_payload() {
+        let mut r = Rng::new(0x404);
+        for _ in 0..256 {
+            let (a, b) = (r.gen_range(500_000), r.gen_range(500_000));
             let cfg = MachineConfig::cori_haswell();
             let rpn = cfg.ranks_per_node;
             let (small, large) = if a <= b { (a, b) } else { (b, a) };
             let d_small = Machine::new(cfg.clone(), rpn + 1).transfer(0, rpn, small, Time::ZERO);
             let d_large = Machine::new(cfg, rpn + 1).transfer(0, rpn, large, Time::ZERO);
-            prop_assert!(d_large.arrive >= d_small.arrive);
+            assert!(d_large.arrive >= d_small.arrive);
         }
+    }
 
-        /// The node-0 transmit clock only moves forward under arbitrary traffic.
-        #[test]
-        fn nic_clocks_monotone(ops in proptest::collection::vec((0usize..128, 0usize..128, 0usize..4096), 1..200)) {
-            let cfg = MachineConfig::cori_haswell();
-            let mut m = Machine::new(cfg, 128);
-            let mut prev_tx = Time::ZERO;
-            for (src, dst, len) in ops {
-                let d = m.transfer(src, dst, len, Time::ZERO);
-                if !m.same_node(src, dst) && m.node_of(src) == 0 {
-                    prop_assert!(d.tx_done >= prev_tx);
-                    prev_tx = d.tx_done;
-                }
+    /// The node-0 transmit clock only moves forward under arbitrary traffic.
+    #[test]
+    fn nic_clocks_monotone() {
+        let mut r = Rng::new(0xc10c);
+        let cfg = MachineConfig::cori_haswell();
+        let mut m = Machine::new(cfg, 128);
+        let mut prev_tx = Time::ZERO;
+        for _ in 0..512 {
+            let (src, dst, len) = (r.gen_range(128), r.gen_range(128), r.gen_range(4096));
+            let d = m.transfer(src, dst, len, Time::ZERO);
+            if !m.same_node(src, dst) && m.node_of(src) == 0 {
+                assert!(d.tx_done >= prev_tx);
+                prev_tx = d.tx_done;
             }
         }
     }

@@ -107,7 +107,9 @@ impl EaddPlan {
         // Child-front-index -> parent-front-index translation tables.
         let mut to_parent: Vec<Vec<u32>> = vec![Vec::new(); tree.nodes.len()];
         for id in 0..tree.nodes.len() {
-            let Some(parent) = tree.nodes[id].parent else { continue };
+            let Some(parent) = tree.nodes[id].parent else {
+                continue;
+            };
             let f = &fronts[id];
             let nc = f.ncols();
             to_parent[id] = (0..f.dim())
@@ -122,10 +124,11 @@ impl EaddPlan {
         }
         // Expected incoming messages per parent rank: walk every child's F22
         // cells once, tallying (child_rank -> parent_rank) adjacency.
-        let mut expected: Vec<HashMap<usize, usize>> =
-            vec![HashMap::new(); tree.nodes.len()];
+        let mut expected: Vec<HashMap<usize, usize>> = vec![HashMap::new(); tree.nodes.len()];
         for id in 0..tree.nodes.len() {
-            let Some(parent) = tree.nodes[id].parent else { continue };
+            let Some(parent) = tree.nodes[id].parent else {
+                continue;
+            };
             let mut pairs: std::collections::HashSet<(usize, usize)> =
                 std::collections::HashSet::new();
             let child_front = &fronts[id];
@@ -134,6 +137,7 @@ impl EaddPlan {
             let lay_p = &layouts[parent];
             for fi in nc..child_front.dim() {
                 let pi = to_parent[id][fi] as usize;
+                #[allow(clippy::needless_range_loop)] // fi/fj symmetry reads better
                 for fj in nc..child_front.dim() {
                     let src_team = lay_c.owner(fi, fj);
                     let src_world = map[id].world_rank(src_team.min(map[id].len - 1));
@@ -303,7 +307,12 @@ pub fn pack(plan: &EaddPlan, id: usize) -> BTreeMap<usize, Vec<Entry>> {
 
 /// Accumulate entries into this rank's local part of front `id` (the
 /// paper's `accum` callback). Charges the modeled per-element cost.
-pub fn accumulate(plan: &EaddPlan, id: usize, entries: impl Iterator<Item = Entry>, count_hint: usize) {
+pub fn accumulate(
+    plan: &EaddPlan,
+    id: usize,
+    entries: impl Iterator<Item = Entry>,
+    count_hint: usize,
+) {
     let me = upcxx::rank_me();
     let team_rank = plan.map[id].team_rank(me);
     let lay = &plan.layouts[id];
@@ -447,8 +456,8 @@ fn eadd_level_a2a(plan: &Rc<EaddPlan>, level: usize) -> Future<()> {
         }
         let send_bytes = send.iter().map(|v| entries_to_bytes(v)).collect();
         let plan2 = plan.clone();
-        let fut = minimpi::alltoallv_bytes_with_tag(&team, send_bytes, id as i32)
-            .then(move |recv| {
+        let fut =
+            minimpi::alltoallv_bytes_with_tag(&team, send_bytes, id as i32).then(move |recv| {
                 for bytes in recv {
                     if !bytes.is_empty() {
                         let entries = bytes_to_entries(&bytes);
@@ -504,8 +513,8 @@ fn eadd_level_p2p(plan: &Rc<EaddPlan>, level: usize) -> Future<()> {
             .collect();
         let plan2 = plan.clone();
         let pr2 = *pr;
-        let fut = minimpi::alltoallv_bytes_with_tag(&team, counts_bytes, counts_tag)
-            .then_fut(move |recv_counts| {
+        let fut = minimpi::alltoallv_bytes_with_tag(&team, counts_bytes, counts_tag).then_fut(
+            move |recv_counts| {
                 // Phase 2: data only between non-empty pairs.
                 let me = upcxx::rank_me();
                 let mut phase2: Vec<Future<()>> = Vec::new();
@@ -531,7 +540,8 @@ fn eadd_level_p2p(plan: &Rc<EaddPlan>, level: usize) -> Future<()> {
                     phase2.push(minimpi::isend_bytes(dst, data_tag, entries_to_bytes(&es)));
                 }
                 upcxx::when_all_vec(phase2).then(|_| ())
-            });
+            },
+        );
         futs.push(fut);
     }
     upcxx::when_all_vec(futs).then(|_| ())
@@ -593,11 +603,10 @@ pub fn serial_reference(plan: &EaddPlan) -> HashMap<usize, Vec<f64>> {
                 let pd = plan.fronts[id].dim();
                 let parent = dense.get_mut(&id).unwrap();
                 for fi in cnc..cd {
-                    let pi = plan.fronts[id]
-                        .global_to_front(plan.fronts[ch].front_to_global(fi));
+                    let pi = plan.fronts[id].global_to_front(plan.fronts[ch].front_to_global(fi));
                     for fj in cnc..cd {
-                        let pj = plan.fronts[id]
-                            .global_to_front(plan.fronts[ch].front_to_global(fj));
+                        let pj =
+                            plan.fronts[id].global_to_front(plan.fronts[ch].front_to_global(fj));
                         parent[pi * pd + pj] += child[fi * cd + fj];
                     }
                 }

@@ -178,7 +178,11 @@ mod tests {
         let a = grid3d_laplacian(3);
         for i in 0..a.n {
             let diag = a.get(i, i);
-            let off: f64 = a.row(i).filter(|&(j, _)| j != i).map(|(_, v)| v.abs()).sum();
+            let off: f64 = a
+                .row(i)
+                .filter(|&(j, _)| j != i)
+                .map(|(_, v)| v.abs())
+                .sum();
             assert!(diag > off, "row {i}: {diag} <= {off}");
         }
     }

@@ -153,17 +153,29 @@ pub fn nested_dissection(k: usize, leaf_size: usize) -> SnTree {
             let m = b.x0 + dx / 2;
             lo.x1 = m;
             hi.x0 = m + 1;
-            sep = GridBox { x0: m, x1: m + 1, ..b };
+            sep = GridBox {
+                x0: m,
+                x1: m + 1,
+                ..b
+            };
         } else if dy >= dz {
             let m = b.y0 + dy / 2;
             lo.y1 = m;
             hi.y0 = m + 1;
-            sep = GridBox { y0: m, y1: m + 1, ..b };
+            sep = GridBox {
+                y0: m,
+                y1: m + 1,
+                ..b
+            };
         } else {
             let m = b.z0 + dz / 2;
             lo.z1 = m;
             hi.z0 = m + 1;
-            sep = GridBox { z0: m, z1: m + 1, ..b };
+            sep = GridBox {
+                z0: m,
+                z1: m + 1,
+                ..b
+            };
         }
         let mut children = Vec::new();
         if lo.cells() > 0 {

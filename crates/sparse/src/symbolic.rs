@@ -208,8 +208,14 @@ mod tests {
 
     #[test]
     fn flops_monotone_in_front_size() {
-        let small = FrontSym { cols: 0..4, rows: vec![5, 6] };
-        let big = FrontSym { cols: 0..8, rows: vec![9, 10, 11, 12] };
+        let small = FrontSym {
+            cols: 0..4,
+            rows: vec![5, 6],
+        };
+        let big = FrontSym {
+            cols: 0..8,
+            rows: vec![9, 10, 11, 12],
+        };
         assert!(big.flops() > small.flops());
     }
 }

@@ -85,7 +85,9 @@ impl CholPlan {
         let team_len = map.iter().map(|r| r.len).collect();
         let mut to_parent: Vec<Vec<u32>> = vec![Vec::new(); tree.nodes.len()];
         for id in 0..tree.nodes.len() {
-            let Some(parent) = tree.nodes[id].parent else { continue };
+            let Some(parent) = tree.nodes[id].parent else {
+                continue;
+            };
             let f = &fronts[id];
             let nc = f.ncols();
             to_parent[id] = (0..f.dim())
@@ -188,7 +190,11 @@ pub fn install(plan: Rc<CholPlan>, api: Api) {
 /// quiescence.
 pub fn start() {
     let st = state();
-    let plan = st.plan.borrow().clone().expect("sympack plan not installed");
+    let plan = st
+        .plan
+        .borrow()
+        .clone()
+        .expect("sympack plan not installed");
     let ready: Vec<usize> = st
         .pending
         .borrow()
@@ -272,7 +278,11 @@ fn process_front(plan: &Rc<CholPlan>, id: usize) {
 /// Shared accumulate-and-maybe-factorize path at the parent's owner.
 fn accum_common(parent: usize, entries: impl Iterator<Item = Entry>, count: usize) {
     let st = state();
-    let plan = st.plan.borrow().clone().expect("sympack plan not installed");
+    let plan = st
+        .plan
+        .borrow()
+        .clone()
+        .expect("sympack plan not installed");
     upcxx::compute(Time::from_ns(2) * count as u64);
     {
         let pf = &plan.fronts[parent];

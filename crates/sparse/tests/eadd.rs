@@ -91,9 +91,11 @@ fn run_sim_variant(variant: Variant, p: usize, k: usize) -> pgas_des::Time {
             install_plan(plan.clone());
             let plan2 = plan.clone();
             let done2 = done.clone();
-            upcxx::barrier_async().then_fut(move |_| eadd_traverse(plan2, variant)).then(move |_| {
-                done2.set(done2.get() + 1);
-            });
+            upcxx::barrier_async()
+                .then_fut(move |_| eadd_traverse(plan2, variant))
+                .then(move |_| {
+                    done2.set(done2.get() + 1);
+                });
         });
     }
     let t = rt.run();

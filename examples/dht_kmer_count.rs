@@ -36,7 +36,7 @@ fn base_at(i: usize) -> u8 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
     // Heavily skewed alphabet so k-mers repeat (interesting counts).
     match (z >> 33) % 7 {
-        0 | 1 | 2 => b'A',
+        0..=2 => b'A',
         3 | 4 => b'C',
         5 => b'G',
         _ => b'T',
@@ -63,7 +63,9 @@ fn main() {
 
         // Scan my overlapping chunk [start, end + K) of the genome.
         let start = me * BASES_PER_RANK;
-        let chunk: Vec<u8> = (start..start + BASES_PER_RANK + K - 1).map(base_at).collect();
+        let chunk: Vec<u8> = (start..start + BASES_PER_RANK + K - 1)
+            .map(base_at)
+            .collect();
 
         // Local aggregation first (the HipMer pattern), then one RPC per
         // distinct k-mer to its owner, conjoined on a single promise.

@@ -66,7 +66,10 @@ fn main() {
             }
             let total = upcxx::reduce_all(cells as u64, upcxx::ops::add_u64).wait();
             if me == 0 {
-                println!("e_add via {:<13} OK ({total} parent cells verified)", variant.label());
+                println!(
+                    "e_add via {:<13} OK ({total} parent cells verified)",
+                    variant.label()
+                );
             }
             upcxx::barrier();
         });

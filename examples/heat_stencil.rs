@@ -68,7 +68,10 @@ fn main() {
         // Heat is conserved (insulated ends) and has spread off the spike.
         let local_sum: f64 = u[1..=CELLS_PER_RANK].iter().sum();
         let total_heat = upcxx::reduce_all(local_sum, upcxx::ops::add_f64).wait();
-        assert!((total_heat - 1000.0).abs() < 1e-6, "heat not conserved: {total_heat}");
+        assert!(
+            (total_heat - 1000.0).abs() < 1e-6,
+            "heat not conserved: {total_heat}"
+        );
         let local_max = u[1..=CELLS_PER_RANK].iter().cloned().fold(0.0, f64::max);
         let peak = upcxx::reduce_all(local_max, upcxx::ops::max_f64).wait();
         assert!(peak < 1000.0 && peak > 0.0);

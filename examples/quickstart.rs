@@ -40,8 +40,10 @@ fn main() {
         let (who, entries) = fut.wait();
         assert!(entries >= 1);
         if me == 0 {
-            println!("rank 0: rank {who} now holds {entries} inbox entr{}",
-                if entries == 1 { "y" } else { "ies" });
+            println!(
+                "rank 0: rank {who} now holds {entries} inbox entr{}",
+                if entries == 1 { "y" } else { "ies" }
+            );
         }
         upcxx::barrier();
 
@@ -59,11 +61,8 @@ fn main() {
         // --- collectives --------------------------------------------------
         let sum = upcxx::reduce_all(me as u64 + 1, upcxx::ops::add_u64).wait();
         assert_eq!(sum, (n * (n + 1) / 2) as u64);
-        let motto = upcxx::broadcast(
-            0,
-            (me == 0).then(|| String::from("asynchrony by default")),
-        )
-        .wait();
+        let motto =
+            upcxx::broadcast(0, (me == 0).then(|| String::from("asynchrony by default"))).wait();
         if me == n - 1 {
             println!("rank {me}: broadcast says '{motto}', reduce_all says {sum}");
         }

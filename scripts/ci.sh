@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, and the tier-1 verify from ROADMAP.md.
+# The workspace has zero external dependencies, so everything here must pass
+# with no network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q (root package), then the full workspace"
+cargo test -q
+cargo test --workspace -q
+
+echo "CI OK"

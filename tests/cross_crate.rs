@@ -183,7 +183,8 @@ fn mixed_traffic_stress() {
             upcxx::rput_promise(&[i as u64], all[dst].add(me * 16 + i % 16), &p);
             p.require_anonymous(1);
             let p2 = p.clone();
-            ad.fetch_add(counters[dst], 1).then(move |_| p2.fulfill_anonymous(1));
+            ad.fetch_add(counters[dst], 1)
+                .then(move |_| p2.fulfill_anonymous(1));
             minimpi::isend(dst, 5, &[me as u64, i as u64]);
         }
         // Drain the 32 MPI messages we will receive (from assorted sources).
