@@ -133,24 +133,50 @@ fn bench_smp_rpc(filter: &Option<String>) {
             out.into_inner().unwrap()
         });
     }
-    if want(filter, "smp_rput_1KiB") {
-        bench_custom("smp_rput_1KiB", 20_000, |iters| {
-            let out = std::sync::Mutex::new(Duration::ZERO);
-            upcxx::run_spmd_default(2, || {
-                let buf = upcxx::allocate::<u8>(1024);
-                let bufs = upcxx::broadcast_gather(buf);
-                if upcxx::rank_me() == 0 {
-                    let data = vec![7u8; 1024];
-                    let t0 = Instant::now();
-                    for _ in 0..iters {
-                        upcxx::rput(black_box(&data), bufs[1]).wait();
-                    }
-                    *out.lock().unwrap() = t0.elapsed();
+    // The 1 KiB rput loop runs twice: tracing disabled (the product
+    // configuration — every trace hook must reduce to one branch) and
+    // tracing enabled (the cost of full four-phase event capture). The
+    // printed delta is the price of *having* the subsystem vs *using* it.
+    let rput_run = |trace: bool, iters: u64| {
+        let out = std::sync::Mutex::new(Duration::ZERO);
+        upcxx::run_spmd_default(2, || {
+            let buf = upcxx::allocate::<u8>(1024);
+            let bufs = upcxx::broadcast_gather(buf);
+            if upcxx::rank_me() == 0 {
+                if trace {
+                    upcxx::trace::set_config(upcxx::TraceConfig {
+                        enabled: true,
+                        capacity: 1 << 16,
+                    });
                 }
-                upcxx::barrier();
-            });
-            out.into_inner().unwrap()
+                let data = vec![7u8; 1024];
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    upcxx::rput(black_box(&data), bufs[1]).wait();
+                }
+                *out.lock().unwrap() = t0.elapsed();
+            }
+            upcxx::barrier();
         });
+        out.into_inner().unwrap()
+    };
+    let mut rput_base = None;
+    if want(filter, "smp_rput_1KiB") {
+        rput_base = Some(bench_custom("smp_rput_1KiB", 20_000, |iters| {
+            rput_run(false, iters)
+        }));
+    }
+    if want(filter, "smp_rput_1KiB_traced") {
+        let traced = bench_custom("smp_rput_1KiB_traced", 20_000, |iters| {
+            rput_run(true, iters)
+        });
+        if let Some(base) = rput_base {
+            println!(
+                "{:<32} {:>11.1}%   (event capture on vs off)",
+                "  tracing-enabled overhead",
+                (traced / base - 1.0) * 100.0
+            );
+        }
     }
 }
 

@@ -5,10 +5,14 @@
 //! 34816 ranks). The serial (1-rank) point omits all UPC++ calls, exactly as
 //! the paper describes.
 //!
-//! Usage: `fig4 [haswell|knl|both] [--quick] [--agg]`
+//! Usage: `fig4 [haswell|knl|both] [--quick] [--agg] [--trace-out <path>]
+//! [--trace-only]`
 //! (`--quick` caps the sweep at 2048 ranks for fast smoke runs; `--agg`
 //! additionally runs the windowed RPC-insert workload with the per-target
-//! aggregation layer off vs on and reports both series side by side)
+//! aggregation layer off vs on and reports both series side by side;
+//! `--trace-out` runs a small traced DHT-insert sim and exports the
+//! whole-world event stream as Chrome-trace JSON loadable in Perfetto;
+//! `--trace-only` skips the scaling sweeps, leaving just the traced run)
 
 use bench::{check, rule};
 use netsim::MachineConfig;
@@ -177,6 +181,66 @@ fn run_machine_agg(cfg: &MachineConfig, max_ranks: usize) {
     }
 }
 
+/// A small traced run of the Fig. 4 inner loop: 32 ranks insert into the
+/// DHT with per-rank event tracing on, and the whole-world stream is
+/// exported as Chrome-trace JSON (open `path` in Perfetto or
+/// `chrome://tracing`; one process track per rank, virtual timestamps).
+fn run_traced(cfg: &MachineConfig, path: &std::path::Path) {
+    println!(
+        "{}",
+        rule(&format!("traced DHT-insert run on {}", cfg.name))
+    );
+    let p = 32;
+    let size = 256;
+    let iters = 16;
+    let rt = SimRuntime::new(cfg.clone(), p, 64 << 10);
+    for r in 0..p {
+        rt.spawn(r, move || {
+            upcxx::trace::set_config(upcxx::TraceConfig {
+                enabled: true,
+                capacity: 1 << 16,
+            });
+            fn step(r: usize, i: usize, iters: usize, size: usize) {
+                if i == iters {
+                    return;
+                }
+                let key = splitmix((r as u64) << 24 | i as u64);
+                pgas_dht::insert(key, vec![0xa5u8; size]).then(move |_| {
+                    step(r, i + 1, iters, size);
+                });
+            }
+            step(r, 0, iters, size);
+        });
+    }
+    let t = rt.run();
+    let events = rt.take_trace();
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path).expect("create trace file"));
+    upcxx::trace::export_chrome(&events, &mut f).expect("write trace");
+    let count_phase = |ph: upcxx::Phase| events.iter().filter(|e| e.phase == ph).count();
+    println!(
+        "{} ranks x {iters} inserts of {size}B in {t}: {} events \
+         (inject {}, conduit {}, deliver {}, complete {}) -> {}",
+        p,
+        events.len(),
+        count_phase(upcxx::Phase::Inject),
+        count_phase(upcxx::Phase::Conduit),
+        count_phase(upcxx::Phase::Deliver),
+        count_phase(upcxx::Phase::Complete),
+        path.display()
+    );
+    check(
+        "traced run recorded all four phases",
+        [
+            upcxx::Phase::Inject,
+            upcxx::Phase::Conduit,
+            upcxx::Phase::Deliver,
+            upcxx::Phase::Complete,
+        ]
+        .iter()
+        .all(|&ph| count_phase(ph) > 0),
+    );
+}
+
 fn sweep(max_ranks: usize) -> Vec<usize> {
     let mut v = vec![
         1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 34816,
@@ -277,7 +341,18 @@ fn main() {
         .unwrap_or("both");
     let quick = args.iter().any(|a| a == "--quick");
     let agg = args.iter().any(|a| a == "--agg");
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .map(|i| args.get(i + 1).expect("--trace-out needs a path").clone());
+    let trace_only = args.iter().any(|a| a == "--trace-only");
     println!("deterministic sim; single run per configuration");
+    if let Some(path) = &trace_out {
+        run_traced(&MachineConfig::cori_haswell(), std::path::Path::new(path));
+    }
+    if trace_only {
+        return;
+    }
     if which == "haswell" || which == "both" {
         let cfg = MachineConfig::cori_haswell(); // 32 ranks/node
         run_machine(&cfg, if quick { 2048 } else { 16384 });

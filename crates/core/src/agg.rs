@@ -20,20 +20,30 @@
 //!
 //! ## When a buffer flushes
 //!
-//! * its accounted wire size reaches [`AggConfig::max_bytes`];
-//! * the application calls [`flush_all`] (or [`set_agg_config`]);
-//! * the rank enters a barrier ([`crate::coll::barrier_async_team`]);
-//! * user-level progress runs ([`crate::progress`], blocking waits);
-//! * a batch finishes executing at its target (the tail of every batch
-//!   flushes whatever the handlers buffered — typically replies — so a
-//!   passive rank cannot strand them; on the sim conduit every delivered
-//!   item additionally flushes on exit for the same reason).
+//! Every flush records *why* (the [`FlushReason`] rides on the trace events
+//! of the flushed members and of the batch itself):
+//!
+//! * its accounted wire size reaches [`AggConfig::max_bytes`]
+//!   (`Threshold`);
+//! * an oversize payload or a system AM needs the buffer drained first to
+//!   preserve per-target order (`Ordering`);
+//! * the application calls [`flush_all`] (`Explicit`) or
+//!   [`set_agg_config`] (`Reconfig`);
+//! * the rank enters a barrier (`Barrier`,
+//!   [`crate::coll::barrier_async_team`]);
+//! * user-level progress runs (`Progress`; [`crate::progress`], blocking
+//!   waits);
+//! * a batch finishes executing at its target (`ItemTail`: the tail of
+//!   every batch flushes whatever the handlers buffered — typically replies
+//!   — so a passive rank cannot strand them; on the sim conduit every
+//!   delivered item additionally flushes on exit for the same reason).
 //!
 //! Aggregation is **opt-in** ([`AggConfig::enabled`] defaults to `false`):
 //! it trades latency for throughput, exactly the trade the paper leaves to
 //! the application.
 
 use crate::ctx::{ctx, try_ctx, DefOp, RankCtx};
+use crate::trace::{FlushReason, OpKind, Phase, TraceTag};
 use crate::wire;
 use gasnet::{Item, Rank};
 use std::collections::HashMap;
@@ -65,6 +75,9 @@ impl Default for AggConfig {
 struct TargetBuf {
     /// Buffered executable payloads, in injection order.
     items: Vec<Item>,
+    /// The trace identity of each buffered payload (parallel to `items`);
+    /// members emit their `Conduit` event when the buffer flushes.
+    tags: Vec<TraceTag>,
     /// Accounted record bytes: Σ [`wire::batch_rec_size`] over `items`.
     rec_bytes: usize,
 }
@@ -91,19 +104,21 @@ impl AggState {
 
 /// Route one outgoing AM payload: buffer it when aggregation is on and the
 /// payload is small, otherwise inject it directly (flushing the target's
-/// buffer first so per-target order is preserved).
-pub(crate) fn submit(c: &RankCtx, target: Rank, payload: usize, item: Item) {
+/// buffer first so per-target order is preserved). `tag` is the payload's
+/// trace identity — its `Inject` event was emitted by the API entry point;
+/// its `Conduit` event fires when the payload actually leaves.
+pub(crate) fn submit(c: &RankCtx, target: Rank, payload: usize, item: Item, tag: TraceTag) {
     let cfg = c.agg.borrow().cfg;
     if !cfg.enabled {
-        inject_single(c, target, payload, item);
+        inject_single(c, target, payload, item, tag);
         return;
     }
     let rec = wire::batch_rec_size(payload);
     if wire::RPC_HDR + rec >= cfg.max_bytes {
         // Oversize: would fill (or overflow) a batch on its own. Keep order
         // by draining what is already queued for this target, then go direct.
-        flush_target(c, target);
-        inject_single(c, target, payload, item);
+        flush_target(c, target, FlushReason::Ordering);
+        inject_single(c, target, payload, item, tag);
         return;
     }
     // Would this record push the queued batch over the threshold? Ship what
@@ -113,7 +128,7 @@ pub(crate) fn submit(c: &RankCtx, target: Rank, payload: usize, item: Item) {
             !b.items.is_empty() && wire::RPC_HDR + b.rec_bytes + rec > cfg.max_bytes
         });
     if would_overflow {
-        flush_target(c, target);
+        flush_target(c, target, FlushReason::Threshold);
     }
     let full = {
         let mut st = c.agg.borrow_mut();
@@ -123,30 +138,37 @@ pub(crate) fn submit(c: &RankCtx, target: Rank, payload: usize, item: Item) {
         }
         let buf = st.bufs.entry(target).or_default();
         buf.items.push(item);
+        buf.tags.push(tag);
         buf.rec_bytes += rec;
         wire::RPC_HDR + buf.rec_bytes >= cfg.max_bytes
     };
     c.stats.agg_msgs.set(c.stats.agg_msgs.get() + 1);
     if full {
-        flush_target(c, target);
+        flush_target(c, target, FlushReason::Threshold);
     }
 }
 
-/// Inject a plain single-payload AM (the unaggregated path).
-fn inject_single(c: &RankCtx, target: Rank, payload: usize, item: Item) {
-    c.inject(DefOp::Am {
-        target,
-        wire_bytes: wire::am_wire_size(payload),
-        item,
-    });
+/// Inject a plain single-payload AM (the unaggregated path). The `Conduit`
+/// event fires in the progress engine when the op leaves defQ.
+fn inject_single(c: &RankCtx, target: Rank, payload: usize, item: Item, tag: TraceTag) {
+    c.inject(
+        DefOp::Am {
+            target,
+            wire_bytes: wire::am_wire_size(payload),
+            item,
+        },
+        tag,
+    );
 }
 
 /// Ship `target`'s buffer now, if non-empty. A one-item buffer degenerates to
 /// a plain AM (charged exactly like the unaggregated path); larger buffers
 /// become one [`DefOp::AmBatch`] whose tail flushes the receiver's own
 /// aggregator, so buffered replies flow without waiting for the receiver to
-/// reach progress.
-pub(crate) fn flush_target(c: &RankCtx, target: Rank) {
+/// reach progress. The batch is itself a traced op ([`OpKind::Batch`]):
+/// `Inject`/`Conduit` at the source (carrying `reason`), `Deliver`/`Complete`
+/// bracketing the member executions at the target.
+pub(crate) fn flush_target(c: &RankCtx, target: Rank, reason: FlushReason) {
     let buf = {
         let mut st = c.agg.borrow_mut();
         if st.bufs.get(&target).is_none_or(|b| b.items.is_empty()) {
@@ -157,33 +179,68 @@ pub(crate) fn flush_target(c: &RankCtx, target: Rank) {
     };
     let TargetBuf {
         mut items,
+        tags,
         rec_bytes,
     } = buf;
     if items.len() == 1 {
         let payload = rec_bytes - wire::AGG_REC_HDR;
-        inject_single(c, target, payload, items.pop().unwrap());
+        inject_single(c, target, payload, items.pop().unwrap(), tags[0]);
         return;
     }
-    items.push(Box::new(|| {
+    let wire_bytes = wire::RPC_HDR + rec_bytes;
+    // The batch gets an id unconditionally (its target may be tracing even
+    // when this rank is not); emission below gates on this rank's config.
+    let batch_tag = TraceTag {
+        tid: c.new_op_id(),
+        kind: OpKind::Batch,
+        peer: target as u32,
+        bytes: wire_bytes as u32,
+    };
+    if c.trace_on.get() {
+        // The members leave the coalescing buffer here: this is their
+        // defQ -> conduit hand-off, stamped with why the flush happened.
+        for t in &tags {
+            c.emit_from(Phase::Conduit, *t, c.me as u32, reason);
+        }
+        c.emit_from(Phase::Inject, batch_tag, c.me as u32, reason);
+    }
+    let origin = c.me as u32;
+    // Bracket the member executions with the batch's target-side events.
+    let mut batched: Vec<Item> = Vec::with_capacity(items.len() + 3);
+    batched.push(Box::new(move || {
         if let Some(rc) = try_ctx() {
-            flush_all_ctx(&rc);
+            rc.emit_from(Phase::Deliver, batch_tag, origin, FlushReason::None);
+        }
+    }));
+    batched.extend(items);
+    batched.push(Box::new(move || {
+        if let Some(rc) = try_ctx() {
+            rc.emit_from(Phase::Complete, batch_tag, origin, FlushReason::None);
+        }
+    }));
+    batched.push(Box::new(|| {
+        if let Some(rc) = try_ctx() {
+            flush_all_ctx(&rc, FlushReason::ItemTail);
         }
     }));
     c.stats.agg_batches.set(c.stats.agg_batches.get() + 1);
-    c.inject(DefOp::AmBatch {
-        target,
-        wire_bytes: wire::RPC_HDR + rec_bytes,
-        items,
-    });
+    c.inject(
+        DefOp::AmBatch {
+            target,
+            wire_bytes,
+            items: batched,
+        },
+        batch_tag,
+    );
 }
 
 /// Flush every non-empty buffer of `c`, in first-touch order.
-pub(crate) fn flush_all_ctx(c: &RankCtx) {
+pub(crate) fn flush_all_ctx(c: &RankCtx, reason: FlushReason) {
     loop {
         let Some(target) = c.agg.borrow_mut().order.first().copied() else {
             break;
         };
-        flush_target(c, target);
+        flush_target(c, target, reason);
     }
 }
 
@@ -192,7 +249,7 @@ pub(crate) fn flush_all_ctx(c: &RankCtx) {
 /// with an explicit flush). Safe (a no-op) when nothing is buffered or
 /// aggregation is disabled.
 pub fn flush_all() {
-    flush_all_ctx(&ctx());
+    flush_all_ctx(&ctx(), FlushReason::Explicit);
 }
 
 /// The current rank's aggregation configuration.
@@ -205,7 +262,7 @@ pub fn agg_config() -> AggConfig {
 /// disabling or shrinking the aggregator.
 pub fn set_agg_config(cfg: AggConfig) {
     let c = ctx();
-    flush_all_ctx(&c);
+    flush_all_ctx(&c, FlushReason::Reconfig);
     assert!(
         !cfg.enabled || cfg.max_bytes > wire::RPC_HDR + wire::AGG_REC_HDR,
         "AggConfig::max_bytes too small to hold any record"

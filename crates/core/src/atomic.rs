@@ -95,15 +95,19 @@ fn amo(target: GlobalPtr<u64>, op: AmoOp, operand: u64, compare: u64) -> Future<
     assert!(!target.is_null(), "atomic on null global pointer");
     let c = ctx();
     c.stats.rma_ops.set(c.stats.rma_ops.get() + 1);
+    let tag = c.op_tag(crate::trace::OpKind::Amo, target.rank() as u32, 8);
     let p = Promise::<u64>::new();
     let p2 = p.clone();
-    c.inject(DefOp::Amo {
-        target: target.rank(),
-        off: target.byte_offset(),
-        op,
-        operand,
-        compare,
-        done: Box::new(move |old| p2.fulfill(old)),
-    });
+    c.inject(
+        DefOp::Amo {
+            target: target.rank(),
+            off: target.byte_offset(),
+            op,
+            operand,
+            compare,
+            done: Box::new(move |old| p2.fulfill(old)),
+        },
+        tag,
+    );
     p.get_future()
 }

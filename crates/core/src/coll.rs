@@ -28,7 +28,7 @@ pub fn barrier_async_team(team: &Team) -> Future<()> {
     // Entering a barrier is a quiescence point for this rank's outgoing
     // traffic: ship every aggregation buffer before the first flag leaves,
     // so buffered payloads are ordered ahead of the barrier on every target.
-    crate::agg::flush_all_ctx(&c);
+    crate::agg::flush_all_ctx(&c, crate::trace::FlushReason::Barrier);
     let n = team.rank_n();
     let p = Promise::<()>::new();
     if n == 1 {

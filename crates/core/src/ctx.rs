@@ -25,6 +25,7 @@
 
 use crate::future::Future;
 use crate::ser::Reader;
+use crate::trace::{Phase, TraceEvent, TraceState, TraceTag};
 use gasnet::{sim::SimWorld, smp, Rank};
 use netsim::config::SwCosts;
 use std::any::Any;
@@ -84,6 +85,23 @@ pub(crate) enum DefOp {
     },
 }
 
+/// A defQ entry: the deferred operation plus its trace identity and the
+/// injection timestamp (0 when tracing is off) for the time-in-queue
+/// histogram.
+pub(crate) struct Queued {
+    pub(crate) tag: TraceTag,
+    pub(crate) t_inject: u64,
+    pub(crate) op: DefOp,
+}
+
+/// A compQ entry: the user-visible effect plus its trace identity and the
+/// delivery timestamp (0 when tracing is off).
+pub(crate) struct CompItem {
+    tag: TraceTag,
+    t_deliver: u64,
+    eff: Box<dyn FnOnce()>,
+}
+
 /// A parked continuation.
 pub(crate) type Thunk = Box<dyn FnOnce()>;
 
@@ -130,7 +148,8 @@ pub(crate) struct ReduceSlot {
     pub on_child: Option<Rc<dyn Fn(Vec<u8>)>>,
 }
 
-/// Runtime statistics (used by benches and tests).
+/// Raw runtime counters. Snapshot through [`crate::trace::runtime_stats`];
+/// the counters themselves are crate-plumbing.
 #[derive(Default)]
 pub struct CtxStats {
     /// rput/rget operations injected.
@@ -139,12 +158,27 @@ pub struct CtxStats {
     pub rpcs: Cell<u64>,
     /// Bytes serialized into outgoing messages.
     pub bytes_out: Cell<u64>,
+    /// Bytes received: rget data, incoming RPC args, incoming replies.
+    pub bytes_in: Cell<u64>,
     /// Items executed from compQ by user progress.
     pub comp_items: Cell<u64>,
     /// Messages routed through the aggregation layer's buffers.
     pub agg_msgs: Cell<u64>,
     /// Aggregated batches shipped (each one wire message carrying >1 payload).
     pub agg_batches: Cell<u64>,
+    /// defQ depth high-water mark (tracked only while tracing is enabled,
+    /// like every other per-event gauge — the disabled path stays at one
+    /// branch per hook).
+    pub def_q_hwm: Cell<u64>,
+    /// Conduit-owned (actQ) operation-count high-water mark (tracing only).
+    pub act_q_hwm: Cell<u64>,
+    /// compQ depth high-water mark (tracing only).
+    pub comp_q_hwm: Cell<u64>,
+    /// Attentiveness: largest gap between user-progress calls (ps; tracked
+    /// only while tracing is enabled).
+    pub max_progress_gap_ps: Cell<u64>,
+    /// Timestamp of the previous user-progress call (ps; tracing only).
+    pub last_progress_ps: Cell<u64>,
 }
 
 /// The per-rank runtime state. One per rank; reached via the thread-local.
@@ -153,8 +187,8 @@ pub struct RankCtx {
     pub(crate) me: Rank,
     pub(crate) n: usize,
     pub(crate) alloc: RefCell<crate::alloc::SegAlloc>,
-    pub(crate) def_q: RefCell<VecDeque<DefOp>>,
-    pub(crate) comp_q: RefCell<VecDeque<Box<dyn FnOnce()>>>,
+    pub(crate) def_q: RefCell<VecDeque<Queued>>,
+    pub(crate) comp_q: RefCell<VecDeque<CompItem>>,
     pub(crate) active_ops: Cell<usize>,
     pub(crate) next_op: Cell<u64>,
     pub(crate) reply_tbl: RefCell<HashMap<u64, ReplyHandler>>,
@@ -169,6 +203,11 @@ pub struct RankCtx {
     pub(crate) agg: RefCell<crate::agg::AggState>,
     /// Statistics counters.
     pub stats: CtxStats,
+    /// Event-trace ring buffer and in-queue histograms (see `crate::trace`).
+    pub(crate) trace: RefCell<TraceState>,
+    /// Fast gate every trace hook checks: the *only* cost tracing adds to
+    /// the hot path while disabled.
+    pub(crate) trace_on: Cell<bool>,
 }
 
 thread_local! {
@@ -205,7 +244,7 @@ impl RankCtx {
             def_q: RefCell::new(VecDeque::new()),
             comp_q: RefCell::new(VecDeque::new()),
             active_ops: Cell::new(0),
-            next_op: Cell::new(0),
+            next_op: Cell::new(1),
             reply_tbl: RefCell::new(HashMap::new()),
             dist_next: Cell::new(0),
             dist_tbl: RefCell::new(HashMap::new()),
@@ -214,6 +253,8 @@ impl RankCtx {
             rank_state: RefCell::new(HashMap::new()),
             agg: RefCell::new(crate::agg::AggState::new()),
             stats: CtxStats::default(),
+            trace: RefCell::new(TraceState::new()),
+            trace_on: Cell::new(false),
         })
     }
 
@@ -228,7 +269,7 @@ impl RankCtx {
             def_q: RefCell::new(VecDeque::new()),
             comp_q: RefCell::new(VecDeque::new()),
             active_ops: Cell::new(0),
-            next_op: Cell::new(0),
+            next_op: Cell::new(1),
             reply_tbl: RefCell::new(HashMap::new()),
             dist_next: Cell::new(0),
             dist_tbl: RefCell::new(HashMap::new()),
@@ -237,6 +278,8 @@ impl RankCtx {
             rank_state: RefCell::new(HashMap::new()),
             agg: RefCell::new(crate::agg::AggState::new()),
             stats: CtxStats::default(),
+            trace: RefCell::new(TraceState::new()),
+            trace_on: Cell::new(false),
         })
     }
 
@@ -267,32 +310,199 @@ impl RankCtx {
         }
     }
 
-    /// Allocate a fresh operation id (RPC reply matching).
+    /// Allocate a fresh operation id (RPC reply matching and event tracing
+    /// share one per-rank sequence).
     pub(crate) fn new_op_id(&self) -> u64 {
         let id = self.next_op.get();
         self.next_op.set(id + 1);
         id
     }
 
+    /// The trace clock: virtual picoseconds of this rank's local view of
+    /// time under sim (monotone per rank), wall picoseconds since process
+    /// start on smp. Only called while tracing is enabled.
+    pub(crate) fn now_ps(&self) -> u64 {
+        match &self.backend {
+            Backend::Smp(_) => crate::trace::wall_ps(),
+            Backend::Sim(w) => w.rank_now(self.me).as_ps(),
+        }
+    }
+
+    /// Record one trace event for `tag` with this rank as origin. Returns
+    /// the timestamp, or 0 when tracing is disabled (the single-branch gate
+    /// every hook pays).
+    #[inline]
+    pub(crate) fn emit(&self, phase: Phase, tag: TraceTag) -> u64 {
+        if tag.tid == 0 || !self.trace_on.get() {
+            return 0;
+        }
+        self.emit_slow(phase, tag, self.me as u32, crate::trace::FlushReason::None)
+    }
+
+    /// Record one trace event with an explicit origin rank (target-side
+    /// events of RPC-family ops) and/or flush reason (aggregation events).
+    #[inline]
+    pub(crate) fn emit_from(
+        &self,
+        phase: Phase,
+        tag: TraceTag,
+        origin: u32,
+        reason: crate::trace::FlushReason,
+    ) -> u64 {
+        if tag.tid == 0 || !self.trace_on.get() {
+            return 0;
+        }
+        self.emit_slow(phase, tag, origin, reason)
+    }
+
+    /// Out-of-line so the disabled-path branch in `emit`/`emit_from` stays
+    /// a compact forward jump in the progress engine's hot code.
+    #[cold]
+    #[inline(never)]
+    fn emit_slow(
+        &self,
+        phase: Phase,
+        tag: TraceTag,
+        origin: u32,
+        reason: crate::trace::FlushReason,
+    ) -> u64 {
+        let ts = self.now_ps();
+        self.trace.borrow_mut().push(TraceEvent {
+            rank: self.me as u32,
+            origin,
+            op: tag.tid,
+            kind: tag.kind,
+            phase,
+            peer: tag.peer,
+            bytes: tag.bytes,
+            reason,
+            ts_ps: ts,
+        });
+        ts
+    }
+
+    /// Build the trace identity for a new operation and emit its `Inject`
+    /// event. Ids are allocated unconditionally — an op's identity must
+    /// survive the wire so a *traced* rank can record deliveries from ranks
+    /// that are not tracing — but all event emission gates on the recording
+    /// rank's `trace_on`; when tracing is disabled this is the injection
+    /// hook's single branch.
+    #[inline]
+    pub(crate) fn op_tag(&self, kind: crate::trace::OpKind, peer: u32, bytes: u32) -> TraceTag {
+        let tag = TraceTag {
+            tid: self.new_op_id(),
+            kind,
+            peer,
+            bytes,
+        };
+        if self.trace_on.get() {
+            self.emit_inject(tag);
+        }
+        tag
+    }
+
+    /// Traced arm of [`Self::op_tag`].
+    #[cold]
+    #[inline(never)]
+    fn emit_inject(&self, tag: TraceTag) {
+        self.emit_slow(
+            Phase::Inject,
+            tag,
+            self.me as u32,
+            crate::trace::FlushReason::None,
+        );
+    }
+
+    /// Traced arm of [`Self::issue`]: `Conduit` event, defQ-wait histogram
+    /// sample, actQ high-water mark.
+    #[cold]
+    #[inline(never)]
+    fn issue_traced(&self, tag: TraceTag, t_inject: u64) {
+        let ts = self.emit_slow(
+            Phase::Conduit,
+            tag,
+            self.me as u32,
+            crate::trace::FlushReason::None,
+        );
+        self.trace
+            .borrow_mut()
+            .def_q_wait
+            .record(ts.saturating_sub(t_inject));
+        let act = self.active_ops.get() as u64;
+        if act > self.stats.act_q_hwm.get() {
+            self.stats.act_q_hwm.set(act);
+        }
+    }
+
     /// Enqueue an operation in defQ and run internal progress (every
     /// communication call is an internal-progress opportunity — §III).
-    pub(crate) fn inject(&self, op: DefOp) {
-        self.def_q.borrow_mut().push_back(op);
-        self.progress_internal();
+    /// The caller has already emitted the op's `Inject` event.
+    ///
+    /// The engine is monomorphized over traced-ness: one `trace_on` load
+    /// here selects either the traced instantiation of the inject → issue →
+    /// complete chain or an untraced one whose machine code carries no trace
+    /// state at all — the disabled hot path pays exactly this one branch.
+    pub(crate) fn inject(&self, op: DefOp, tag: TraceTag) {
+        if self.trace_on.get() {
+            self.inject_go::<true>(op, tag);
+        } else {
+            self.inject_go::<false>(op, tag);
+        }
+    }
+
+    fn inject_go<const TRACED: bool>(&self, op: DefOp, tag: TraceTag) {
+        if TRACED && tag.tid != 0 {
+            self.inject_traced(op, tag);
+        } else {
+            self.def_q.borrow_mut().push_back(Queued {
+                tag,
+                t_inject: 0,
+                op,
+            });
+        }
+        self.progress_internal_go::<TRACED>();
+    }
+
+    /// Traced arm of [`Self::inject`], out-of-line so the disabled path stays
+    /// a bare queue push.
+    #[cold]
+    #[inline(never)]
+    fn inject_traced(&self, op: DefOp, tag: TraceTag) {
+        let t_inject = self.now_ps();
+        let mut q = self.def_q.borrow_mut();
+        q.push_back(Queued { tag, t_inject, op });
+        let d = q.len() as u64;
+        if d > self.stats.def_q_hwm.get() {
+            self.stats.def_q_hwm.set(d);
+        }
     }
 
     /// Internal progress: drain defQ into the conduit (defQ -> actQ).
     pub(crate) fn progress_internal(&self) {
-        loop {
-            let op = self.def_q.borrow_mut().pop_front();
-            let Some(op) = op else { break };
-            self.issue(op);
+        if self.trace_on.get() {
+            self.progress_internal_go::<true>();
+        } else {
+            self.progress_internal_go::<false>();
         }
     }
 
-    /// Hand one operation to the conduit.
-    fn issue(&self, op: DefOp) {
+    fn progress_internal_go<const TRACED: bool>(&self) {
+        loop {
+            let op = self.def_q.borrow_mut().pop_front();
+            let Some(op) = op else { break };
+            self.issue::<TRACED>(op);
+        }
+    }
+
+    /// Hand one operation to the conduit. In the untraced instantiation the
+    /// tag fields are dead: the compiler drops every trace read from the
+    /// conduit arms, restoring the pre-trace code shape.
+    fn issue<const TRACED: bool>(&self, q: Queued) {
+        let Queued { tag, t_inject, op } = q;
         self.active_ops.set(self.active_ops.get() + 1);
+        if TRACED && tag.tid != 0 {
+            self.issue_traced(tag, t_inject);
+        }
         match (&self.backend, op) {
             (
                 Backend::Smp(h),
@@ -306,7 +516,7 @@ impl RankCtx {
                 // Shared memory: the one-sided copy completes synchronously;
                 // user-visible completion still goes through compQ.
                 h.put_bytes(target, dst_off, &bytes);
-                self.complete(done);
+                self.complete::<TRACED>(tag, done);
             }
             (
                 Backend::Smp(h),
@@ -319,7 +529,10 @@ impl RankCtx {
             ) => {
                 let mut buf = vec![0u8; len];
                 h.get_bytes(target, src_off, &mut buf);
-                self.complete(Box::new(move || done(buf)));
+                self.stats
+                    .bytes_in
+                    .set(self.stats.bytes_in.get() + len as u64);
+                self.complete::<TRACED>(tag, Box::new(move || done(buf)));
             }
             (Backend::Smp(h), DefOp::Am { target, item, .. }) => {
                 h.send_item(target, item);
@@ -351,7 +564,7 @@ impl RankCtx {
                     }
                     CompareExchange => h.atomic_cas_u64(target, off, compare, operand),
                 };
-                self.complete(Box::new(move || done(old)));
+                self.complete::<TRACED>(tag, Box::new(move || done(old)));
             }
             (
                 Backend::Sim(w),
@@ -375,7 +588,7 @@ impl RankCtx {
                     o,
                     Box::new(move || {
                         let c = ctx();
-                        c.complete(done);
+                        c.complete::<TRACED>(tag, done);
                         c.progress_user();
                     }),
                 );
@@ -399,7 +612,10 @@ impl RankCtx {
                     o,
                     Box::new(move |data| {
                         let c = ctx();
-                        c.complete(Box::new(move || done(data)));
+                        c.stats
+                            .bytes_in
+                            .set(c.stats.bytes_in.get() + data.len() as u64);
+                        c.complete::<TRACED>(tag, Box::new(move || done(data)));
                         c.progress_user();
                     }),
                 );
@@ -460,7 +676,7 @@ impl RankCtx {
                     o,
                     Box::new(move |old| {
                         let c = ctx();
-                        c.complete(Box::new(move || done(old)));
+                        c.complete::<TRACED>(tag, Box::new(move || done(old)));
                         c.progress_user();
                     }),
                 );
@@ -469,34 +685,137 @@ impl RankCtx {
     }
 
     /// Move a finished operation's user-visible effect to compQ
-    /// (actQ -> compQ transition).
-    pub(crate) fn complete(&self, eff: Box<dyn FnOnce()>) {
+    /// (actQ -> compQ transition), emitting its `Deliver` event. `TRACED` is
+    /// sampled where the op entered the engine (sim completion callbacks run
+    /// later and keep the instantiation they were issued under).
+    /// Force-inlined: the seed inlined this push into the conduit arms of
+    /// [`Self::issue`], and an out-of-line call here is measurable on the
+    /// smp fast path.
+    #[inline(always)]
+    fn complete<const TRACED: bool>(&self, tag: TraceTag, eff: Box<dyn FnOnce()>) {
         self.active_ops.set(self.active_ops.get().saturating_sub(1));
-        self.comp_q.borrow_mut().push_back(eff);
+        if TRACED && tag.tid != 0 {
+            self.complete_traced(tag, eff);
+        } else {
+            self.comp_q.borrow_mut().push_back(CompItem {
+                tag,
+                t_deliver: 0,
+                eff,
+            });
+        }
+    }
+
+    /// Traced arm of [`Self::complete`]: `Deliver` event plus the compQ
+    /// high-water mark.
+    #[cold]
+    #[inline(never)]
+    fn complete_traced(&self, tag: TraceTag, eff: Box<dyn FnOnce()>) {
+        let t_deliver = self.emit_slow(
+            Phase::Deliver,
+            tag,
+            self.me as u32,
+            crate::trace::FlushReason::None,
+        );
+        let mut q = self.comp_q.borrow_mut();
+        q.push_back(CompItem {
+            tag,
+            t_deliver,
+            eff,
+        });
+        let d = q.len() as u64;
+        if d > self.stats.comp_q_hwm.get() {
+            self.stats.comp_q_hwm.set(d);
+        }
+    }
+
+    /// Track the gap between consecutive user-progress calls — the paper's
+    /// *attentiveness* concern (§VII), tracked only while tracing is on.
+    #[cold]
+    #[inline(never)]
+    fn note_progress_gap(&self) {
+        let ts = self.now_ps();
+        let last = self.stats.last_progress_ps.get();
+        if last != 0 {
+            let gap = ts.saturating_sub(last);
+            if gap > self.stats.max_progress_gap_ps.get() {
+                self.stats.max_progress_gap_ps.set(gap);
+            }
+        }
+        self.stats.last_progress_ps.set(ts);
     }
 
     /// User-level progress: aggregation flush, internal progress, conduit
     /// poll (smp), compQ drain. This is the only place `.then` callbacks,
     /// future fulfillments and incoming RPC bodies execute.
     pub(crate) fn progress_user(&self) {
+        // One flag load covers the entry and exit stamps; the per-item check
+        // in the drain loop below stays live because a drained effect may
+        // itself reconfigure tracing.
+        let tracing = self.trace_on.get();
+        if tracing {
+            self.note_progress_gap();
+        }
         // Buffered aggregated payloads leave at every progress opportunity,
         // so a blocking wait can never deadlock on this rank's own buffers.
-        crate::agg::flush_all_ctx(self);
+        crate::agg::flush_all_ctx(self, crate::trace::FlushReason::Progress);
         self.progress_internal();
         if let Backend::Smp(h) = &self.backend {
             // Incoming items enqueue their effects into compQ.
             h.poll(64);
         }
         loop {
-            let eff = self.comp_q.borrow_mut().pop_front();
-            let Some(eff) = eff else { break };
+            let item = self.comp_q.borrow_mut().pop_front();
+            let Some(CompItem {
+                tag,
+                t_deliver,
+                eff,
+            }) = item
+            else {
+                break;
+            };
             self.stats.comp_items.set(self.stats.comp_items.get() + 1);
             eff();
+            if tracing && tag.tid != 0 {
+                self.drain_traced(tag, t_deliver);
+            }
         }
         // Handlers executed above may have buffered replies or forwards;
         // pushing them out now keeps round-trip latency at one progress call.
-        crate::agg::flush_all_ctx(self);
+        crate::agg::flush_all_ctx(self, crate::trace::FlushReason::Progress);
         self.progress_internal();
+        if tracing {
+            self.stamp_progress_exit();
+        }
+    }
+
+    /// Traced arm of the compQ drain loop: `Complete` event plus the
+    /// compQ-wait histogram sample.
+    #[cold]
+    #[inline(never)]
+    fn drain_traced(&self, tag: TraceTag, t_deliver: u64) {
+        let ts = self.emit_slow(
+            Phase::Complete,
+            tag,
+            self.me as u32,
+            crate::trace::FlushReason::None,
+        );
+        // `t_deliver == 0` marks an item delivered before tracing was
+        // enabled; its wait would be measured against the epoch, not the
+        // delivery, so it is excluded from the histogram.
+        if t_deliver != 0 {
+            self.trace
+                .borrow_mut()
+                .comp_q_wait
+                .record(ts.saturating_sub(t_deliver));
+        }
+    }
+
+    /// Stamp the exit of a user-progress call, so compQ drain time is not
+    /// itself counted as inattentiveness.
+    #[cold]
+    #[inline(never)]
+    fn stamp_progress_exit(&self) {
+        self.stats.last_progress_ps.set(self.now_ps());
     }
 }
 
@@ -569,20 +888,24 @@ pub fn rank_state<T: 'static>(init: impl FnOnce() -> T) -> Rc<T> {
     v
 }
 
-/// Statistics snapshot for the current rank.
+/// RMA operations injected by the current rank so far.
+#[deprecated(since = "0.2.0", note = "use upcxx::runtime_stats().rma_ops")]
 pub fn stats_rma_ops() -> u64 {
     ctx().stats.rma_ops.get()
 }
 /// RPCs injected by the current rank so far.
+#[deprecated(since = "0.2.0", note = "use upcxx::runtime_stats().rpcs")]
 pub fn stats_rpcs() -> u64 {
     ctx().stats.rpcs.get()
 }
 /// Messages this rank has routed through the aggregation buffers so far.
+#[deprecated(since = "0.2.0", note = "use upcxx::runtime_stats().agg_msgs")]
 pub fn stats_agg_msgs() -> u64 {
     ctx().stats.agg_msgs.get()
 }
 /// Aggregated batches this rank has shipped so far (each a single wire
 /// message carrying more than one payload).
+#[deprecated(since = "0.2.0", note = "use upcxx::runtime_stats().agg_batches")]
 pub fn stats_agg_batches() -> u64 {
     ctx().stats.agg_batches.get()
 }

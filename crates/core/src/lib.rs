@@ -58,6 +58,7 @@ pub mod rpc;
 pub mod runtime;
 pub mod ser;
 pub mod team;
+pub mod trace;
 pub mod wire;
 
 pub use agg::{agg_config, flush_all, set_agg_config, AggConfig};
@@ -66,18 +67,18 @@ pub use coll::{
     barrier, barrier_async, barrier_async_team, broadcast, broadcast_team, ops, reduce_all,
     reduce_all_team, reduce_one, reduce_one_team,
 };
-pub use ctx::{
-    make_ready_future, progress, rank_me, rank_n, rank_state, stats_agg_batches, stats_agg_msgs,
-    stats_rpcs, wait_until,
-};
+pub use ctx::{make_ready_future, progress, rank_me, rank_n, rank_state, wait_until};
+#[allow(deprecated)] // the shims stay re-exported until callers migrate
+pub use ctx::{stats_agg_batches, stats_agg_msgs, stats_rma_ops, stats_rpcs};
 pub use dist::{
     lookup as dist_lookup, try_lookup as dist_try_lookup, when_constructed, DistId, DistObject,
 };
 pub use future::{conjoin, make_future, when_all, when_all_vec, Future, Promise};
 pub use global_ptr::{allocate, deallocate, GlobalPtr};
 pub use rma::{
-    rget, rget_irregular, rget_strided, rget_val, rput, rput_irregular, rput_promise, rput_strided,
-    rput_val,
+    rget, rget_irregular, rget_irregular_promise, rget_promise, rget_strided, rget_strided_promise,
+    rget_val, rget_val_promise, rput, rput_irregular, rput_irregular_promise, rput_promise,
+    rput_strided, rput_strided_promise, rput_val, rput_val_promise,
 };
 pub use rpc::{rpc, rpc_ff};
 pub use runtime::{
@@ -86,6 +87,7 @@ pub use runtime::{
 };
 pub use ser::{make_view, Pod, Ser, View};
 pub use team::Team;
+pub use trace::{runtime_stats, LatencyHist, OpKind, Phase, RuntimeStats, TraceConfig, TraceEvent};
 
 impl<T: ser::Pod> GlobalPtr<T> {
     /// Convenience: read the single local element, if local (tests/examples).
@@ -102,28 +104,23 @@ impl<T: ser::Pod> GlobalPtr<T> {
 
 /// Gather one `GlobalPtr` from every rank into a dense vector indexed by
 /// rank — the idiomatic bootstrap for neighbor-exchange examples. Internally
-/// an allreduce over (rank, ptr) pairs; collective.
+/// an allreduce concatenating (rank, ptr) pairs; the pointers round-trip
+/// through `GlobalPtr`'s own `Ser` impl, so this stays correct whatever the
+/// pointer's wire layout. Collective.
 pub fn broadcast_gather<T: ser::Pod>(mine: GlobalPtr<T>) -> Vec<GlobalPtr<T>> {
     let me = rank_me();
     let n = rank_n();
-    fn merge(
-        mut a: Vec<(usize, u64, u64)>,
-        mut b: Vec<(usize, u64, u64)>,
-    ) -> Vec<(usize, u64, u64)> {
+    fn merge<T: ser::Pod>(
+        mut a: Vec<(usize, GlobalPtr<T>)>,
+        mut b: Vec<(usize, GlobalPtr<T>)>,
+    ) -> Vec<(usize, GlobalPtr<T>)> {
         a.append(&mut b);
         a
     }
-    let mut enc = Vec::new();
-    mine.ser(&mut enc);
-    let rank_word = u64::from_le_bytes(enc[0..8].try_into().unwrap());
-    let off_word = u64::from_le_bytes(enc[8..16].try_into().unwrap());
-    let all = reduce_all(vec![(me, rank_word, off_word)], merge).wait();
+    let all = reduce_all(vec![(me, mine)], merge::<T>).wait();
     let mut out = vec![GlobalPtr::<T>::null(); n];
-    for (r, rank_word, off_word) in all {
-        let mut bytes = Vec::with_capacity(16);
-        bytes.extend_from_slice(&rank_word.to_le_bytes());
-        bytes.extend_from_slice(&off_word.to_le_bytes());
-        out[r] = ser::from_bytes(bytes);
+    for (r, p) in all {
+        out[r] = p;
     }
     out
 }

@@ -3,12 +3,17 @@
 //! All operations are **asynchronous by default** (the paper's first design
 //! principle) and return a [`Future`]; completion can alternatively feed a
 //! [`Promise`] dependency counter (the paper's `operation_cx::as_promise`,
-//! used by its flood-bandwidth benchmark) via the `*_promise` variants.
+//! used by its flood-bandwidth benchmark) via the `*_promise` variants. The
+//! surface is symmetric: every entry point — contiguous, strided and
+//! irregular, put and get — exists in both a future-returning and a
+//! promise-registering form, and the future forms are thin wrappers over the
+//! promise forms.
 //!
 //! Injection follows §III exactly: the call creates the operation in the
 //! deferred queue, internal progress hands it to the conduit, and the
 //! returned future readies when user-level progress drains the completion
-//! queue.
+//! queue. Each operation carries a trace id and emits the four
+//! [`crate::trace::Phase`] events at the initiator.
 //!
 //! Beyond contiguous transfers, the non-contiguous family the paper lists
 //! (§II: "vector, indexed and strided") is provided as [`rput_irregular`],
@@ -20,6 +25,9 @@ use crate::ctx::{ctx, DefOp};
 use crate::future::{Future, Promise};
 use crate::global_ptr::GlobalPtr;
 use crate::ser::{pod_from_bytes, pod_to_bytes, Pod};
+use crate::trace::OpKind;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Non-blocking one-sided put of `src` to the remote location `dest`
 /// (paper: `upcxx::rput(src, dest, count)`). The returned future readies at
@@ -36,6 +44,12 @@ pub fn rput_val<T: Pod>(v: T, dest: GlobalPtr<T>) -> Future<()> {
     rput(std::slice::from_ref(&v), dest)
 }
 
+/// Single-value put registering completion on `p` (the promise form of
+/// [`rput_val`]).
+pub fn rput_val_promise<T: Pod>(v: T, dest: GlobalPtr<T>, p: &Promise<()>) {
+    rput_promise(std::slice::from_ref(&v), dest, p);
+}
+
 /// Put registering completion on `p` instead of returning a future — the
 /// paper's flood benchmark idiom:
 /// `rput(src, dest, size, operation_cx::as_promise(p))`.
@@ -47,46 +61,85 @@ pub fn rput_promise<T: Pod>(src: &[T], dest: GlobalPtr<T>, p: &Promise<()>) {
     c.stats
         .bytes_out
         .set(c.stats.bytes_out.get() + bytes.len() as u64);
+    let tag = c.op_tag(OpKind::Put, dest.rank() as u32, bytes.len() as u32);
     p.require_anonymous(1);
     let p2 = p.clone();
-    c.inject(DefOp::Put {
-        target: dest.rank(),
-        dst_off: dest.byte_offset(),
-        bytes,
-        done: Box::new(move || p2.fulfill_anonymous(1)),
-    });
+    c.inject(
+        DefOp::Put {
+            target: dest.rank(),
+            dst_off: dest.byte_offset(),
+            bytes,
+            done: Box::new(move || p2.fulfill_anonymous(1)),
+        },
+        tag,
+    );
+}
+
+/// Shared injection path of every get variant: fetch `count` elements from
+/// `src` and hand the data to `done` at completion (from compQ).
+fn rget_raw<T: Pod + Clone>(src: GlobalPtr<T>, count: usize, done: Box<dyn FnOnce(Vec<T>)>) {
+    let c = ctx();
+    assert!(!src.is_null(), "rget from null global pointer");
+    c.stats.rma_ops.set(c.stats.rma_ops.get() + 1);
+    let len = count * std::mem::size_of::<T>();
+    let tag = c.op_tag(OpKind::Get, src.rank() as u32, len as u32);
+    c.inject(
+        DefOp::Get {
+            target: src.rank(),
+            src_off: src.byte_offset(),
+            len,
+            done: Box::new(move |bytes| done(pod_from_bytes(&bytes))),
+        },
+        tag,
+    );
 }
 
 /// Non-blocking one-sided get of `count` elements from `src`
 /// (paper: `upcxx::rget`). The future carries the data.
 pub fn rget<T: Pod + Clone>(src: GlobalPtr<T>, count: usize) -> Future<Vec<T>> {
-    let c = ctx();
-    assert!(!src.is_null(), "rget from null global pointer");
-    c.stats.rma_ops.set(c.stats.rma_ops.get() + 1);
     let p = Promise::<Vec<T>>::new();
+    rget_promise(src, count, &p);
+    p.finalize()
+}
+
+/// Get registering completion on `p` — the symmetric counterpart of
+/// [`rput_promise`] (the paper's `operation_cx::as_promise` applies to gets
+/// too). The promise's value is the fetched data; the caller finalizes.
+pub fn rget_promise<T: Pod + Clone>(src: GlobalPtr<T>, count: usize, p: &Promise<Vec<T>>) {
+    p.require_anonymous(1);
     let p2 = p.clone();
-    c.inject(DefOp::Get {
-        target: src.rank(),
-        src_off: src.byte_offset(),
-        len: count * std::mem::size_of::<T>(),
-        done: Box::new(move |bytes| p2.fulfill(pod_from_bytes(&bytes))),
-    });
-    p.get_future()
+    rget_raw(src, count, Box::new(move |data| p2.fulfill(data)));
 }
 
 /// Single-value get.
 pub fn rget_val<T: Pod + Clone>(src: GlobalPtr<T>) -> Future<T> {
-    rget(src, 1).then(|v| v[0])
+    let p = Promise::<T>::new();
+    rget_val_promise(src, &p);
+    p.finalize()
+}
+
+/// Single-value get registering completion on `p` (the promise form of
+/// [`rget_val`]).
+pub fn rget_val_promise<T: Pod + Clone>(src: GlobalPtr<T>, p: &Promise<T>) {
+    p.require_anonymous(1);
+    let p2 = p.clone();
+    rget_raw(src, 1, Box::new(move |v: Vec<T>| p2.fulfill(v[0])));
 }
 
 /// Irregular ("vector") put: a batch of (source chunk, destination) pairs
 /// completing as one operation. Paper §II's `rput_irregular`.
 pub fn rput_irregular<T: Pod>(pairs: &[(&[T], GlobalPtr<T>)]) -> Future<()> {
     let p = Promise::<()>::new();
-    for (src, dest) in pairs {
-        rput_promise(src, *dest, &p);
-    }
+    rput_irregular_promise(pairs, &p);
     p.finalize()
+}
+
+/// Promise form of [`rput_irregular`]: each chunk registers on `p`, so many
+/// irregular puts can conjoin into one dependency counter.
+pub fn rput_irregular_promise<T: Pod>(pairs: &[(&[T], GlobalPtr<T>)], p: &Promise<()>) {
+    for (src, dest) in pairs {
+        rput_promise(src, *dest, p);
+    }
 }
 
 /// Strided put: `count` chunks of `chunk` elements taken every
@@ -101,22 +154,48 @@ pub fn rput_strided<T: Pod>(
     chunk: usize,
     count: usize,
 ) -> Future<()> {
+    let p = Promise::<()>::new();
+    rput_strided_promise(src, src_stride, dest, dst_stride, chunk, count, &p);
+    p.finalize()
+}
+
+/// Promise form of [`rput_strided`].
+pub fn rput_strided_promise<T: Pod>(
+    src: &[T],
+    src_stride: usize,
+    dest: GlobalPtr<T>,
+    dst_stride: usize,
+    chunk: usize,
+    count: usize,
+    p: &Promise<()>,
+) {
     assert!(
         chunk <= src_stride || count <= 1,
         "overlapping source chunks"
     );
-    let p = Promise::<()>::new();
     for i in 0..count {
         let s = &src[i * src_stride..i * src_stride + chunk];
-        rput_promise(s, dest.add(i * dst_stride), &p);
+        rput_promise(s, dest.add(i * dst_stride), p);
     }
-    p.finalize()
 }
 
 /// Indexed get: one future carrying the concatenation of `count`-element
 /// reads at each pointer (completing when all arrive).
 pub fn rget_irregular<T: Pod + Clone>(srcs: &[(GlobalPtr<T>, usize)]) -> Future<Vec<Vec<T>>> {
-    crate::future::when_all_vec(srcs.iter().map(|&(p, n)| rget(p, n)).collect())
+    let p = Promise::<Vec<Vec<T>>>::new();
+    rget_irregular_promise(srcs, &p);
+    p.finalize()
+}
+
+/// Promise form of [`rget_irregular`]: `p` receives the per-pointer chunks
+/// once the last read lands.
+pub fn rget_irregular_promise<T: Pod + Clone>(
+    srcs: &[(GlobalPtr<T>, usize)],
+    p: &Promise<Vec<Vec<T>>>,
+) {
+    gather_chunks(srcs.to_vec(), p, |chunks| {
+        chunks.into_iter().map(Option::unwrap).collect()
+    });
 }
 
 /// Strided get mirroring [`rput_strided`].
@@ -126,8 +205,62 @@ pub fn rget_strided<T: Pod + Clone>(
     chunk: usize,
     count: usize,
 ) -> Future<Vec<T>> {
-    let futs: Vec<Future<Vec<T>>> = (0..count)
-        .map(|i| rget(src.add(i * src_stride), chunk))
+    let p = Promise::<Vec<T>>::new();
+    rget_strided_promise(src, src_stride, chunk, count, &p);
+    p.finalize()
+}
+
+/// Promise form of [`rget_strided`]: `p` receives the flattened chunks once
+/// the last one lands.
+pub fn rget_strided_promise<T: Pod + Clone>(
+    src: GlobalPtr<T>,
+    src_stride: usize,
+    chunk: usize,
+    count: usize,
+    p: &Promise<Vec<T>>,
+) {
+    let srcs: Vec<(GlobalPtr<T>, usize)> = (0..count)
+        .map(|i| (src.add(i * src_stride), chunk))
         .collect();
-    crate::future::when_all_vec(futs).then(|chunks| chunks.into_iter().flatten().collect())
+    gather_chunks(srcs, p, |chunks| {
+        chunks.into_iter().flat_map(Option::unwrap).collect()
+    });
+}
+
+/// Issue one `rget` per `(ptr, count)` source and fulfill `p` with
+/// `assemble(chunks)` when the last chunk lands. The chunk gets register on
+/// `p` anonymously, so the promise's readiness also reflects each transfer.
+fn gather_chunks<T, V, F>(srcs: Vec<(GlobalPtr<T>, usize)>, p: &Promise<V>, assemble: F)
+where
+    T: Pod + Clone,
+    V: Clone + 'static,
+    F: Fn(Vec<Option<Vec<T>>>) -> V + 'static,
+{
+    p.require_anonymous(1);
+    let n = srcs.len();
+    if n == 0 {
+        p.fulfill(assemble(Vec::new()));
+        return;
+    }
+    let slots: Rc<RefCell<Vec<Option<Vec<T>>>>> = Rc::new(RefCell::new(vec![None; n]));
+    let remaining = Rc::new(std::cell::Cell::new(n));
+    let assemble = Rc::new(assemble);
+    for (i, (ptr, cnt)) in srcs.into_iter().enumerate() {
+        let slots = slots.clone();
+        let remaining = remaining.clone();
+        let assemble = assemble.clone();
+        let p2 = p.clone();
+        rget_raw(
+            ptr,
+            cnt,
+            Box::new(move |data| {
+                slots.borrow_mut()[i] = Some(data);
+                remaining.set(remaining.get() - 1);
+                if remaining.get() == 0 {
+                    let chunks = std::mem::take(&mut *slots.borrow_mut());
+                    p2.fulfill(assemble(chunks));
+                }
+            }),
+        );
+    }
 }

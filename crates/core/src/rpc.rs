@@ -16,10 +16,17 @@
 //!
 //! `rpc_ff` is the paper's fire-and-forget variant (footnote 5): no
 //! acknowledgment, "its progress is more like rget/rput".
+//!
+//! Trace anatomy (see [`crate::trace`]): an `rpc` op emits Inject/Conduit at
+//! the initiator, Deliver at the target when the handler starts, and
+//! Complete back at the initiator when the reply fulfills the promise; the
+//! reply itself travels as a separate [`OpKind::Reply`] op. `rpc_ff` and
+//! system AMs complete at the target when their handler returns.
 
 use crate::ctx::{ctx, DefOp};
 use crate::future::{Future, Promise};
 use crate::ser::{from_bytes, to_bytes, Reader, Ser};
+use crate::trace::{FlushReason, OpKind, Phase};
 use crate::wire;
 use gasnet::Rank;
 
@@ -36,7 +43,16 @@ where
     let initiator = c.me;
     let op_id = c.new_op_id();
 
-    // Register the reply continuation (holds the promise; rank-local).
+    let arg_bytes = to_bytes(&args);
+    c.charge_ser(arg_bytes.len());
+    c.stats
+        .bytes_out
+        .set(c.stats.bytes_out.get() + arg_bytes.len() as u64);
+    let payload = arg_bytes.len();
+    let tag = c.op_tag(OpKind::Rpc, target as u32, payload as u32);
+
+    // Register the reply continuation (holds the promise; rank-local). The
+    // continuation runs at the initiator and closes the op's event quartet.
     let p = Promise::<R>::new();
     {
         let p2 = p.clone();
@@ -44,20 +60,19 @@ where
             op_id,
             Box::new(move |mut r: Reader| {
                 p2.fulfill(R::deser(&mut r));
+                let ic = ctx();
+                ic.emit(Phase::Complete, tag);
             }),
         );
     }
 
-    let arg_bytes = to_bytes(&args);
-    c.charge_ser(arg_bytes.len());
-    c.stats
-        .bytes_out
-        .set(c.stats.bytes_out.get() + arg_bytes.len() as u64);
-    let payload = arg_bytes.len();
-
     let item: gasnet::Item = Box::new(move || {
         // Runs on the target rank with its context installed.
         let tc = ctx();
+        tc.emit_from(Phase::Deliver, tag, initiator as u32, FlushReason::None);
+        tc.stats
+            .bytes_in
+            .set(tc.stats.bytes_in.get() + arg_bytes.len() as u64);
         tc.charge_ser(arg_bytes.len());
         let a: A = from_bytes(arg_bytes);
         let ret = f(a);
@@ -68,7 +83,7 @@ where
         send_reply(initiator, op_id, ret_bytes);
     });
 
-    crate::agg::submit(&c, target, payload, item);
+    crate::agg::submit(&c, target, payload, item, tag);
     p.get_future()
 }
 
@@ -86,12 +101,19 @@ where
         .bytes_out
         .set(c.stats.bytes_out.get() + arg_bytes.len() as u64);
     let payload = arg_bytes.len();
+    let tag = c.op_tag(OpKind::RpcFf, target as u32, payload as u32);
+    let initiator = c.me as u32;
     let item: gasnet::Item = Box::new(move || {
         let tc = ctx();
+        tc.emit_from(Phase::Deliver, tag, initiator, FlushReason::None);
+        tc.stats
+            .bytes_in
+            .set(tc.stats.bytes_in.get() + arg_bytes.len() as u64);
         tc.charge_ser(arg_bytes.len());
         f(from_bytes(arg_bytes));
+        tc.emit_from(Phase::Complete, tag, initiator, FlushReason::None);
     });
-    crate::agg::submit(&c, target, payload, item);
+    crate::agg::submit(&c, target, payload, item, tag);
 }
 
 /// Internal: deliver `bytes` to `initiator`'s reply continuation `op_id`.
@@ -102,8 +124,13 @@ fn send_reply(initiator: Rank, op_id: u64, bytes: Vec<u8>) {
     let c = ctx();
     let replier = c.me;
     let payload = bytes.len();
+    let tag = c.op_tag(OpKind::Reply, initiator as u32, payload as u32);
     let item: gasnet::Item = Box::new(move || {
         let ic = ctx();
+        ic.emit_from(Phase::Deliver, tag, replier as u32, FlushReason::None);
+        ic.stats
+            .bytes_in
+            .set(ic.stats.bytes_in.get() + bytes.len() as u64);
         let handler = ic.reply_tbl.borrow_mut().remove(&op_id);
         match handler {
             Some(handler) => handler(Reader::new(bytes)),
@@ -125,8 +152,9 @@ fn send_reply(initiator: Rank, op_id: u64, bytes: Vec<u8>) {
                 );
             }
         }
+        ic.emit_from(Phase::Complete, tag, replier as u32, FlushReason::None);
     });
-    crate::agg::submit(&c, initiator, payload, item);
+    crate::agg::submit(&c, initiator, payload, item, tag);
 }
 
 /// Crate-internal "system AM": run a `fn(A)` on `target` outside the RPC
@@ -135,15 +163,23 @@ fn send_reply(initiator: Rank, op_id: u64, bytes: Vec<u8>) {
 /// target's coalescing buffer first so per-target injection order holds.
 pub(crate) fn sys_am<A: Ser>(target: Rank, f: fn(A), args: A) {
     let c = ctx();
-    crate::agg::flush_target(&c, target);
+    crate::agg::flush_target(&c, target, FlushReason::Ordering);
     let bytes = to_bytes(&args);
     let wire = wire::am_wire_size(bytes.len());
+    let tag = c.op_tag(OpKind::SysAm, target as u32, bytes.len() as u32);
+    let initiator = c.me as u32;
     let item: gasnet::Item = Box::new(move || {
+        let tc = ctx();
+        tc.emit_from(Phase::Deliver, tag, initiator, FlushReason::None);
         f(from_bytes(bytes));
+        tc.emit_from(Phase::Complete, tag, initiator, FlushReason::None);
     });
-    c.inject(DefOp::Am {
-        target,
-        wire_bytes: wire,
-        item,
-    });
+    c.inject(
+        DefOp::Am {
+            target,
+            wire_bytes: wire,
+            item,
+        },
+        tag,
+    );
 }

@@ -86,7 +86,9 @@ impl SimRuntime {
             // an RPC reply): under sim a passive rank gets no further
             // progress calls, so without this the virtual timeline could
             // quiesce with traffic stranded in a coalescing buffer.
-            with_ctx(c.clone(), || crate::agg::flush_all_ctx(&c));
+            with_ctx(c.clone(), || {
+                crate::agg::flush_all_ctx(&c, crate::trace::FlushReason::ItemTail)
+            });
         }));
         SimRuntime { world, ctxs }
     }
@@ -137,6 +139,24 @@ impl SimRuntime {
         let mut out = None;
         with_ctx(c, || out = Some(f()));
         out.unwrap()
+    }
+
+    /// Drain every rank's trace ring (rank order; each rank's slice stays
+    /// chronological). The whole-world event stream of a traced run.
+    pub fn take_trace(&self) -> Vec<crate::trace::TraceEvent> {
+        let mut all = Vec::new();
+        for r in 0..self.rank_n() {
+            all.extend(self.with_rank(r, crate::trace::take_local));
+        }
+        all
+    }
+
+    /// Drain every rank's trace ring and write it as Chrome-trace JSON to
+    /// `path` (loadable in Perfetto / `chrome://tracing`).
+    pub fn export_chrome(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let events = self.take_trace();
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        crate::trace::export_chrome(&events, &mut f)
     }
 }
 

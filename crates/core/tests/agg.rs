@@ -108,7 +108,10 @@ fn smp_barrier_flushes_buffered_rpcs() {
         upcxx::barrier();
         let mine = upcxx::rank_state(|| Cell::new(0u64)).get();
         assert_eq!(mine, k * (n as u64 - 1), "rank {me} missing batched RPCs");
-        assert!(upcxx::stats_agg_batches() >= 1, "nothing was batched");
+        assert!(
+            upcxx::runtime_stats().agg_batches >= 1,
+            "nothing was batched"
+        );
         upcxx::barrier();
     });
 }
@@ -160,8 +163,9 @@ fn smp_oversize_payload_bypasses_aggregator() {
             upcxx::set_agg_config(agg_on(256));
             upcxx::rpc_ff(1, smp_big_handler, vec![7u8; 4096]);
             // Never buffered: no aggregated message, no batch.
-            assert_eq!(upcxx::stats_agg_msgs(), 0);
-            assert_eq!(upcxx::stats_agg_batches(), 0);
+            let s = upcxx::runtime_stats();
+            assert_eq!(s.agg_msgs, 0);
+            assert_eq!(s.agg_batches, 0);
             upcxx::wait_until(|| SMP_BIG_HITS.load(Ordering::SeqCst) == 1);
         }
         upcxx::barrier();
@@ -184,7 +188,11 @@ fn smp_threshold_triggers_auto_flush() {
             for i in 0..20u64 {
                 upcxx::rpc_ff(1, smp_auto_hit, i);
             }
-            assert_eq!(upcxx::stats_agg_batches(), 1, "threshold flush missing");
+            assert_eq!(
+                upcxx::runtime_stats().agg_batches,
+                1,
+                "threshold flush missing"
+            );
             upcxx::wait_until(|| SMP_AUTO_HITS.load(Ordering::SeqCst) >= 15);
             upcxx::flush_all();
             upcxx::wait_until(|| SMP_AUTO_HITS.load(Ordering::SeqCst) == 20);

@@ -169,8 +169,7 @@ fn rget_strided_reassembles_rows() {
 fn stats_counters_advance() {
     upcxx::run_spmd_default(2, || {
         if upcxx::rank_me() == 0 {
-            let rma0 = upcxx::ctx::stats_rma_ops();
-            let rpc0 = upcxx::ctx::stats_rpcs();
+            let before = upcxx::runtime_stats();
             fn nothing(_: ()) {}
             upcxx::rpc_ff(1, nothing, ());
             fn alloc8(_: ()) -> upcxx::GlobalPtr<u8> {
@@ -178,8 +177,11 @@ fn stats_counters_advance() {
             }
             let gp = upcxx::rpc(1, alloc8, ()).wait();
             upcxx::rput(&[1u8; 8], gp).wait();
-            assert!(upcxx::ctx::stats_rma_ops() > rma0);
-            assert!(upcxx::ctx::stats_rpcs() >= rpc0 + 2);
+            let after = upcxx::runtime_stats();
+            assert_eq!(after.rank, 0);
+            assert!(after.rma_ops > before.rma_ops);
+            assert!(after.rpcs >= before.rpcs + 2);
+            assert!(after.bytes_out > before.bytes_out);
         }
         upcxx::barrier();
     });

@@ -75,6 +75,10 @@ pub fn current() -> Option<(SimWorld, Rank)> {
 struct RankState {
     cpu: CpuClock,
     items_run: u64,
+    /// Virtual time deliveries to this rank spent parked behind a busy CPU
+    /// (the conduit-level cost of inattentiveness; the per-hop waits
+    /// telescope to the true arrival-to-execution delay).
+    deferred: Time,
 }
 
 struct Inner {
@@ -115,6 +119,7 @@ impl SimWorld {
                     .map(|_| RankState {
                         cpu: CpuClock::new(cpu_factor),
                         items_run: 0,
+                        deferred: Time::ZERO,
                     })
                     .collect(),
                 exec: None,
@@ -168,6 +173,13 @@ impl SimWorld {
     /// Busy time accumulated by `rank`'s CPU.
     pub fn rank_busy(&self, rank: Rank) -> Time {
         self.0.st.borrow().ranks[rank].cpu.busy_total()
+    }
+
+    /// Total virtual time deliveries to `rank` spent waiting for its busy
+    /// CPU before executing — the conduit's view of how much incoming work
+    /// an inattentive rank delayed (§III).
+    pub fn rank_deferred(&self, rank: Rank) -> Time {
+        self.0.st.borrow().ranks[rank].deferred
     }
 
     /// Charge `cost` of CPU work to `rank` (scaled by the machine's CPU
@@ -453,6 +465,13 @@ impl SimWorld {
         let free_at = self.0.st.borrow().ranks[rank].cpu.free_at();
         let now = self.0.sim.now();
         if free_at > now {
+            // Account the wait: successive hops telescope to the full
+            // arrival-to-execution delay this delivery experienced.
+            {
+                let mut st = self.0.st.borrow_mut();
+                let d = st.ranks[rank].deferred;
+                st.ranks[rank].deferred = d + free_at.saturating_sub(now);
+            }
             let w = self.clone();
             self.0.sim.schedule_at(
                 free_at,

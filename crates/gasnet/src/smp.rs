@@ -296,6 +296,12 @@ impl RankHandle {
     pub fn inbox_nonempty(&self) -> bool {
         !self.sh.inboxes[self.me].is_empty()
     }
+
+    /// Number of items currently waiting in this rank's inbox (racy gauge;
+    /// the conduit-backlog figure surfaced by `upcxx::runtime_stats`).
+    pub fn inbox_depth(&self) -> u64 {
+        self.sh.inboxes[self.me].len.load(Ordering::Acquire)
+    }
 }
 
 /// Run an SPMD world of `n` ranks, one OS thread each. `f` is the rank main;

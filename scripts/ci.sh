@@ -18,4 +18,31 @@ echo "==> tier-1: cargo test -q (root package), then the full workspace"
 cargo test -q
 cargo test --workspace -q
 
+echo "==> trace smoke: fig4 --trace-only --trace-out produces a loadable trace"
+trace_json="$(mktemp /tmp/ci-trace-XXXXXX.json)"
+cargo run --release -p bench --bin fig4 -- haswell --quick --trace-only --trace-out "$trace_json" >/dev/null
+python3 - "$trace_json" <<'EOF'
+import json, sys
+events = json.load(open(sys.argv[1]))["traceEvents"]
+assert events, "trace export contains no events"
+phases = {e["args"]["phase"] for e in events if e.get("ph") == "i"}
+missing = {"Inject", "Conduit", "Deliver", "Complete"} - phases
+assert not missing, f"trace is missing phases: {missing}"
+print(f"    trace OK: {len(events)} events, all four phases present")
+EOF
+rm -f "$trace_json"
+
+echo "==> guard: no new uses of the deprecated free stats functions"
+# The deprecated stats_*() shims are defined in core/src/ctx.rs, re-exported
+# from lib.rs, and exercised once by the shim-equivalence test; nothing else
+# in the tree may call them (use upcxx::runtime_stats()).
+if grep -rn --include='*.rs' -E '\bstats_(rma_ops|rpcs|agg_msgs|agg_batches)\(' \
+    crates examples tests \
+    | grep -v 'crates/core/src/ctx.rs' \
+    | grep -v 'crates/core/src/lib.rs' \
+    | grep -v 'crates/core/tests/trace.rs'; then
+  echo "ERROR: new call sites of deprecated stats_*() found (use upcxx::runtime_stats())" >&2
+  exit 1
+fi
+
 echo "CI OK"
