@@ -133,13 +133,25 @@ fn bench_smp_rpc(filter: &Option<String>) {
             out.into_inner().unwrap()
         });
     }
-    // The 1 KiB rput loop runs twice: tracing disabled (the product
-    // configuration — every trace hook must reduce to one branch) and
-    // tracing enabled (the cost of full four-phase event capture). The
-    // printed delta is the price of *having* the subsystem vs *using* it.
-    let rput_run = |trace: bool, iters: u64| {
+    // The 1 KiB rput loop runs three times: everything off (the product
+    // configuration — every trace/san hook must reduce to one branch),
+    // tracing enabled (full four-phase event capture), and the PGAS
+    // sanitizer enabled (shadow-state race/bounds checking of every put).
+    // The printed deltas are the price of *having* each subsystem vs
+    // *using* it.
+    let rput_run = |trace: bool, san: bool, iters: u64| {
         let out = std::sync::Mutex::new(Duration::ZERO);
         upcxx::run_spmd_default(2, || {
+            if san {
+                // Both ranks, as the sanitizer requires; the steady-state
+                // shadow stays tiny (same-extent records dedup), so this
+                // measures per-op checking, not shadow growth.
+                upcxx::san::set_config(upcxx::SanConfig {
+                    enabled: true,
+                    mode: upcxx::SanMode::Panic,
+                });
+            }
+            upcxx::barrier();
             let buf = upcxx::allocate::<u8>(1024);
             let bufs = upcxx::broadcast_gather(buf);
             if upcxx::rank_me() == 0 {
@@ -163,18 +175,30 @@ fn bench_smp_rpc(filter: &Option<String>) {
     let mut rput_base = None;
     if want(filter, "smp_rput_1KiB") {
         rput_base = Some(bench_custom("smp_rput_1KiB", 20_000, |iters| {
-            rput_run(false, iters)
+            rput_run(false, false, iters)
         }));
     }
     if want(filter, "smp_rput_1KiB_traced") {
         let traced = bench_custom("smp_rput_1KiB_traced", 20_000, |iters| {
-            rput_run(true, iters)
+            rput_run(true, false, iters)
         });
         if let Some(base) = rput_base {
             println!(
                 "{:<32} {:>11.1}%   (event capture on vs off)",
                 "  tracing-enabled overhead",
                 (traced / base - 1.0) * 100.0
+            );
+        }
+    }
+    if want(filter, "smp_rput_1KiB_san") {
+        let san = bench_custom("smp_rput_1KiB_san", 20_000, |iters| {
+            rput_run(false, true, iters)
+        });
+        if let Some(base) = rput_base {
+            println!(
+                "{:<32} {:>11.1}%   (shadow-state checking on vs off)",
+                "  sanitizer-enabled overhead",
+                (san / base - 1.0) * 100.0
             );
         }
     }

@@ -61,13 +61,54 @@ impl SegAlloc {
 
     /// Return an allocation to the free list (coalescing neighbors).
     /// Panics on double-free or a foreign offset — catching exactly the
-    /// misuse UPC++ documents as undefined behaviour.
+    /// misuse UPC++ documents as undefined behaviour — with a diagnostic
+    /// naming the nearest live extent (see [`SegAlloc::retire`]).
     pub fn dealloc(&mut self, off: usize) {
-        let len = self
-            .live
-            .remove(&off)
-            .unwrap_or_else(|| panic!("dealloc of unallocated offset {off}"));
-        self.in_use -= len;
+        match self.retire(off) {
+            Ok(len) => self.release(off, len),
+            Err(diag) => panic!("dealloc of unallocated offset {off}: {diag}"),
+        }
+    }
+
+    /// First half of a free: remove `off` from the live set and return its
+    /// padded length, without touching the free list (the sanitizer parks
+    /// the extent in quarantine between [`SegAlloc::retire`] and
+    /// [`SegAlloc::release`]). `Err` carries a diagnostic: whether the
+    /// offset is interior to a live extent (the common bug — deallocating a
+    /// pointer produced by `add`/`cast`) and the nearest live extent.
+    pub(crate) fn retire(&mut self, off: usize) -> Result<usize, String> {
+        if let Some(len) = self.live.remove(&off) {
+            self.in_use -= len;
+            return Ok(len);
+        }
+        // Diagnose: interior? nearest?
+        let mut nearest: Option<(usize, usize)> = None;
+        for (&o, &l) in &self.live {
+            if o < off && off < o + l {
+                return Err(format!(
+                    "offset {off} is interior to the live extent [{o}..{end}) — deallocate the \
+                     pointer returned by allocate, not one produced by add/cast",
+                    end = o + l
+                ));
+            }
+            let d = off.abs_diff(o);
+            if nearest.is_none_or(|(bo, _)| d < off.abs_diff(bo)) {
+                nearest = Some((o, l));
+            }
+        }
+        Err(match nearest {
+            Some((o, l)) => format!(
+                "never allocated (double free or foreign pointer); nearest live extent is \
+                 [{o}..{end})",
+                end = o + l
+            ),
+            None => "never allocated (no live allocations in this segment)".to_string(),
+        })
+    }
+
+    /// Second half of a free: return a retired extent to the free list
+    /// (coalescing neighbors).
+    pub(crate) fn release(&mut self, off: usize, len: usize) {
         // Insert sorted, then coalesce with neighbors.
         let pos = self.free.partition_point(|&(o, _)| o < off);
         self.free.insert(pos, (off, len));
@@ -111,6 +152,30 @@ impl SegAlloc {
 
 fn pad(len: usize) -> usize {
     len.div_ceil(SEG_ALIGN) * SEG_ALIGN
+}
+
+/// Free segment memory on behalf of `upcxx::deallocate`, threading the
+/// sanitizer's lifecycle through the allocator: retire the extent, let the
+/// sanitizer un-mirror/poison/quarantine it ([`crate::san::note_free`]),
+/// and release whatever the quarantine returns. `what` names the pointer
+/// being freed (its `Debug` rendering) for the bad-free diagnostic.
+pub(crate) fn segment_free(c: &crate::ctx::RankCtx, off: usize, what: &str) {
+    let retired = c.alloc.borrow_mut().retire(off);
+    match retired {
+        Ok(padded) => {
+            if c.san_on.get() {
+                crate::rma::poison_fill(c, c.me, off, padded);
+            }
+            let release_now = crate::san::note_free(c, off, padded);
+            let mut a = c.alloc.borrow_mut();
+            for (ro, rl) in release_now {
+                a.release(ro, rl);
+            }
+        }
+        // Surfaced at the `upcxx::deallocate` boundary: panic in Panic mode
+        // (or with the sanitizer disabled), report-and-skip otherwise.
+        Err(diag) => crate::san::bad_free(c, what, &diag),
+    }
 }
 
 #[cfg(test)]

@@ -98,6 +98,21 @@ fn amo(target: GlobalPtr<u64>, op: AmoOp, operand: u64, compare: u64) -> Future<
     let tag = c.op_tag(crate::trace::OpKind::Amo, target.rank() as u32, 8);
     let p = Promise::<u64>::new();
     let p2 = p.clone();
+    let done: Box<dyn FnOnce(u64)> = Box::new(move |old| p2.fulfill(old));
+    let done = if c.san_on.get() {
+        crate::san::check_rma(
+            &c,
+            target.rank(),
+            target.byte_offset(),
+            8,
+            crate::san::AccessKind::Amo,
+            tag.tid,
+            "atomic",
+        );
+        crate::san::wrap_done_val(target.rank(), tag.tid, done)
+    } else {
+        done
+    };
     c.inject(
         DefOp::Amo {
             target: target.rank(),
@@ -105,7 +120,7 @@ fn amo(target: GlobalPtr<u64>, op: AmoOp, operand: u64, compare: u64) -> Future<
             op,
             operand,
             compare,
-            done: Box::new(move |old| p2.fulfill(old)),
+            done,
         },
         tag,
     );

@@ -208,6 +208,18 @@ pub struct RankCtx {
     /// Fast gate every trace hook checks: the *only* cost tracing adds to
     /// the hot path while disabled.
     pub(crate) trace_on: Cell<bool>,
+    /// Sanitizer state: config, counters, retained reports (see
+    /// `crate::san`).
+    pub(crate) san: RefCell<crate::san::SanCtx>,
+    /// Fast gate every sanitizer hook checks (same discipline as
+    /// `trace_on`): the only cost the sanitizer adds while disabled.
+    pub(crate) san_on: Cell<bool>,
+    /// Restricted-context depth: >0 while an RPC/reply/system-AM callback
+    /// executes on this rank (maintained unconditionally; *checked* only
+    /// when the sanitizer is enabled).
+    pub(crate) san_depth: Cell<u32>,
+    /// Handle to the world-shared shadow state.
+    pub(crate) san_shared: crate::san::SanShared,
 }
 
 thread_local! {
@@ -234,8 +246,11 @@ pub(crate) fn with_ctx(c: Rc<RankCtx>, f: impl FnOnce()) {
 }
 
 impl RankCtx {
-    pub(crate) fn new_smp(h: smp::RankHandle) -> Rc<RankCtx> {
+    pub(crate) fn new_smp(h: smp::RankHandle, san_shared: crate::san::SanShared) -> Rc<RankCtx> {
         let seg = h.seg_size();
+        let san_cfg = crate::san::env_config();
+        let mut san = crate::san::SanCtx::new();
+        san.cfg = san_cfg;
         Rc::new(RankCtx {
             me: h.rank_me(),
             n: h.rank_n(),
@@ -255,12 +270,19 @@ impl RankCtx {
             stats: CtxStats::default(),
             trace: RefCell::new(TraceState::new()),
             trace_on: Cell::new(false),
+            san_on: Cell::new(san_cfg.enabled),
+            san: RefCell::new(san),
+            san_depth: Cell::new(0),
+            san_shared,
         })
     }
 
-    pub(crate) fn new_sim(w: SimWorld, me: Rank) -> Rc<RankCtx> {
+    pub(crate) fn new_sim(w: SimWorld, me: Rank, san_shared: crate::san::SanShared) -> Rc<RankCtx> {
         let seg = w.seg_size();
         let n = w.rank_n();
+        let san_cfg = crate::san::env_config();
+        let mut san = crate::san::SanCtx::new();
+        san.cfg = san_cfg;
         Rc::new(RankCtx {
             me,
             n,
@@ -280,6 +302,10 @@ impl RankCtx {
             stats: CtxStats::default(),
             trace: RefCell::new(TraceState::new()),
             trace_on: Cell::new(false),
+            san_on: Cell::new(san_cfg.enabled),
+            san: RefCell::new(san),
+            san_depth: Cell::new(0),
+            san_shared,
         })
     }
 
@@ -832,7 +858,14 @@ pub fn rank_n() -> usize {
 /// Make user-level progress: advance deferred operations and run completed
 /// operations' callbacks and incoming RPCs (paper: `upcxx::progress()`).
 pub fn progress() {
-    ctx().progress_user();
+    let c = ctx();
+    // Re-entrant user-level progress from inside an RPC/reply callback is
+    // the paper's restricted-context violation; with the sanitizer on it is
+    // diagnosed instead of silently re-entering the engine.
+    if c.san_on.get() && c.san_depth.get() > 0 {
+        crate::san::restricted_violation(&c, "progress()");
+    }
+    c.progress_user();
 }
 
 /// Spin on user progress until `pred` holds (the engine behind
@@ -845,6 +878,14 @@ pub fn wait_until(pred: impl Fn() -> bool) {
         return;
     }
     let c = ctx();
+    // A blocking wait inside an RPC/reply callback can never be satisfied:
+    // the callback *is* the progress engine's current item, so spinning on
+    // progress here self-deadlocks (smp) or hangs the virtual timeline
+    // (sim). The check sits after the fast path above on purpose — waiting
+    // on an already-ready future inside a callback is harmless.
+    if c.san_on.get() && c.san_depth.get() > 0 {
+        crate::san::restricted_violation(&c, "wait()/barrier()");
+    }
     match &c.backend {
         Backend::Smp(_) => {
             let mut spins: u32 = 0;

@@ -110,24 +110,42 @@ impl<T: Pod> GlobalPtr<T> {
     }
 
     /// Pointer arithmetic in elements (paper: global pointers "support
-    /// arithmetic").
+    /// arithmetic"). Panics on overflow instead of silently wrapping into a
+    /// bogus offset.
     pub fn add(&self, elems: usize) -> GlobalPtr<T> {
         assert!(!self.is_null(), "arithmetic on null global pointer");
+        let off = (elems as u128)
+            .checked_mul(std::mem::size_of::<T>() as u128)
+            .and_then(|d| (self.off as u128).checked_add(d))
+            .filter(|&o| o < NULL_OFF as u128)
+            .unwrap_or_else(|| {
+                panic!(
+                    "global-pointer arithmetic overflow: {self:?} + {elems} elements of {} bytes",
+                    std::mem::size_of::<T>()
+                )
+            });
         GlobalPtr {
             rank: self.rank,
-            off: self.off + (elems * std::mem::size_of::<T>()) as u64,
+            off: off as u64,
             _pd: PhantomData,
         }
     }
 
-    /// Signed element offset.
+    /// Signed element offset. Panics when the result leaves `[0, u64::MAX)`
+    /// — a negative result would otherwise wrap into a huge offset.
     pub fn offset_elems(&self, elems: isize) -> GlobalPtr<T> {
         assert!(!self.is_null(), "arithmetic on null global pointer");
-        let delta = elems * std::mem::size_of::<T>() as isize;
-        let off = (self.off as i128 + delta as i128) as u64;
+        let delta = (elems as i128) * std::mem::size_of::<T>() as i128;
+        let off = self.off as i128 + delta;
+        assert!(
+            (0..NULL_OFF as i128).contains(&off),
+            "global-pointer arithmetic overflow: {self:?} offset by {elems} elements of {} bytes \
+             lands at byte offset {off}",
+            std::mem::size_of::<T>()
+        );
         GlobalPtr {
             rank: self.rank,
-            off,
+            off: off as u64,
             _pd: PhantomData,
         }
     }
@@ -156,6 +174,15 @@ impl<T: Pod> GlobalPtr<T> {
         assert!(self.is_local(), "local_read on a non-local global pointer");
         let c = ctx();
         let bytes_len = std::mem::size_of_val(dst);
+        if c.san_on.get() {
+            crate::san::check_local(
+                &c,
+                self.off as usize,
+                bytes_len,
+                crate::san::AccessKind::Read,
+                "local_read",
+            );
+        }
         match &c.backend {
             Backend::Smp(h) => {
                 let mut buf = vec![0u8; bytes_len];
@@ -175,6 +202,15 @@ impl<T: Pod> GlobalPtr<T> {
         assert!(self.is_local(), "local_write on a non-local global pointer");
         let c = ctx();
         let bytes = crate::ser::pod_to_bytes(src);
+        if c.san_on.get() {
+            crate::san::check_local(
+                &c,
+                self.off as usize,
+                bytes.len(),
+                crate::san::AccessKind::Write,
+                "local_write",
+            );
+        }
         match &c.backend {
             Backend::Smp(h) => h.put_bytes(c.me, self.off as usize, &bytes),
             Backend::Sim(w) => w.seg_write(c.me, self.off as usize, &bytes),
@@ -187,6 +223,16 @@ impl<T: Pod> GlobalPtr<T> {
     pub fn local_ptr(&self) -> *mut T {
         assert!(self.is_local(), "local_ptr on a non-local global pointer");
         let c = ctx();
+        if c.san_on.get() {
+            // Raw-pointer accesses have unknown extent in time, so only the
+            // referent's bounds/liveness are validated — no race record.
+            crate::san::check_bounds_only(
+                &c,
+                self.off as usize,
+                std::mem::size_of::<T>(),
+                "local_ptr",
+            );
+        }
         match &c.backend {
             Backend::Smp(h) => unsafe { h.seg_base(c.me).add(self.off as usize) as *mut T },
             Backend::Sim(_) => {
@@ -226,11 +272,18 @@ pub fn allocate<T: Pod>(count: usize) -> GlobalPtr<T> {
         .borrow_mut()
         .alloc(len)
         .unwrap_or_else(|| panic!("shared segment exhausted allocating {len} bytes"));
+    // Mirror into the sanitizer's live-extent map (unconditional, so the
+    // mirror is complete if the sanitizer is enabled later).
+    crate::san::note_alloc(&c, off, len);
     GlobalPtr::from_parts(c.me, off)
 }
 
-/// Release memory obtained from [`allocate`] (owning rank only).
+/// Release memory obtained from [`allocate`] (owning rank only). A pointer
+/// that was never returned by [`allocate`] — interior (produced by
+/// `add`/`cast`), stale, or plain wrong — is diagnosed here with the
+/// pointer's debug rendering rather than deep inside the allocator.
 pub fn deallocate<T: Pod>(p: GlobalPtr<T>) {
     assert!(p.is_local(), "deallocate must run on the owning rank");
-    ctx().alloc.borrow_mut().dealloc(p.byte_offset());
+    let c = ctx();
+    crate::alloc::segment_free(&c, p.byte_offset(), &format!("{p:?}"));
 }

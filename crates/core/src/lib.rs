@@ -56,6 +56,7 @@ pub mod global_ptr;
 pub mod rma;
 pub mod rpc;
 pub mod runtime;
+pub mod san;
 pub mod ser;
 pub mod team;
 pub mod trace;
@@ -85,6 +86,7 @@ pub use runtime::{
     after, compute, run_spmd, run_spmd_default, sim_now, sim_rank_now, sim_sw_costs, SimRuntime,
     SpmdConfig,
 };
+pub use san::{san_report, SanConfig, SanCounters, SanMode};
 pub use ser::{make_view, Pod, Ser, View};
 pub use team::Team;
 pub use trace::{runtime_stats, LatencyHist, OpKind, Phase, RuntimeStats, TraceConfig, TraceEvent};

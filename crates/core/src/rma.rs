@@ -21,13 +21,24 @@
 //! GASNet conduits — by decomposing into contiguous operations conjoined
 //! through one promise.
 
-use crate::ctx::{ctx, DefOp};
+use crate::ctx::{ctx, Backend, DefOp, RankCtx};
 use crate::future::{Future, Promise};
 use crate::global_ptr::GlobalPtr;
+use crate::san::{self, AccessKind};
 use crate::ser::{pod_from_bytes, pod_to_bytes, Pod};
 use crate::trace::OpKind;
 use std::cell::RefCell;
 use std::rc::Rc;
+
+/// Overwrite `len` bytes of `rank`'s segment at `off` with the sanitizer's
+/// poison byte. Lives here (not in `san.rs`) because raw segment access is
+/// confined to this module and `global_ptr.rs` by `scripts/lint.sh`.
+pub(crate) fn poison_fill(c: &RankCtx, rank: usize, off: usize, len: usize) {
+    match &c.backend {
+        Backend::Smp(h) => h.fill_bytes(rank, off, len, san::POISON),
+        Backend::Sim(w) => w.seg_fill(rank, off, len, san::POISON),
+    }
+}
 
 /// Non-blocking one-sided put of `src` to the remote location `dest`
 /// (paper: `upcxx::rput(src, dest, count)`). The returned future readies at
@@ -64,12 +75,30 @@ pub fn rput_promise<T: Pod>(src: &[T], dest: GlobalPtr<T>, p: &Promise<()>) {
     let tag = c.op_tag(OpKind::Put, dest.rank() as u32, bytes.len() as u32);
     p.require_anonymous(1);
     let p2 = p.clone();
+    let done: Box<dyn FnOnce()> = Box::new(move || p2.fulfill_anonymous(1));
+    // The sanitizer's single disabled-path branch: check the access and
+    // wrap the completion so the origin's epoch advances when the future
+    // fulfills (san.rs module docs).
+    let done = if c.san_on.get() {
+        san::check_rma(
+            &c,
+            dest.rank(),
+            dest.byte_offset(),
+            tag.bytes as usize,
+            AccessKind::Write,
+            tag.tid,
+            "rput",
+        );
+        san::wrap_done_unit(dest.rank(), tag.tid, done)
+    } else {
+        done
+    };
     c.inject(
         DefOp::Put {
             target: dest.rank(),
             dst_off: dest.byte_offset(),
             bytes,
-            done: Box::new(move || p2.fulfill_anonymous(1)),
+            done,
         },
         tag,
     );
@@ -83,12 +112,27 @@ fn rget_raw<T: Pod + Clone>(src: GlobalPtr<T>, count: usize, done: Box<dyn FnOnc
     c.stats.rma_ops.set(c.stats.rma_ops.get() + 1);
     let len = count * std::mem::size_of::<T>();
     let tag = c.op_tag(OpKind::Get, src.rank() as u32, len as u32);
+    let done: Box<dyn FnOnce(Vec<u8>)> = Box::new(move |bytes| done(pod_from_bytes(&bytes)));
+    let done = if c.san_on.get() {
+        san::check_rma(
+            &c,
+            src.rank(),
+            src.byte_offset(),
+            len,
+            AccessKind::Read,
+            tag.tid,
+            "rget",
+        );
+        san::wrap_done_val(src.rank(), tag.tid, done)
+    } else {
+        done
+    };
     c.inject(
         DefOp::Get {
             target: src.rank(),
             src_off: src.byte_offset(),
             len,
-            done: Box::new(move |bytes| done(pod_from_bytes(&bytes))),
+            done,
         },
         tag,
     );

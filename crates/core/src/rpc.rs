@@ -25,6 +25,7 @@
 
 use crate::ctx::{ctx, DefOp};
 use crate::future::{Future, Promise};
+use crate::san;
 use crate::ser::{from_bytes, to_bytes, Reader, Ser};
 use crate::trace::{FlushReason, OpKind, Phase};
 use crate::wire;
@@ -66,9 +67,16 @@ where
         );
     }
 
+    // Sanitizer: the message carries the sender's vector clock, making the
+    // handler (and everything sequenced after it, e.g. a then()-chained
+    // rput) ordered after everything the sender completed — the DHT motif's
+    // happens-before edge.
+    let snap = san::msg_snapshot(&c);
     let item: gasnet::Item = Box::new(move || {
         // Runs on the target rank with its context installed.
         let tc = ctx();
+        san::msg_join(&tc, &snap);
+        let _restricted = san::RestrictedGuard::new(&tc);
         tc.emit_from(Phase::Deliver, tag, initiator as u32, FlushReason::None);
         tc.stats
             .bytes_in
@@ -103,8 +111,11 @@ where
     let payload = arg_bytes.len();
     let tag = c.op_tag(OpKind::RpcFf, target as u32, payload as u32);
     let initiator = c.me as u32;
+    let snap = san::msg_snapshot(&c);
     let item: gasnet::Item = Box::new(move || {
         let tc = ctx();
+        san::msg_join(&tc, &snap);
+        let _restricted = san::RestrictedGuard::new(&tc);
         tc.emit_from(Phase::Deliver, tag, initiator, FlushReason::None);
         tc.stats
             .bytes_in
@@ -125,8 +136,11 @@ fn send_reply(initiator: Rank, op_id: u64, bytes: Vec<u8>) {
     let replier = c.me;
     let payload = bytes.len();
     let tag = c.op_tag(OpKind::Reply, initiator as u32, payload as u32);
+    let snap = san::msg_snapshot(&c);
     let item: gasnet::Item = Box::new(move || {
         let ic = ctx();
+        san::msg_join(&ic, &snap);
+        let _restricted = san::RestrictedGuard::new(&ic);
         ic.emit_from(Phase::Deliver, tag, replier as u32, FlushReason::None);
         ic.stats
             .bytes_in
@@ -168,8 +182,14 @@ pub(crate) fn sys_am<A: Ser>(target: Rank, f: fn(A), args: A) {
     let wire = wire::am_wire_size(bytes.len());
     let tag = c.op_tag(OpKind::SysAm, target as u32, bytes.len() as u32);
     let initiator = c.me as u32;
+    // System AMs carry clocks too: barrier flags ride here, which is what
+    // gives the sanitizer its "epochs advance on barrier" rule for free —
+    // the dissemination rounds propagate every rank's clock transitively.
+    let snap = san::msg_snapshot(&c);
     let item: gasnet::Item = Box::new(move || {
         let tc = ctx();
+        san::msg_join(&tc, &snap);
+        let _restricted = san::RestrictedGuard::new(&tc);
         tc.emit_from(Phase::Deliver, tag, initiator, FlushReason::None);
         f(from_bytes(bytes));
         tc.emit_from(Phase::Complete, tag, initiator, FlushReason::None);

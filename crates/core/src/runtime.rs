@@ -38,13 +38,14 @@ pub fn run_spmd<F>(n: usize, cfg: SpmdConfig, f: F)
 where
     F: Fn() + Send + Sync,
 {
+    let san = std::sync::Arc::new(std::sync::Mutex::new(crate::san::SanWorld::new(n)));
     smp::launch(
         n,
         SmpConfig {
             seg_size: cfg.seg_size,
         },
         move |h| {
-            let c = RankCtx::new_smp(h);
+            let c = RankCtx::new_smp(h, crate::san::SanShared::Smp(san.clone()));
             with_ctx(c, || {
                 f();
                 // Finalize: no rank leaves while others may still address it.
@@ -75,8 +76,13 @@ impl SimRuntime {
     /// Build a world of `n` ranks on `machine` with `seg_size`-byte segments.
     pub fn new(machine: MachineConfig, n: usize, seg_size: usize) -> SimRuntime {
         let world = SimWorld::new(machine, n, seg_size);
+        let san = Rc::new(RefCell::new(crate::san::SanWorld::new(n)));
         let ctxs: Rc<RefCell<Vec<Rc<RankCtx>>>> = Rc::new(RefCell::new(
-            (0..n).map(|r| RankCtx::new_sim(world.clone(), r)).collect(),
+            (0..n)
+                .map(|r| {
+                    RankCtx::new_sim(world.clone(), r, crate::san::SanShared::Sim(san.clone()))
+                })
+                .collect(),
         ));
         let cx2 = ctxs.clone();
         world.set_exec_wrapper(Rc::new(move |rank, item| {
@@ -124,7 +130,12 @@ impl SimRuntime {
 
     /// Run the virtual timeline to quiescence; returns the final time.
     pub fn run(&self) -> Time {
-        self.world.run()
+        let t = self.world.run();
+        // Quiescence is a global synchronization point: nothing is in
+        // flight, so the sanitizer orders later driver code and harness
+        // inspections (`with_rank`) after everything that completed.
+        self.with_rank(0, || crate::san::quiesce(&crate::ctx::ctx()));
+        t
     }
 
     /// Model `cost` of application compute on `rank` (drivers use this to

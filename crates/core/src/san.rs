@@ -1,0 +1,824 @@
+//! `upcxx::san` — the PGAS correctness sanitizer.
+//!
+//! The paper's one-sided model (§II–III) trades receiver-side code for a
+//! synchronization contract the runtime cannot see: `rput`/`rget` land in
+//! remote segments with no handler, RPC callbacks execute inside the
+//! progress engine where blocking deadlocks, and `deallocate` races against
+//! in-flight transfers that still name the extent. This module makes the
+//! contract checkable. It is **opt-in** ([`SanConfig::enabled`], or the
+//! `UPCXX_SAN` environment variable) and follows the same discipline as
+//! [`crate::trace`]: while disabled, every hook in the hot path is a single
+//! load-and-branch on a per-rank flag.
+//!
+//! ## Detector 1: RMA race detection (shadow intervals + vector clocks)
+//!
+//! Each rank's shared segment gets a *shadow*: a list of byte-interval
+//! access records `(lo, hi, kind, origin rank, op id, completion epoch)`
+//! kept in a world-shared [`SanWorld`]. Every `rput`/`rget`/atomic checks,
+//! at injection, the target's shadow for overlapping records and reports a
+//! race when the two accesses conflict and neither is ordered before the
+//! other. Ordering is happens-before, approximated FastTrack-style:
+//!
+//! * each rank carries a scalar clock and a vector clock (`vc[r]` = the
+//!   latest epoch of rank `r` this rank has observed);
+//! * an operation's completion (the moment its future/promise is fulfilled
+//!   at the origin — the paper's "epochs advance on future completion")
+//!   increments the origin's clock and stamps the record;
+//! * every RPC, reply and internal system AM carries the sender's vector
+//!   clock, joined into the receiver's on delivery. Barriers are built from
+//!   system AMs (`coll.rs`'s dissemination rounds), so barrier ordering —
+//!   "epochs advance on barrier" — propagates transitively for free, and so
+//!   does the DHT motif's `rpc(make_lz).then(rput)` dependency chain.
+//!
+//! Access `a` (recorded) happens-before access `b` (checking, by rank `o`)
+//! iff `a.origin == o` (same-origin accesses are program-ordered — conduits
+//! here deliver same-source-same-target ops in order) or `a` completed at
+//! epoch `t` and `o`'s `vc[a.origin] >= t`. Conflicts: write-write and
+//! write-read always conflict; read-read never; atomic-atomic never (that
+//! is what atomics are for); **atomic vs. plain read does not conflict**
+//! (polling a counter word with `local_read`/`rget` while remote atomics
+//! update it is a sanctioned idiom — the sim conduit's NIC-offload model
+//! has no target-CPU participation to order against); atomic vs. plain
+//! write conflicts.
+//!
+//! Under the sim conduit injection order is deterministic, so races
+//! reproduce bit-for-bit — the determinism test in `tests/san.rs` asserts
+//! identical reports across runs.
+//!
+//! ## Detector 2: restricted-context enforcement
+//!
+//! RPC/reply/system-AM callbacks run inside user-level progress — the
+//! paper's *restricted context* — where `wait()`, `barrier()` and
+//! re-entrant `progress()` self-deadlock. The runtime wraps every such
+//! callback in a depth guard; with the sanitizer enabled, blocking inside
+//! one produces an immediate diagnostic instead of a hang.
+//!
+//! ## Detector 3: segment sanitizer (UAF / OOB / bad free)
+//!
+//! The world mirrors every rank's live extents (offset → requested length)
+//! unconditionally — allocation is a cold path — so enabling the sanitizer
+//! mid-run stays sound. With the sanitizer on, `deallocate` poisons the
+//! extent (byte [`POISON`]) and parks it in a per-rank quarantine ring
+//! (capped at [`QUAR_MAX_EXTENTS`]/[`QUAR_MAX_BYTES`]) instead of releasing
+//! it, so a stale `GlobalPtr` keeps naming a *quarantined* extent and every
+//! RMA/local access against it reports use-after-free with the freed
+//! extent; accesses beyond any live extent report out-of-bounds with the
+//! nearest one. `deallocate` of a never-allocated or interior offset is
+//! reported at the `upcxx::deallocate` boundary with the pointer's `Debug`
+//! rendering ([`crate::alloc::SegAlloc::retire`] supplies the diagnosis).
+//!
+//! ## Limitations
+//!
+//! Enable the sanitizer on **every** rank (or none): happens-before edges
+//! are only recorded while the rank executing the edge has it enabled, so
+//! mixed enablement can miss orderings and report false races. Records are
+//! pruned once globally dominated, deduplicated per (origin, range, kind),
+//! and hard-capped, so long-running workloads cannot grow the shadow
+//! without bound (a dropped record can at worst *miss* a race, never
+//! invent one).
+
+use crate::ctx::{ctx, RankCtx};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+
+/// Byte written over quarantined extents, making use-after-free reads
+/// visible even where a check is missed (`0xA5` = "poison" by convention).
+pub const POISON: u8 = 0xA5;
+
+/// Maximum extents parked in one rank's quarantine ring.
+pub(crate) const QUAR_MAX_EXTENTS: usize = 64;
+/// Maximum bytes parked in one rank's quarantine ring.
+pub(crate) const QUAR_MAX_BYTES: usize = 1 << 20;
+
+/// Soft bound on one rank's shadow records: exceeding it triggers a prune
+/// of globally-dominated records.
+const PRUNE_THRESHOLD: usize = 256;
+/// Hard cap on one rank's shadow records: exceeding it drops the oldest
+/// completed records.
+const HARD_CAP: usize = 4096;
+
+/// What the sanitizer does when a detector fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SanMode {
+    /// Panic with the report (default; turns a latent bug into a test
+    /// failure at the faulting operation).
+    Panic,
+    /// Print the report to stderr, count it, and continue.
+    Log,
+    /// Count silently (reports remain retrievable via [`take_reports`]).
+    Count,
+}
+
+/// Runtime configuration of the sanitizer (per rank; see module docs —
+/// enable on every rank or none).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SanConfig {
+    /// Master switch. Off by default: every hook reduces to one branch on
+    /// a per-rank flag.
+    pub enabled: bool,
+    /// What a detection does.
+    pub mode: SanMode,
+}
+
+impl Default for SanConfig {
+    fn default() -> Self {
+        SanConfig {
+            enabled: false,
+            mode: SanMode::Panic,
+        }
+    }
+}
+
+/// Per-detector counters: one snapshot of what the sanitizer has seen on
+/// the calling rank (also embedded in [`crate::trace::RuntimeStats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SanCounters {
+    /// Unordered conflicting RMA/atomic/local access pairs.
+    pub races: u64,
+    /// Blocking calls (`wait`/`barrier`/`progress`) inside RPC callbacks.
+    pub restricted: u64,
+    /// Accesses touching quarantined (freed) extents.
+    pub uaf: u64,
+    /// Accesses outside any live extent.
+    pub oob: u64,
+    /// `deallocate` of never-allocated or interior offsets.
+    pub bad_frees: u64,
+}
+
+/// Per-rank sanitizer state (config, counters, retained reports). Lives in
+/// [`RankCtx`]; single-writer, no locks.
+pub(crate) struct SanCtx {
+    pub(crate) cfg: SanConfig,
+    pub(crate) counters: SanCounters,
+    pub(crate) reports: Vec<String>,
+}
+
+impl SanCtx {
+    pub(crate) fn new() -> SanCtx {
+        SanCtx {
+            cfg: SanConfig::default(),
+            counters: SanCounters::default(),
+            reports: Vec::new(),
+        }
+    }
+}
+
+/// The kind of segment access a shadow record describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum AccessKind {
+    /// `rget`, `local_read`.
+    Read,
+    /// `rput`, `local_write`.
+    Write,
+    /// Remote atomic (any op — loads too: atomics never conflict with each
+    /// other, and their conflict rules differ from plain reads).
+    Amo,
+}
+
+impl AccessKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+            AccessKind::Amo => "atomic",
+        }
+    }
+}
+
+/// One shadow interval: a recorded access to `[lo, hi)` of the owning
+/// rank's segment.
+struct Access {
+    lo: usize,
+    hi: usize,
+    kind: AccessKind,
+    /// The rank that issued the access.
+    origin: u32,
+    /// The origin's per-rank op id (`TraceTag::tid`): `(origin, op)` names
+    /// the operation globally, matching the trace stream of PR 2.
+    op: u64,
+    /// API label for reports (`"rput"`, `"rget"`, …).
+    label: &'static str,
+    /// The origin's scalar clock at completion; `None` while in flight.
+    complete: Option<u64>,
+}
+
+/// One rank's shadow state inside [`SanWorld`].
+struct RankShadow {
+    /// Vector clock; `vc[me]` is this rank's scalar clock.
+    vc: Vec<u64>,
+    /// Live-extent mirror: offset → **requested** byte length (tight
+    /// bounds; the allocator's padding is not addressable memory).
+    /// Maintained unconditionally.
+    live: BTreeMap<usize, usize>,
+    /// Quarantined freed extents `(off, padded len)`, oldest first.
+    quarantine: VecDeque<(usize, usize)>,
+    quarantine_bytes: usize,
+    /// Shadow access records over this rank's segment.
+    accesses: Vec<Access>,
+}
+
+impl RankShadow {
+    fn new(n: usize) -> RankShadow {
+        RankShadow {
+            vc: vec![0; n],
+            live: BTreeMap::new(),
+            quarantine: VecDeque::new(),
+            quarantine_bytes: 0,
+            accesses: Vec::new(),
+        }
+    }
+}
+
+/// The world-shared shadow state: one [`RankShadow`] per rank. Shared by
+/// `Arc<Mutex>` across smp rank threads and by `Rc<RefCell>` among sim
+/// ranks (which share one thread).
+pub(crate) struct SanWorld {
+    ranks: Vec<RankShadow>,
+}
+
+impl SanWorld {
+    pub(crate) fn new(n: usize) -> SanWorld {
+        SanWorld {
+            ranks: (0..n).map(|_| RankShadow::new(n)).collect(),
+        }
+    }
+}
+
+/// The conduit-appropriate handle to the world's shadow state (held by
+/// every [`RankCtx`]).
+#[derive(Clone)]
+pub(crate) enum SanShared {
+    /// smp: rank threads contend on one mutex (sanitizer paths only).
+    Smp(Arc<Mutex<SanWorld>>),
+    /// sim: all ranks share the driving thread.
+    Sim(Rc<RefCell<SanWorld>>),
+}
+
+/// Run `f` with the world's shadow state locked. Never call [`report`]
+/// (which may panic) while inside — collect findings and report after the
+/// lock is dropped, or a panicking rank would poison the smp mutex.
+fn with_world<R>(c: &RankCtx, f: impl FnOnce(&mut SanWorld) -> R) -> R {
+    match &c.san_shared {
+        SanShared::Smp(m) => {
+            // A rank that panicked in Panic mode poisons the mutex; the
+            // shadow state is still coherent (reports never run under the
+            // lock), so recover rather than cascade the panic.
+            let mut g = m.lock().unwrap_or_else(|e| e.into_inner());
+            f(&mut g)
+        }
+        SanShared::Sim(w) => f(&mut w.borrow_mut()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+/// Install a sanitizer configuration on the **current rank**. Enable on
+/// every rank (or none): see the module-docs limitation on mixed
+/// enablement. Counters and retained reports persist across reconfigs.
+pub fn set_config(cfg: SanConfig) {
+    let c = ctx();
+    c.san_on.set(cfg.enabled);
+    c.san.borrow_mut().cfg = cfg;
+}
+
+/// The current rank's sanitizer configuration.
+pub fn config() -> SanConfig {
+    ctx().san.borrow().cfg
+}
+
+/// Snapshot the current rank's sanitizer counters (also available as
+/// [`crate::trace::RuntimeStats::san`]).
+pub fn san_report() -> SanCounters {
+    ctx().san.borrow().counters
+}
+
+/// Drain the current rank's retained sanitizer reports (chronological;
+/// retained in every mode, including `Count`).
+pub fn take_reports() -> Vec<String> {
+    std::mem::take(&mut ctx().san.borrow_mut().reports)
+}
+
+/// Advance the current rank's synchronization epoch explicitly (the
+/// "epochs advance on fence" rule): subsequent message receivers observe
+/// every access this rank completed before the fence as ordered.
+pub fn fence() {
+    let c = ctx();
+    if !c.san_on.get() {
+        return;
+    }
+    let me = c.me;
+    with_world(&c, |w| w.ranks[me].vc[me] += 1);
+}
+
+/// Parse the `UPCXX_SAN` environment variable into a configuration:
+/// `1`/`panic` → Panic, `log` → Log, `count` → Count, anything else (or
+/// unset) → disabled. Read once per rank at world construction.
+pub(crate) fn env_config() -> SanConfig {
+    let mode = match std::env::var("UPCXX_SAN") {
+        Ok(v) => match v.as_str() {
+            "1" | "panic" => Some(SanMode::Panic),
+            "log" => Some(SanMode::Log),
+            "count" => Some(SanMode::Count),
+            _ => None,
+        },
+        Err(_) => None,
+    };
+    match mode {
+        Some(mode) => SanConfig {
+            enabled: true,
+            mode,
+        },
+        None => SanConfig::default(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reporting
+// ---------------------------------------------------------------------------
+
+/// Which counter a finding increments.
+#[derive(Clone, Copy)]
+enum Detector {
+    Race,
+    Restricted,
+    Uaf,
+    Oob,
+    BadFree,
+}
+
+/// Record one finding on the detecting rank and act per its mode. Must be
+/// called **without** the world lock held (Panic mode panics here).
+fn report(c: &RankCtx, det: Detector, msg: String) {
+    let mode = {
+        let mut s = c.san.borrow_mut();
+        let ctr = match det {
+            Detector::Race => &mut s.counters.races,
+            Detector::Restricted => &mut s.counters.restricted,
+            Detector::Uaf => &mut s.counters.uaf,
+            Detector::Oob => &mut s.counters.oob,
+            Detector::BadFree => &mut s.counters.bad_frees,
+        };
+        *ctr += 1;
+        s.reports.push(msg.clone());
+        s.cfg.mode
+    };
+    match mode {
+        SanMode::Panic => panic!("{msg}"),
+        SanMode::Log => eprintln!("{msg}"),
+        SanMode::Count => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Detector 1 + 3: access checking
+// ---------------------------------------------------------------------------
+
+fn conflicts(a: AccessKind, b: AccessKind) -> bool {
+    use AccessKind::*;
+    match (a, b) {
+        (Read, Read) | (Amo, Amo) => false,
+        // Atomic vs. plain read is the sanctioned polling idiom (module
+        // docs); atomic vs. plain write is flagged.
+        (Amo, Read) | (Read, Amo) => false,
+        _ => true,
+    }
+}
+
+/// A finding gathered under the world lock, reported after it drops.
+enum Finding {
+    Race(String),
+    Uaf(String),
+    Oob(String),
+}
+
+/// Shared implementation of every access check. `complete_now` marks the
+/// record completed immediately (local accesses, which are synchronous);
+/// RMA/atomic records complete later via [`mark_complete`].
+#[allow(clippy::too_many_arguments)] // internal fan-in of three thin wrappers
+fn check_access(
+    c: &RankCtx,
+    target: usize,
+    off: usize,
+    len: usize,
+    kind: AccessKind,
+    op: u64,
+    label: &'static str,
+    complete_now: bool,
+    record: bool,
+) {
+    if len == 0 {
+        return;
+    }
+    let me = c.me;
+    let (lo, hi) = (off, off.saturating_add(len));
+    let findings = with_world(c, |w| {
+        let mut findings: Vec<Finding> = Vec::new();
+        // --- Detector 3: bounds / liveness --------------------------------
+        let extent = w.ranks[target]
+            .live
+            .range(..=lo)
+            .next_back()
+            .map(|(&o, &l)| (o, l));
+        match extent {
+            Some((eo, el)) if lo < eo + el => {
+                if hi > eo + el {
+                    findings.push(Finding::Oob(format!(
+                        "upcxx-san[rank {me}]: out-of-bounds {akind}: {label} (op {me}:{op}) \
+                         touches rank {target} segment bytes [{lo}..{hi}) overrunning live \
+                         extent [{eo}..{e_end}) by {over} bytes",
+                        akind = kind.as_str(),
+                        e_end = eo + el,
+                        over = hi - (eo + el),
+                    )));
+                }
+            }
+            _ => {
+                // Not inside any live extent: freed (quarantine hit) or
+                // never-allocated / out-of-bounds.
+                let q = w.ranks[target]
+                    .quarantine
+                    .iter()
+                    .find(|&&(qo, ql)| lo < qo + ql && qo < hi)
+                    .copied();
+                if let Some((qo, ql)) = q {
+                    findings.push(Finding::Uaf(format!(
+                        "upcxx-san[rank {me}]: use-after-free {akind}: {label} (op {me}:{op}) \
+                         touches rank {target} segment bytes [{lo}..{hi}) in freed extent \
+                         [{qo}..{q_end}) still in quarantine",
+                        akind = kind.as_str(),
+                        q_end = qo + ql,
+                    )));
+                } else {
+                    let nearest = nearest_live(&w.ranks[target].live, lo);
+                    findings.push(Finding::Oob(format!(
+                        "upcxx-san[rank {me}]: out-of-bounds {akind}: {label} (op {me}:{op}) \
+                         touches rank {target} segment bytes [{lo}..{hi}) outside any live \
+                         extent ({nearest})",
+                        akind = kind.as_str(),
+                    )));
+                }
+            }
+        }
+        // --- Detector 1: race check (skipped for bounds-only validation,
+        // where no record is kept either) ----------------------------------
+        let vc_me: Vec<u64> = if record {
+            w.ranks[me].vc.clone()
+        } else {
+            Vec::new()
+        };
+        for a in w.ranks[target].accesses.iter().filter(|_| record) {
+            if a.hi <= lo || hi <= a.lo || !conflicts(a.kind, kind) {
+                continue;
+            }
+            let ordered = a.origin as usize == me
+                || a.complete
+                    .is_some_and(|t| vc_me.get(a.origin as usize).copied().unwrap_or(0) >= t);
+            if !ordered {
+                findings.push(Finding::Race(format!(
+                    "upcxx-san[rank {me}]: data race on rank {target} segment bytes \
+                     [{nlo}..{nhi}): {label} (op {me}:{op}, {nk}) from rank {me} is \
+                     unordered with {plabel} (op {porig}:{pop}, {pk}) from rank {porig} \
+                     on [{plo}..{phi})",
+                    nlo = lo,
+                    nhi = hi,
+                    nk = kind.as_str(),
+                    plabel = a.label,
+                    porig = a.origin,
+                    pop = a.op,
+                    pk = a.kind.as_str(),
+                    plo = a.lo,
+                    phi = a.hi,
+                )));
+            }
+        }
+        if record {
+            // Dedup: a completed record with the same identity-shape is
+            // superseded (keeps flood loops from growing the shadow).
+            let sh = &mut w.ranks[target];
+            sh.accesses.retain(|a| {
+                !(a.complete.is_some()
+                    && a.origin as usize == me
+                    && a.lo == lo
+                    && a.hi == hi
+                    && a.kind == kind)
+            });
+            let complete = if complete_now {
+                // Local access: synchronous, so it completes at the
+                // origin's next epoch immediately.
+                let sh_me = &mut w.ranks[me];
+                sh_me.vc[me] += 1;
+                Some(sh_me.vc[me])
+            } else {
+                None
+            };
+            w.ranks[target].accesses.push(Access {
+                lo,
+                hi,
+                kind,
+                origin: me as u32,
+                op,
+                label,
+                complete,
+            });
+            maybe_prune(w, target);
+        }
+        findings
+    });
+    for f in findings {
+        match f {
+            Finding::Race(m) => report(c, Detector::Race, m),
+            Finding::Uaf(m) => report(c, Detector::Uaf, m),
+            Finding::Oob(m) => report(c, Detector::Oob, m),
+        }
+    }
+}
+
+/// Describe the live extent nearest to `off` (for OOB reports).
+fn nearest_live(live: &BTreeMap<usize, usize>, off: usize) -> String {
+    let below = live.range(..=off).next_back();
+    let above = live.range(off..).next();
+    let best = match (below, above) {
+        (Some((&bo, &bl)), Some((&ao, &al))) => {
+            if off - bo <= ao - off {
+                Some((bo, bl))
+            } else {
+                Some((ao, al))
+            }
+        }
+        (Some((&bo, &bl)), None) => Some((bo, bl)),
+        (None, Some((&ao, &al))) => Some((ao, al)),
+        (None, None) => None,
+    };
+    match best {
+        Some((o, l)) => format!("nearest live extent [{o}..{end})", end = o + l),
+        None => "no live extents".to_string(),
+    }
+}
+
+/// Prune the shadow of `target`: drop records whose completion every rank
+/// has observed (they can never race with anything injected later), then
+/// hard-cap by dropping the oldest completed records.
+fn maybe_prune(w: &mut SanWorld, target: usize) {
+    if w.ranks[target].accesses.len() <= PRUNE_THRESHOLD {
+        return;
+    }
+    let n = w.ranks.len();
+    // min over all ranks of vc[origin], per origin.
+    let min_vc: Vec<u64> = (0..n)
+        .map(|origin| (0..n).map(|r| w.ranks[r].vc[origin]).min().unwrap_or(0))
+        .collect();
+    let sh = &mut w.ranks[target];
+    sh.accesses.retain(|a| match a.complete {
+        Some(t) => t > min_vc[a.origin as usize],
+        None => true,
+    });
+    if sh.accesses.len() > HARD_CAP {
+        // Oldest completed records go first; in-flight ones must stay.
+        let excess = sh.accesses.len() - HARD_CAP;
+        let mut dropped = 0;
+        sh.accesses.retain(|a| {
+            if dropped < excess && a.complete.is_some() {
+                dropped += 1;
+                false
+            } else {
+                true
+            }
+        });
+    }
+}
+
+/// Check one RMA/atomic access at injection and record it in flight. Call
+/// only with the sanitizer enabled on the calling rank.
+pub(crate) fn check_rma(
+    c: &RankCtx,
+    target: usize,
+    off: usize,
+    len: usize,
+    kind: AccessKind,
+    op: u64,
+    label: &'static str,
+) {
+    check_access(c, target, off, len, kind, op, label, false, true);
+}
+
+/// Check a synchronous local access (`local_read` / `local_write`) and
+/// record it as already completed.
+pub(crate) fn check_local(
+    c: &RankCtx,
+    off: usize,
+    len: usize,
+    kind: AccessKind,
+    label: &'static str,
+) {
+    let op = c.new_op_id();
+    check_access(c, c.me, off, len, kind, op, label, true, true);
+}
+
+/// Bounds/liveness-only validation for `local_ptr` (raw-pointer accesses
+/// have unknown extent in time, so no race record is kept).
+pub(crate) fn check_bounds_only(c: &RankCtx, off: usize, len: usize, label: &'static str) {
+    let op = c.new_op_id();
+    check_access(c, c.me, off, len, AccessKind::Read, op, label, false, false);
+}
+
+/// Mark operation `(c.me, op)` against `target`'s segment complete: bump
+/// the origin's clock and stamp the record, making the access ordered
+/// before anything that later observes this epoch. Runs at the origin when
+/// the operation's completion drains from compQ.
+pub(crate) fn mark_complete(c: &RankCtx, target: usize, op: u64) {
+    let me = c.me;
+    with_world(c, |w| {
+        w.ranks[me].vc[me] += 1;
+        let t = w.ranks[me].vc[me];
+        if let Some(a) = w.ranks[target]
+            .accesses
+            .iter_mut()
+            .find(|a| a.origin as usize == me && a.op == op)
+        {
+            a.complete = Some(t);
+        }
+    });
+}
+
+/// Wrap an RMA completion callback with [`mark_complete`] (chosen at
+/// injection time while the sanitizer is enabled — the disabled path keeps
+/// the bare callback).
+pub(crate) fn wrap_done_unit(
+    target: usize,
+    op: u64,
+    inner: Box<dyn FnOnce()>,
+) -> Box<dyn FnOnce()> {
+    Box::new(move || {
+        mark_complete(&ctx(), target, op);
+        inner()
+    })
+}
+
+/// [`wrap_done_unit`] for value-carrying completions (rget data, AMO
+/// results).
+pub(crate) fn wrap_done_val<T: 'static>(
+    target: usize,
+    op: u64,
+    inner: Box<dyn FnOnce(T)>,
+) -> Box<dyn FnOnce(T)> {
+    Box::new(move |v| {
+        mark_complete(&ctx(), target, op);
+        inner(v)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Message-carried clocks
+// ---------------------------------------------------------------------------
+
+/// Snapshot the sender's vector clock for an outgoing RPC-family message
+/// (`None` while the sanitizer is disabled — the hook's single branch).
+pub(crate) fn msg_snapshot(c: &RankCtx) -> Option<Vec<u64>> {
+    if !c.san_on.get() {
+        return None;
+    }
+    let me = c.me;
+    Some(with_world(c, |w| w.ranks[me].vc.clone()))
+}
+
+/// Join a message-carried clock snapshot into the receiving rank's vector
+/// clock (delivery-side half of the happens-before edge).
+pub(crate) fn msg_join(c: &RankCtx, snap: &Option<Vec<u64>>) {
+    let Some(snap) = snap else { return };
+    if !c.san_on.get() {
+        return;
+    }
+    let me = c.me;
+    with_world(c, |w| {
+        for (mine, theirs) in w.ranks[me].vc.iter_mut().zip(snap.iter()) {
+            if *theirs > *mine {
+                *mine = *theirs;
+            }
+        }
+    });
+}
+
+/// Establish the quiescence happens-before edge: when the sim conduit's
+/// virtual timeline runs dry, every injected operation has completed, so
+/// anything executed afterwards (driver code of a later `run()`, test
+/// harness inspections via `SimRuntime::with_rank`) is ordered after
+/// everything. Joins every rank's vector clock to the global elementwise
+/// maximum.
+pub(crate) fn quiesce(c: &RankCtx) {
+    with_world(c, |w| {
+        let n = w.ranks.len();
+        let max: Vec<u64> = (0..n)
+            .map(|o| (0..n).map(|r| w.ranks[r].vc[o]).max().unwrap_or(0))
+            .collect();
+        for r in 0..n {
+            w.ranks[r].vc.copy_from_slice(&max);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Detector 2: restricted context
+// ---------------------------------------------------------------------------
+
+/// Depth guard wrapped (unconditionally — two `Cell` ops) around every
+/// RPC/reply/system-AM callback body. Panic-safe: the drop restores depth
+/// even when the callback unwinds.
+pub(crate) struct RestrictedGuard {
+    c: Rc<RankCtx>,
+}
+
+impl RestrictedGuard {
+    pub(crate) fn new(c: &Rc<RankCtx>) -> RestrictedGuard {
+        c.san_depth.set(c.san_depth.get() + 1);
+        RestrictedGuard { c: c.clone() }
+    }
+}
+
+impl Drop for RestrictedGuard {
+    fn drop(&mut self) {
+        self.c.san_depth.set(self.c.san_depth.get() - 1);
+    }
+}
+
+/// Report a blocking call inside a restricted context. Called by
+/// `wait_until` / `progress` when the sanitizer is enabled and the depth
+/// flag is set.
+#[cold]
+#[inline(never)]
+pub(crate) fn restricted_violation(c: &RankCtx, what: &str) {
+    let me = c.me;
+    let depth = c.san_depth.get();
+    report(
+        c,
+        Detector::Restricted,
+        format!(
+            "upcxx-san[rank {me}]: restricted-context violation: {what} called inside an \
+             RPC/reply callback (progress depth {depth}) — blocking here deadlocks the \
+             progress engine; restructure with then()-chains"
+        ),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Detector 3: allocation lifecycle
+// ---------------------------------------------------------------------------
+
+/// Mirror a fresh allocation (unconditional — allocation is a cold path,
+/// and the mirror must be complete if the sanitizer is enabled later).
+pub(crate) fn note_alloc(c: &RankCtx, off: usize, req_len: usize) {
+    let me = c.me;
+    with_world(c, |w| {
+        w.ranks[me].live.insert(off, req_len);
+    });
+}
+
+/// Handle the sanitizer side of freeing `(off, padded)` on the calling
+/// rank: un-mirror the extent and either quarantine it (sanitizer on:
+/// poison-fill, park, and return any extents evicted from the ring for the
+/// allocator to release) or release it directly (sanitizer off: empty
+/// quarantine drains too, so disabling mid-run leaks nothing).
+pub(crate) fn note_free(c: &RankCtx, off: usize, padded: usize) -> Vec<(usize, usize)> {
+    let me = c.me;
+    let san_on = c.san_on.get();
+    with_world(c, |w| {
+        let sh = &mut w.ranks[me];
+        sh.live.remove(&off);
+        if !san_on {
+            let mut out: Vec<(usize, usize)> = sh.quarantine.drain(..).collect();
+            sh.quarantine_bytes = 0;
+            out.push((off, padded));
+            return out;
+        }
+        sh.quarantine.push_back((off, padded));
+        sh.quarantine_bytes += padded;
+        let mut evicted = Vec::new();
+        while sh.quarantine.len() > QUAR_MAX_EXTENTS || sh.quarantine_bytes > QUAR_MAX_BYTES {
+            let Some((eo, el)) = sh.quarantine.pop_front() else {
+                break;
+            };
+            sh.quarantine_bytes -= el;
+            // Evicted extents stop being UAF-detectable; drop their stale
+            // access records so a reallocation cannot race with history.
+            sh.accesses.retain(|a| a.hi <= eo || eo + el <= a.lo);
+            evicted.push((eo, el));
+        }
+        evicted
+    })
+}
+
+/// Report a bad `deallocate` (never-allocated or interior offset),
+/// surfaced at the `upcxx::deallocate` boundary with the pointer's Debug
+/// rendering. In Panic mode this panics; otherwise the free is skipped
+/// (the extent never existed, so nothing leaks).
+pub(crate) fn bad_free(c: &RankCtx, what: &str, diag: &str) {
+    let me = c.me;
+    report(
+        c,
+        Detector::BadFree,
+        format!("upcxx-san[rank {me}]: invalid deallocate of {what}: {diag}"),
+    );
+}

@@ -388,6 +388,9 @@ pub struct RuntimeStats {
     pub def_q_wait: LatencyHist,
     /// compQ residency histogram (Deliver → Complete), tracing only.
     pub comp_q_wait: LatencyHist,
+    /// Sanitizer findings on this rank (all zero unless `upcxx::san` is —
+    /// or was — enabled; see [`crate::san::san_report`]).
+    pub san: crate::san::SanCounters,
 }
 
 /// Snapshot the calling rank's runtime statistics
@@ -395,6 +398,7 @@ pub struct RuntimeStats {
 /// runtimes grew to diagnose progress starvation).
 pub fn runtime_stats() -> RuntimeStats {
     let c = ctx();
+    let san = c.san.borrow().counters;
     let tr = c.trace.borrow();
     let (conduit_backlog, deliver_deferred_ps) = match &c.backend {
         Backend::Smp(h) => (h.inbox_depth(), 0),
@@ -419,6 +423,7 @@ pub fn runtime_stats() -> RuntimeStats {
         trace_dropped: tr.dropped(),
         def_q_wait: tr.def_q_wait,
         comp_q_wait: tr.comp_q_wait,
+        san,
     }
 }
 

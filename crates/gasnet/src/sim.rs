@@ -221,6 +221,15 @@ impl SimWorld {
         seg[off..end].copy_from_slice(src);
     }
 
+    /// Fill `len` bytes of `rank`'s segment at `off` with `byte`
+    /// (instantaneous; the sanitizer's quarantine poisoning).
+    pub fn seg_fill(&self, rank: Rank, off: usize, len: usize, byte: u8) {
+        let mut seg = self.0.segs[rank].borrow_mut();
+        let end = off.checked_add(len).expect("offset overflow");
+        assert!(end <= seg.len(), "seg_fill out of bounds");
+        seg[off..end].fill(byte);
+    }
+
     /// Run a closure with mutable access to a window of `rank`'s segment
     /// (zero-copy accumulate for the extend-add motif).
     pub fn seg_with_mut<R>(

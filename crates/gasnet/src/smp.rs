@@ -208,6 +208,22 @@ impl RankHandle {
         }
     }
 
+    /// Fill `len` bytes of `rank`'s segment at `off` with `byte` (the
+    /// sanitizer's quarantine poisoning). Bounds-checked.
+    pub fn fill_bytes(&self, rank: Rank, off: usize, len: usize, byte: u8) {
+        let seg = &self.sh.segments[rank];
+        assert!(
+            off.checked_add(len).is_some_and(|end| end <= seg.len),
+            "fill out of segment bounds: off={off} len={len} seg={}",
+            seg.len
+        );
+        // SAFETY: range checked above; segment memory is valid for the
+        // world's lifetime.
+        unsafe {
+            std::ptr::write_bytes(seg.base.add(off), byte, len);
+        }
+    }
+
     /// Atomically fetch-add a `u64` stored at `off` in `rank`'s segment.
     /// Backs the `upcxx` remote-atomics domain on this conduit: Aries would
     /// offload this to the NIC; shared memory lets us use a real CPU atomic.

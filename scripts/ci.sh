@@ -18,6 +18,15 @@ echo "==> tier-1: cargo test -q (root package), then the full workspace"
 cargo test -q
 cargo test --workspace -q
 
+echo "==> sanitizer pass: full workspace under UPCXX_SAN=1 (panic on findings)"
+# Every test must run clean with the PGAS sanitizer enabled in its loudest
+# mode — a data race, restricted-context violation, UAF/OOB or bad free in
+# any existing test is a real bug (in the test or in the sanitizer).
+UPCXX_SAN=1 cargo test --workspace -q
+
+echo "==> source lints (sanitizer interposition contract)"
+scripts/lint.sh
+
 echo "==> trace smoke: fig4 --trace-only --trace-out produces a loadable trace"
 trace_json="$(mktemp /tmp/ci-trace-XXXXXX.json)"
 cargo run --release -p bench --bin fig4 -- haswell --quick --trace-only --trace-out "$trace_json" >/dev/null

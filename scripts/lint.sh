@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Hermetic source lints enforcing the sanitizer's interposition contract.
+#
+# The PGAS sanitizer (crates/core/src/san.rs) can only vouch for accesses
+# that flow through the hooked entry points. Two grep rules keep the
+# hookable surface closed:
+#
+#  1. Raw segment access (seg_base / seg_read / seg_write / seg_with_mut /
+#     seg_fill) is confined to rma.rs and global_ptr.rs inside the core
+#     crate. Any other call site would read or write segment memory behind
+#     the shadow state's back.
+#  2. Direct calls to the segment allocator's `.dealloc(` are confined to
+#     alloc.rs. Everything else must free through `upcxx::deallocate` /
+#     `alloc::segment_free`, where quarantine, poisoning and bad-free
+#     diagnostics live.
+#
+# Pure grep — no toolchain, no network; callable on its own or from ci.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+echo "==> lint: raw segment access confined to rma.rs / global_ptr.rs"
+if grep -rn --include='*.rs' -E '\bseg_(base|read|write|with_mut|fill)\b' \
+    crates/core/src \
+    | grep -v 'crates/core/src/rma.rs' \
+    | grep -v 'crates/core/src/global_ptr.rs'; then
+  echo "ERROR: raw segment access outside rma.rs/global_ptr.rs bypasses the sanitizer" >&2
+  fail=1
+fi
+
+echo "==> lint: direct allocator dealloc confined to alloc.rs"
+if grep -rn --include='*.rs' -F '.dealloc(' \
+    crates/core/src \
+    | grep -v 'crates/core/src/alloc.rs'; then
+  echo "ERROR: direct .dealloc( outside alloc.rs bypasses quarantine/bad-free checks" >&2
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "lint OK"
