@@ -6,13 +6,16 @@
 //! the paper describes.
 //!
 //! Usage: `fig4 [haswell|knl|both] [--quick] [--agg] [--trace-out <path>]
-//! [--trace-only]`
+//! [--trace-only] [--prof <path>] [--prof-only]`
 //! (`--quick` caps the sweep at 2048 ranks for fast smoke runs; `--agg`
 //! additionally runs the windowed RPC-insert workload with the per-target
 //! aggregation layer off vs on and reports both series side by side;
 //! `--trace-out` runs a small traced DHT-insert sim and exports the
 //! whole-world event stream as Chrome-trace JSON loadable in Perfetto;
-//! `--trace-only` skips the scaling sweeps, leaving just the traced run)
+//! `--trace-only` skips the scaling sweeps, leaving just the traced run;
+//! `--prof` runs two profiled sims — a symmetric rput ring and the Fig. 4
+//! RPC insert loop — prints both `upcxx::prof` reports and writes their
+//! JSON forms to `<path>`; `--prof-only` skips the scaling sweeps)
 
 use bench::{check, rule};
 use netsim::MachineConfig;
@@ -241,6 +244,100 @@ fn run_traced(cfg: &MachineConfig, path: &std::path::Path) {
     );
 }
 
+/// Profiled runs for `--prof`, exercising both analysis surfaces of
+/// `upcxx::prof` on the virtual machine (deterministic output).
+///
+/// **Phase 1 — symmetric**: a ring of rputs. Every rank streams `k` 1 KiB
+/// puts to each of its two ring neighbors (landing pointers exchanged out of
+/// band via the harness, so the only traffic is the puts themselves). The
+/// pattern is symmetric by construction, so the collected communication
+/// matrix must come out exactly symmetric — CI asserts this on the JSON.
+///
+/// **Phase 2 — rpc**: the Fig. 4 inner loop (back-to-back RPC-only DHT
+/// inserts, each chained on the previous reply). Every insert is an RPC
+/// round trip completing inside the reply handler, so the causal chain runs
+/// unbroken from the first inject to the last completion and the critical
+/// path must thread through remote ranks.
+fn run_prof(cfg: &MachineConfig, path: &std::path::Path) {
+    println!("{}", rule(&format!("profiled runs on {}", cfg.name)));
+
+    // Phase 1: symmetric rput ring.
+    let p = 8;
+    let k = 16;
+    let rt = SimRuntime::new(cfg.clone(), p, 64 << 10);
+    let slots: Vec<upcxx::GlobalPtr<u8>> = (0..p)
+        .map(|r| rt.with_rank(r, || upcxx::allocate::<u8>(1 << 10)))
+        .collect();
+    for r in 0..p {
+        let left = slots[(r + p - 1) % p];
+        let right = slots[(r + 1) % p];
+        rt.spawn(r, move || {
+            upcxx::trace::set_config(upcxx::TraceConfig {
+                enabled: true,
+                capacity: 1 << 16,
+            });
+            fn step(left: upcxx::GlobalPtr<u8>, right: upcxx::GlobalPtr<u8>, k: usize) {
+                if k == 0 {
+                    return;
+                }
+                upcxx::rput(&vec![0xabu8; 1 << 10], left)
+                    .then_fut(move |_| upcxx::rput(&vec![0xcdu8; 1 << 10], right))
+                    .then(move |_| step(left, right, k - 1));
+            }
+            step(left, right, k);
+        });
+    }
+    rt.run();
+    let sym = rt.collect_prof();
+    println!("{}", upcxx::prof::report(&sym));
+    let symmetric = (0..p).all(|a| {
+        (0..p).all(|b| {
+            sym.comm_ops[a][b] == sym.comm_ops[b][a] && sym.comm_bytes[a][b] == sym.comm_bytes[b][a]
+        })
+    });
+    check("symmetric phase: comm matrix is symmetric", symmetric);
+
+    // Phase 2: chained DHT RPC inserts (the Fig. 4 loop, profiled).
+    let p = 8;
+    let iters = 16;
+    let size = 256;
+    let rt = SimRuntime::new(cfg.clone(), p, 64 << 10);
+    for r in 0..p {
+        rt.spawn(r, move || {
+            upcxx::trace::set_config(upcxx::TraceConfig {
+                enabled: true,
+                capacity: 1 << 16,
+            });
+            fn step(r: usize, i: usize, iters: usize, size: usize) {
+                if i == iters {
+                    return;
+                }
+                let key = splitmix((r as u64) << 24 | i as u64);
+                pgas_dht::insert_rpc(key, vec![0xa5u8; size])
+                    .then(move |_| step(r, i + 1, iters, size));
+            }
+            step(r, 0, iters, size);
+        });
+    }
+    rt.run();
+    let rpc = rt.collect_prof();
+    println!("{}", upcxx::prof::report(&rpc));
+    let crit_ranks: std::collections::BTreeSet<u32> =
+        rpc.critical_path.iter().map(|h| h.rank).collect();
+    check(
+        "rpc phase: critical path crosses ranks",
+        crit_ranks.len() >= 2,
+    );
+
+    let json = format!(
+        "{{\"symmetric\":{},\"rpc\":{}}}",
+        sym.to_json(),
+        rpc.to_json()
+    );
+    std::fs::write(path, json).expect("write prof json");
+    println!("profiles -> {}", path.display());
+}
+
 fn sweep(max_ranks: usize) -> Vec<usize> {
     let mut v = vec![
         1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 34816,
@@ -346,11 +443,19 @@ fn main() {
         .position(|a| a == "--trace-out")
         .map(|i| args.get(i + 1).expect("--trace-out needs a path").clone());
     let trace_only = args.iter().any(|a| a == "--trace-only");
+    let prof_out = args
+        .iter()
+        .position(|a| a == "--prof")
+        .map(|i| args.get(i + 1).expect("--prof needs a path").clone());
+    let prof_only = args.iter().any(|a| a == "--prof-only");
     println!("deterministic sim; single run per configuration");
     if let Some(path) = &trace_out {
         run_traced(&MachineConfig::cori_haswell(), std::path::Path::new(path));
     }
-    if trace_only {
+    if let Some(path) = &prof_out {
+        run_prof(&MachineConfig::cori_haswell(), std::path::Path::new(path));
+    }
+    if trace_only || prof_only {
         return;
     }
     if which == "haswell" || which == "both" {

@@ -190,12 +190,9 @@ pub(crate) fn flush_target(c: &RankCtx, target: Rank, reason: FlushReason) {
     let wire_bytes = wire::RPC_HDR + rec_bytes;
     // The batch gets an id unconditionally (its target may be tracing even
     // when this rank is not); emission below gates on this rank's config.
-    let batch_tag = TraceTag {
-        tid: c.new_op_id(),
-        kind: OpKind::Batch,
-        peer: target as u32,
-        bytes: wire_bytes as u32,
-    };
+    // Built through `trace::new_tag`, so a flush triggered from inside a
+    // delivered item (ItemTail) records that item as the batch's parent.
+    let batch_tag = crate::trace::new_tag(c, OpKind::Batch, target as u32, wire_bytes as u32);
     if c.trace_on.get() {
         // The members leave the coalescing buffer here: this is their
         // defQ -> conduit hand-off, stamped with why the flush happened.

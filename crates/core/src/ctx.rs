@@ -190,7 +190,15 @@ pub struct RankCtx {
     pub(crate) def_q: RefCell<VecDeque<Queued>>,
     pub(crate) comp_q: RefCell<VecDeque<CompItem>>,
     pub(crate) active_ops: Cell<usize>,
+    /// Next per-origin span id. Declared here, **allocated only by**
+    /// `crate::trace::new_span_id` (lint-enforced) so span identity, RPC
+    /// reply matching and sanitizer access records share one sequence.
     pub(crate) next_op: Cell<u64>,
+    /// The span of the delivered item currently executing on this rank
+    /// (`(origin, op)`; `(0, 0)` = none). Maintained by
+    /// `crate::trace::SpanGuard` around RPC/reply/system-AM handlers; read
+    /// by `crate::trace::new_tag` to record causal parentage.
+    pub(crate) cur_span: Cell<(u32, u64)>,
     pub(crate) reply_tbl: RefCell<HashMap<u64, ReplyHandler>>,
     pub(crate) dist_next: Cell<u64>,
     pub(crate) dist_tbl: RefCell<HashMap<u64, Rc<dyn Any>>>,
@@ -260,6 +268,7 @@ impl RankCtx {
             comp_q: RefCell::new(VecDeque::new()),
             active_ops: Cell::new(0),
             next_op: Cell::new(1),
+            cur_span: Cell::new((0, 0)),
             reply_tbl: RefCell::new(HashMap::new()),
             dist_next: Cell::new(0),
             dist_tbl: RefCell::new(HashMap::new()),
@@ -292,6 +301,7 @@ impl RankCtx {
             comp_q: RefCell::new(VecDeque::new()),
             active_ops: Cell::new(0),
             next_op: Cell::new(1),
+            cur_span: Cell::new((0, 0)),
             reply_tbl: RefCell::new(HashMap::new()),
             dist_next: Cell::new(0),
             dist_tbl: RefCell::new(HashMap::new()),
@@ -336,20 +346,14 @@ impl RankCtx {
         }
     }
 
-    /// Allocate a fresh operation id (RPC reply matching and event tracing
-    /// share one per-rank sequence).
-    pub(crate) fn new_op_id(&self) -> u64 {
-        let id = self.next_op.get();
-        self.next_op.set(id + 1);
-        id
-    }
-
     /// The trace clock: virtual picoseconds of this rank's local view of
-    /// time under sim (monotone per rank), wall picoseconds since process
-    /// start on smp. Only called while tracing is enabled.
+    /// time under sim (monotone per rank), wall picoseconds since the
+    /// world's launch epoch on smp (one epoch per world, shared by all
+    /// ranks — see `smp::RankHandle::wall_ps`). Only called while tracing
+    /// is enabled.
     pub(crate) fn now_ps(&self) -> u64 {
         match &self.backend {
-            Backend::Smp(_) => crate::trace::wall_ps(),
+            Backend::Smp(h) => h.wall_ps(),
             Backend::Sim(w) => w.rank_now(self.me).as_ps(),
         }
     }
@@ -403,6 +407,8 @@ impl RankCtx {
             bytes: tag.bytes,
             reason,
             ts_ps: ts,
+            parent_origin: tag.parent_origin,
+            parent_op: tag.parent_op,
         });
         ts
     }
@@ -415,12 +421,7 @@ impl RankCtx {
     /// hook's single branch.
     #[inline]
     pub(crate) fn op_tag(&self, kind: crate::trace::OpKind, peer: u32, bytes: u32) -> TraceTag {
-        let tag = TraceTag {
-            tid: self.new_op_id(),
-            kind,
-            peer,
-            bytes,
-        };
+        let tag = crate::trace::new_tag(self, kind, peer, bytes);
         if self.trace_on.get() {
             self.emit_inject(tag);
         }
@@ -927,28 +928,6 @@ pub fn rank_state<T: 'static>(init: impl FnOnce() -> T) -> Rc<T> {
     let v: Rc<T> = Rc::new(init());
     c.rank_state.borrow_mut().insert(key, v.clone());
     v
-}
-
-/// RMA operations injected by the current rank so far.
-#[deprecated(since = "0.2.0", note = "use upcxx::runtime_stats().rma_ops")]
-pub fn stats_rma_ops() -> u64 {
-    ctx().stats.rma_ops.get()
-}
-/// RPCs injected by the current rank so far.
-#[deprecated(since = "0.2.0", note = "use upcxx::runtime_stats().rpcs")]
-pub fn stats_rpcs() -> u64 {
-    ctx().stats.rpcs.get()
-}
-/// Messages this rank has routed through the aggregation buffers so far.
-#[deprecated(since = "0.2.0", note = "use upcxx::runtime_stats().agg_msgs")]
-pub fn stats_agg_msgs() -> u64 {
-    ctx().stats.agg_msgs.get()
-}
-/// Aggregated batches this rank has shipped so far (each a single wire
-/// message carrying more than one payload).
-#[deprecated(since = "0.2.0", note = "use upcxx::runtime_stats().agg_batches")]
-pub fn stats_agg_batches() -> u64 {
-    ctx().stats.agg_batches.get()
 }
 
 /// A `Future<()>` that is already complete — start of a conjunction chain

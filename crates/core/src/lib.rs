@@ -53,6 +53,7 @@ pub mod ctx;
 pub mod dist;
 pub mod future;
 pub mod global_ptr;
+pub mod prof;
 pub mod rma;
 pub mod rpc;
 pub mod runtime;
@@ -69,8 +70,6 @@ pub use coll::{
     reduce_all_team, reduce_one, reduce_one_team,
 };
 pub use ctx::{make_ready_future, progress, rank_me, rank_n, rank_state, wait_until};
-#[allow(deprecated)] // the shims stay re-exported until callers migrate
-pub use ctx::{stats_agg_batches, stats_agg_msgs, stats_rma_ops, stats_rpcs};
 pub use dist::{
     lookup as dist_lookup, try_lookup as dist_try_lookup, when_constructed, DistId, DistObject,
 };

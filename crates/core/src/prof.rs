@@ -1,0 +1,1098 @@
+//! `upcxx::prof` — the distributed profiler built on top of the causal
+//! trace stream ([`crate::trace`]).
+//!
+//! The trace subsystem records per-rank rings of queue-transition events;
+//! this module turns that firehose into **answers**. [`collect`] gathers
+//! every rank's ring into rank 0 *through the runtime's own RPC layer* (the
+//! profiler is an application of the communication substrate it profiles)
+//! and computes a [`Profile`]:
+//!
+//! * a per-peer **communication matrix** — operations and payload bytes,
+//!   source → target, from every span's Inject event;
+//! * **end-to-end latency percentiles** (p50/p90/p99/max) per op kind,
+//!   decomposed into the engine's stages: inject → conduit (defQ
+//!   residency), conduit → deliver (wire + target attentiveness), deliver →
+//!   complete (compQ residency);
+//! * **queue-occupancy timelines** — defQ and compQ depth over time per
+//!   rank, with high-water marks and time-weighted averages;
+//! * the run's **critical path** — the longest chain of causally linked
+//!   spans (wire links from span ids crossing ranks, parent links from
+//!   handlers injecting follow-up work, reply links closing RPC round
+//!   trips), printed hop by hop with per-stage costs.
+//!
+//! Timestamps merge meaningfully because both conduits provide aligned
+//! clocks: the sim conduit is virtual time (globally consistent by
+//! construction), and the smp conduit stamps all ranks against one
+//! per-world epoch captured before any rank thread starts. Under sim the
+//! merge additionally *asserts* causal order (a span's origin-side hand-off
+//! never times after its remote delivery).
+//!
+//! [`report`] renders a profile as human-readable text; [`Profile::to_json`]
+//! as JSON; [`Profile::export_chrome`] as a merged Perfetto timeline (one
+//! track per rank, cross-rank flow arrows). Under the sim conduit the whole
+//! pipeline — collection, analysis, both renderings — is byte-for-byte
+//! deterministic across runs.
+//!
+//! Conduit-specific entry points: on smp, [`collect`] is a blocking
+//! collective every rank calls; under sim, drivers cannot block, so the
+//! harness calls [`crate::SimRuntime::collect_prof`] after `run()` — it
+//! schedules the same collection drivers on the virtual timeline and runs
+//! them to quiescence.
+
+use crate::ctx::{ctx, rank_state, Backend};
+use crate::ser::{from_bytes, to_bytes, Reader, Ser};
+use crate::trace::{FlushReason, OpKind, Phase, TraceConfig, TraceEvent};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+// --------------------------------------------------------------- enum codes
+
+/// All op kinds, in wire-code order (index = code).
+const ALL_KINDS: [OpKind; 8] = [
+    OpKind::Put,
+    OpKind::Get,
+    OpKind::Amo,
+    OpKind::Rpc,
+    OpKind::RpcFf,
+    OpKind::Reply,
+    OpKind::SysAm,
+    OpKind::Batch,
+];
+
+fn kind_code(k: OpKind) -> u8 {
+    ALL_KINDS.iter().position(|&x| x == k).unwrap() as u8
+}
+
+fn kind_from(c: u8) -> OpKind {
+    ALL_KINDS[c as usize]
+}
+
+const ALL_PHASES: [Phase; 4] = [
+    Phase::Inject,
+    Phase::Conduit,
+    Phase::Deliver,
+    Phase::Complete,
+];
+
+fn phase_idx(p: Phase) -> usize {
+    ALL_PHASES.iter().position(|&x| x == p).unwrap()
+}
+
+fn phase_from(c: u8) -> Phase {
+    ALL_PHASES[c as usize]
+}
+
+const ALL_REASONS: [FlushReason; 8] = [
+    FlushReason::None,
+    FlushReason::Threshold,
+    FlushReason::Ordering,
+    FlushReason::Progress,
+    FlushReason::Barrier,
+    FlushReason::Explicit,
+    FlushReason::ItemTail,
+    FlushReason::Reconfig,
+];
+
+fn reason_code(r: FlushReason) -> u8 {
+    ALL_REASONS.iter().position(|&x| x == r).unwrap() as u8
+}
+
+fn reason_from(c: u8) -> FlushReason {
+    ALL_REASONS[c as usize]
+}
+
+// Events ship over the runtime's own RPC layer during collection, so they
+// serialize with the same codec as every other RPC argument.
+impl Ser for TraceEvent {
+    fn ser(&self, out: &mut Vec<u8>) {
+        self.rank.ser(out);
+        self.origin.ser(out);
+        self.op.ser(out);
+        kind_code(self.kind).ser(out);
+        (phase_idx(self.phase) as u8).ser(out);
+        self.peer.ser(out);
+        self.bytes.ser(out);
+        reason_code(self.reason).ser(out);
+        self.ts_ps.ser(out);
+        self.parent_origin.ser(out);
+        self.parent_op.ser(out);
+    }
+    fn deser(r: &mut Reader) -> Self {
+        TraceEvent {
+            rank: u32::deser(r),
+            origin: u32::deser(r),
+            op: u64::deser(r),
+            kind: kind_from(u8::deser(r)),
+            phase: phase_from(u8::deser(r)),
+            peer: u32::deser(r),
+            bytes: u32::deser(r),
+            reason: reason_from(u8::deser(r)),
+            ts_ps: u64::deser(r),
+            parent_origin: u32::deser(r),
+            parent_op: u64::deser(r),
+        }
+    }
+    fn ser_size(&self) -> usize {
+        4 + 4 + 8 + 1 + 1 + 4 + 4 + 1 + 8 + 4 + 8
+    }
+}
+
+// ---------------------------------------------------------------- profile
+
+/// Per-rank ring accounting shipped alongside the events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankMeta {
+    /// The contributing rank.
+    pub rank: u32,
+    /// Events emitted on that rank since tracing was configured.
+    pub emitted: u64,
+    /// Events lost to ring overwrite — a nonzero value means the profile is
+    /// incomplete and [`report`] prints a warning.
+    pub dropped: u64,
+}
+
+/// Exact percentiles over one duration population (picoseconds).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Pcts {
+    /// Number of samples.
+    pub count: u64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl Pcts {
+    fn of(mut v: Vec<u64>) -> Pcts {
+        if v.is_empty() {
+            return Pcts::default();
+        }
+        v.sort_unstable();
+        let at = |p: usize| v[(v.len() - 1) * p / 100];
+        Pcts {
+            count: v.len() as u64,
+            p50: at(50),
+            p90: at(90),
+            p99: at(99),
+            max: *v.last().unwrap(),
+        }
+    }
+}
+
+/// Latency decomposition for one op kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KindStats {
+    /// The op kind.
+    pub kind: OpKind,
+    /// End-to-end Inject → Complete.
+    pub total: Pcts,
+    /// defQ residency: Inject → Conduit.
+    pub inject_conduit: Pcts,
+    /// Wire + target attentiveness: Conduit → Deliver.
+    pub conduit_deliver: Pcts,
+    /// compQ residency / handler execution: Deliver → Complete.
+    pub deliver_complete: Pcts,
+}
+
+/// Queue-occupancy summary and timeline for one rank. Depths are
+/// reconstructed from matched same-rank event pairs (Inject/Conduit for
+/// defQ, Deliver/Complete for compQ), so spans whose phases were split
+/// across ranks or lost to ring overwrite never skew a depth.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueueStats {
+    /// The rank described.
+    pub rank: u32,
+    /// defQ depth high-water mark.
+    pub def_hwm: u32,
+    /// Time-weighted average defQ depth, in thousandths.
+    pub def_avg_milli: u64,
+    /// compQ depth high-water mark.
+    pub comp_hwm: u32,
+    /// Time-weighted average compQ depth, in thousandths.
+    pub comp_avg_milli: u64,
+    /// Depth change points `(ts_ps, def_depth, comp_depth)`, decimated to at
+    /// most 256 samples.
+    pub timeline: Vec<(u64, u32, u32)>,
+}
+
+/// One hop of the critical path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CritHop {
+    /// Rank that recorded the hop's event.
+    pub rank: u32,
+    /// Span identity: originating rank…
+    pub origin: u32,
+    /// …and per-origin sequence number.
+    pub op: u64,
+    /// Span kind.
+    pub kind: OpKind,
+    /// Queue transition at this hop.
+    pub phase: Phase,
+    /// Timestamp (ps).
+    pub ts_ps: u64,
+    /// Cost of reaching this hop from the previous one (ps).
+    pub dt_ps: u64,
+}
+
+/// A merged, analyzed whole-world profile (built on rank 0 by [`collect`] /
+/// [`crate::SimRuntime::collect_prof`]).
+#[derive(Clone, Debug)]
+pub struct Profile {
+    /// World size.
+    pub ranks: usize,
+    /// Whether timestamps are virtual (sim conduit) or wall-clock ps against
+    /// the world epoch (smp).
+    pub virtual_time: bool,
+    /// Per-rank ring accounting, indexed by rank.
+    pub meta: Vec<RankMeta>,
+    /// The merged event stream, sorted by `(ts, rank, origin, op, phase)` —
+    /// feed to [`Profile::export_chrome`] for a merged Perfetto timeline.
+    pub events: Vec<TraceEvent>,
+    /// `comm_ops[src][dst]`: operations injected from `src` targeting `dst`
+    /// (batches excluded — their members are counted individually).
+    pub comm_ops: Vec<Vec<u64>>,
+    /// `comm_bytes[src][dst]`: payload bytes, same orientation.
+    pub comm_bytes: Vec<Vec<u64>>,
+    /// Latency decomposition per op kind (kinds with at least one complete
+    /// end-to-end measurement, in stable kind order).
+    pub kinds: Vec<KindStats>,
+    /// Queue-occupancy summaries, indexed by rank.
+    pub queues: Vec<QueueStats>,
+    /// The longest causal chain (see module docs), in execution order.
+    pub critical_path: Vec<CritHop>,
+}
+
+// ------------------------------------------------------------- collection
+
+/// Encoded-contribution chunk size: small enough that a contribution never
+/// dwarfs the segment or a single inbox push, big enough that collection is
+/// a handful of messages per rank.
+const CHUNK: usize = 48 << 10;
+
+/// Rank 0's collection inbox, keyed by contributing rank (BTreeMap: rank
+/// order is the merge order, keeping sim collection deterministic).
+#[derive(Default)]
+struct ProfInbox {
+    chunks: RefCell<BTreeMap<u32, Vec<Option<Vec<u8>>>>>,
+}
+
+fn deposit(src: u32, idx: u32, total: u32, bytes: Vec<u8>) {
+    let inbox = rank_state(ProfInbox::default);
+    let mut m = inbox.chunks.borrow_mut();
+    let slots = m.entry(src).or_insert_with(|| vec![None; total as usize]);
+    assert_eq!(slots.len(), total as usize, "prof: chunk-count mismatch");
+    slots[idx as usize] = Some(bytes);
+}
+
+fn prof_recv_chunk(args: (u32, u32, u32, Vec<u8>)) {
+    deposit(args.0, args.1, args.2, args.3);
+}
+
+fn inbox_complete(n: usize) -> bool {
+    let inbox = rank_state(ProfInbox::default);
+    let m = inbox.chunks.borrow();
+    m.len() == n && m.values().all(|v| v.iter().all(Option::is_some))
+}
+
+/// Drain the calling rank's ring, disable tracing (collection traffic must
+/// not record into the stream being shipped), and send the contribution to
+/// rank 0 in chunks over the runtime's own `rpc_ff` path. Rank 0 deposits
+/// directly.
+pub(crate) fn send_to_root() {
+    let c = ctx();
+    let me = c.me as u32;
+    let (emitted, dropped) = {
+        let tr = c.trace.borrow();
+        (tr.emitted(), tr.dropped())
+    };
+    let events = crate::trace::take_local();
+    crate::trace::set_config(TraceConfig {
+        enabled: false,
+        ..TraceConfig::default()
+    });
+    let payload = to_bytes(&(me, emitted, dropped, events));
+    let total = payload.len().div_ceil(CHUNK).max(1) as u32;
+    for (i, chunk) in payload.chunks(CHUNK.max(1)).enumerate() {
+        if me == 0 {
+            deposit(0, i as u32, total, chunk.to_vec());
+        } else {
+            crate::rpc::rpc_ff(0, prof_recv_chunk, (me, i as u32, total, chunk.to_vec()));
+        }
+    }
+    if payload.is_empty() {
+        // A rank that never traced still contributes its (empty) meta.
+        if me == 0 {
+            deposit(0, 0, 1, Vec::new());
+        } else {
+            crate::rpc::rpc_ff(0, prof_recv_chunk, (me, 0, 1, Vec::new()));
+        }
+    }
+}
+
+/// Rank 0: reassemble every rank's contribution and build the [`Profile`].
+/// Panics if any rank's contribution is missing or incomplete.
+pub(crate) fn take_collected() -> Profile {
+    let c = ctx();
+    let n = c.n;
+    let virtual_time = matches!(c.backend, Backend::Sim(_));
+    let inbox = rank_state(ProfInbox::default);
+    let mut m = inbox.chunks.borrow_mut();
+    let mut contribs = Vec::with_capacity(n);
+    for r in 0..n as u32 {
+        let slots = m
+            .remove(&r)
+            .unwrap_or_else(|| panic!("prof: no contribution from rank {r}"));
+        let mut buf = Vec::new();
+        for s in slots {
+            buf.extend_from_slice(
+                &s.unwrap_or_else(|| panic!("prof: missing chunk from rank {r}")),
+            );
+        }
+        let (rank, emitted, dropped, events): (u32, u64, u64, Vec<TraceEvent>) = from_bytes(buf);
+        assert_eq!(rank, r, "prof: contribution mislabeled");
+        contribs.push((
+            RankMeta {
+                rank,
+                emitted,
+                dropped,
+            },
+            events,
+        ));
+    }
+    Profile::build(n, contribs, virtual_time)
+}
+
+/// Gather every rank's trace ring into rank 0 and build the merged
+/// [`Profile`]. **Collective over the smp conduit**: every rank must call
+/// it; it disables tracing on the calling rank, ships the ring to rank 0
+/// through the runtime's own RPC layer, and returns `Some(profile)` on rank
+/// 0, `None` elsewhere. A closing barrier makes it safe to resume tracing
+/// or communicate immediately after.
+///
+/// Under the sim conduit drivers cannot block — call
+/// [`crate::SimRuntime::collect_prof`] from the harness instead.
+pub fn collect() -> Option<Profile> {
+    let c = ctx();
+    assert!(
+        !matches!(c.backend, Backend::Sim(_)),
+        "prof::collect() is a blocking collective; under the sim conduit call \
+         SimRuntime::collect_prof() after run()"
+    );
+    let n = c.n;
+    let me = c.me;
+    drop(c);
+    send_to_root();
+    let out = if me == 0 {
+        crate::ctx::wait_until(|| inbox_complete(n));
+        Some(take_collected())
+    } else {
+        None
+    };
+    crate::coll::barrier();
+    out
+}
+
+// --------------------------------------------------------------- analysis
+
+type SpanKey = (u32, u64);
+
+impl Profile {
+    pub(crate) fn build(
+        n: usize,
+        contribs: Vec<(RankMeta, Vec<TraceEvent>)>,
+        virtual_time: bool,
+    ) -> Profile {
+        let mut meta = Vec::with_capacity(n);
+        let mut events: Vec<TraceEvent> = Vec::new();
+        for (m, evs) in contribs {
+            meta.push(m);
+            events.extend(evs);
+        }
+        // Deterministic merge: primary key is time; the remaining fields
+        // break ties identically on every run.
+        events.sort_by_key(|e| {
+            (
+                e.ts_ps,
+                e.rank,
+                e.origin,
+                e.op,
+                phase_idx(e.phase),
+                kind_code(e.kind),
+            )
+        });
+
+        // Index each span's four phase events (first occurrence wins; a ring
+        // that wrapped may have lost some).
+        let mut span_ev: BTreeMap<SpanKey, [Option<usize>; 4]> = BTreeMap::new();
+        for (i, e) in events.iter().enumerate() {
+            if e.op == 0 {
+                continue;
+            }
+            let slots = span_ev.entry((e.origin, e.op)).or_insert([None; 4]);
+            let slot = &mut slots[phase_idx(e.phase)];
+            if slot.is_none() {
+                *slot = Some(i);
+            }
+        }
+
+        // Clock sanity: under sim (virtual, globally consistent time) a
+        // span's origin-side hand-off can never time after its delivery.
+        if virtual_time {
+            for (key, phs) in &span_ev {
+                if let (Some(c), Some(d)) = (phs[1], phs[2]) {
+                    assert!(
+                        events[c].ts_ps <= events[d].ts_ps,
+                        "span {key:?}: Conduit ts {} > Deliver ts {} (causal order violated)",
+                        events[c].ts_ps,
+                        events[d].ts_ps
+                    );
+                }
+            }
+        }
+
+        // Communication matrix from Inject events (batches excluded: their
+        // member payloads are already counted individually).
+        let mut comm_ops = vec![vec![0u64; n]; n];
+        let mut comm_bytes = vec![vec![0u64; n]; n];
+        for e in &events {
+            if e.phase == Phase::Inject && e.kind != OpKind::Batch {
+                let (src, dst) = (e.origin as usize, e.peer as usize);
+                if src < n && dst < n {
+                    comm_ops[src][dst] += 1;
+                    comm_bytes[src][dst] += e.bytes as u64;
+                }
+            }
+        }
+
+        // Stage latency populations per kind.
+        let mut pops: BTreeMap<u8, [Vec<u64>; 4]> = BTreeMap::new();
+        for phs in span_ev.values() {
+            let first = phs.iter().flatten().next().copied();
+            let Some(first) = first else { continue };
+            let kind = events[first].kind;
+            let t = |i: usize| phs[i].map(|j| events[j].ts_ps);
+            let p = pops.entry(kind_code(kind)).or_default();
+            if let (Some(a), Some(b)) = (t(0), t(3)) {
+                p[0].push(b.saturating_sub(a));
+            }
+            for (s, (x, y)) in [(0, 1), (1, 2), (2, 3)].into_iter().enumerate() {
+                if let (Some(a), Some(b)) = (t(x), t(y)) {
+                    p[s + 1].push(b.saturating_sub(a));
+                }
+            }
+        }
+        let kinds: Vec<KindStats> = pops
+            .into_iter()
+            .map(|(code, [total, s1, s2, s3])| KindStats {
+                kind: kind_from(code),
+                total: Pcts::of(total),
+                inject_conduit: Pcts::of(s1),
+                conduit_deliver: Pcts::of(s2),
+                deliver_complete: Pcts::of(s3),
+            })
+            .collect();
+
+        let queues = queue_stats(n, &events, &span_ev);
+        let critical_path = critical_path(&events, &span_ev);
+
+        Profile {
+            ranks: n,
+            virtual_time,
+            meta,
+            events,
+            comm_ops,
+            comm_bytes,
+            kinds,
+            queues,
+            critical_path,
+        }
+    }
+
+    /// Write the merged event stream as Chrome-trace/Perfetto JSON: one
+    /// track per rank, cross-rank flow arrows from the causal span links
+    /// (see [`crate::trace::export_chrome`]).
+    pub fn export_chrome<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        crate::trace::export_chrome(&self.events, w)
+    }
+}
+
+/// Reconstruct per-rank defQ/compQ depth over time from matched same-rank
+/// event pairs.
+fn queue_stats(
+    n: usize,
+    events: &[TraceEvent],
+    span_ev: &BTreeMap<SpanKey, [Option<usize>; 4]>,
+) -> Vec<QueueStats> {
+    // (ts, def_delta, comp_delta); decrements sort before increments at
+    // equal timestamps so instantaneous transits never inflate the depth.
+    let mut deltas: Vec<Vec<(u64, i8, i8)>> = vec![Vec::new(); n];
+    for phs in span_ev.values() {
+        for (a, b, which) in [(0usize, 1usize, 0u8), (2, 3, 1)] {
+            if let (Some(i), Some(j)) = (phs[a], phs[b]) {
+                if events[i].rank == events[j].rank && (events[i].rank as usize) < n {
+                    let r = events[i].rank as usize;
+                    let (d, c) = if which == 0 { (1i8, 0i8) } else { (0, 1) };
+                    deltas[r].push((events[i].ts_ps, d, c));
+                    deltas[r].push((events[j].ts_ps, -d, -c));
+                }
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(n);
+    for (r, mut ds) in deltas.into_iter().enumerate() {
+        ds.sort_unstable_by_key(|&(ts, d, c)| (ts, d, c));
+        let (mut def, mut comp) = (0i64, 0i64);
+        let (mut def_hwm, mut comp_hwm) = (0i64, 0i64);
+        let (mut def_area, mut comp_area) = (0u128, 0u128);
+        let mut last_ts = ds.first().map(|&(ts, ..)| ts).unwrap_or(0);
+        let first_ts = last_ts;
+        let mut timeline: Vec<(u64, u32, u32)> = Vec::new();
+        for (ts, d, c) in ds {
+            let dt = ts.saturating_sub(last_ts) as u128;
+            def_area += def.max(0) as u128 * dt;
+            comp_area += comp.max(0) as u128 * dt;
+            last_ts = ts;
+            def += d as i64;
+            comp += c as i64;
+            def_hwm = def_hwm.max(def);
+            comp_hwm = comp_hwm.max(comp);
+            match timeline.last_mut() {
+                Some(t) if t.0 == ts => {
+                    t.1 = def.max(0) as u32;
+                    t.2 = comp.max(0) as u32;
+                }
+                _ => timeline.push((ts, def.max(0) as u32, comp.max(0) as u32)),
+            }
+        }
+        let span = last_ts.saturating_sub(first_ts) as u128;
+        let avg = |area: u128| (area * 1000).checked_div(span).unwrap_or(0) as u64;
+        if timeline.len() > 256 {
+            let step = timeline.len().div_ceil(256);
+            timeline = timeline.into_iter().step_by(step).collect();
+        }
+        out.push(QueueStats {
+            rank: r as u32,
+            def_hwm: def_hwm.max(0) as u32,
+            def_avg_milli: avg(def_area),
+            comp_hwm: comp_hwm.max(0) as u32,
+            comp_avg_milli: avg(comp_area),
+            timeline,
+        });
+    }
+    out
+}
+
+/// Longest causal chain over the merged events. Edges, all strictly
+/// backwards in causal order:
+///
+/// * **intra-span**: an event's nearest recorded earlier phase of the same
+///   span (the Deliver → its origin-side Conduit edge is the cross-rank wire
+///   hop);
+/// * **parent link**: a span's Inject was executed inside its parent's
+///   handler, so its predecessor is the parent span's Deliver;
+/// * **reply link**: an RPC's initiator-side Complete runs inside the reply
+///   handler, so its predecessor is the Reply span's Deliver.
+///
+/// Distances telescope (each edge costs `ts(e) − ts(pred)`), so the longest
+/// path is the chain spanning the most time; equal-span chains (telescoping
+/// makes e.g. an RPC's Deliver → Complete shortcut tie with the full
+/// reply-chain route) break toward **more hops** — the finer-grained causal
+/// story — then toward the earliest event in merge order, deterministically.
+fn critical_path(
+    events: &[TraceEvent],
+    span_ev: &BTreeMap<SpanKey, [Option<usize>; 4]>,
+) -> Vec<CritHop> {
+    if events.is_empty() {
+        return Vec::new();
+    }
+    // Reply spans' Deliver events, indexed by the RPC (parent) they answer.
+    let mut reply_deliver: BTreeMap<SpanKey, Vec<usize>> = BTreeMap::new();
+    for (i, e) in events.iter().enumerate() {
+        if e.kind == OpKind::Reply && e.phase == Phase::Deliver && e.parent_op != 0 {
+            reply_deliver
+                .entry((e.parent_origin, e.parent_op))
+                .or_default()
+                .push(i);
+        }
+    }
+    let preds = |i: usize| -> Vec<usize> {
+        let e = &events[i];
+        let mut ps = Vec::new();
+        if e.op == 0 {
+            return ps;
+        }
+        if let Some(phs) = span_ev.get(&(e.origin, e.op)) {
+            for q in (0..phase_idx(e.phase)).rev() {
+                if let Some(j) = phs[q] {
+                    ps.push(j);
+                    break;
+                }
+            }
+        }
+        if e.phase == Phase::Inject && e.parent_op != 0 {
+            if let Some(pphs) = span_ev.get(&(e.parent_origin, e.parent_op)) {
+                if let Some(j) = pphs[2] {
+                    ps.push(j);
+                }
+            }
+        }
+        if e.phase == Phase::Complete && e.kind == OpKind::Rpc {
+            if let Some(rs) = reply_deliver.get(&(e.origin, e.op)) {
+                ps.extend(rs.iter().copied());
+            }
+        }
+        ps
+    };
+    // Longest-distance DP over the (acyclic) pred graph, iterative so deep
+    // reply chains cannot overflow the stack.
+    const UNSET: u64 = u64::MAX;
+    let mut dist = vec![UNSET; events.len()];
+    let mut hops_of = vec![0u32; events.len()];
+    let mut back = vec![usize::MAX; events.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    for s in 0..events.len() {
+        if dist[s] != UNSET {
+            continue;
+        }
+        stack.push(s);
+        while let Some(&i) = stack.last() {
+            if dist[i] != UNSET {
+                stack.pop();
+                continue;
+            }
+            let ps = preds(i);
+            let pending: Vec<usize> = ps.iter().copied().filter(|&p| dist[p] == UNSET).collect();
+            if !pending.is_empty() {
+                stack.extend(pending);
+                continue;
+            }
+            let (mut best, mut best_h, mut bp) = (0u64, 0u32, usize::MAX);
+            for &p in &ps {
+                let d = dist[p] + events[i].ts_ps.saturating_sub(events[p].ts_ps);
+                let h = hops_of[p] + 1;
+                if bp == usize::MAX || d > best || (d == best && h > best_h) {
+                    best = d;
+                    best_h = h;
+                    bp = p;
+                }
+            }
+            dist[i] = best;
+            hops_of[i] = best_h;
+            back[i] = bp;
+            stack.pop();
+        }
+    }
+    let mut end = 0usize;
+    for i in 1..events.len() {
+        if dist[i] > dist[end] || (dist[i] == dist[end] && hops_of[i] > hops_of[end]) {
+            end = i;
+        }
+    }
+    let mut chain = Vec::new();
+    let mut i = end;
+    while i != usize::MAX {
+        chain.push(i);
+        i = back[i];
+    }
+    chain.reverse();
+    let mut hops = Vec::with_capacity(chain.len());
+    let mut prev_ts: Option<u64> = None;
+    for i in chain {
+        let e = &events[i];
+        hops.push(CritHop {
+            rank: e.rank,
+            origin: e.origin,
+            op: e.op,
+            kind: e.kind,
+            phase: e.phase,
+            ts_ps: e.ts_ps,
+            dt_ps: prev_ts.map_or(0, |p| e.ts_ps.saturating_sub(p)),
+        });
+        prev_ts = Some(e.ts_ps);
+    }
+    hops
+}
+
+// --------------------------------------------------------------- rendering
+
+fn fmt_pcts(out: &mut String, label: &str, p: &Pcts) {
+    let _ = writeln!(
+        out,
+        "    {label:<18} n={:<6} p50={:<12} p90={:<12} p99={:<12} max={}",
+        p.count, p.p50, p.p90, p.p99, p.max
+    );
+}
+
+/// Render a profile as human-readable text. Under the sim conduit the
+/// output is byte-for-byte deterministic for identical runs.
+pub fn report(p: &Profile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== upcxx::prof report ==");
+    let _ = writeln!(
+        out,
+        "ranks: {}   events: {}   clock: {}-ps",
+        p.ranks,
+        p.events.len(),
+        if p.virtual_time { "virtual" } else { "wall" }
+    );
+    for m in &p.meta {
+        if m.dropped > 0 {
+            let _ = writeln!(
+                out,
+                "WARNING: rank {} dropped {} trace events (ring capacity exceeded); \
+                 profile is incomplete",
+                m.rank, m.dropped
+            );
+        }
+    }
+    let _ = writeln!(out, "-- communication matrix (src -> dst) --");
+    let any_traffic = p.comm_ops.iter().flatten().any(|&v| v > 0);
+    if !any_traffic {
+        let _ = writeln!(out, "  (no traffic)");
+    } else if p.ranks <= 16 {
+        let mut hdr = String::from("  ops      ");
+        for d in 0..p.ranks {
+            let _ = write!(hdr, "{d:>8}");
+        }
+        let _ = writeln!(out, "{hdr}");
+        for (s, row) in p.comm_ops.iter().enumerate() {
+            let _ = write!(out, "  s{s:<8}");
+            for &v in row {
+                if v == 0 {
+                    let _ = write!(out, "{:>8}", ".");
+                } else {
+                    let _ = write!(out, "{v:>8}");
+                }
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out, "  bytes    ");
+        for (s, row) in p.comm_bytes.iter().enumerate() {
+            let _ = write!(out, "  s{s:<8}");
+            for &v in row {
+                if v == 0 {
+                    let _ = write!(out, "{:>8}", ".");
+                } else {
+                    let _ = write!(out, "{v:>8}");
+                }
+            }
+            let _ = writeln!(out);
+        }
+    } else {
+        // Large worlds: the heaviest pairs only.
+        let mut pairs: Vec<(u64, u64, usize, usize)> = Vec::new();
+        for s in 0..p.ranks {
+            for d in 0..p.ranks {
+                if p.comm_ops[s][d] > 0 {
+                    pairs.push((p.comm_bytes[s][d], p.comm_ops[s][d], s, d));
+                }
+            }
+        }
+        pairs.sort_by_key(|&(b, o, s, d)| (std::cmp::Reverse(b), std::cmp::Reverse(o), s, d));
+        let shown = pairs.len().min(16);
+        let _ = writeln!(
+            out,
+            "  top {shown} of {} active pairs (by bytes):",
+            pairs.len()
+        );
+        for &(b, o, s, d) in pairs.iter().take(shown) {
+            let _ = writeln!(out, "  {s:>5} -> {d:<5} ops={o:<8} bytes={b}");
+        }
+    }
+    let _ = writeln!(out, "-- latency decomposition (ps) --");
+    if p.kinds.is_empty() {
+        let _ = writeln!(out, "  (no complete spans)");
+    }
+    for k in &p.kinds {
+        let _ = writeln!(out, "  {}", k.kind.as_str());
+        fmt_pcts(&mut out, "inject->complete", &k.total);
+        fmt_pcts(&mut out, "inject->conduit", &k.inject_conduit);
+        fmt_pcts(&mut out, "conduit->deliver", &k.conduit_deliver);
+        fmt_pcts(&mut out, "deliver->complete", &k.deliver_complete);
+    }
+    let _ = writeln!(out, "-- queue occupancy --");
+    for q in &p.queues {
+        let _ = writeln!(
+            out,
+            "  rank {:<4} defQ hwm={:<4} avg={}.{:03}   compQ hwm={:<4} avg={}.{:03}",
+            q.rank,
+            q.def_hwm,
+            q.def_avg_milli / 1000,
+            q.def_avg_milli % 1000,
+            q.comp_hwm,
+            q.comp_avg_milli / 1000,
+            q.comp_avg_milli % 1000,
+        );
+    }
+    let _ = writeln!(out, "-- critical path --");
+    if p.critical_path.is_empty() {
+        let _ = writeln!(out, "  (no events)");
+    } else {
+        let total: u64 = p
+            .critical_path
+            .last()
+            .map(|h| h.ts_ps)
+            .unwrap_or(0)
+            .saturating_sub(p.critical_path[0].ts_ps);
+        let ranks: std::collections::BTreeSet<u32> =
+            p.critical_path.iter().map(|h| h.rank).collect();
+        let rank_list: Vec<String> = ranks.iter().map(|r| r.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "  {} hops, {} ps end to end, spans ranks {{{}}}",
+            p.critical_path.len(),
+            total,
+            rank_list.join(",")
+        );
+        let hops = &p.critical_path;
+        let show = |out: &mut String, idx: usize, h: &CritHop| {
+            let _ = writeln!(
+                out,
+                "  #{idx:<4} [rank {:>3}] {}({}:{}) {:<8} ts={:<14} +{}",
+                h.rank,
+                h.kind.as_str(),
+                h.origin,
+                h.op,
+                h.phase.as_str(),
+                h.ts_ps,
+                h.dt_ps
+            );
+        };
+        if hops.len() <= 32 {
+            for (i, h) in hops.iter().enumerate() {
+                show(&mut out, i, h);
+            }
+        } else {
+            for (i, h) in hops.iter().enumerate().take(16) {
+                show(&mut out, i, h);
+            }
+            let _ = writeln!(out, "  ... ({} hops elided) ...", hops.len() - 31);
+            for (i, h) in hops.iter().enumerate().skip(hops.len() - 15) {
+                show(&mut out, i, h);
+            }
+        }
+    }
+    out
+}
+
+fn json_pcts(p: &Pcts) -> String {
+    format!(
+        "{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+        p.count, p.p50, p.p90, p.p99, p.max
+    )
+}
+
+fn json_matrix(m: &[Vec<u64>]) -> String {
+    let rows: Vec<String> = m
+        .iter()
+        .map(|row| {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            format!("[{}]", cells.join(","))
+        })
+        .collect();
+    format!("[{}]", rows.join(","))
+}
+
+impl Profile {
+    /// Render the profile as JSON (hand-rolled — the workspace is
+    /// dependency-free). Deterministic under the sim conduit.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push('{');
+        let _ = write!(
+            out,
+            "\"ranks\":{},\"clock\":\"{}\",\"events\":{}",
+            self.ranks,
+            if self.virtual_time { "virtual" } else { "wall" },
+            self.events.len()
+        );
+        let metas: Vec<String> = self
+            .meta
+            .iter()
+            .map(|m| {
+                format!(
+                    "{{\"rank\":{},\"emitted\":{},\"dropped\":{}}}",
+                    m.rank, m.emitted, m.dropped
+                )
+            })
+            .collect();
+        let _ = write!(out, ",\"meta\":[{}]", metas.join(","));
+        let _ = write!(out, ",\"comm_ops\":{}", json_matrix(&self.comm_ops));
+        let _ = write!(out, ",\"comm_bytes\":{}", json_matrix(&self.comm_bytes));
+        let kinds: Vec<String> = self
+            .kinds
+            .iter()
+            .map(|k| {
+                format!(
+                    "{{\"kind\":\"{}\",\"total\":{},\"inject_conduit\":{},\
+                     \"conduit_deliver\":{},\"deliver_complete\":{}}}",
+                    k.kind.as_str(),
+                    json_pcts(&k.total),
+                    json_pcts(&k.inject_conduit),
+                    json_pcts(&k.conduit_deliver),
+                    json_pcts(&k.deliver_complete)
+                )
+            })
+            .collect();
+        let _ = write!(out, ",\"kinds\":[{}]", kinds.join(","));
+        let queues: Vec<String> = self
+            .queues
+            .iter()
+            .map(|q| {
+                let tl: Vec<String> = q
+                    .timeline
+                    .iter()
+                    .map(|&(ts, d, c)| format!("[{ts},{d},{c}]"))
+                    .collect();
+                format!(
+                    "{{\"rank\":{},\"def_hwm\":{},\"def_avg_milli\":{},\
+                     \"comp_hwm\":{},\"comp_avg_milli\":{},\"timeline\":[{}]}}",
+                    q.rank,
+                    q.def_hwm,
+                    q.def_avg_milli,
+                    q.comp_hwm,
+                    q.comp_avg_milli,
+                    tl.join(",")
+                )
+            })
+            .collect();
+        let _ = write!(out, ",\"queues\":[{}]", queues.join(","));
+        let hops: Vec<String> = self
+            .critical_path
+            .iter()
+            .map(|h| {
+                format!(
+                    "{{\"rank\":{},\"origin\":{},\"op\":{},\"kind\":\"{}\",\
+                     \"phase\":\"{}\",\"ts_ps\":{},\"dt_ps\":{}}}",
+                    h.rank,
+                    h.origin,
+                    h.op,
+                    h.kind.as_str(),
+                    h.phase.as_str(),
+                    h.ts_ps,
+                    h.dt_ps
+                )
+            })
+            .collect();
+        let _ = write!(out, ",\"critical_path\":[{}]", hops.join(","));
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(
+        rank: u32,
+        origin: u32,
+        op: u64,
+        kind: OpKind,
+        phase: Phase,
+        ts: u64,
+        parent: (u32, u64),
+    ) -> TraceEvent {
+        TraceEvent {
+            rank,
+            origin,
+            op,
+            kind,
+            phase,
+            peer: 1 - rank.min(1),
+            bytes: 8,
+            reason: FlushReason::None,
+            ts_ps: ts,
+            parent_origin: parent.0,
+            parent_op: parent.1,
+        }
+    }
+
+    #[test]
+    fn trace_event_ser_roundtrip() {
+        let e = ev(3, 1, 42, OpKind::Reply, Phase::Deliver, 123_456, (0, 17));
+        let bytes = to_bytes(&e);
+        assert_eq!(bytes.len(), e.ser_size());
+        let back: TraceEvent = from_bytes(bytes);
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn critical_path_follows_rpc_reply_chain() {
+        // rank 0 rpc (span 0:1) -> rank 1 handler -> reply (span 1:1) ->
+        // rank 0 Complete. The longest chain must cross both ranks.
+        let events = [
+            ev(0, 0, 1, OpKind::Rpc, Phase::Inject, 100, (0, 0)),
+            ev(0, 0, 1, OpKind::Rpc, Phase::Conduit, 200, (0, 0)),
+            ev(1, 0, 1, OpKind::Rpc, Phase::Deliver, 500, (0, 0)),
+            ev(1, 1, 1, OpKind::Reply, Phase::Inject, 600, (0, 1)),
+            ev(1, 1, 1, OpKind::Reply, Phase::Conduit, 700, (0, 1)),
+            ev(0, 1, 1, OpKind::Reply, Phase::Deliver, 900, (0, 1)),
+            ev(0, 0, 1, OpKind::Rpc, Phase::Complete, 950, (0, 0)),
+        ];
+        let meta = [
+            RankMeta {
+                rank: 0,
+                emitted: 5,
+                dropped: 0,
+            },
+            RankMeta {
+                rank: 1,
+                emitted: 2,
+                dropped: 0,
+            },
+        ];
+        let contribs = vec![
+            (
+                meta[0],
+                events.iter().filter(|e| e.rank == 0).copied().collect(),
+            ),
+            (
+                meta[1],
+                events.iter().filter(|e| e.rank == 1).copied().collect(),
+            ),
+        ];
+        let p = Profile::build(2, contribs, true);
+        assert_eq!(p.critical_path.len(), 7);
+        assert_eq!(p.critical_path[0].ts_ps, 100);
+        assert_eq!(p.critical_path.last().unwrap().ts_ps, 950);
+        let ranks: std::collections::BTreeSet<u32> =
+            p.critical_path.iter().map(|h| h.rank).collect();
+        assert_eq!(ranks.len(), 2);
+        // End-to-end Rpc latency = 850 ps.
+        let rpc = p.kinds.iter().find(|k| k.kind == OpKind::Rpc).unwrap();
+        assert_eq!(rpc.total.p50, 850);
+        // Report + JSON render without panicking and mention the ranks.
+        let txt = report(&p);
+        assert!(txt.contains("spans ranks {0,1}"));
+        assert!(p.to_json().contains("\"critical_path\""));
+    }
+
+    #[test]
+    fn dropped_events_warn_in_report() {
+        let contribs = vec![(
+            RankMeta {
+                rank: 0,
+                emitted: 10,
+                dropped: 3,
+            },
+            vec![ev(0, 0, 1, OpKind::Put, Phase::Inject, 10, (0, 0))],
+        )];
+        let p = Profile::build(1, contribs, true);
+        assert!(report(&p).contains("WARNING: rank 0 dropped 3 trace events"));
+    }
+
+    #[test]
+    fn pcts_exact_on_small_population() {
+        let p = Pcts::of(vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+        assert_eq!(p.count, 10);
+        assert_eq!(p.p50, 50);
+        assert_eq!(p.p90, 90);
+        assert_eq!(p.max, 100);
+    }
+}

@@ -22,6 +22,15 @@
 //! Complete back at the initiator when the reply fulfills the promise; the
 //! reply itself travels as a separate [`OpKind::Reply`] op. `rpc_ff` and
 //! system AMs complete at the target when their handler returns.
+//!
+//! Causal spans: every message carries its span id `(origin, op)` on the
+//! wire (modeled inside [`wire::RPC_HDR`]); the RPC's span id doubles as its
+//! reply-table key, so the reply wire already names its causal parent. While
+//! a handler executes, a [`crate::trace::SpanGuard`] marks its span as the
+//! rank's current span — anything the handler injects (the reply itself, an
+//! rput, a follow-up RPC from a `.then` chain) records that span as its
+//! `(parent_origin, parent_op)`, which is how `upcxx::prof` stitches
+//! cross-rank causal chains.
 
 use crate::ctx::{ctx, DefOp};
 use crate::future::{Future, Promise};
@@ -42,7 +51,6 @@ where
     let c = ctx();
     c.stats.rpcs.set(c.stats.rpcs.get() + 1);
     let initiator = c.me;
-    let op_id = c.new_op_id();
 
     let arg_bytes = to_bytes(&args);
     c.charge_ser(arg_bytes.len());
@@ -52,13 +60,15 @@ where
     let payload = arg_bytes.len();
     let tag = c.op_tag(OpKind::Rpc, target as u32, payload as u32);
 
-    // Register the reply continuation (holds the promise; rank-local). The
+    // Register the reply continuation (holds the promise; rank-local), keyed
+    // by the op's span id — one sequence serves both reply matching and
+    // tracing, so the reply wire names its causal parent for free. The
     // continuation runs at the initiator and closes the op's event quartet.
     let p = Promise::<R>::new();
     {
         let p2 = p.clone();
         c.reply_tbl.borrow_mut().insert(
-            op_id,
+            tag.tid,
             Box::new(move |mut r: Reader| {
                 p2.fulfill(R::deser(&mut r));
                 let ic = ctx();
@@ -77,6 +87,7 @@ where
         let tc = ctx();
         san::msg_join(&tc, &snap);
         let _restricted = san::RestrictedGuard::new(&tc);
+        let _span = crate::trace::SpanGuard::enter(&tc, initiator as u32, tag.tid);
         tc.emit_from(Phase::Deliver, tag, initiator as u32, FlushReason::None);
         tc.stats
             .bytes_in
@@ -86,9 +97,10 @@ where
         let ret = f(a);
         let ret_bytes = to_bytes(&ret);
         tc.charge_ser(ret_bytes.len());
-        // Ship the result back; at the initiator the reply continuation
-        // fulfills the promise from its compQ.
-        send_reply(initiator, op_id, ret_bytes);
+        // Ship the result back (under the span guard, so the Reply op
+        // records this RPC as its causal parent); at the initiator the reply
+        // continuation fulfills the promise from its compQ.
+        send_reply(initiator, tag.tid, ret_bytes);
     });
 
     crate::agg::submit(&c, target, payload, item, tag);
@@ -116,6 +128,7 @@ where
         let tc = ctx();
         san::msg_join(&tc, &snap);
         let _restricted = san::RestrictedGuard::new(&tc);
+        let _span = crate::trace::SpanGuard::enter(&tc, initiator, tag.tid);
         tc.emit_from(Phase::Deliver, tag, initiator, FlushReason::None);
         tc.stats
             .bytes_in
@@ -127,20 +140,24 @@ where
     crate::agg::submit(&c, target, payload, item, tag);
 }
 
-/// Internal: deliver `bytes` to `initiator`'s reply continuation `op_id`.
-/// Replies ride the aggregation layer too (they are exactly the kind of tiny
-/// message batching exists for); the end-of-batch and end-of-item flush
-/// hooks guarantee they leave the replying rank promptly.
+/// Internal: deliver `bytes` to `initiator`'s reply continuation `op_id`
+/// (the parent RPC's span id — reply matching and span identity share one
+/// key space). Replies ride the aggregation layer too (they are exactly the
+/// kind of tiny message batching exists for); the end-of-batch and
+/// end-of-item flush hooks guarantee they leave the replying rank promptly.
 fn send_reply(initiator: Rank, op_id: u64, bytes: Vec<u8>) {
     let c = ctx();
     let replier = c.me;
     let payload = bytes.len();
+    // Called under the RPC handler's span guard, so this tag's parent is the
+    // RPC being answered.
     let tag = c.op_tag(OpKind::Reply, initiator as u32, payload as u32);
     let snap = san::msg_snapshot(&c);
     let item: gasnet::Item = Box::new(move || {
         let ic = ctx();
         san::msg_join(&ic, &snap);
         let _restricted = san::RestrictedGuard::new(&ic);
+        let _span = crate::trace::SpanGuard::enter(&ic, replier as u32, tag.tid);
         ic.emit_from(Phase::Deliver, tag, replier as u32, FlushReason::None);
         ic.stats
             .bytes_in
@@ -190,6 +207,7 @@ pub(crate) fn sys_am<A: Ser>(target: Rank, f: fn(A), args: A) {
         let tc = ctx();
         san::msg_join(&tc, &snap);
         let _restricted = san::RestrictedGuard::new(&tc);
+        let _span = crate::trace::SpanGuard::enter(&tc, initiator, tag.tid);
         tc.emit_from(Phase::Deliver, tag, initiator, FlushReason::None);
         f(from_bytes(bytes));
         tc.emit_from(Phase::Complete, tag, initiator, FlushReason::None);

@@ -169,6 +169,24 @@ impl SimRuntime {
         let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
         crate::trace::export_chrome(&events, &mut f)
     }
+
+    /// Sim-conduit counterpart of [`crate::prof::collect`]: gather every
+    /// rank's trace ring into rank 0 **on the virtual timeline** (the
+    /// collection rides the runtime's own RPC layer and is itself simulated)
+    /// and build the merged [`crate::prof::Profile`]. Call after [`run`]
+    /// (drivers cannot block under sim, so the harness drives collection);
+    /// tracing is disabled on every rank as a side effect. Deterministic:
+    /// identical runs produce byte-identical profiles.
+    ///
+    /// [`run`]: SimRuntime::run
+    pub fn collect_prof(&self) -> crate::prof::Profile {
+        let now = self.world.now();
+        for r in 0..self.rank_n() {
+            self.spawn_at(r, now, crate::prof::send_to_root);
+        }
+        self.run();
+        self.with_rank(0, crate::prof::take_collected)
+    }
 }
 
 /// Model application compute on the current rank (no-op on smp where real

@@ -614,14 +614,14 @@ pub(crate) fn check_local(
     kind: AccessKind,
     label: &'static str,
 ) {
-    let op = c.new_op_id();
+    let op = crate::trace::new_span_id(c);
     check_access(c, c.me, off, len, kind, op, label, true, true);
 }
 
 /// Bounds/liveness-only validation for `local_ptr` (raw-pointer accesses
 /// have unknown extent in time, so no race record is kept).
 pub(crate) fn check_bounds_only(c: &RankCtx, off: usize, len: usize, label: &'static str) {
-    let op = c.new_op_id();
+    let op = crate::trace::new_span_id(c);
     check_access(c, c.me, off, len, AccessKind::Read, op, label, false, false);
 }
 

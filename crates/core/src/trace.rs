@@ -38,10 +38,25 @@
 //! histograms ([`LatencyHist`]) and an *attentiveness* metric — the maximum
 //! gap between user-progress calls, §VII's concern — all surfaced through
 //! [`runtime_stats`].
+//!
+//! ## Causal spans
+//!
+//! Every operation is a **span** identified by `(origin, op)`; the id rides
+//! the wire inside the modeled AM header ([`crate::wire::SPAN_BYTES`]), so a
+//! remote Deliver is always attributable to its originating Inject. On top
+//! of identity, spans record **parentage**: while a delivered item (RPC
+//! body, reply continuation, system-AM handler) executes, the rank's
+//! *current span* is set to that item's span, and any operation injected
+//! inside it — the reply an RPC sends back, an rput issued from a handler, a
+//! `.then`-chained follow-up RPC — records it as `(parent_origin,
+//! parent_op)`. Those links are what [`crate::prof`] walks to reconstruct
+//! cross-rank causal chains (critical paths) and what [`export_chrome`]
+//! turns into Perfetto *flow events* (cross-rank arrows). Span ids are
+//! allocated **only** in this module ([`new_span_id`]; lint-enforced), which
+//! keeps the id space and the reply-matching key space unified.
 
-use crate::ctx::{ctx, Backend};
+use crate::ctx::{ctx, Backend, RankCtx};
 use std::io::{self, Write};
-use std::time::Instant;
 
 /// Runtime configuration of the tracing subsystem (per rank).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -188,6 +203,60 @@ pub(crate) struct TraceTag {
     pub peer: u32,
     /// Payload bytes accounted to the op.
     pub bytes: u32,
+    /// Origin rank of the causal parent span (the delivered item whose
+    /// handler injected this op); meaningful only when `parent_op != 0`.
+    pub parent_origin: u32,
+    /// Parent span's per-origin sequence number; 0 = injected outside any
+    /// delivered item (application top level).
+    pub parent_op: u64,
+}
+
+/// Allocate a fresh span id on rank `c`. This is the **only** allocation
+/// site of the per-origin sequence (lint-enforced: `next_op` is read/written
+/// here alone) — RPC reply matching, sanitizer access records and event
+/// tracing all draw from this one sequence, so a span id doubles as the
+/// reply-table key and `(origin, id)` is globally unique across all uses.
+pub(crate) fn new_span_id(c: &RankCtx) -> u64 {
+    let id = c.next_op.get();
+    c.next_op.set(id + 1);
+    id
+}
+
+/// Build the trace identity for a new operation on rank `c`: a fresh span id
+/// plus the causal parent (the span of the delivered item currently
+/// executing on this rank, if any).
+pub(crate) fn new_tag(c: &RankCtx, kind: OpKind, peer: u32, bytes: u32) -> TraceTag {
+    let (parent_origin, parent_op) = c.cur_span.get();
+    TraceTag {
+        tid: new_span_id(c),
+        kind,
+        peer,
+        bytes,
+        parent_origin,
+        parent_op,
+    }
+}
+
+/// RAII marker that a delivered item's handler is executing on rank `c`:
+/// sets the rank's *current span* so everything injected inside the handler
+/// records `(origin, op)` as its causal parent; restores the previous span
+/// on drop (items can nest — a batch bracket around member handlers).
+pub(crate) struct SpanGuard<'a> {
+    c: &'a RankCtx,
+    prev: (u32, u64),
+}
+
+impl<'a> SpanGuard<'a> {
+    pub(crate) fn enter(c: &'a RankCtx, origin: u32, op: u64) -> SpanGuard<'a> {
+        let prev = c.cur_span.replace((origin, op));
+        SpanGuard { c, prev }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.c.cur_span.set(self.prev);
+    }
 }
 
 /// One recorded queue-transition event.
@@ -209,9 +278,17 @@ pub struct TraceEvent {
     pub bytes: u32,
     /// Flush reason (aggregation events only; `None` otherwise).
     pub reason: FlushReason,
-    /// Timestamp in picoseconds: virtual time (sim) or wall time since
-    /// process start (smp). Monotone per recording rank.
+    /// Timestamp in picoseconds: virtual time (sim) or wall time since the
+    /// world's launch epoch (smp; one epoch per world, captured before any
+    /// rank thread starts). Monotone per recording rank and mutually
+    /// comparable across ranks of one world.
     pub ts_ps: u64,
+    /// Origin rank of the causal parent span (see module docs); meaningful
+    /// only when `parent_op != 0`.
+    pub parent_origin: u32,
+    /// Parent span's sequence number; 0 = no recorded parent (the op was
+    /// injected outside any delivered item).
+    pub parent_op: u64,
 }
 
 /// A log2-bucketed latency histogram (picoseconds). Bucket `i` counts
@@ -382,8 +459,10 @@ pub struct RuntimeStats {
     pub max_progress_gap_ps: u64,
     /// Trace events emitted since tracing was (re)configured.
     pub trace_events: u64,
-    /// Trace events overwritten because the ring filled.
-    pub trace_dropped: u64,
+    /// Trace events overwritten because the ring filled. A profile built
+    /// from a ring that dropped events is incomplete — `prof::report`
+    /// prints a warning per affected rank.
+    pub dropped_events: u64,
     /// defQ residency histogram (Inject → Conduit), tracing only.
     pub def_q_wait: LatencyHist,
     /// compQ residency histogram (Deliver → Complete), tracing only.
@@ -420,7 +499,7 @@ pub fn runtime_stats() -> RuntimeStats {
         deliver_deferred_ps,
         max_progress_gap_ps: c.stats.max_progress_gap_ps.get(),
         trace_events: tr.emitted(),
-        trace_dropped: tr.dropped(),
+        dropped_events: tr.dropped(),
         def_q_wait: tr.def_q_wait,
         comp_q_wait: tr.comp_q_wait,
         san,
@@ -448,25 +527,52 @@ pub fn take_local() -> Vec<TraceEvent> {
     ctx().trace.borrow_mut().take()
 }
 
-/// Wall-clock picoseconds since the first call in this process (the smp
-/// conduit's trace clock; monotone).
-pub(crate) fn wall_ps() -> u64 {
-    use std::sync::OnceLock;
-    static EPOCH: OnceLock<Instant> = OnceLock::new();
-    let e = EPOCH.get_or_init(Instant::now);
-    (e.elapsed().as_nanos() as u64).saturating_mul(1000)
-}
-
 /// Serialize `events` as Chrome-trace JSON (the "JSON Array Format" with a
 /// `traceEvents` wrapper) loadable in Perfetto / `chrome://tracing`. Each
 /// trace event becomes one instant event named `<Kind>.<Phase>` on
-/// `pid = recording rank`, with timestamps converted from picoseconds to the
-/// format's microseconds; op identity, peer, bytes and flush reason ride in
-/// `args`.
+/// `pid = recording rank` (one metadata track per rank), with timestamps
+/// converted from picoseconds to the format's microseconds; op identity,
+/// causal parent, peer, bytes and flush reason ride in `args`.
+///
+/// **Cross-rank arrows**: for every span whose Deliver was recorded on a
+/// rank other than its origin, the export emits a Perfetto *flow* — a
+/// `ph:"s"` start bound to the origin-side hand-off (the span's Conduit
+/// event, falling back to Inject) and a `ph:"f"` finish bound to the remote
+/// Deliver, sharing one `id`. Flow endpoints bind to enclosing slices, so
+/// each endpoint is also materialized as a minimal `ph:"X"` slice at the
+/// same timestamp; both ends of a flow are emitted or neither, so flow ids
+/// always pair up exactly.
 pub fn export_chrome<W: Write>(events: &[TraceEvent], w: &mut W) -> io::Result<()> {
     let mut ranks: Vec<u32> = events.iter().map(|e| e.rank).collect();
     ranks.sort_unstable();
     ranks.dedup();
+    // Origin-side hand-off event per span: Conduit preferred, Inject as the
+    // fallback (aggregated members may drop their Conduit to ring overwrite).
+    let mut send: std::collections::BTreeMap<(u32, u64), &TraceEvent> =
+        std::collections::BTreeMap::new();
+    for e in events {
+        if e.rank == e.origin && e.op != 0 {
+            match e.phase {
+                Phase::Conduit => {
+                    send.insert((e.origin, e.op), e);
+                }
+                Phase::Inject => {
+                    send.entry((e.origin, e.op)).or_insert(e);
+                }
+                _ => {}
+            }
+        }
+    }
+    // (send event, remote deliver event) pairs, in deterministic span order.
+    let mut flows: Vec<(&TraceEvent, &TraceEvent)> = Vec::new();
+    for e in events {
+        if e.phase == Phase::Deliver && e.rank != e.origin && e.op != 0 {
+            if let Some(s) = send.get(&(e.origin, e.op)) {
+                flows.push((s, e));
+            }
+        }
+    }
+    flows.sort_by_key(|(_, d)| (d.origin, d.op, d.rank));
     w.write_all(b"{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")?;
     let mut first = true;
     for r in &ranks {
@@ -490,15 +596,41 @@ pub fn export_chrome<W: Write>(events: &[TraceEvent], w: &mut W) -> io::Result<(
             w,
             "{{\"name\":\"{kind}.{phase}\",\"cat\":\"{kind}\",\"ph\":\"i\",\"s\":\"t\",\
              \"ts\":{ts:.6},\"pid\":{pid},\"tid\":0,\"args\":{{\"op\":\"{origin}:{op}\",\
+             \"parent\":\"{pori}:{pop}\",\
              \"phase\":\"{phase}\",\"peer\":{peer},\"bytes\":{bytes},\"reason\":\"{reason}\"}}}}",
             kind = e.kind.as_str(),
             phase = e.phase.as_str(),
             pid = e.rank,
             origin = e.origin,
             op = e.op,
+            pori = e.parent_origin,
+            pop = e.parent_op,
             peer = e.peer,
             bytes = e.bytes,
             reason = e.reason.as_str(),
+        )?;
+    }
+    for (id, (s, d)) in flows.iter().enumerate() {
+        let id = id as u64 + 1;
+        let kind = d.kind.as_str();
+        let ts_s = s.ts_ps as f64 / 1e6;
+        let ts_d = d.ts_ps as f64 / 1e6;
+        // Anchor slices for the flow endpoints (flows bind to slices, not to
+        // instants), then the s/f pair itself.
+        write!(
+            w,
+            ",\n{{\"name\":\"{kind} send {o}:{op}\",\"cat\":\"{kind}\",\"ph\":\"X\",\
+             \"ts\":{ts_s:.6},\"dur\":0.001,\"pid\":{sp},\"tid\":0}},\n\
+             {{\"name\":\"{kind} recv {o}:{op}\",\"cat\":\"{kind}\",\"ph\":\"X\",\
+             \"ts\":{ts_d:.6},\"dur\":0.001,\"pid\":{dp},\"tid\":0}},\n\
+             {{\"name\":\"{kind} {o}:{op}\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":{id},\
+             \"ts\":{ts_s:.6},\"pid\":{sp},\"tid\":0}},\n\
+             {{\"name\":\"{kind} {o}:{op}\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\
+             \"id\":{id},\"ts\":{ts_d:.6},\"pid\":{dp},\"tid\":0}}",
+            o = d.origin,
+            op = d.op,
+            sp = s.rank,
+            dp = d.rank,
         )?;
     }
     w.write_all(b"\n]}\n")
@@ -519,6 +651,8 @@ mod tests {
             bytes: 8,
             reason: FlushReason::None,
             ts_ps: ts,
+            parent_origin: 0,
+            parent_op: 0,
         }
     }
 

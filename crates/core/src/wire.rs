@@ -7,16 +7,41 @@
 //! (`rpc`, `rpc_ff`, the reply path and `sys_am`); it now lives here, and the
 //! aggregation layer's batch accounting shares it.
 
-/// Header bytes modeled per AM wire message: GASNet-EX AM header (handler
-/// index, flags) plus our op id and framing. Every non-batched RPC, reply and
-/// system AM is charged `payload + RPC_HDR`; a *batch* is charged one
-/// `RPC_HDR` no matter how many records it carries — that amortization is the
-/// point of the aggregation layer.
+/// Header bytes modeled per AM wire message. Layout (all little-endian):
+///
+/// | bytes  | field                                                        |
+/// |--------|--------------------------------------------------------------|
+/// | 0..4   | GASNet-EX AM handler index                                   |
+/// | 4..8   | flags + payload length                                       |
+/// | 8..20  | **causal span id**: origin rank (`u32`) + per-origin span    |
+/// |        | sequence (`u64`) — see [`SPAN_BYTES`]                        |
+/// | 20..24 | framing / alignment pad                                      |
+///
+/// The span id is what lets a remote Deliver event name its originating
+/// Inject (`crate::trace` causal spans). No *parent* span travels in the
+/// header: for an RPC **reply** the parent is the reply-matching key — the
+/// span sequence of the RPC being answered, which already occupies the
+/// header's span field of the original request and is echoed back as the
+/// reply's routing key — and for any other op injected inside a handler the
+/// parent link is recorded locally by the injecting rank (it knows its own
+/// current span; the link never needs to cross the wire).
+///
+/// Every non-batched RPC, reply and system AM is charged
+/// `payload + RPC_HDR`; a *batch* is charged one `RPC_HDR` no matter how
+/// many records it carries — that amortization is the point of the
+/// aggregation layer.
 pub const RPC_HDR: usize = 24;
 
-/// Per-record framing inside an aggregated batch: a length/handler word per
-/// packed payload. Much smaller than [`RPC_HDR`]; the per-message saving of
-/// aggregation is `RPC_HDR - AGG_REC_HDR` wire bytes plus the per-message
+/// Bytes of [`RPC_HDR`] occupied by the causal span id carried on every AM:
+/// origin rank (`u32`) + per-origin span sequence (`u64`).
+pub const SPAN_BYTES: usize = 12;
+
+/// Per-record framing inside an aggregated batch: a length/handler word plus
+/// the member's span sequence (the batch header's origin field is shared by
+/// all members — an aggregation buffer holds one origin's traffic — so each
+/// record needs only the 8-byte sequence-bearing word, not a full
+/// [`SPAN_BYTES`] id). Much smaller than [`RPC_HDR`]; the per-message saving
+/// of aggregation is `RPC_HDR - AGG_REC_HDR` wire bytes plus the per-message
 /// injection gap and dispatch overhead.
 pub const AGG_REC_HDR: usize = 8;
 
@@ -35,6 +60,14 @@ pub fn batch_rec_size(payload: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn span_id_fits_in_header() {
+        // The span id is carved out of the modeled header, not added on top
+        // (changing RPC_HDR would shift every modeled wire size and every
+        // recorded sim figure).
+        const { assert!(SPAN_BYTES < RPC_HDR) }
+    }
 
     #[test]
     fn batch_framing_beats_per_message_framing() {

@@ -1,0 +1,200 @@
+//! Shared integration-test helpers — currently a minimal JSON parser for
+//! round-tripping the runtime's hand-rolled exports (the workspace is
+//! dependency-free, so tests parse by hand too). Supports the full JSON
+//! value grammar the exporters emit: objects, arrays, strings with the
+//! common escapes, numbers, booleans and null.
+#![allow(dead_code)]
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (None on missing key or non-object).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(kv) => kv.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+    /// The value as an array; panics otherwise.
+    pub fn arr(&self) -> &[Json] {
+        match self {
+            Json::Arr(v) => v,
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+    /// The value as a number; panics otherwise.
+    pub fn num(&self) -> f64 {
+        match self {
+            Json::Num(n) => *n,
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+    /// The value as a string; panics otherwise.
+    pub fn str(&self) -> &str {
+        match self {
+            Json::Str(s) => s,
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+}
+
+/// Parse a complete JSON document; panics (with position) on any syntax
+/// error or trailing garbage — exactly what a round-trip test wants.
+pub fn parse_json(s: &str) -> Json {
+    let b = s.as_bytes();
+    let mut i = 0;
+    let v = value(b, &mut i);
+    ws(b, &mut i);
+    assert_eq!(i, b.len(), "trailing garbage at byte {i}");
+    v
+}
+
+fn ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn expect(b: &[u8], i: &mut usize, c: u8) {
+    assert!(
+        *i < b.len() && b[*i] == c,
+        "expected '{}' at byte {i}",
+        c as char
+    );
+    *i += 1;
+}
+
+fn value(b: &[u8], i: &mut usize) -> Json {
+    ws(b, i);
+    assert!(*i < b.len(), "unexpected end of input");
+    match b[*i] {
+        b'{' => {
+            *i += 1;
+            let mut kv = Vec::new();
+            ws(b, i);
+            if b.get(*i) == Some(&b'}') {
+                *i += 1;
+                return Json::Obj(kv);
+            }
+            loop {
+                ws(b, i);
+                let k = string(b, i);
+                ws(b, i);
+                expect(b, i, b':');
+                let v = value(b, i);
+                kv.push((k, v));
+                ws(b, i);
+                match b.get(*i) {
+                    Some(&b',') => *i += 1,
+                    Some(&b'}') => {
+                        *i += 1;
+                        return Json::Obj(kv);
+                    }
+                    _ => panic!("expected ',' or '}}' at byte {i}"),
+                }
+            }
+        }
+        b'[' => {
+            *i += 1;
+            let mut v = Vec::new();
+            ws(b, i);
+            if b.get(*i) == Some(&b']') {
+                *i += 1;
+                return Json::Arr(v);
+            }
+            loop {
+                v.push(value(b, i));
+                ws(b, i);
+                match b.get(*i) {
+                    Some(&b',') => *i += 1,
+                    Some(&b']') => {
+                        *i += 1;
+                        return Json::Arr(v);
+                    }
+                    _ => panic!("expected ',' or ']' at byte {i}"),
+                }
+            }
+        }
+        b'"' => Json::Str(string(b, i)),
+        b't' => {
+            lit(b, i, b"true");
+            Json::Bool(true)
+        }
+        b'f' => {
+            lit(b, i, b"false");
+            Json::Bool(false)
+        }
+        b'n' => {
+            lit(b, i, b"null");
+            Json::Null
+        }
+        _ => {
+            let start = *i;
+            while *i < b.len() && matches!(b[*i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+                *i += 1;
+            }
+            let txt = std::str::from_utf8(&b[start..*i]).unwrap();
+            Json::Num(txt.parse().unwrap_or_else(|_| panic!("bad number '{txt}'")))
+        }
+    }
+}
+
+fn lit(b: &[u8], i: &mut usize, l: &[u8]) {
+    assert!(b[*i..].starts_with(l), "bad literal at byte {i}");
+    *i += l.len();
+}
+
+fn string(b: &[u8], i: &mut usize) -> String {
+    expect(b, i, b'"');
+    let mut out = String::new();
+    loop {
+        assert!(*i < b.len(), "unterminated string");
+        match b[*i] {
+            b'"' => {
+                *i += 1;
+                return out;
+            }
+            b'\\' => {
+                *i += 1;
+                match b[*i] {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = std::str::from_utf8(&b[*i + 1..*i + 5]).unwrap();
+                        let cp = u32::from_str_radix(hex, 16).unwrap();
+                        out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        *i += 4;
+                    }
+                    c => panic!("bad escape '\\{}'", c as char),
+                }
+                *i += 1;
+            }
+            c => {
+                // Multi-byte UTF-8 passes through untouched.
+                let ch_len = match c {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                out.push_str(std::str::from_utf8(&b[*i..*i + ch_len]).unwrap());
+                *i += ch_len;
+            }
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Integration tests of the distributed profiler (`upcxx::prof`) over both
+//! conduits: deterministic collection under sim (byte-identical reports and
+//! JSON across identical runs), causal linkage of every remote delivery to
+//! its originating inject, cross-rank critical paths, the smp collective
+//! `collect()` (profile on rank 0, `None` elsewhere), ring-overflow warnings,
+//! and Chrome-trace export round-trips (parsed back with a hand-written JSON
+//! parser: one metadata track per rank, flow-event ids pairing up exactly).
+
+mod common;
+
+use common::{parse_json, Json};
+use netsim::MachineConfig;
+use upcxx::prof::Profile;
+use upcxx::{OpKind, Phase, SimRuntime, TraceConfig};
+
+fn test_rt(n: usize) -> SimRuntime {
+    SimRuntime::new(MachineConfig::test_2x4(), n, 1 << 16)
+}
+
+fn tracing_on() -> TraceConfig {
+    TraceConfig {
+        enabled: true,
+        capacity: 1 << 14,
+    }
+}
+
+fn bump(x: u64) -> u64 {
+    x + 1
+}
+
+fn sink(_x: u64) {}
+
+/// Every rank fires a chain of `iters` RPCs at its right neighbor, each
+/// chained on the previous reply — the profiler's bread-and-butter workload
+/// (cross-rank parent links on every hop).
+fn run_rpc_chain(n: usize, iters: u32) -> Profile {
+    let rt = test_rt(n);
+    for r in 0..n {
+        rt.spawn(r, move || {
+            upcxx::trace::set_config(tracing_on());
+            fn step(me: usize, n: usize, k: u32) {
+                if k == 0 {
+                    return;
+                }
+                upcxx::rpc((me + 1) % n, bump, k as u64).then(move |v| {
+                    assert_eq!(v, k as u64 + 1);
+                    step(me, n, k - 1);
+                });
+            }
+            step(r, n, iters);
+        });
+    }
+    rt.run();
+    rt.collect_prof()
+}
+
+// ------------------------------------------------------- sim: determinism
+
+#[test]
+fn sim_profile_byte_for_byte_deterministic() {
+    let a = run_rpc_chain(6, 4);
+    let b = run_rpc_chain(6, 4);
+    assert_eq!(
+        upcxx::prof::report(&a),
+        upcxx::prof::report(&b),
+        "text reports differ between identical runs"
+    );
+    assert_eq!(
+        a.to_json(),
+        b.to_json(),
+        "JSON profiles differ between identical runs"
+    );
+}
+
+// ------------------------------------------------- sim: causal completeness
+
+#[test]
+fn sim_every_remote_deliver_links_to_its_inject() {
+    let p = run_rpc_chain(4, 3);
+    let remote_delivers: Vec<_> = p
+        .events
+        .iter()
+        .filter(|e| e.phase == Phase::Deliver && e.rank != e.origin && e.op != 0)
+        .collect();
+    assert!(
+        !remote_delivers.is_empty(),
+        "workload produced no deliveries"
+    );
+    for d in &remote_delivers {
+        assert!(
+            p.events.iter().any(|e| e.phase == Phase::Inject
+                && e.origin == d.origin
+                && e.op == d.op
+                && e.rank == e.origin),
+            "remote Deliver of span ({}, {}) has no originating Inject",
+            d.origin,
+            d.op
+        );
+    }
+    // The chained workload also gives every follow-up RPC a causal parent:
+    // each chain step is injected from inside the previous reply's handler.
+    let parented = p
+        .events
+        .iter()
+        .filter(|e| e.kind == OpKind::Rpc && e.phase == Phase::Inject && e.parent_op != 0)
+        .count();
+    assert!(
+        parented > 0,
+        "no chained RPC recorded its predecessor as causal parent"
+    );
+}
+
+#[test]
+fn sim_critical_path_crosses_ranks() {
+    let p = run_rpc_chain(4, 4);
+    assert!(!p.critical_path.is_empty());
+    let ranks: std::collections::BTreeSet<u32> = p.critical_path.iter().map(|h| h.rank).collect();
+    assert!(
+        ranks.len() >= 2,
+        "critical path of an RPC chain names only ranks {ranks:?}"
+    );
+    // Hop costs telescope back to the end-to-end span.
+    let total: u64 = p.critical_path.iter().map(|h| h.dt_ps).sum();
+    let span = p.critical_path.last().unwrap().ts_ps - p.critical_path[0].ts_ps;
+    assert_eq!(total, span);
+}
+
+#[test]
+fn sim_comm_matrix_counts_the_ring() {
+    let n = 5;
+    let iters = 3;
+    let p = run_rpc_chain(n, iters);
+    for r in 0..n {
+        // Each rank fired `iters` RPCs at its right neighbor (plus the
+        // replies flowing the other way).
+        assert!(
+            p.comm_ops[r][(r + 1) % n] >= iters as u64,
+            "rank {r} -> {} shows {} ops",
+            (r + 1) % n,
+            p.comm_ops[r][(r + 1) % n]
+        );
+        assert!(p.comm_bytes[r][(r + 1) % n] > 0);
+    }
+    // The latency table decomposes the RPC round trip.
+    let rpc = p
+        .kinds
+        .iter()
+        .find(|k| k.kind == OpKind::Rpc)
+        .expect("no Rpc latency row");
+    assert_eq!(rpc.total.count, (n * iters as usize) as u64);
+    assert!(rpc.total.p50 > 0);
+}
+
+// --------------------------------------------------- sim: overflow warning
+
+#[test]
+fn sim_dropped_events_surface_in_report() {
+    let rt = test_rt(2);
+    rt.spawn(0, || {
+        upcxx::trace::set_config(TraceConfig {
+            enabled: true,
+            capacity: 8,
+        });
+        for i in 0..64u64 {
+            upcxx::rpc_ff(1, sink, i);
+        }
+    });
+    rt.run();
+    let p = rt.collect_prof();
+    assert!(
+        p.meta[0].dropped > 0,
+        "64 ops through an 8-event ring must drop"
+    );
+    assert!(upcxx::prof::report(&p).contains("WARNING: rank 0 dropped"));
+}
+
+// ------------------------------------------------------- smp: collect()
+
+#[test]
+fn smp_collect_profiles_on_root_only() {
+    upcxx::run_spmd_default(4, || {
+        upcxx::trace::set_config(tracing_on());
+        let me = upcxx::rank_me();
+        let n = upcxx::rank_n();
+        assert_eq!(
+            upcxx::rpc((me + 1) % n, bump, me as u64).wait(),
+            me as u64 + 1
+        );
+        upcxx::barrier();
+        let p = upcxx::prof::collect();
+        if me == 0 {
+            let p = p.expect("rank 0 must receive the merged profile");
+            assert_eq!(p.ranks, 4);
+            assert!(!p.virtual_time);
+            assert_eq!(p.meta.len(), 4);
+            let total_ops: u64 = p.comm_ops.iter().flatten().sum();
+            assert!(total_ops >= 4, "4 ring RPCs must appear in the matrix");
+            // Merged timeline is monotone (events sort by aligned wall time).
+            assert!(p.events.windows(2).all(|w| w[0].ts_ps <= w[1].ts_ps));
+            let txt = upcxx::prof::report(&p);
+            assert!(txt.contains("ranks: 4"));
+            assert!(txt.contains("clock: wall-ps"));
+        } else {
+            assert!(p.is_none(), "non-root ranks get None");
+        }
+        upcxx::barrier();
+    });
+}
+
+// ------------------------------------------- Chrome export round trips
+
+/// Parse a Chrome-trace document and check the structural invariants the
+/// export promises: one `process_name` metadata record per traced rank, and
+/// flow start/finish events pairing up exactly by id.
+fn check_chrome(doc: &Json, want_ranks: usize) {
+    let events = doc.get("traceEvents").expect("no traceEvents key").arr();
+    assert!(!events.is_empty());
+    let mut meta_pids: Vec<i64> = events
+        .iter()
+        .filter(|e| e.get("ph").map(Json::str) == Some("M"))
+        .map(|e| {
+            assert_eq!(e.get("name").unwrap().str(), "process_name");
+            e.get("pid").unwrap().num() as i64
+        })
+        .collect();
+    meta_pids.sort_unstable();
+    assert_eq!(
+        meta_pids,
+        (0..want_ranks as i64).collect::<Vec<_>>(),
+        "expected one metadata track per rank"
+    );
+    let ids = |ph: &str| -> Vec<i64> {
+        let mut v: Vec<i64> = events
+            .iter()
+            .filter(|e| e.get("ph").map(Json::str) == Some(ph))
+            .map(|e| e.get("id").unwrap().num() as i64)
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    let starts = ids("s");
+    let finishes = ids("f");
+    assert!(!starts.is_empty(), "no cross-rank flow events");
+    assert_eq!(starts, finishes, "flow start/finish ids must pair exactly");
+    let mut uniq = starts.clone();
+    uniq.dedup();
+    assert_eq!(uniq.len(), starts.len(), "duplicate flow ids");
+    // Every flow finish is the Perfetto "bind enclosing" form.
+    for e in events {
+        if e.get("ph").map(Json::str) == Some("f") {
+            assert_eq!(e.get("bp").map(Json::str), Some("e"));
+        }
+    }
+}
+
+#[test]
+fn sim_export_chrome_roundtrip() {
+    let p = run_rpc_chain(4, 2);
+    let mut buf = Vec::new();
+    p.export_chrome(&mut buf).unwrap();
+    let doc = parse_json(std::str::from_utf8(&buf).unwrap());
+    check_chrome(&doc, 4);
+}
+
+#[test]
+fn smp_export_chrome_roundtrip() {
+    upcxx::run_spmd_default(3, || {
+        upcxx::trace::set_config(tracing_on());
+        let me = upcxx::rank_me();
+        let n = upcxx::rank_n();
+        assert_eq!(upcxx::rpc((me + 1) % n, bump, 1).wait(), 2);
+        upcxx::barrier();
+        if let Some(p) = upcxx::prof::collect() {
+            let mut buf = Vec::new();
+            p.export_chrome(&mut buf).unwrap();
+            let doc = parse_json(std::str::from_utf8(&buf).unwrap());
+            check_chrome(&doc, 3);
+        }
+        upcxx::barrier();
+    });
+}

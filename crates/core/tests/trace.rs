@@ -2,8 +2,7 @@
 //! (`upcxx::trace` + `upcxx::runtime_stats`) over **both** conduits: exact
 //! event counts for scripted op sequences, the four-phase quartet per op id,
 //! per-rank timestamp monotonicity under sim, zero-cost disabled mode, batch
-//! events with flush reasons, and agreement of the deprecated shims with the
-//! typed snapshot.
+//! events with flush reasons, and causal-parent links on replies.
 
 use netsim::MachineConfig;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -228,7 +227,7 @@ fn sim_event_counts_match_op_counts() {
         let s = rt.with_rank(r, upcxx::runtime_stats);
         assert_eq!(s.rank, r);
         assert_eq!(s.rma_ops, k);
-        assert_eq!(s.trace_dropped, 0);
+        assert_eq!(s.dropped_events, 0);
         assert!(s.act_q_hwm >= 1);
         assert!(s.comp_q_hwm >= 1);
     }
@@ -378,22 +377,28 @@ fn sim_chrome_export_contains_all_phases() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
-// -------------------------------------------- deprecated shims still agree
+// ----------------------------------------- causal parents: reply names rpc
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_agree_with_runtime_stats() {
+fn smp_reply_events_record_rpc_parent() {
     upcxx::run_spmd_default(2, || {
         if upcxx::rank_me() == 0 {
-            let slot = upcxx::rpc(1, |_: ()| upcxx::allocate::<u64>(1), ()).wait();
-            upcxx::rput_val(9u64, slot).wait();
-            upcxx::rpc_ff(1, ff_hit, 1);
-            let s = upcxx::runtime_stats();
-            assert_eq!(upcxx::stats_rma_ops(), s.rma_ops);
-            assert_eq!(upcxx::stats_rpcs(), s.rpcs);
-            assert_eq!(upcxx::stats_agg_msgs(), s.agg_msgs);
-            assert_eq!(upcxx::stats_agg_batches(), s.agg_batches);
-            assert!(s.rma_ops >= 1 && s.rpcs >= 2);
+            trace::set_config(tracing_on());
+            assert_eq!(upcxx::rpc(1, double, 4).wait(), 8);
+            let events = trace::take_local();
+            let rpc = of_kind(&events, OpKind::Rpc);
+            // The rpc itself was injected at top level: no parent.
+            assert!(rpc.iter().all(|e| e.parent_op == 0));
+            // The reply (originated by rank 1 inside the handler) names the
+            // rpc's span as its causal parent on every one of its events
+            // recorded here.
+            let replies = of_kind(&events, OpKind::Reply);
+            assert!(!replies.is_empty());
+            for e in &replies {
+                assert_eq!(e.parent_origin, 0, "reply parent origin");
+                assert_eq!(e.parent_op, rpc[0].op, "reply parent op");
+            }
+            trace::set_config(TraceConfig::default());
         }
         upcxx::barrier();
     });

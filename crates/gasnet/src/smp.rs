@@ -25,6 +25,7 @@ use crate::{Item, Rank};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// An MPSC inbox of deliverable items: many ranks push, the owner pops from
 /// its own inbox during progress. A `Mutex<VecDeque>` (std-only workspace)
@@ -120,6 +121,13 @@ struct Shared {
     am_sent: AtomicU64,
     items_run: AtomicU64,
     batches_sent: AtomicU64,
+    /// The world's common clock epoch, captured in [`launch`] **before** any
+    /// rank thread spawns. Every rank's trace clock ([`RankHandle::wall_ps`])
+    /// measures against this one instant, so per-rank timelines from one
+    /// world are mutually comparable (and worlds launched sequentially in one
+    /// process each restart at zero instead of inheriting a process-global
+    /// epoch).
+    epoch: Instant,
 }
 
 /// A per-rank handle to the smp world: the conduit endpoint the `upcxx`
@@ -318,6 +326,16 @@ impl RankHandle {
     pub fn inbox_depth(&self) -> u64 {
         self.sh.inboxes[self.me].len.load(Ordering::Acquire)
     }
+
+    /// Wall-clock picoseconds since this **world's** launch epoch — the smp
+    /// conduit's trace clock. All ranks of one world share the epoch
+    /// (captured before any rank thread starts), so timestamps recorded on
+    /// different ranks merge into one monotone, causally ordered timeline:
+    /// a send's stamp precedes the matching delivery's stamp because both
+    /// derive from the same monotonic `Instant`.
+    pub fn wall_ps(&self) -> u64 {
+        (self.sh.epoch.elapsed().as_nanos() as u64).saturating_mul(1000)
+    }
 }
 
 /// Run an SPMD world of `n` ranks, one OS thread each. `f` is the rank main;
@@ -336,6 +354,7 @@ where
         am_sent: AtomicU64::new(0),
         items_run: AtomicU64::new(0),
         batches_sent: AtomicU64::new(0),
+        epoch: Instant::now(),
     });
     std::thread::scope(|scope| {
         for me in 0..n {

@@ -5,7 +5,13 @@
 //! the packed k-mer; remote atomics on a per-rank counter track aggregate
 //! progress.
 //!
-//! Run: `cargo run --release --example dht_kmer_count`
+//! Run: `cargo run --release --example dht_kmer_count [-- --prof]`
+//!
+//! With `--prof`, every rank traces its queue transitions and the run ends
+//! with a distributed collection (`upcxx::prof::collect`, riding the
+//! runtime's own RPC layer): rank 0 prints the merged profile — per-peer
+//! communication matrix, RPC latency decomposition, queue occupancy and the
+//! cross-rank critical path.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -56,10 +62,17 @@ fn pack(window: &[u8]) -> u64 {
 }
 
 fn main() {
+    let prof = std::env::args().any(|a| a == "--prof");
     let ranks = 4;
-    upcxx::run_spmd_default(ranks, || {
+    upcxx::run_spmd_default(ranks, move || {
         let me = upcxx::rank_me();
         let n = upcxx::rank_n();
+        if prof {
+            upcxx::trace::set_config(upcxx::TraceConfig {
+                enabled: true,
+                capacity: 1 << 16,
+            });
+        }
 
         // Scan my overlapping chunk [start, end + K) of the genome.
         let start = me * BASES_PER_RANK;
@@ -108,6 +121,13 @@ fn main() {
                 "dht_kmer_count: OK — {} bases/rank, {} ranks, {} distinct k-mers on rank 0, {} total instances",
                 BASES_PER_RANK, n, distinct, total
             );
+        }
+        if prof {
+            // Collective: ships every rank's trace ring to rank 0 over the
+            // runtime's own RPC layer; only rank 0 gets the profile.
+            if let Some(p) = upcxx::prof::collect() {
+                println!("{}", upcxx::prof::report(&p));
+            }
         }
         upcxx::barrier();
     });

@@ -41,16 +41,36 @@ print(f"    trace OK: {len(events)} events, all four phases present")
 EOF
 rm -f "$trace_json"
 
-echo "==> guard: no new uses of the deprecated free stats functions"
-# The deprecated stats_*() shims are defined in core/src/ctx.rs, re-exported
-# from lib.rs, and exercised once by the shim-equivalence test; nothing else
-# in the tree may call them (use upcxx::runtime_stats()).
-if grep -rn --include='*.rs' -E '\bstats_(rma_ops|rpcs|agg_msgs|agg_batches)\(' \
-    crates examples tests \
-    | grep -v 'crates/core/src/ctx.rs' \
-    | grep -v 'crates/core/src/lib.rs' \
-    | grep -v 'crates/core/tests/trace.rs'; then
-  echo "ERROR: new call sites of deprecated stats_*() found (use upcxx::runtime_stats())" >&2
+echo "==> prof smoke: fig4 --prof produces a parseable, consistent profile"
+prof_json="$(mktemp /tmp/ci-prof-XXXXXX.json)"
+cargo run --release -p bench --bin fig4 -- haswell --quick --prof-only --prof "$prof_json" >/dev/null
+python3 - "$prof_json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+sym, rpc = doc["symmetric"], doc["rpc"]
+# The rput-ring phase is symmetric by construction; the collected matrix
+# must reflect that exactly.
+ops = sym["comm_ops"]
+for a in range(len(ops)):
+    for b in range(len(ops)):
+        assert ops[a][b] == ops[b][a], f"comm matrix asymmetric at ({a},{b})"
+assert sum(map(sum, ops)) > 0, "symmetric phase recorded no traffic"
+# The chained-RPC phase must yield a causal critical path crossing ranks.
+path = rpc["critical_path"]
+assert path, "rpc phase critical path is empty"
+ranks = {hop["rank"] for hop in path}
+assert len(ranks) >= 2, f"critical path names only ranks {ranks}"
+assert all(m["dropped"] == 0 for m in rpc["meta"]), "profiled run dropped events"
+print(f"    prof OK: symmetric matrix verified, critical path {len(path)} hops over {len(ranks)} ranks")
+EOF
+rm -f "$prof_json"
+
+echo "==> guard: the removed stats_*() shims stay removed"
+# The deprecated free functions (stats_rpcs & friends) were deleted in favor
+# of upcxx::runtime_stats(); no call or definition may reappear anywhere.
+if grep -rn --include='*.rs' -E '\bstats_(rma_ops|rpcs|agg_msgs|agg_batches)\b' \
+    crates examples tests 2>/dev/null; then
+  echo "ERROR: stats_*() shims resurfaced (use upcxx::runtime_stats())" >&2
   exit 1
 fi
 

@@ -13,6 +13,10 @@
 #     alloc.rs. Everything else must free through `upcxx::deallocate` /
 #     `alloc::segment_free`, where quarantine, poisoning and bad-free
 #     diagnostics live.
+#  3. Span-id allocation (`next_op` reads/writes) is confined to trace.rs:
+#     one sequence serves RPC reply matching, sanitizer access records and
+#     causal-span identity, so `(origin, id)` stays globally unique only if
+#     every id flows through trace::new_span_id.
 #
 # Pure grep — no toolchain, no network; callable on its own or from ci.sh.
 set -euo pipefail
@@ -34,6 +38,14 @@ if grep -rn --include='*.rs' -F '.dealloc(' \
     crates/core/src \
     | grep -v 'crates/core/src/alloc.rs'; then
   echo "ERROR: direct .dealloc( outside alloc.rs bypasses quarantine/bad-free checks" >&2
+  fail=1
+fi
+
+echo "==> lint: span-id allocation confined to trace.rs"
+if grep -rn --include='*.rs' -E 'next_op\.(get|set)\(' \
+    crates/core/src \
+    | grep -v 'crates/core/src/trace.rs'; then
+  echo "ERROR: next_op accessed outside trace.rs — allocate span ids via trace::new_span_id" >&2
   fail=1
 fi
 
