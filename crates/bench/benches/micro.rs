@@ -204,6 +204,70 @@ fn bench_smp_rpc(filter: &Option<String>) {
     }
 }
 
+/// Eager fast path vs the deferred three-queue path: contiguous rput/rget
+/// at 8 B / 1 KiB / 64 KiB on the smp conduit, the `UPCXX_EAGER` knob
+/// toggled via `set_eager` from inside the world. Trace and san are both
+/// off — this is the product configuration the fast path exists for, so
+/// the printed speedup is the defQ traversal plus the intermediate
+/// payload allocation/copy that the eager path deletes.
+fn bench_rma_fastpath(filter: &Option<String>) {
+    let run = |put: bool, bytes: usize, eager: bool, iters: u64| -> Duration {
+        let out = std::sync::Mutex::new(Duration::ZERO);
+        upcxx::run_spmd_default(2, || {
+            upcxx::set_eager(eager);
+            upcxx::barrier();
+            let buf = upcxx::allocate::<u8>(bytes);
+            let bufs = upcxx::broadcast_gather(buf);
+            if upcxx::rank_me() == 0 {
+                let data = vec![7u8; bytes];
+                let t0 = Instant::now();
+                if put {
+                    for _ in 0..iters {
+                        upcxx::rput(black_box(&data), bufs[1]).wait();
+                    }
+                } else {
+                    for _ in 0..iters {
+                        black_box(upcxx::rget(bufs[1], bytes).wait());
+                    }
+                }
+                *out.lock().unwrap() = t0.elapsed();
+            }
+            upcxx::barrier();
+        });
+        out.into_inner().unwrap()
+    };
+    let sizes: [(usize, &str, u64); 3] = [
+        (8, "8B", 40_000),
+        (1024, "1KiB", 20_000),
+        (65536, "64KiB", 4_000),
+    ];
+    for (bytes, label, iters) in sizes {
+        for put in [true, false] {
+            let op = if put { "rput" } else { "rget" };
+            let mut deferred = None;
+            for eager in [false, true] {
+                let mode = if eager { "eager" } else { "deferred" };
+                let name = format!("smp_{op}_{label}_{mode}");
+                if !want(filter, &name) {
+                    continue;
+                }
+                let per = bench_custom(&name, iters, |iters| run(put, bytes, eager, iters));
+                if eager {
+                    if let Some(base) = deferred {
+                        println!(
+                            "{:<32} {:>11.2}x   (deferred / eager)",
+                            "  fast-path speedup",
+                            base / per
+                        );
+                    }
+                } else {
+                    deferred = Some(per);
+                }
+            }
+        }
+    }
+}
+
 /// Aggregated vs direct fire-and-forget RPC throughput on the smp conduit:
 /// rank 0 streams `iters` tiny rpc_ffs at rank 1, either injecting each as
 /// its own wire message or coalescing through the per-target aggregator.
@@ -296,6 +360,7 @@ fn main() {
     bench_serialization(&filter);
     bench_allocator(&filter);
     bench_smp_rpc(&filter);
+    bench_rma_fastpath(&filter);
     bench_rpc_agg_throughput(&filter);
     bench_sim_engine(&filter);
     bench_eadd_pack(&filter);

@@ -94,12 +94,30 @@ pub(crate) struct Queued {
     pub(crate) op: DefOp,
 }
 
+/// A compQ entry's user-visible effect. Almost everything is a parked
+/// closure; the eager RMA fast path gets a dedicated variant so completing a
+/// put (or `rget_into`) costs no closure allocation at all.
+pub(crate) enum CompEff {
+    /// Run a parked closure (the general case).
+    Thunk(Box<dyn FnOnce()>),
+    /// Eager-RMA completion: fulfill one anonymous dependency on `p` after
+    /// marking `(me, op)` against `target` complete in the sanitizer (when
+    /// it was enabled at injection). The data itself already moved at
+    /// injection time — this record is only the attentiveness gate.
+    EagerRma {
+        p: crate::future::Promise<()>,
+        target: Rank,
+        op: u64,
+        san: bool,
+    },
+}
+
 /// A compQ entry: the user-visible effect plus its trace identity and the
 /// delivery timestamp (0 when tracing is off).
 pub(crate) struct CompItem {
     tag: TraceTag,
     t_deliver: u64,
-    eff: Box<dyn FnOnce()>,
+    eff: CompEff,
 }
 
 /// A parked continuation.
@@ -216,6 +234,11 @@ pub struct RankCtx {
     /// Fast gate every trace hook checks: the *only* cost tracing adds to
     /// the hot path while disabled.
     pub(crate) trace_on: Cell<bool>,
+    /// Whether contiguous RMA takes the eager fast path (smp only; always
+    /// `false` under sim so modeled timings never depend on a host knob).
+    /// Seeded from `UPCXX_EAGER` (unset/`1` = on, `0` = off); togglable per
+    /// rank via `crate::rma::set_eager` for A/B measurement.
+    pub(crate) eager: Cell<bool>,
     /// Sanitizer state: config, counters, retained reports (see
     /// `crate::san`).
     pub(crate) san: RefCell<crate::san::SanCtx>,
@@ -253,6 +276,15 @@ pub(crate) fn with_ctx(c: Rc<RankCtx>, f: impl FnOnce()) {
     CTX.with(|slot| *slot.borrow_mut() = prev);
 }
 
+/// Parse `UPCXX_EAGER`: the smp eager RMA fast path is on unless explicitly
+/// disabled with `0`/`off`/`false` (the A/B measurement knob).
+fn eager_env() -> bool {
+    !matches!(
+        std::env::var("UPCXX_EAGER").as_deref(),
+        Ok("0") | Ok("off") | Ok("false")
+    )
+}
+
 impl RankCtx {
     pub(crate) fn new_smp(h: smp::RankHandle, san_shared: crate::san::SanShared) -> Rc<RankCtx> {
         let seg = h.seg_size();
@@ -279,6 +311,7 @@ impl RankCtx {
             stats: CtxStats::default(),
             trace: RefCell::new(TraceState::new()),
             trace_on: Cell::new(false),
+            eager: Cell::new(eager_env()),
             san_on: Cell::new(san_cfg.enabled),
             san: RefCell::new(san),
             san_depth: Cell::new(0),
@@ -312,6 +345,7 @@ impl RankCtx {
             stats: CtxStats::default(),
             trace: RefCell::new(TraceState::new()),
             trace_on: Cell::new(false),
+            eager: Cell::new(false),
             san_on: Cell::new(san_cfg.enabled),
             san: RefCell::new(san),
             san_depth: Cell::new(0),
@@ -541,8 +575,11 @@ impl RankCtx {
                 },
             ) => {
                 // Shared memory: the one-sided copy completes synchronously;
-                // user-visible completion still goes through compQ.
+                // user-visible completion still goes through compQ. The
+                // staging buffer came from the serialization pool (deferred
+                // path) and is returned the moment the copy lands.
                 h.put_bytes(target, dst_off, &bytes);
+                crate::ser::recycle_buf(bytes);
                 self.complete::<TRACED>(tag, done);
             }
             (
@@ -554,7 +591,7 @@ impl RankCtx {
                     done,
                 },
             ) => {
-                let mut buf = vec![0u8; len];
+                let mut buf = crate::ser::pooled_filled(len);
                 h.get_bytes(target, src_off, &mut buf);
                 self.stats
                     .bytes_in
@@ -722,12 +759,12 @@ impl RankCtx {
     fn complete<const TRACED: bool>(&self, tag: TraceTag, eff: Box<dyn FnOnce()>) {
         self.active_ops.set(self.active_ops.get().saturating_sub(1));
         if TRACED && tag.tid != 0 {
-            self.complete_traced(tag, eff);
+            self.complete_traced(tag, CompEff::Thunk(eff));
         } else {
             self.comp_q.borrow_mut().push_back(CompItem {
                 tag,
                 t_deliver: 0,
-                eff,
+                eff: CompEff::Thunk(eff),
             });
         }
     }
@@ -736,7 +773,7 @@ impl RankCtx {
     /// high-water mark.
     #[cold]
     #[inline(never)]
-    fn complete_traced(&self, tag: TraceTag, eff: Box<dyn FnOnce()>) {
+    fn complete_traced(&self, tag: TraceTag, eff: CompEff) {
         let t_deliver = self.emit_slow(
             Phase::Deliver,
             tag,
@@ -753,6 +790,41 @@ impl RankCtx {
         if d > self.stats.comp_q_hwm.get() {
             self.stats.comp_q_hwm.set(d);
         }
+    }
+
+    /// compQ entry for an operation whose data already moved at injection
+    /// (the eager RMA fast path): no defQ traversal, no actQ epoch — but
+    /// user-visible completion still waits for user-level progress, so the
+    /// paper's attentiveness semantics hold exactly. The traced arm emits
+    /// the `Conduit` and `Deliver` phases here, telescoped onto the
+    /// injection timestamp, and records a truthful zero defQ-wait sample so
+    /// eager and deferred runs stay comparable histogram-for-histogram.
+    #[inline]
+    pub(crate) fn eager_complete(&self, tag: TraceTag, eff: CompEff) {
+        if self.trace_on.get() && tag.tid != 0 {
+            self.eager_complete_traced(tag, eff);
+        } else {
+            self.comp_q.borrow_mut().push_back(CompItem {
+                tag,
+                t_deliver: 0,
+                eff,
+            });
+        }
+    }
+
+    /// Traced arm of [`Self::eager_complete`].
+    #[cold]
+    #[inline(never)]
+    fn eager_complete_traced(&self, tag: TraceTag, eff: CompEff) {
+        self.emit_slow(
+            Phase::Conduit,
+            tag,
+            self.me as u32,
+            crate::trace::FlushReason::None,
+        );
+        // Zero time spent deferred — by construction, not by omission.
+        self.trace.borrow_mut().def_q_wait.record(0);
+        self.complete_traced(tag, eff);
     }
 
     /// Track the gap between consecutive user-progress calls — the paper's
@@ -801,7 +873,15 @@ impl RankCtx {
                 break;
             };
             self.stats.comp_items.set(self.stats.comp_items.get() + 1);
-            eff();
+            match eff {
+                CompEff::Thunk(f) => f(),
+                CompEff::EagerRma { p, target, op, san } => {
+                    if san {
+                        crate::san::mark_complete(self, target, op);
+                    }
+                    p.fulfill_anonymous(1);
+                }
+            }
             if tracing && tag.tid != 0 {
                 self.drain_traced(tag, t_deliver);
             }

@@ -76,9 +76,10 @@ pub use dist::{
 pub use future::{conjoin, make_future, when_all, when_all_vec, Future, Promise};
 pub use global_ptr::{allocate, deallocate, GlobalPtr};
 pub use rma::{
-    rget, rget_irregular, rget_irregular_promise, rget_promise, rget_strided, rget_strided_promise,
-    rget_val, rget_val_promise, rput, rput_irregular, rput_irregular_promise, rput_promise,
-    rput_strided, rput_strided_promise, rput_val, rput_val_promise,
+    eager_enabled, rget, rget_into, rget_into_promise, rget_irregular, rget_irregular_promise,
+    rget_promise, rget_strided, rget_strided_promise, rget_val, rget_val_promise, rput,
+    rput_irregular, rput_irregular_promise, rput_promise, rput_strided, rput_strided_promise,
+    rput_val, rput_val_promise, set_eager,
 };
 pub use rpc::{rpc, rpc_ff};
 pub use runtime::{

@@ -15,19 +15,30 @@
 //! queue. Each operation carries a trace id and emits the four
 //! [`crate::trace::Phase`] events at the initiator.
 //!
+//! On the smp conduit, contiguous puts and gets additionally have an
+//! **eager fast path** (on by default; `UPCXX_EAGER=0` or [`set_eager`]
+//! opt out): the one-sided copy runs at injection time with no staging
+//! buffer, no payload closure and no defQ traversal — only a lightweight
+//! completion record enters compQ, so observable semantics (futures ready
+//! only under user-level progress, all four trace phases, sanitizer
+//! checks) are identical to the deferred path. See DESIGN.md.
+//!
 //! Beyond contiguous transfers, the non-contiguous family the paper lists
 //! (§II: "vector, indexed and strided") is provided as [`rput_irregular`],
 //! [`rput_strided`] and their get counterparts, implemented — as in early
 //! GASNet conduits — by decomposing into contiguous operations conjoined
 //! through one promise.
 
-use crate::ctx::{ctx, Backend, DefOp, RankCtx};
+use crate::ctx::{ctx, Backend, CompEff, DefOp, RankCtx};
 use crate::future::{Future, Promise};
 use crate::global_ptr::GlobalPtr;
 use crate::san::{self, AccessKind};
-use crate::ser::{pod_from_bytes, pod_to_bytes, Pod};
-use crate::trace::OpKind;
-use std::cell::RefCell;
+use crate::ser::{
+    pod_as_bytes, pod_as_bytes_mut, pod_from_bytes, pod_to_bytes_pooled, recycle_buf, Pod,
+};
+use crate::trace::{OpKind, TraceTag};
+use gasnet::smp::RankHandle;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 /// Overwrite `len` bytes of `rank`'s segment at `off` with the sanitizer's
@@ -38,6 +49,64 @@ pub(crate) fn poison_fill(c: &RankCtx, rank: usize, off: usize, len: usize) {
         Backend::Smp(h) => h.fill_bytes(rank, off, len, san::POISON),
         Backend::Sim(w) => w.seg_fill(rank, off, len, san::POISON),
     }
+}
+
+// ------------------------------------------------------ eager fast path
+
+/// Whether this rank's contiguous RMA currently takes the eager fast path:
+/// the one-sided copy runs at injection time, straight between the caller's
+/// buffer and the target segment, with no staging allocation, no payload
+/// closure and no defQ traversal. Always `false` under the sim conduit,
+/// whose modeled queue path is the whole point of simulation.
+pub fn eager_enabled() -> bool {
+    ctx().eager.get()
+}
+
+/// Toggle the eager RMA fast path on the calling rank (the `UPCXX_EAGER`
+/// environment variable sets the launch default; this is the in-process A/B
+/// measurement knob). No-op under sim: modeled timings must never depend on
+/// a host-side switch.
+pub fn set_eager(on: bool) {
+    let c = ctx();
+    if matches!(c.backend, Backend::Smp(_)) {
+        c.eager.set(on);
+    }
+}
+
+/// Eager typed read on the smp conduit: segment → `Vec<T>` in one copy, no
+/// intermediate byte buffer. Bounds-checked against the target segment.
+/// Lives here because raw segment access is lint-confined to this module
+/// and `global_ptr.rs`.
+fn smp_read_typed<T: Pod>(h: &RankHandle, rank: usize, off: usize, count: usize) -> Vec<T> {
+    let len = count * std::mem::size_of::<T>();
+    let seg = h.seg_size();
+    assert!(
+        off.checked_add(len).is_some_and(|end| end <= seg),
+        "get out of segment bounds: off={off} len={len} seg={seg}"
+    );
+    let mut out = Vec::<T>::with_capacity(count);
+    // SAFETY: range checked above; the Vec's allocation is aligned for `T`
+    // and sized for `count`; Pod tolerates any bit pattern; the copy goes
+    // through raw pointers, never forming a reference to uninitialized
+    // memory.
+    unsafe {
+        std::ptr::copy_nonoverlapping(h.seg_base(rank).add(off), out.as_mut_ptr() as *mut u8, len);
+        out.set_len(count);
+    }
+    out
+}
+
+/// Eager single-value read: one unaligned load off the segment, no Vec.
+fn smp_read_one<T: Pod>(h: &RankHandle, rank: usize, off: usize) -> T {
+    let len = std::mem::size_of::<T>();
+    let seg = h.seg_size();
+    assert!(
+        off.checked_add(len).is_some_and(|end| end <= seg),
+        "get out of segment bounds: off={off} len={len} seg={seg}"
+    );
+    // SAFETY: range checked above; `read_unaligned` handles arbitrary
+    // segment offsets; Pod tolerates any bit pattern.
+    unsafe { (h.seg_base(rank).add(off) as *const T).read_unaligned() }
 }
 
 /// Non-blocking one-sided put of `src` to the remote location `dest`
@@ -68,27 +137,48 @@ pub fn rput_promise<T: Pod>(src: &[T], dest: GlobalPtr<T>, p: &Promise<()>) {
     let c = ctx();
     assert!(!dest.is_null(), "rput to null global pointer");
     c.stats.rma_ops.set(c.stats.rma_ops.get() + 1);
-    let bytes = pod_to_bytes(src);
-    c.stats
-        .bytes_out
-        .set(c.stats.bytes_out.get() + bytes.len() as u64);
-    let tag = c.op_tag(OpKind::Put, dest.rank() as u32, bytes.len() as u32);
+    let len = std::mem::size_of_val(src);
+    c.stats.bytes_out.set(c.stats.bytes_out.get() + len as u64);
+    let tag = c.op_tag(OpKind::Put, dest.rank() as u32, len as u32);
     p.require_anonymous(1);
-    let p2 = p.clone();
-    let done: Box<dyn FnOnce()> = Box::new(move || p2.fulfill_anonymous(1));
-    // The sanitizer's single disabled-path branch: check the access and
-    // wrap the completion so the origin's epoch advances when the future
-    // fulfills (san.rs module docs).
-    let done = if c.san_on.get() {
+    // The sanitizer's single disabled-path branch: check the access at
+    // injection (both arms — the eager copy below must not run before a
+    // Panic-mode diagnosis fires) and order the origin's epoch bump with
+    // the completion drain (san.rs module docs).
+    let san = c.san_on.get();
+    if san {
         san::check_rma(
             &c,
             dest.rank(),
             dest.byte_offset(),
-            tag.bytes as usize,
+            len,
             AccessKind::Write,
             tag.tid,
             "rput",
         );
+    }
+    // Eager fast path (smp only): the one-sided copy happens right here,
+    // caller buffer → target segment — zero staging, zero closures. Only a
+    // lightweight completion record is queued, so the future still readies
+    // under user-level progress (§III attentiveness).
+    if c.eager.get() {
+        if let Backend::Smp(h) = &c.backend {
+            h.put_bytes(dest.rank(), dest.byte_offset(), pod_as_bytes(src));
+            c.eager_complete(
+                tag,
+                CompEff::EagerRma {
+                    p: p.clone(),
+                    target: dest.rank(),
+                    op: tag.tid,
+                    san,
+                },
+            );
+            return;
+        }
+    }
+    let p2 = p.clone();
+    let done: Box<dyn FnOnce()> = Box::new(move || p2.fulfill_anonymous(1));
+    let done = if san {
         san::wrap_done_unit(dest.rank(), tag.tid, done)
     } else {
         done
@@ -97,25 +187,25 @@ pub fn rput_promise<T: Pod>(src: &[T], dest: GlobalPtr<T>, p: &Promise<()>) {
         DefOp::Put {
             target: dest.rank(),
             dst_off: dest.byte_offset(),
-            bytes,
+            bytes: pod_to_bytes_pooled(src),
             done,
         },
         tag,
     );
 }
 
-/// Shared injection path of every get variant: fetch `count` elements from
-/// `src` and hand the data to `done` at completion (from compQ).
-fn rget_raw<T: Pod + Clone>(src: GlobalPtr<T>, count: usize, done: Box<dyn FnOnce(Vec<T>)>) {
-    let c = ctx();
+/// Common injection prologue of every get variant: stats, trace identity
+/// and the sanitizer's injection-time access check. Returns the op's tag
+/// and whether the sanitizer was on (sampled once per op).
+fn rget_begin<T: Pod>(c: &RankCtx, src: GlobalPtr<T>, count: usize) -> (TraceTag, bool) {
     assert!(!src.is_null(), "rget from null global pointer");
     c.stats.rma_ops.set(c.stats.rma_ops.get() + 1);
     let len = count * std::mem::size_of::<T>();
     let tag = c.op_tag(OpKind::Get, src.rank() as u32, len as u32);
-    let done: Box<dyn FnOnce(Vec<u8>)> = Box::new(move |bytes| done(pod_from_bytes(&bytes)));
-    let done = if c.san_on.get() {
+    let san = c.san_on.get();
+    if san {
         san::check_rma(
-            &c,
+            c,
             src.rank(),
             src.byte_offset(),
             len,
@@ -123,6 +213,38 @@ fn rget_raw<T: Pod + Clone>(src: GlobalPtr<T>, count: usize, done: Box<dyn FnOnc
             tag.tid,
             "rget",
         );
+    }
+    (tag, san)
+}
+
+/// Shared injection path of every get variant: fetch `count` elements from
+/// `src` and hand the data to `done` at completion (from compQ). On the
+/// eager path the read is typed — segment → `Vec<T>` in one copy; the
+/// deferred path stages through a pooled byte buffer that is recycled once
+/// the elements are lifted out.
+fn rget_raw<T: Pod + Clone>(src: GlobalPtr<T>, count: usize, done: Box<dyn FnOnce(Vec<T>)>) {
+    let c = ctx();
+    let (tag, san) = rget_begin(&c, src, count);
+    let len = count * std::mem::size_of::<T>();
+    if c.eager.get() {
+        if let Backend::Smp(h) = &c.backend {
+            let data = smp_read_typed::<T>(h, src.rank(), src.byte_offset(), count);
+            c.stats.bytes_in.set(c.stats.bytes_in.get() + len as u64);
+            let eff: Box<dyn FnOnce()> = Box::new(move || done(data));
+            let eff = if san {
+                san::wrap_done_unit(src.rank(), tag.tid, eff)
+            } else {
+                eff
+            };
+            c.eager_complete(tag, CompEff::Thunk(eff));
+            return;
+        }
+    }
+    let done: Box<dyn FnOnce(Vec<u8>)> = Box::new(move |bytes| {
+        done(pod_from_bytes(&bytes));
+        recycle_buf(bytes);
+    });
+    let done = if san {
         san::wrap_done_val(src.rank(), tag.tid, done)
     } else {
         done
@@ -163,11 +285,114 @@ pub fn rget_val<T: Pod + Clone>(src: GlobalPtr<T>) -> Future<T> {
 }
 
 /// Single-value get registering completion on `p` (the promise form of
-/// [`rget_val`]).
+/// [`rget_val`]). Fetches the value directly — no intermediate `Vec<T>` on
+/// either path: the eager arm reads one element off the segment, the
+/// deferred arm lifts it straight out of the landing byte buffer.
 pub fn rget_val_promise<T: Pod + Clone>(src: GlobalPtr<T>, p: &Promise<T>) {
+    let c = ctx();
+    let (tag, san) = rget_begin(&c, src, 1);
+    let len = std::mem::size_of::<T>();
     p.require_anonymous(1);
     let p2 = p.clone();
-    rget_raw(src, 1, Box::new(move |v: Vec<T>| p2.fulfill(v[0])));
+    if c.eager.get() {
+        if let Backend::Smp(h) = &c.backend {
+            let v = smp_read_one::<T>(h, src.rank(), src.byte_offset());
+            c.stats.bytes_in.set(c.stats.bytes_in.get() + len as u64);
+            let eff: Box<dyn FnOnce()> = Box::new(move || p2.fulfill(v));
+            let eff = if san {
+                san::wrap_done_unit(src.rank(), tag.tid, eff)
+            } else {
+                eff
+            };
+            c.eager_complete(tag, CompEff::Thunk(eff));
+            return;
+        }
+    }
+    let done: Box<dyn FnOnce(Vec<u8>)> = Box::new(move |bytes| {
+        assert_eq!(bytes.len(), len, "rget_val payload length mismatch");
+        // SAFETY: length checked; Pod tolerates any bit pattern;
+        // `read_unaligned` handles the byte buffer's alignment.
+        let v = unsafe { (bytes.as_ptr() as *const T).read_unaligned() };
+        p2.fulfill(v);
+        recycle_buf(bytes);
+    });
+    let done = if san {
+        san::wrap_done_val(src.rank(), tag.tid, done)
+    } else {
+        done
+    };
+    c.inject(
+        DefOp::Get {
+            target: src.rank(),
+            src_off: src.byte_offset(),
+            len,
+            done,
+        },
+        tag,
+    );
+}
+
+/// One-sided get landing directly in `dst` — zero allocation on any path.
+/// The copy into `dst` happens **at the call** (a parked completion could
+/// not hold the exclusive borrow); the returned future still readies only
+/// under user-level progress, like every other operation. Under sim the
+/// bytes land immediately while completion follows the modeled Get
+/// timeline, so virtual-time figures are unchanged.
+pub fn rget_into<T: Pod>(src: GlobalPtr<T>, dst: &mut [T]) -> Future<()> {
+    let p = Promise::<()>::new();
+    rget_into_promise(src, dst, &p);
+    p.finalize()
+}
+
+/// Promise form of [`rget_into`].
+pub fn rget_into_promise<T: Pod>(src: GlobalPtr<T>, dst: &mut [T], p: &Promise<()>) {
+    let c = ctx();
+    let (tag, san) = rget_begin(&c, src, dst.len());
+    let len = std::mem::size_of_val(dst);
+    p.require_anonymous(1);
+    match &c.backend {
+        Backend::Smp(h) => {
+            // Same injection-time copy whether the eager knob is on or off:
+            // shared-memory gets are synchronous either way; the knob only
+            // selects how bulk rget/rput stage their payloads.
+            h.get_bytes(src.rank(), src.byte_offset(), pod_as_bytes_mut(dst));
+            c.stats.bytes_in.set(c.stats.bytes_in.get() + len as u64);
+            c.eager_complete(
+                tag,
+                CompEff::EagerRma {
+                    p: p.clone(),
+                    target: src.rank(),
+                    op: tag.tid,
+                    san,
+                },
+            );
+        }
+        Backend::Sim(w) => {
+            w.seg_read(src.rank(), src.byte_offset(), pod_as_bytes_mut(dst));
+            // A modeled Get of the same extent keeps wire accounting and
+            // the completion timeline exactly as a buffering rget would;
+            // its payload is discarded (the data already landed above).
+            let p2 = p.clone();
+            let done: Box<dyn FnOnce(Vec<u8>)> = Box::new(move |bytes| {
+                p2.fulfill_anonymous(1);
+                recycle_buf(bytes);
+            });
+            let done = if san {
+                san::wrap_done_val(src.rank(), tag.tid, done)
+            } else {
+                done
+            };
+            c.inject(
+                DefOp::Get {
+                    target: src.rank(),
+                    src_off: src.byte_offset(),
+                    len,
+                    done,
+                },
+                tag,
+            );
+        }
+    }
 }
 
 /// Irregular ("vector") put: a batch of (source chunk, destination) pairs
@@ -286,23 +511,43 @@ where
         p.fulfill(assemble(Vec::new()));
         return;
     }
-    let slots: Rc<RefCell<Vec<Option<Vec<T>>>>> = Rc::new(RefCell::new(vec![None; n]));
-    let remaining = Rc::new(std::cell::Cell::new(n));
-    let assemble = Rc::new(assemble);
-    for (i, (ptr, cnt)) in srcs.into_iter().enumerate() {
-        let slots = slots.clone();
-        let remaining = remaining.clone();
-        let assemble = assemble.clone();
+    if n == 1 {
+        // Single-chunk shortcut: no slot table, no shared state — one get
+        // whose completion assembles directly.
+        let (ptr, cnt) = srcs.into_iter().next().unwrap();
         let p2 = p.clone();
         rget_raw(
             ptr,
             cnt,
+            Box::new(move |data| p2.fulfill(assemble(vec![Some(data)]))),
+        );
+        return;
+    }
+    // One shared state block and one Rc clone per chunk, instead of cloning
+    // slot table, counter, assembler and promise separately.
+    struct Gather<T, V: 'static, F> {
+        slots: RefCell<Vec<Option<Vec<T>>>>,
+        remaining: Cell<usize>,
+        assemble: F,
+        p: Promise<V>,
+    }
+    let st = Rc::new(Gather {
+        slots: RefCell::new(vec![None; n]),
+        remaining: Cell::new(n),
+        assemble,
+        p: p.clone(),
+    });
+    for (i, (ptr, cnt)) in srcs.into_iter().enumerate() {
+        let st = st.clone();
+        rget_raw(
+            ptr,
+            cnt,
             Box::new(move |data| {
-                slots.borrow_mut()[i] = Some(data);
-                remaining.set(remaining.get() - 1);
-                if remaining.get() == 0 {
-                    let chunks = std::mem::take(&mut *slots.borrow_mut());
-                    p2.fulfill(assemble(chunks));
+                st.slots.borrow_mut()[i] = Some(data);
+                st.remaining.set(st.remaining.get() - 1);
+                if st.remaining.get() == 0 {
+                    let chunks = std::mem::take(&mut *st.slots.borrow_mut());
+                    st.p.fulfill((st.assemble)(chunks));
                 }
             }),
         );

@@ -129,6 +129,46 @@ pub fn pod_from_bytes<T: Pod>(bytes: &[u8]) -> Vec<T> {
     out
 }
 
+/// View a `Pod` slice as raw bytes without copying — the eager RMA path's
+/// injection-time source window.
+pub(crate) fn pod_as_bytes<T: Pod>(src: &[T]) -> &[u8] {
+    // SAFETY: Pod guarantees plain bytes with no invalid representations.
+    unsafe { std::slice::from_raw_parts(src.as_ptr() as *const u8, std::mem::size_of_val(src)) }
+}
+
+/// View a mutable `Pod` slice as raw bytes — the `rget_into` landing window.
+pub(crate) fn pod_as_bytes_mut<T: Pod>(dst: &mut [T]) -> &mut [u8] {
+    // SAFETY: Pod tolerates any bit pattern, so arbitrary bytes written
+    // through this view cannot form an invalid `T`; `dst` is initialized, so
+    // the byte view never exposes uninitialized memory.
+    unsafe {
+        std::slice::from_raw_parts_mut(dst.as_mut_ptr() as *mut u8, std::mem::size_of_val(dst))
+    }
+}
+
+/// [`pod_to_bytes`] drawing from the thread-local buffer pool — the deferred
+/// rput path's payload staging. Pair with [`recycle_buf`] once the bytes
+/// have been consumed.
+pub(crate) fn pod_to_bytes_pooled<T: Pod>(src: &[T]) -> Vec<u8> {
+    let mut out = pool_take(std::mem::size_of_val(src));
+    out.extend_from_slice(pod_as_bytes(src));
+    out
+}
+
+/// A zeroed pooled buffer of exactly `len` bytes — the deferred rget path's
+/// landing buffer (the allocation, though not the memset, is amortized away).
+pub(crate) fn pooled_filled(len: usize) -> Vec<u8> {
+    let mut b = pool_take(len);
+    b.resize(len, 0);
+    b
+}
+
+/// Return a payload buffer to the thread-local pool (the pool's recycle
+/// half, exposed for crate-internal callers outside this module).
+pub(crate) fn recycle_buf(buf: Vec<u8>) {
+    pool_recycle(buf);
+}
+
 /// A cursor over an incoming message buffer. Holds the buffer by `Rc` so
 /// [`View`]s deserialized from it stay valid zero-copy windows.
 pub struct Reader {

@@ -18,6 +18,12 @@ echo "==> tier-1: cargo test -q (root package), then the full workspace"
 cargo test -q
 cargo test --workspace -q
 
+echo "==> eager-off pass: full workspace under UPCXX_EAGER=0"
+# The deferred three-queue path must stay a complete, correct implementation
+# — it is the fallback the UPCXX_EAGER knob exists for, and the sim conduit
+# runs it unconditionally.
+UPCXX_EAGER=0 cargo test --workspace -q
+
 echo "==> sanitizer pass: full workspace under UPCXX_SAN=1 (panic on findings)"
 # Every test must run clean with the PGAS sanitizer enabled in its loudest
 # mode — a data race, restricted-context violation, UAF/OOB or bad free in
@@ -64,6 +70,26 @@ assert all(m["dropped"] == 0 for m in rpc["meta"]), "profiled run dropped events
 print(f"    prof OK: symmetric matrix verified, critical path {len(path)} hops over {len(ranks)} ranks")
 EOF
 rm -f "$prof_json"
+
+echo "==> bench smoke: eager RMA fast path holds its floor"
+# One quick 1 KiB eager rput run (trace/san off — the product path). The
+# guard is deliberately loose (the container sees +/-15% noise on a 2x
+# margin): eager must stay clearly below the recorded 174-200 ns/iter
+# deferred baseline, or the fast path has silently stopped engaging.
+# See results/BENCH_rma_fastpath.json for the measured medians (~96 ns).
+bench_out="$(cargo bench -p bench --bench micro -- smp_rput_1KiB_eager 2>/dev/null)"
+echo "$bench_out" | sed 's/^/    /'
+python3 - <<EOF
+out = """$bench_out"""
+for line in out.splitlines():
+    if line.strip().startswith("smp_rput_1KiB_eager"):
+        per = float(line.split()[1])
+        assert per < 160.0, f"eager 1 KiB rput regressed to {per} ns/iter (floor 160)"
+        print(f"    fast-path smoke OK: {per} ns/iter < 160")
+        break
+else:
+    raise SystemExit("bench produced no smp_rput_1KiB_eager line")
+EOF
 
 echo "==> guard: the removed stats_*() shims stay removed"
 # The deprecated free functions (stats_rpcs & friends) were deleted in favor

@@ -33,6 +33,21 @@ if grep -rn --include='*.rs' -E '\bseg_(base|read|write|with_mut|fill)\b' \
   fail=1
 fi
 
+echo "==> lint: smp conduit byte access confined to rma.rs / global_ptr.rs / ctx.rs"
+# The eager fast path added a second injection-time surface over the smp
+# handle's raw byte windows (put_bytes / get_bytes / seg_base). Every such
+# call site must sit where the sanitizer's check_rma/mark_complete hooks
+# bracket it: the RMA entry points (rma.rs), local segment access behind
+# is_local (global_ptr.rs), and the deferred-queue drain (ctx.rs).
+if grep -rn --include='*.rs' -E '\.(put_bytes|get_bytes|fill_bytes)\(' \
+    crates/core/src \
+    | grep -v 'crates/core/src/rma.rs' \
+    | grep -v 'crates/core/src/global_ptr.rs' \
+    | grep -v 'crates/core/src/ctx.rs'; then
+  echo "ERROR: conduit byte access outside rma.rs/global_ptr.rs/ctx.rs bypasses the sanitizer" >&2
+  fail=1
+fi
+
 echo "==> lint: direct allocator dealloc confined to alloc.rs"
 if grep -rn --include='*.rs' -F '.dealloc(' \
     crates/core/src \
