@@ -308,6 +308,88 @@ fn bench_rpc_agg_throughput(filter: &Option<String>) {
     }
 }
 
+/// RPC-heavy DHT throughput against an *inattentive* target: rank 1 runs
+/// ~200 µs compute slices and enters `upcxx::progress()` only every 25
+/// slices (~5 ms), while rank 0 streams windows of keyed inserts that all
+/// hash to rank 1. With the progress thread off, every window stalls until
+/// the target's next progress call; with `upcxx::set_progress_thread(true)`
+/// the progress persona services the inserts while the target computes.
+/// This is the acceptance scenario for the personas work (ROADMAP: >5x
+/// with the thread on).
+fn bench_dht_inattentive(filter: &Option<String>) {
+    const WINDOW: usize = 32;
+    let run = |threaded: bool, iters: u64| {
+        let out = std::sync::Mutex::new(Duration::ZERO);
+        upcxx::run_spmd_default(2, || {
+            upcxx::set_progress_thread(threaded);
+            let flag = upcxx::allocate::<u64>(1);
+            flag.local_write(&[0]);
+            let flags = upcxx::broadcast_gather(flag);
+            upcxx::barrier();
+            if upcxx::rank_me() == 0 {
+                // Keys owned by the inattentive rank.
+                let keys: Vec<u64> = (0u64..)
+                    .filter(|&k| pgas_dht::get_target(k, 2) == 1)
+                    .take(WINDOW)
+                    .collect();
+                let t0 = Instant::now();
+                let mut done = 0u64;
+                while done < iters {
+                    let futs: Vec<_> = keys
+                        .iter()
+                        .map(|&k| pgas_dht::insert_rpc(k, vec![7u8; 8]))
+                        .collect();
+                    for f in futs {
+                        f.wait();
+                    }
+                    done += WINDOW as u64;
+                }
+                *out.lock().unwrap() = t0.elapsed();
+                let ad = upcxx::AtomicDomain::all();
+                ad.store(flags[1], 1).wait();
+            } else {
+                // Inattentive compute loop; the stop flag is polled with a
+                // plain local read (not progress) at the same ~5 ms cadence.
+                let mut v = [0u64; 1];
+                let mut slice = 0u64;
+                loop {
+                    let t = Instant::now();
+                    while t.elapsed() < Duration::from_micros(200) {
+                        std::hint::spin_loop();
+                    }
+                    slice += 1;
+                    if slice.is_multiple_of(25) {
+                        upcxx::progress();
+                        flag.local_read(&mut v);
+                        if v[0] == 1 {
+                            break;
+                        }
+                    }
+                }
+            }
+            upcxx::set_progress_thread(false);
+            upcxx::barrier();
+        });
+        out.into_inner().unwrap()
+    };
+    let mut base = None;
+    if want(filter, "dht_inattentive_off") {
+        base = Some(bench_custom("dht_inattentive_off", 640, |iters| {
+            run(false, iters)
+        }));
+    }
+    if want(filter, "dht_inattentive_on") {
+        let on = bench_custom("dht_inattentive_on", 640, |iters| run(true, iters));
+        if let Some(base) = base {
+            println!(
+                "{:<32} {:>11.2}x   (user-driven / progress persona)",
+                "  progress-thread speedup",
+                base / on
+            );
+        }
+    }
+}
+
 fn bench_sim_engine(filter: &Option<String>) {
     if !want(filter, "sim_event_throughput_10k") {
         return;
@@ -362,6 +444,7 @@ fn main() {
     bench_smp_rpc(&filter);
     bench_rma_fastpath(&filter);
     bench_rpc_agg_throughput(&filter);
+    bench_dht_inattentive(&filter);
     bench_sim_engine(&filter);
     bench_eadd_pack(&filter);
 }

@@ -246,12 +246,17 @@ pub(crate) fn flush_all_ctx(c: &RankCtx, reason: FlushReason) {
 /// with an explicit flush). Safe (a no-op) when nothing is buffered or
 /// aggregation is disabled.
 pub fn flush_all() {
-    flush_all_ctx(&ctx(), FlushReason::Explicit);
+    let c = ctx();
+    let _g = crate::persona::lock(&c);
+    flush_all_ctx(&c, FlushReason::Explicit);
 }
 
 /// The current rank's aggregation configuration.
 pub fn agg_config() -> AggConfig {
-    ctx().agg.borrow().cfg
+    let c = ctx();
+    let _g = crate::persona::lock(&c);
+    let cfg = c.agg.borrow().cfg;
+    cfg
 }
 
 /// Install a new aggregation configuration for the current rank. Any
@@ -259,6 +264,7 @@ pub fn agg_config() -> AggConfig {
 /// disabling or shrinking the aggregator.
 pub fn set_agg_config(cfg: AggConfig) {
     let c = ctx();
+    let _g = crate::persona::lock(&c);
     flush_all_ctx(&c, FlushReason::Reconfig);
     assert!(
         !cfg.enabled || cfg.max_bytes > wire::RPC_HDR + wire::AGG_REC_HDR,

@@ -94,6 +94,7 @@ impl AtomicDomain {
 fn amo(target: GlobalPtr<u64>, op: AmoOp, operand: u64, compare: u64) -> Future<u64> {
     assert!(!target.is_null(), "atomic on null global pointer");
     let c = ctx();
+    let _g = crate::persona::lock(&c);
     c.stats.rma_ops.set(c.stats.rma_ops.get() + 1);
     let tag = c.op_tag(crate::trace::OpKind::Amo, target.rank() as u32, 8);
     let p = Promise::<u64>::new();

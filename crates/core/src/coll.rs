@@ -25,6 +25,7 @@ use std::rc::Rc;
 /// barrier.
 pub fn barrier_async_team(team: &Team) -> Future<()> {
     let c = ctx();
+    let _g = crate::persona::lock(&c);
     // Entering a barrier is a quiescence point for this rank's outgoing
     // traffic: ship every aggregation buffer before the first flag leaves,
     // so buffered payloads are ordered ahead of the barrier on every target.
@@ -90,7 +91,11 @@ fn barrier_flag_handler(args: (u64, u64, u32)) {
     let key = (team_id, epoch, round);
     let waiter = c.coll.borrow_mut().barrier_waiters.remove(&key);
     match waiter {
-        Some(k) => k(),
+        // The parked continuation advances rounds and ultimately fulfills a
+        // master-persona promise — route it there (inline on the default
+        // path; via the handoff queue when a progress persona delivered the
+        // flag, where the master picks it up inside its blocking wait).
+        Some(k) => crate::persona::master_exec(&c, k),
         None => {
             c.coll.borrow_mut().barrier_flags.insert(key, ());
         }
@@ -103,6 +108,8 @@ fn barrier_flag_handler(args: (u64, u64, u32)) {
 /// passes `Some(value)`; every other member passes `None`; all futures ready
 /// with the root's value. (UPC++ `broadcast`, generalized to any `Ser`.)
 pub fn broadcast_team<T: Ser + Clone>(team: &Team, root: usize, value: Option<T>) -> Future<T> {
+    let c = ctx();
+    let _g = crate::persona::lock(&c);
     let seq = next_seq(team);
     broadcast_with_seq(team, root, value, seq)
 }
@@ -222,8 +229,10 @@ fn bcast_arrival_handler(args: (u64, u64, Vec<u8>)) {
             }
         }
     };
+    // The waiter fulfills a master-persona promise (and forwards down the
+    // tree); same routing rule as the barrier continuation above.
     if let Some(w) = waiter {
-        w(bytes);
+        crate::persona::master_exec(&c, move || w(bytes));
     }
 }
 
@@ -237,6 +246,8 @@ pub fn reduce_one_team<T>(team: &Team, root: usize, value: T, op: fn(T, T) -> T)
 where
     T: Ser + Clone + 'static,
 {
+    let c = ctx();
+    let _g = crate::persona::lock(&c);
     let seq = next_seq(team);
     reduce_with_seq(team, root, value, op, seq)
 }
@@ -257,6 +268,8 @@ pub fn reduce_all_team<T>(team: &Team, value: T, op: fn(T, T) -> T) -> Future<T>
 where
     T: Ser + Clone + 'static,
 {
+    let c = ctx();
+    let _g = crate::persona::lock(&c);
     let red_seq = next_seq(team);
     let bc_seq = next_seq(team);
     let team2 = team.clone();
@@ -416,8 +429,11 @@ fn reduce_arrival_handler(args: (u64, u64, Vec<u8>)) {
             }
         }
     };
+    // The combine continuation mutates the typed reduce slot and may fulfill
+    // the master-persona promise; the `Rc` clone above happened under the
+    // engine lock and is consumed (or dropped) only on the master persona.
     if let Some(cb) = cb {
-        cb(bytes);
+        crate::persona::master_exec(&c, move || cb(bytes));
     }
 }
 

@@ -32,6 +32,8 @@ use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
 /// Which conduit this rank runs over.
 pub(crate) enum Backend {
@@ -197,6 +199,16 @@ pub struct CtxStats {
     pub max_progress_gap_ps: Cell<u64>,
     /// Timestamp of the previous user-progress call (ps; tracing only).
     pub last_progress_ps: Cell<u64>,
+    /// compQ chunks drained by user progress. Each chunk is at most 64
+    /// items — the bound that keeps one progress call from running
+    /// arbitrarily long on a flooded rank (smp conduit).
+    pub comp_chunks: Cell<u64>,
+    /// Attentiveness of the *progress persona*: largest gap between the
+    /// progress thread's conduit-poll iterations (ps; tracked only while
+    /// tracing is enabled and the thread is running; 0 otherwise).
+    pub max_progress_gap_prog_ps: Cell<u64>,
+    /// Timestamp of the progress persona's previous poll (ps).
+    pub last_progress_prog_ps: Cell<u64>,
 }
 
 /// The per-rank runtime state. One per rank; reached via the thread-local.
@@ -251,26 +263,50 @@ pub struct RankCtx {
     pub(crate) san_depth: Cell<u32>,
     /// Handle to the world-shared shadow state.
     pub(crate) san_shared: crate::san::SanShared,
+    /// Gated re-entrant engine lock serializing the master and progress
+    /// personas over this context (see `crate::persona`). Skipped entirely
+    /// (one predicted branch) while `progress_on` is false.
+    pub(crate) engine: crate::persona::EngineLock,
+    /// Lock-free handoff queue of thunks the progress persona parked for
+    /// the master persona (reply handlers, collective continuations —
+    /// everything that fulfills user-visible futures).
+    pub(crate) handoff: crate::persona::Handoff,
+    /// Fast gate: `true` while the opt-in progress thread is running.
+    pub(crate) progress_on: AtomicBool,
+    /// The running progress thread, if any (master-persona state).
+    pub(crate) progress_thread: RefCell<Option<crate::persona::ProgressThread>>,
 }
 
+// SAFETY: `RankCtx` is shared between exactly two threads — the rank's
+// master thread and its opt-in progress thread (`crate::persona`). Every
+// access to its interior-mutable state (`RefCell`s / `Cell`s) from either
+// thread happens while holding the per-rank engine lock whenever the
+// progress thread is enabled (`progress_on`); while it is disabled (the
+// default) only the master thread touches the context, exactly as before
+// this type was `Send`/`Sync`. The engine lock's Acquire/Release pair
+// provides the happens-before edge for all non-atomic state, including the
+// smp conduit inbox stash and the sanitizer's shadow handles.
+unsafe impl Send for RankCtx {}
+unsafe impl Sync for RankCtx {}
+
 thread_local! {
-    static CTX: RefCell<Option<Rc<RankCtx>>> = const { RefCell::new(None) };
+    static CTX: RefCell<Option<Arc<RankCtx>>> = const { RefCell::new(None) };
 }
 
 /// The calling thread's (or simulated rank's) context. Panics outside a
 /// UPC++ world — i.e. outside `run_spmd` rank mains or sim drivers.
-pub(crate) fn ctx() -> Rc<RankCtx> {
+pub(crate) fn ctx() -> Arc<RankCtx> {
     try_ctx().expect("no upcxx context on this thread: call inside run_spmd / SimRuntime drivers")
 }
 
 /// Like [`ctx`] but returns `None` outside a world.
-pub(crate) fn try_ctx() -> Option<Rc<RankCtx>> {
+pub(crate) fn try_ctx() -> Option<Arc<RankCtx>> {
     CTX.with(|c| c.borrow().clone())
 }
 
 /// Install `c` for the duration of `f` (restores the previous context after;
 /// the sim conduit nests these when ranks trigger one another synchronously).
-pub(crate) fn with_ctx(c: Rc<RankCtx>, f: impl FnOnce()) {
+pub(crate) fn with_ctx(c: Arc<RankCtx>, f: impl FnOnce()) {
     let prev = CTX.with(|slot| slot.borrow_mut().replace(c));
     f();
     CTX.with(|slot| *slot.borrow_mut() = prev);
@@ -286,12 +322,12 @@ fn eager_env() -> bool {
 }
 
 impl RankCtx {
-    pub(crate) fn new_smp(h: smp::RankHandle, san_shared: crate::san::SanShared) -> Rc<RankCtx> {
+    pub(crate) fn new_smp(h: smp::RankHandle, san_shared: crate::san::SanShared) -> Arc<RankCtx> {
         let seg = h.seg_size();
         let san_cfg = crate::san::env_config();
         let mut san = crate::san::SanCtx::new();
         san.cfg = san_cfg;
-        Rc::new(RankCtx {
+        Arc::new(RankCtx {
             me: h.rank_me(),
             n: h.rank_n(),
             backend: Backend::Smp(h),
@@ -316,16 +352,24 @@ impl RankCtx {
             san: RefCell::new(san),
             san_depth: Cell::new(0),
             san_shared,
+            engine: crate::persona::EngineLock::new(),
+            handoff: crate::persona::Handoff::new(),
+            progress_on: AtomicBool::new(false),
+            progress_thread: RefCell::new(None),
         })
     }
 
-    pub(crate) fn new_sim(w: SimWorld, me: Rank, san_shared: crate::san::SanShared) -> Rc<RankCtx> {
+    pub(crate) fn new_sim(
+        w: SimWorld,
+        me: Rank,
+        san_shared: crate::san::SanShared,
+    ) -> Arc<RankCtx> {
         let seg = w.seg_size();
         let n = w.rank_n();
         let san_cfg = crate::san::env_config();
         let mut san = crate::san::SanCtx::new();
         san.cfg = san_cfg;
-        Rc::new(RankCtx {
+        Arc::new(RankCtx {
             me,
             n,
             backend: Backend::Sim(w),
@@ -350,6 +394,10 @@ impl RankCtx {
             san: RefCell::new(san),
             san_depth: Cell::new(0),
             san_shared,
+            engine: crate::persona::EngineLock::new(),
+            handoff: crate::persona::Handoff::new(),
+            progress_on: AtomicBool::new(false),
+            progress_thread: RefCell::new(None),
         })
     }
 
@@ -443,6 +491,7 @@ impl RankCtx {
             ts_ps: ts,
             parent_origin: tag.parent_origin,
             parent_op: tag.parent_op,
+            persona: crate::persona::current_id(),
         });
         ts
     }
@@ -843,10 +892,33 @@ impl RankCtx {
         self.stats.last_progress_ps.set(ts);
     }
 
+    /// Progress-persona twin of [`Self::note_progress_gap`]: the gap between
+    /// the progress thread's poll iterations (tracing only; called from the
+    /// progress loop while it holds the engine lock).
+    #[cold]
+    #[inline(never)]
+    pub(crate) fn note_progress_gap_prog(&self) {
+        let ts = self.now_ps();
+        let last = self.stats.last_progress_prog_ps.get();
+        if last != 0 {
+            let gap = ts.saturating_sub(last);
+            if gap > self.stats.max_progress_gap_prog_ps.get() {
+                self.stats.max_progress_gap_prog_ps.set(gap);
+            }
+        }
+        self.stats.last_progress_prog_ps.set(ts);
+    }
+
     /// User-level progress: aggregation flush, internal progress, conduit
-    /// poll (smp), compQ drain. This is the only place `.then` callbacks,
-    /// future fulfillments and incoming RPC bodies execute.
+    /// poll (smp), handoff drain, compQ drain. This is the only place
+    /// `.then` callbacks, future fulfillments and (on the master persona)
+    /// incoming RPC bodies execute.
     pub(crate) fn progress_user(&self) {
+        // Serialize against the opt-in progress persona. One predicted
+        // branch when the thread is off; re-entrant, so nested progress from
+        // inside drained effects is fine. Never held across a wait() spin —
+        // each progress_user call acquires and releases it independently.
+        let _g = crate::persona::lock(self);
         // One flag load covers the entry and exit stamps; the per-item check
         // in the drain loop below stays live because a drained effect may
         // itself reconfigure tracing.
@@ -859,10 +931,23 @@ impl RankCtx {
         crate::agg::flush_all_ctx(self, crate::trace::FlushReason::Progress);
         self.progress_internal();
         if let Backend::Smp(h) = &self.backend {
-            // Incoming items enqueue their effects into compQ.
+            // Incoming items run here (and enqueue any effects into compQ).
             h.poll(64);
         }
+        // Thunks the progress persona parked for the master persona: reply
+        // handlers and collective continuations that fulfill user-visible
+        // futures run here, preserving single-threaded callback semantics.
+        crate::persona::drain_handoff(self);
+        let mut drained: u64 = 0;
         loop {
+            // Bound the smp drain at one 64-item chunk per call so a flooded
+            // rank cannot make a single user-progress call arbitrarily long
+            // (`wait()` spins on progress, so blocked callers still drain
+            // everything). The sim conduit drains fully: its per-delivery
+            // progress calls would otherwise strand effects at quiescence.
+            if drained == 64 && matches!(self.backend, Backend::Smp(_)) {
+                break;
+            }
             let item = self.comp_q.borrow_mut().pop_front();
             let Some(CompItem {
                 tag,
@@ -882,9 +967,15 @@ impl RankCtx {
                     p.fulfill_anonymous(1);
                 }
             }
+            drained += 1;
             if tracing && tag.tid != 0 {
                 self.drain_traced(tag, t_deliver);
             }
+        }
+        if drained > 0 {
+            self.stats
+                .comp_chunks
+                .set(self.stats.comp_chunks.get() + drained.div_ceil(64));
         }
         // Handlers executed above may have buffered replies or forwards;
         // pushing them out now keeps round-trip latency at one progress call.
@@ -998,6 +1089,10 @@ pub fn wait_until(pred: impl Fn() -> bool) {
 /// made rank-correct under the sim conduit where many ranks share one thread.
 pub fn rank_state<T: 'static>(init: impl FnOnce() -> T) -> Rc<T> {
     let c = ctx();
+    // Handlers running on the progress persona reach rank state through this
+    // same map; the engine lock serializes the registry's Rc bookkeeping.
+    // (Ownership of the *values* follows the persona rules — DESIGN.md §4.)
+    let _g = crate::persona::lock(&c);
     let key = std::any::TypeId::of::<T>();
     if let Some(v) = c.rank_state.borrow().get(&key) {
         return v

@@ -48,6 +48,7 @@ impl<T: 'static> DistObject<T> {
     /// distributed object whose local representative is `value`.
     pub fn new(value: T) -> DistObject<T> {
         let c = ctx();
+        let _g = crate::persona::lock(&c);
         let id = DistId(c.dist_next.get());
         c.dist_next.set(id.0 + 1);
         let value = Rc::new(value);
@@ -106,6 +107,7 @@ pub fn lookup<T: 'static>(id: DistId) -> Rc<T> {
 /// Non-panicking lookup.
 pub fn try_lookup<T: 'static>(id: DistId) -> Option<Rc<T>> {
     let c = ctx();
+    let _g = crate::persona::lock(&c);
     let tbl = c.dist_tbl.borrow();
     tbl.get(&id.0).map(|any| {
         any.clone()
@@ -119,6 +121,7 @@ pub fn try_lookup<T: 'static>(id: DistId) -> Option<Rc<T>> {
 /// before construction.
 pub fn when_constructed(id: DistId, f: impl FnOnce() + 'static) {
     let c = ctx();
+    let _g = crate::persona::lock(&c);
     if c.dist_tbl.borrow().contains_key(&id.0) {
         f();
     } else {

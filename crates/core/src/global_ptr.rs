@@ -173,6 +173,7 @@ impl<T: Pod> GlobalPtr<T> {
     pub fn local_read(&self, dst: &mut [T]) {
         assert!(self.is_local(), "local_read on a non-local global pointer");
         let c = ctx();
+        let _g = crate::persona::lock(&c);
         let bytes_len = std::mem::size_of_val(dst);
         if c.san_on.get() {
             crate::san::check_local(
@@ -201,6 +202,7 @@ impl<T: Pod> GlobalPtr<T> {
     pub fn local_write(&self, src: &[T]) {
         assert!(self.is_local(), "local_write on a non-local global pointer");
         let c = ctx();
+        let _g = crate::persona::lock(&c);
         let bytes = crate::ser::pod_to_bytes(src);
         if c.san_on.get() {
             crate::san::check_local(
@@ -223,6 +225,7 @@ impl<T: Pod> GlobalPtr<T> {
     pub fn local_ptr(&self) -> *mut T {
         assert!(self.is_local(), "local_ptr on a non-local global pointer");
         let c = ctx();
+        let _g = crate::persona::lock(&c);
         if c.san_on.get() {
             // Raw-pointer accesses have unknown extent in time, so only the
             // referent's bounds/liveness are validated — no race record.
@@ -266,6 +269,7 @@ impl<T: Pod> Ser for GlobalPtr<T> {
 /// exhausted — sized segments are a deliberate PGAS design point.
 pub fn allocate<T: Pod>(count: usize) -> GlobalPtr<T> {
     let c = ctx();
+    let _g = crate::persona::lock(&c);
     let len = count * std::mem::size_of::<T>();
     let off = c
         .alloc
@@ -285,5 +289,6 @@ pub fn allocate<T: Pod>(count: usize) -> GlobalPtr<T> {
 pub fn deallocate<T: Pod>(p: GlobalPtr<T>) {
     assert!(p.is_local(), "deallocate must run on the owning rank");
     let c = ctx();
+    let _g = crate::persona::lock(&c);
     crate::alloc::segment_free(&c, p.byte_offset(), &format!("{p:?}"));
 }

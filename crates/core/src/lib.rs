@@ -14,9 +14,12 @@
 //!   ([`barrier_async`], [`broadcast`], [`reduce_all`]);
 //! * asynchrony is composed through **futures and promises**
 //!   ([`Future::then`], [`when_all`], [`Promise`] dependency counters);
-//! * progress is **user-driven** — no hidden threads; the three-queue
-//!   progress engine of the paper's §III lives in [`ctx`] and advances only
-//!   inside communication calls ([`progress`]) or blocking waits;
+//! * progress is **user-driven** by default — the three-queue progress
+//!   engine of the paper's §III lives in [`ctx`] and advances only inside
+//!   communication calls ([`progress`]) or blocking waits; an opt-in
+//!   **progress persona** (`UPCXX_PROGRESS=1` / [`set_progress_thread`])
+//!   services incoming traffic from a dedicated thread while user futures
+//!   still complete only on the master persona (see [`persona`]);
 //! * [`DistObject`] replaces non-scalable symmetric-heap constructs, and
 //!   [`View`] provides zero-copy view-based RPC argument serialization.
 //!
@@ -53,6 +56,7 @@ pub mod ctx;
 pub mod dist;
 pub mod future;
 pub mod global_ptr;
+pub mod persona;
 pub mod prof;
 pub mod rma;
 pub mod rpc;
@@ -75,6 +79,7 @@ pub use dist::{
 };
 pub use future::{conjoin, make_future, when_all, when_all_vec, Future, Promise};
 pub use global_ptr::{allocate, deallocate, GlobalPtr};
+pub use persona::set_progress_thread;
 pub use rma::{
     eager_enabled, rget, rget_into, rget_into_promise, rget_irregular, rget_irregular_promise,
     rget_promise, rget_strided, rget_strided_promise, rget_val, rget_val_promise, rput,

@@ -117,6 +117,7 @@ impl Ser for TraceEvent {
         self.ts_ps.ser(out);
         self.parent_origin.ser(out);
         self.parent_op.ser(out);
+        self.persona.ser(out);
     }
     fn deser(r: &mut Reader) -> Self {
         TraceEvent {
@@ -131,10 +132,11 @@ impl Ser for TraceEvent {
             ts_ps: u64::deser(r),
             parent_origin: u32::deser(r),
             parent_op: u64::deser(r),
+            persona: u8::deser(r),
         }
     }
     fn ser_size(&self) -> usize {
-        4 + 4 + 8 + 1 + 1 + 4 + 4 + 1 + 8 + 4 + 8
+        4 + 4 + 8 + 1 + 1 + 4 + 4 + 1 + 8 + 4 + 8 + 1
     }
 }
 
@@ -1010,6 +1012,7 @@ mod tests {
             ts_ps: ts,
             parent_origin: parent.0,
             parent_op: parent.1,
+            persona: 0,
         }
     }
 

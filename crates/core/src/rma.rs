@@ -59,7 +59,9 @@ pub(crate) fn poison_fill(c: &RankCtx, rank: usize, off: usize, len: usize) {
 /// closure and no defQ traversal. Always `false` under the sim conduit,
 /// whose modeled queue path is the whole point of simulation.
 pub fn eager_enabled() -> bool {
-    ctx().eager.get()
+    let c = ctx();
+    let _g = crate::persona::lock(&c);
+    c.eager.get()
 }
 
 /// Toggle the eager RMA fast path on the calling rank (the `UPCXX_EAGER`
@@ -68,6 +70,7 @@ pub fn eager_enabled() -> bool {
 /// a host-side switch.
 pub fn set_eager(on: bool) {
     let c = ctx();
+    let _g = crate::persona::lock(&c);
     if matches!(c.backend, Backend::Smp(_)) {
         c.eager.set(on);
     }
@@ -135,6 +138,7 @@ pub fn rput_val_promise<T: Pod>(v: T, dest: GlobalPtr<T>, p: &Promise<()>) {
 /// `rput(src, dest, size, operation_cx::as_promise(p))`.
 pub fn rput_promise<T: Pod>(src: &[T], dest: GlobalPtr<T>, p: &Promise<()>) {
     let c = ctx();
+    let _g = crate::persona::lock(&c);
     assert!(!dest.is_null(), "rput to null global pointer");
     c.stats.rma_ops.set(c.stats.rma_ops.get() + 1);
     let len = std::mem::size_of_val(src);
@@ -224,6 +228,7 @@ fn rget_begin<T: Pod>(c: &RankCtx, src: GlobalPtr<T>, count: usize) -> (TraceTag
 /// the elements are lifted out.
 fn rget_raw<T: Pod + Clone>(src: GlobalPtr<T>, count: usize, done: Box<dyn FnOnce(Vec<T>)>) {
     let c = ctx();
+    let _g = crate::persona::lock(&c);
     let (tag, san) = rget_begin(&c, src, count);
     let len = count * std::mem::size_of::<T>();
     if c.eager.get() {
@@ -290,6 +295,7 @@ pub fn rget_val<T: Pod + Clone>(src: GlobalPtr<T>) -> Future<T> {
 /// deferred arm lifts it straight out of the landing byte buffer.
 pub fn rget_val_promise<T: Pod + Clone>(src: GlobalPtr<T>, p: &Promise<T>) {
     let c = ctx();
+    let _g = crate::persona::lock(&c);
     let (tag, san) = rget_begin(&c, src, 1);
     let len = std::mem::size_of::<T>();
     p.require_anonymous(1);
@@ -347,6 +353,7 @@ pub fn rget_into<T: Pod>(src: GlobalPtr<T>, dst: &mut [T]) -> Future<()> {
 /// Promise form of [`rget_into`].
 pub fn rget_into_promise<T: Pod>(src: GlobalPtr<T>, dst: &mut [T], p: &Promise<()>) {
     let c = ctx();
+    let _g = crate::persona::lock(&c);
     let (tag, san) = rget_begin(&c, src, dst.len());
     let len = std::mem::size_of_val(dst);
     p.require_anonymous(1);

@@ -49,6 +49,7 @@ where
     R: Ser + Clone + 'static,
 {
     let c = ctx();
+    let _g = crate::persona::lock(&c);
     c.stats.rpcs.set(c.stats.rpcs.get() + 1);
     let initiator = c.me;
 
@@ -114,6 +115,7 @@ where
     A: Ser,
 {
     let c = ctx();
+    let _g = crate::persona::lock(&c);
     c.stats.rpcs.set(c.stats.rpcs.get() + 1);
     let arg_bytes = to_bytes(&args);
     c.charge_ser(arg_bytes.len());
@@ -164,7 +166,19 @@ fn send_reply(initiator: Rank, op_id: u64, bytes: Vec<u8>) {
             .set(ic.stats.bytes_in.get() + bytes.len() as u64);
         let handler = ic.reply_tbl.borrow_mut().remove(&op_id);
         match handler {
-            Some(handler) => handler(Reader::new(bytes)),
+            // The continuation fulfills a user-visible promise, which
+            // belongs to the master persona. `master_exec` runs it inline on
+            // the default path (identical order to before personas existed);
+            // when a progress persona delivered this reply, it parks the
+            // continuation in the handoff queue for the initiator's next
+            // user-progress call — today's single-threaded callback
+            // semantics, regardless of which persona serviced the wire.
+            Some(handler) => crate::persona::master_exec(&ic, move || {
+                let mc = ctx();
+                let _restricted = san::RestrictedGuard::new(&mc);
+                let _span = crate::trace::SpanGuard::enter(&mc, replier as u32, tag.tid);
+                handler(Reader::new(bytes));
+            }),
             None => {
                 // A reply with no parked continuation means the op-id
                 // bookkeeping broke (double reply, or delivery to the wrong
@@ -194,6 +208,7 @@ fn send_reply(initiator: Rank, op_id: u64, bytes: Vec<u8>) {
 /// target's coalescing buffer first so per-target injection order holds.
 pub(crate) fn sys_am<A: Ser>(target: Rank, f: fn(A), args: A) {
     let c = ctx();
+    let _g = crate::persona::lock(&c);
     crate::agg::flush_target(&c, target, FlushReason::Ordering);
     let bytes = to_bytes(&args);
     let wire = wire::am_wire_size(bytes.len());

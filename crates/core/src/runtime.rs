@@ -47,9 +47,18 @@ where
         move |h| {
             let c = RankCtx::new_smp(h, crate::san::SanShared::Smp(san.clone()));
             with_ctx(c, || {
+                // Opt-in async progress engine (UPCXX_PROGRESS=1): start the
+                // rank's progress persona before the rank main runs.
+                if crate::persona::progress_env() {
+                    crate::persona::set_progress_thread(true);
+                }
                 f();
                 // Finalize: no rank leaves while others may still address it.
                 crate::coll::barrier();
+                // Stop the progress persona (if any) after the barrier — no
+                // peer will send new traffic at us — and run its leftover
+                // handoffs on the master persona.
+                crate::persona::set_progress_thread(false);
                 // Drain one more round of progress so late completion items
                 // (e.g. barrier acks to peers) are serviced before teardown.
                 crate::ctx::progress();
@@ -69,7 +78,7 @@ where
 /// A simulated UPC++ world (see module docs).
 pub struct SimRuntime {
     world: SimWorld,
-    ctxs: Rc<RefCell<Vec<Rc<RankCtx>>>>,
+    ctxs: Rc<RefCell<Vec<std::sync::Arc<RankCtx>>>>,
 }
 
 impl SimRuntime {
@@ -77,7 +86,7 @@ impl SimRuntime {
     pub fn new(machine: MachineConfig, n: usize, seg_size: usize) -> SimRuntime {
         let world = SimWorld::new(machine, n, seg_size);
         let san = Rc::new(RefCell::new(crate::san::SanWorld::new(n)));
-        let ctxs: Rc<RefCell<Vec<Rc<RankCtx>>>> = Rc::new(RefCell::new(
+        let ctxs: Rc<RefCell<Vec<std::sync::Arc<RankCtx>>>> = Rc::new(RefCell::new(
             (0..n)
                 .map(|r| {
                     RankCtx::new_sim(world.clone(), r, crate::san::SanShared::Sim(san.clone()))

@@ -281,25 +281,35 @@ fn with_world<R>(c: &RankCtx, f: impl FnOnce(&mut SanWorld) -> R) -> R {
 /// enablement. Counters and retained reports persist across reconfigs.
 pub fn set_config(cfg: SanConfig) {
     let c = ctx();
+    let _g = crate::persona::lock(&c);
     c.san_on.set(cfg.enabled);
     c.san.borrow_mut().cfg = cfg;
 }
 
 /// The current rank's sanitizer configuration.
 pub fn config() -> SanConfig {
-    ctx().san.borrow().cfg
+    let c = ctx();
+    let _g = crate::persona::lock(&c);
+    let cfg = c.san.borrow().cfg;
+    cfg
 }
 
 /// Snapshot the current rank's sanitizer counters (also available as
 /// [`crate::trace::RuntimeStats::san`]).
 pub fn san_report() -> SanCounters {
-    ctx().san.borrow().counters
+    let c = ctx();
+    let _g = crate::persona::lock(&c);
+    let counters = c.san.borrow().counters;
+    counters
 }
 
 /// Drain the current rank's retained sanitizer reports (chronological;
 /// retained in every mode, including `Count`).
 pub fn take_reports() -> Vec<String> {
-    std::mem::take(&mut ctx().san.borrow_mut().reports)
+    let c = ctx();
+    let _g = crate::persona::lock(&c);
+    let reports = std::mem::take(&mut c.san.borrow_mut().reports);
+    reports
 }
 
 /// Advance the current rank's synchronization epoch explicitly (the
@@ -307,6 +317,7 @@ pub fn take_reports() -> Vec<String> {
 /// every access this rank completed before the fence as ordered.
 pub fn fence() {
     let c = ctx();
+    let _g = crate::persona::lock(&c);
     if !c.san_on.get() {
         return;
     }
@@ -726,13 +737,15 @@ pub(crate) fn quiesce(c: &RankCtx) {
 
 /// Depth guard wrapped (unconditionally — two `Cell` ops) around every
 /// RPC/reply/system-AM callback body. Panic-safe: the drop restores depth
-/// even when the callback unwinds.
+/// even when the callback unwinds. The depth cell is persona-safe: it is
+/// only touched while the holder is inside the engine lock (callbacks run
+/// under progress, which holds it).
 pub(crate) struct RestrictedGuard {
-    c: Rc<RankCtx>,
+    c: Arc<RankCtx>,
 }
 
 impl RestrictedGuard {
-    pub(crate) fn new(c: &Rc<RankCtx>) -> RestrictedGuard {
+    pub(crate) fn new(c: &Arc<RankCtx>) -> RestrictedGuard {
         c.san_depth.set(c.san_depth.get() + 1);
         RestrictedGuard { c: c.clone() }
     }

@@ -289,6 +289,10 @@ pub struct TraceEvent {
     /// Parent span's sequence number; 0 = no recorded parent (the op was
     /// injected outside any delivered item).
     pub parent_op: u64,
+    /// Which persona of the recording rank recorded the event: 0 = master
+    /// (the application thread), 1 = the opt-in progress persona
+    /// ([`crate::persona`]). Always 0 while the progress thread is off.
+    pub persona: u8,
 }
 
 /// A log2-bucketed latency histogram (picoseconds). Bucket `i` counts
@@ -453,10 +457,22 @@ pub struct RuntimeStats {
     /// Total virtual time deliveries to this rank spent parked behind a busy
     /// CPU (sim conduit's attentiveness cost; 0 on smp).
     pub deliver_deferred_ps: u64,
-    /// Attentiveness: the largest observed gap between consecutive
-    /// user-progress calls, in picoseconds. Tracked only while tracing is
-    /// enabled (0 otherwise — the disabled hot path stays one branch).
+    /// Attentiveness of the **master persona**: the largest observed gap
+    /// between consecutive user-progress calls, in picoseconds. Tracked only
+    /// while tracing is enabled (0 otherwise — the disabled hot path stays
+    /// one branch). Reset by [`set_config`], so back-to-back worlds (or A/B
+    /// phases within one world) never inherit a previous phase's gap.
     pub max_progress_gap_ps: u64,
+    /// Attentiveness of the **progress persona**: the largest gap between
+    /// consecutive progress-thread poll iterations, in picoseconds. Zero
+    /// unless the progress thread ([`crate::persona`]) ran while tracing was
+    /// enabled. Also reset by [`set_config`].
+    pub max_progress_gap_prog_ps: u64,
+    /// Bounded-drain accounting: how many compQ chunks (of at most 64
+    /// completions each) user-progress calls have retired. A flooded rank
+    /// shows `comp_chunks` ≈ `comp_items / 64`; an attentive one shows one
+    /// chunk per progress call that found completions.
+    pub comp_chunks: u64,
     /// Trace events emitted since tracing was (re)configured.
     pub trace_events: u64,
     /// Trace events overwritten because the ring filled. A profile built
@@ -477,6 +493,7 @@ pub struct RuntimeStats {
 /// runtimes grew to diagnose progress starvation).
 pub fn runtime_stats() -> RuntimeStats {
     let c = ctx();
+    let _g = crate::persona::lock(&c);
     let san = c.san.borrow().counters;
     let tr = c.trace.borrow();
     let (conduit_backlog, deliver_deferred_ps) = match &c.backend {
@@ -498,6 +515,8 @@ pub fn runtime_stats() -> RuntimeStats {
         conduit_backlog,
         deliver_deferred_ps,
         max_progress_gap_ps: c.stats.max_progress_gap_ps.get(),
+        max_progress_gap_prog_ps: c.stats.max_progress_gap_prog_ps.get(),
+        comp_chunks: c.stats.comp_chunks.get(),
         trace_events: tr.emitted(),
         dropped_events: tr.dropped(),
         def_q_wait: tr.def_q_wait,
@@ -511,20 +530,33 @@ pub fn runtime_stats() -> RuntimeStats {
 /// tracing on every rank). Resets the ring buffer.
 pub fn set_config(cfg: TraceConfig) {
     let c = ctx();
+    let _g = crate::persona::lock(&c);
     c.trace_on.set(cfg.enabled);
+    // Reset the attentiveness tracking of both personas: the gap metric
+    // describes the phase being traced, not whatever ran before it (a
+    // previous world in the same process, or a previous A/B phase).
     c.stats.last_progress_ps.set(0);
+    c.stats.max_progress_gap_ps.set(0);
+    c.stats.last_progress_prog_ps.set(0);
+    c.stats.max_progress_gap_prog_ps.set(0);
     c.trace.borrow_mut().reconfig(cfg);
 }
 
 /// The current rank's tracing configuration.
 pub fn config() -> TraceConfig {
-    ctx().trace.borrow().cfg
+    let c = ctx();
+    let _g = crate::persona::lock(&c);
+    let cfg = c.trace.borrow().cfg;
+    cfg
 }
 
 /// Drain the current rank's recorded events (chronological order). The ring
 /// keeps recording afterwards if tracing is enabled.
 pub fn take_local() -> Vec<TraceEvent> {
-    ctx().trace.borrow_mut().take()
+    let c = ctx();
+    let _g = crate::persona::lock(&c);
+    let events = c.trace.borrow_mut().take();
+    events
 }
 
 /// Serialize `events` as Chrome-trace JSON (the "JSON Array Format" with a
@@ -597,7 +629,8 @@ pub fn export_chrome<W: Write>(events: &[TraceEvent], w: &mut W) -> io::Result<(
             "{{\"name\":\"{kind}.{phase}\",\"cat\":\"{kind}\",\"ph\":\"i\",\"s\":\"t\",\
              \"ts\":{ts:.6},\"pid\":{pid},\"tid\":0,\"args\":{{\"op\":\"{origin}:{op}\",\
              \"parent\":\"{pori}:{pop}\",\
-             \"phase\":\"{phase}\",\"peer\":{peer},\"bytes\":{bytes},\"reason\":\"{reason}\"}}}}",
+             \"phase\":\"{phase}\",\"peer\":{peer},\"bytes\":{bytes},\"reason\":\"{reason}\",\
+             \"persona\":{persona}}}}}",
             kind = e.kind.as_str(),
             phase = e.phase.as_str(),
             pid = e.rank,
@@ -608,6 +641,7 @@ pub fn export_chrome<W: Write>(events: &[TraceEvent], w: &mut W) -> io::Result<(
             peer = e.peer,
             bytes = e.bytes,
             reason = e.reason.as_str(),
+            persona = e.persona,
         )?;
     }
     for (id, (s, d)) in flows.iter().enumerate() {
@@ -653,6 +687,7 @@ mod tests {
             ts_ps: ts,
             parent_origin: 0,
             parent_op: 0,
+            persona: 0,
         }
     }
 

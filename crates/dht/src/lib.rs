@@ -17,6 +17,16 @@
 //!
 //! The module works unchanged over both conduits; the Fig. 4 weak-scaling
 //! harness drives it on the sim conduit with up to 34816 ranks.
+//!
+//! Because every insert targets the key's *owner*, DHT throughput is
+//! hostage to the owner's attentiveness: an owner busy computing answers
+//! nothing until its next `upcxx::progress()`. The opt-in progress persona
+//! (`UPCXX_PROGRESS=1` / `upcxx::set_progress_thread`) removes that
+//! coupling — the owner-side handlers here are persona-agnostic (they only
+//! touch `rank_state` through the engine-locked runtime surface), so a
+//! progress thread can execute them mid-compute. The inattentive-target
+//! A/B bench (`cargo bench -p bench --bench micro -- dht_inattentive`,
+//! EXPERIMENTS.md) measures the effect on this module directly.
 
 #![warn(missing_docs)]
 

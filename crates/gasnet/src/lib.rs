@@ -33,7 +33,10 @@
 //! The substrate never interprets item contents and never spawns hidden
 //! threads — progress happens only when a rank explicitly polls (smp) or when
 //! the simulation delivers an arrival event (sim), mirroring the paper's
-//! "no hidden threads" design principle.
+//! "no hidden threads" design principle. (The `upcxx` layer above may opt
+//! into polling a rank's inbox from a dedicated progress thread; even then
+//! the substrate itself spawns nothing and only sees serialized `poll`
+//! calls — see the inbox's serialized-consumer contract in [`smp`].)
 
 pub mod sim;
 pub mod smp;

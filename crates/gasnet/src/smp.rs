@@ -54,14 +54,20 @@ struct Node {
 struct Inbox {
     head: AtomicPtr<Node>,
     len: AtomicU64,
-    /// Consumer-private reversal stash. Only the owning rank's thread may
-    /// touch it — the single-consumer contract of [`Inbox::pop_n`], upheld
-    /// because `RankHandle::poll` only drains `self.me`'s inbox.
+    /// Consumer-private reversal stash — the *serialized-consumer* contract
+    /// of [`Inbox::pop_n`]: at most one thread may be draining this inbox at
+    /// a time, and consecutive drains from different threads must be ordered
+    /// by a happens-before edge. `RankHandle::poll` only drains `self.me`'s
+    /// inbox; when a layer above polls the same rank from a second thread
+    /// (the `upcxx` runtime's opt-in progress thread does), that layer must
+    /// hold its per-rank serialization lock around `poll`, which provides
+    /// both the mutual exclusion and the ordering the stash needs.
     stash: UnsafeCell<Vec<Entry>>,
 }
 
-// SAFETY: `head` and `len` are atomics; `stash` is accessed only by the
-// inbox owner's thread (single-consumer contract above). List nodes are
+// SAFETY: `head` and `len` are atomics; `stash` is accessed only under the
+// serialized-consumer contract above (one draining thread at a time, drains
+// ordered by the caller's lock when threads alternate). List nodes are
 // heap allocations handed off through the atomic head with Release/Acquire
 // pairing, so the consumer sees fully-written nodes.
 unsafe impl Send for Inbox {}
@@ -393,7 +399,10 @@ impl RankHandle {
     /// Execute up to `budget` pending inbox entries from *this rank's*
     /// inbox (a batch counts as one entry, as it is one conduit message).
     /// Returns the number executed. This is the conduit half of progress;
-    /// the `upcxx` runtime calls it from `progress()`.
+    /// the `upcxx` runtime calls it from `progress()` — and, when the
+    /// opt-in progress thread is enabled, from that thread too, holding the
+    /// runtime's per-rank engine lock so the inbox's serialized-consumer
+    /// contract holds across both threads.
     ///
     /// Entries are drained in one batched `pop_n` and then executed in
     /// arrival order. Runtime-made items never re-enter `poll` (they park

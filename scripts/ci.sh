@@ -30,6 +30,14 @@ echo "==> sanitizer pass: full workspace under UPCXX_SAN=1 (panic on findings)"
 # any existing test is a real bug (in the test or in the sanitizer).
 UPCXX_SAN=1 cargo test --workspace -q
 
+echo "==> progress-thread pass: full workspace under UPCXX_PROGRESS=1"
+# Every test must pass with the opt-in progress persona servicing conduit
+# traffic from a dedicated thread — same results, same trace shapes, and
+# (combined with UPCXX_SAN=1) race-free vector-clock updates from both
+# personas.
+UPCXX_PROGRESS=1 cargo test --workspace -q
+UPCXX_PROGRESS=1 UPCXX_SAN=1 cargo test --workspace -q
+
 echo "==> source lints (sanitizer interposition contract)"
 scripts/lint.sh
 
@@ -89,6 +97,28 @@ for line in out.splitlines():
         break
 else:
     raise SystemExit("bench produced no smp_rput_1KiB_eager line")
+EOF
+
+echo "==> bench smoke: progress persona rescues an inattentive DHT target"
+# Rank 1 computes ~200 us slices and only reaches progress() every ~5 ms;
+# rank 0 streams keyed inserts at it. The acceptance target is >=5x with
+# the progress thread on (results/BENCH_progress.json records ~8x); the
+# smoke guard uses 4x so container noise cannot flake the gate while a
+# real regression (the thread not engaging collapses the ratio to ~1x)
+# still trips it.
+prog_out="$(cargo bench -p bench --bench micro -- dht_inattentive 2>/dev/null)"
+echo "$prog_out" | sed 's/^/    /'
+python3 - <<EOF
+out = """$prog_out"""
+per = {}
+for line in out.splitlines():
+    parts = line.split()
+    if parts and parts[0] in ("dht_inattentive_off", "dht_inattentive_on"):
+        per[parts[0]] = float(parts[1])
+assert len(per) == 2, f"bench produced {sorted(per)} (expected both knob states)"
+ratio = per["dht_inattentive_off"] / per["dht_inattentive_on"]
+assert ratio >= 4.0, f"progress-thread speedup collapsed to {ratio:.2f}x (gate 4x)"
+print(f"    progress smoke OK: {ratio:.2f}x (gate 4x, acceptance 5x)")
 EOF
 
 echo "==> guard: the removed stats_*() shims stay removed"

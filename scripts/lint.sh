@@ -64,6 +64,18 @@ if grep -rn --include='*.rs' -E 'next_op\.(get|set)\(' \
   fail=1
 fi
 
+echo "==> lint: thread spawning in core confined to persona.rs"
+# The progress persona is the only hidden thread the runtime may create:
+# its lifecycle (engine lock, stop flag, join-before-disable, handoff
+# drain) lives in persona.rs. A thread::spawn anywhere else in the core
+# crate would bypass that discipline and break the persona ownership rules.
+if grep -rn --include='*.rs' -E '\bthread::spawn\b|\bstd::thread::Builder\b' \
+    crates/core/src \
+    | grep -v 'crates/core/src/persona.rs'; then
+  echo "ERROR: thread creation outside persona.rs breaks the persona discipline" >&2
+  fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
   exit 1
 fi
