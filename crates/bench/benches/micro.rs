@@ -153,7 +153,7 @@ fn bench_smp_rpc(filter: &Option<String>) {
             }
             upcxx::barrier();
             let buf = upcxx::allocate::<u8>(1024);
-            let bufs = upcxx::broadcast_gather(buf);
+            let bufs = upcxx::allgather(buf);
             if upcxx::rank_me() == 0 {
                 if trace {
                     upcxx::trace::set_config(upcxx::TraceConfig {
@@ -217,7 +217,7 @@ fn bench_rma_fastpath(filter: &Option<String>) {
             upcxx::set_eager(eager);
             upcxx::barrier();
             let buf = upcxx::allocate::<u8>(bytes);
-            let bufs = upcxx::broadcast_gather(buf);
+            let bufs = upcxx::allgather(buf);
             if upcxx::rank_me() == 0 {
                 let data = vec![7u8; bytes];
                 let t0 = Instant::now();
@@ -324,7 +324,7 @@ fn bench_dht_inattentive(filter: &Option<String>) {
             upcxx::set_progress_thread(threaded);
             let flag = upcxx::allocate::<u64>(1);
             flag.local_write(&[0]);
-            let flags = upcxx::broadcast_gather(flag);
+            let flags = upcxx::allgather(flag);
             upcxx::barrier();
             if upcxx::rank_me() == 0 {
                 // Keys owned by the inattentive rank.

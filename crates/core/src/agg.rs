@@ -45,7 +45,7 @@
 use crate::ctx::{ctx, try_ctx, DefOp, RankCtx};
 use crate::trace::{FlushReason, OpKind, Phase, TraceTag};
 use crate::wire;
-use gasnet::{Item, Rank};
+use gasnet::{Am, Batch, Item, Rank};
 use std::collections::HashMap;
 
 /// Configuration of the per-target aggregation layer (see module docs).
@@ -73,8 +73,9 @@ impl Default for AggConfig {
 /// One destination's coalescing buffer.
 #[derive(Default)]
 struct TargetBuf {
-    /// Buffered executable payloads, in injection order.
-    items: Vec<Item>,
+    /// Buffered payloads in injection order, in the conduit's AM
+    /// representation (closures in-process, encoded frames on proc).
+    items: Vec<Am>,
     /// The trace identity of each buffered payload (parallel to `items`);
     /// members emit their `Conduit` event when the buffer flushes.
     tags: Vec<TraceTag>,
@@ -107,10 +108,10 @@ impl AggState {
 /// buffer first so per-target order is preserved). `tag` is the payload's
 /// trace identity — its `Inject` event was emitted by the API entry point;
 /// its `Conduit` event fires when the payload actually leaves.
-pub(crate) fn submit(c: &RankCtx, target: Rank, payload: usize, item: Item, tag: TraceTag) {
+pub(crate) fn submit(c: &RankCtx, target: Rank, payload: usize, am: Am, tag: TraceTag) {
     let cfg = c.agg.borrow().cfg;
     if !cfg.enabled {
-        inject_single(c, target, payload, item, tag);
+        inject_single(c, target, payload, am, tag);
         return;
     }
     let rec = wire::batch_rec_size(payload);
@@ -118,7 +119,7 @@ pub(crate) fn submit(c: &RankCtx, target: Rank, payload: usize, item: Item, tag:
         // Oversize: would fill (or overflow) a batch on its own. Keep order
         // by draining what is already queued for this target, then go direct.
         flush_target(c, target, FlushReason::Ordering);
-        inject_single(c, target, payload, item, tag);
+        inject_single(c, target, payload, am, tag);
         return;
     }
     // Would this record push the queued batch over the threshold? Ship what
@@ -137,7 +138,7 @@ pub(crate) fn submit(c: &RankCtx, target: Rank, payload: usize, item: Item, tag:
             st.order.push(target);
         }
         let buf = st.bufs.entry(target).or_default();
-        buf.items.push(item);
+        buf.items.push(am);
         buf.tags.push(tag);
         buf.rec_bytes += rec;
         wire::RPC_HDR + buf.rec_bytes >= cfg.max_bytes
@@ -150,12 +151,12 @@ pub(crate) fn submit(c: &RankCtx, target: Rank, payload: usize, item: Item, tag:
 
 /// Inject a plain single-payload AM (the unaggregated path). The `Conduit`
 /// event fires in the progress engine when the op leaves defQ.
-fn inject_single(c: &RankCtx, target: Rank, payload: usize, item: Item, tag: TraceTag) {
+fn inject_single(c: &RankCtx, target: Rank, payload: usize, am: Am, tag: TraceTag) {
     c.inject(
         DefOp::Am {
             target,
             wire_bytes: wire::am_wire_size(payload),
-            item,
+            am,
         },
         tag,
     );
@@ -202,30 +203,51 @@ pub(crate) fn flush_target(c: &RankCtx, target: Rank, reason: FlushReason) {
         c.emit_from(Phase::Inject, batch_tag, c.me as u32, reason);
     }
     let origin = c.me as u32;
-    // Bracket the member executions with the batch's target-side events.
-    let mut batched: Vec<Item> = Vec::with_capacity(items.len() + 3);
-    batched.push(Box::new(move || {
-        if let Some(rc) = try_ctx() {
-            rc.emit_from(Phase::Deliver, batch_tag, origin, FlushReason::None);
+    let batch = if c.frames {
+        // Frame-mode conduit: the members are already encoded frames; pack
+        // them into one container whose decoder reproduces the same
+        // Deliver / members / Complete / ItemTail bracket built below for
+        // closure mode (see `crate::frame::exec_frame_sink`).
+        let members: Vec<Vec<u8>> = items
+            .into_iter()
+            .map(|am| match am {
+                Am::Frame(f) => f,
+                Am::Item(_) => unreachable!("closure AM buffered on a frame-mode conduit"),
+            })
+            .collect();
+        Batch::Frame(crate::frame::encode_batch(&members, batch_tag, origin))
+    } else {
+        // Bracket the member executions with the batch's target-side events.
+        let mut batched: Vec<Item> = Vec::with_capacity(items.len() + 3);
+        batched.push(Box::new(move || {
+            if let Some(rc) = try_ctx() {
+                rc.emit_from(Phase::Deliver, batch_tag, origin, FlushReason::None);
+            }
+        }));
+        for am in items {
+            match am {
+                Am::Item(item) => batched.push(item),
+                Am::Frame(_) => unreachable!("frame AM buffered on a closure-mode conduit"),
+            }
         }
-    }));
-    batched.extend(items);
-    batched.push(Box::new(move || {
-        if let Some(rc) = try_ctx() {
-            rc.emit_from(Phase::Complete, batch_tag, origin, FlushReason::None);
-        }
-    }));
-    batched.push(Box::new(|| {
-        if let Some(rc) = try_ctx() {
-            flush_all_ctx(&rc, FlushReason::ItemTail);
-        }
-    }));
+        batched.push(Box::new(move || {
+            if let Some(rc) = try_ctx() {
+                rc.emit_from(Phase::Complete, batch_tag, origin, FlushReason::None);
+            }
+        }));
+        batched.push(Box::new(|| {
+            if let Some(rc) = try_ctx() {
+                flush_all_ctx(&rc, FlushReason::ItemTail);
+            }
+        }));
+        Batch::Items(batched)
+    };
     c.stats.agg_batches.set(c.stats.agg_batches.get() + 1);
     c.inject(
         DefOp::AmBatch {
             target,
             wire_bytes,
-            items: batched,
+            batch,
         },
         batch_tag,
     );

@@ -1,0 +1,217 @@
+//! Typed runtime configuration — the single place `UPCXX_*` environment
+//! variables are interpreted.
+//!
+//! Before this module every knob was parsed at its point of use
+//! (`UPCXX_EAGER` in `rma.rs`, `UPCXX_PROGRESS` in `persona.rs`,
+//! `UPCXX_SAN` in `san.rs`), which made it impossible to see a world's full
+//! configuration in one place and forced tests to mutate the process
+//! environment. [`Config::from_env`] now performs all parsing once at world
+//! construction; builder-style `with_*` methods give tests and embedders
+//! programmatic overrides without touching the environment. The env vars
+//! remain the compatibility surface (see the README knob table):
+//!
+//! | variable          | effect                                            |
+//! |-------------------|---------------------------------------------------|
+//! | `UPCXX_CONDUIT`   | `smp` (default) or `proc` — transport for         |
+//! |                   | [`crate::run_spmd`]                               |
+//! | `UPCXX_EAGER`     | unset/`1` = eager RMA fast path on, `0` = off     |
+//! | `UPCXX_PROGRESS`  | `1`/`on`/`true` = start the progress persona      |
+//! | `UPCXX_SAN`       | `1`/`panic`, `log`, `count` — sanitizer mode      |
+//! | `UPCXX_TRACE`     | `1`/`on`/`true` = enable event tracing at launch  |
+//! | `UPCXX_TRACE_CAP` | trace ring capacity in events                     |
+//! | `UPCXX_RANKS`     | world size for the examples (read by them, not    |
+//! |                   | here — a harness knob, not a runtime one)         |
+//!
+//! The proc conduit adds `UPCXX_PROC_*` internals (bootstrap plumbing set by
+//! the launcher, never by users) plus the two tunables surfaced here as
+//! [`Config::proc_eager_max`] and [`Config::proc_rv_size`].
+
+use crate::san::SanConfig;
+use crate::trace::TraceConfig;
+
+/// Which real-transport conduit [`crate::run_spmd`] launches over (the sim
+/// conduit has its own driver-based entry point, [`crate::SimRuntime`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConduitKind {
+    /// Thread per rank in one process; segments are plain memory.
+    Smp,
+    /// OS process per rank; segments are mmap'd files, AMs travel over
+    /// Unix-domain sockets (see `gasnet::proc`).
+    Proc,
+}
+
+/// The full knob set of a UPC++ world, parsed once (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Config {
+    /// Transport for `run_spmd` worlds.
+    pub conduit: ConduitKind,
+    /// Shared-segment bytes per rank.
+    pub seg_size: usize,
+    /// Whether contiguous RMA takes the eager fast path (real conduits
+    /// only; sim always runs the modeled queue path).
+    pub eager: bool,
+    /// Whether each rank starts its progress persona thread before the rank
+    /// main runs.
+    pub progress: bool,
+    /// Sanitizer configuration.
+    pub san: SanConfig,
+    /// Event-trace configuration applied at launch.
+    pub trace: TraceConfig,
+    /// proc conduit: largest AM payload shipped inline over the socket;
+    /// larger payloads take the rendezvous path through shared memory.
+    pub proc_eager_max: usize,
+    /// proc conduit: per-rank rendezvous staging-region bytes (mapped after
+    /// the segment in the same shm file).
+    pub proc_rv_size: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            conduit: ConduitKind::Smp,
+            seg_size: 8 << 20,
+            eager: true,
+            progress: false,
+            san: SanConfig::default(),
+            trace: TraceConfig::default(),
+            proc_eager_max: 4096,
+            proc_rv_size: 4 << 20,
+        }
+    }
+}
+
+fn env_flag(key: &str) -> bool {
+    matches!(
+        std::env::var(key).as_deref(),
+        Ok("1") | Ok("on") | Ok("true")
+    )
+}
+
+impl Config {
+    /// Parse the complete `UPCXX_*` environment into a `Config` (the only
+    /// env-interpretation site in the runtime; see the module table).
+    pub fn from_env() -> Config {
+        let mut cfg = Config::default();
+        if let Ok(v) = std::env::var("UPCXX_CONDUIT") {
+            cfg.conduit = match v.as_str() {
+                "proc" => ConduitKind::Proc,
+                "smp" | "" => ConduitKind::Smp,
+                other => panic!("UPCXX_CONDUIT={other:?}: expected \"smp\" or \"proc\""),
+            };
+        }
+        // Eager defaults *on*; only an explicit 0/off disables it.
+        if matches!(
+            std::env::var("UPCXX_EAGER").as_deref(),
+            Ok("0") | Ok("off") | Ok("false")
+        ) {
+            cfg.eager = false;
+        }
+        cfg.progress = env_flag("UPCXX_PROGRESS");
+        cfg.san = crate::san::env_config();
+        if env_flag("UPCXX_TRACE") {
+            cfg.trace.enabled = true;
+        }
+        if let Ok(v) = std::env::var("UPCXX_TRACE_CAP") {
+            cfg.trace.capacity = v
+                .parse()
+                .unwrap_or_else(|_| panic!("UPCXX_TRACE_CAP={v:?}: expected an event count"));
+        }
+        cfg
+    }
+
+    /// Override the transport.
+    pub fn with_conduit(mut self, conduit: ConduitKind) -> Config {
+        self.conduit = conduit;
+        self
+    }
+
+    /// Override the per-rank segment size.
+    pub fn with_seg_size(mut self, seg_size: usize) -> Config {
+        self.seg_size = seg_size;
+        self
+    }
+
+    /// Override the eager-RMA launch default.
+    pub fn with_eager(mut self, eager: bool) -> Config {
+        self.eager = eager;
+        self
+    }
+
+    /// Override the progress-persona launch default.
+    pub fn with_progress(mut self, progress: bool) -> Config {
+        self.progress = progress;
+        self
+    }
+
+    /// Override the sanitizer configuration.
+    pub fn with_san(mut self, san: SanConfig) -> Config {
+        self.san = san;
+        self
+    }
+
+    /// Override the trace configuration applied at launch.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Config {
+        self.trace = trace;
+        self
+    }
+
+    /// Override the proc conduit's eager/rendezvous threshold.
+    pub fn with_proc_eager_max(mut self, bytes: usize) -> Config {
+        self.proc_eager_max = bytes;
+        self
+    }
+
+    /// Override the proc conduit's rendezvous staging-region size.
+    pub fn with_proc_rv_size(mut self, bytes: usize) -> Config {
+        self.proc_rv_size = bytes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_historic_knob_defaults() {
+        let d = Config::default();
+        assert_eq!(d.conduit, ConduitKind::Smp);
+        assert!(d.eager, "eager fast path has always defaulted on");
+        assert!(!d.progress, "a hidden thread must be asked for");
+        assert!(!d.san.enabled);
+        assert!(!d.trace.enabled);
+        assert_eq!(d.seg_size, 8 << 20);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = Config::default()
+            .with_conduit(ConduitKind::Proc)
+            .with_seg_size(1 << 20)
+            .with_eager(false)
+            .with_proc_eager_max(512);
+        assert_eq!(c.conduit, ConduitKind::Proc);
+        assert_eq!(c.seg_size, 1 << 20);
+        assert!(!c.eager);
+        assert_eq!(c.proc_eager_max, 512);
+        // Untouched fields keep their defaults.
+        assert_eq!(c.proc_rv_size, 4 << 20);
+    }
+
+    #[test]
+    fn from_env_without_vars_is_default() {
+        // CI never sets these in the plain test environment; guard anyway so
+        // the test is robust under `UPCXX_*` sweeps.
+        let vars = [
+            "UPCXX_CONDUIT",
+            "UPCXX_EAGER",
+            "UPCXX_PROGRESS",
+            "UPCXX_SAN",
+            "UPCXX_TRACE",
+            "UPCXX_TRACE_CAP",
+        ];
+        if vars.iter().all(|v| std::env::var(v).is_err()) {
+            assert_eq!(Config::from_env(), Config::default());
+        }
+    }
+}

@@ -26,7 +26,7 @@
 use crate::future::Future;
 use crate::ser::Reader;
 use crate::trace::{Phase, TraceEvent, TraceState, TraceTag};
-use gasnet::{sim::SimWorld, smp, Rank};
+use gasnet::{sim::SimWorld, Conduit, Rank};
 use netsim::config::SwCosts;
 use std::any::Any;
 use std::cell::{Cell, RefCell};
@@ -36,9 +36,15 @@ use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
 /// Which conduit this rank runs over.
+///
+/// Real-time conduits (smp's thread-per-rank, proc's process-per-rank, any
+/// future transport) plug in through the [`gasnet::Conduit`] trait object —
+/// the runtime has no conduit-specific branches beyond `Cond` vs `Sim`. The
+/// sim conduit keeps its bespoke virtual-time API because its completion
+/// callbacks re-enter the engine under simulated time and can never block.
 pub(crate) enum Backend {
-    /// Real threads and memory; real time.
-    Smp(smp::RankHandle),
+    /// A real transport behind the unified [`gasnet::Conduit`] trait.
+    Cond(Arc<dyn Conduit>),
     /// Discrete-event simulation; virtual time.
     Sim(SimWorld),
 }
@@ -59,22 +65,25 @@ pub(crate) enum DefOp {
         len: usize,
         done: Box<dyn FnOnce(Vec<u8>)>,
     },
-    /// Active message carrying an executable item (RPC, RPC reply, or an
-    /// internal collective flag). `wire_bytes` is the modeled payload size.
+    /// Active message (RPC, RPC reply, or an internal collective flag) in
+    /// the conduit's representation — a closure on in-process conduits, a
+    /// serialized frame on the proc conduit. `wire_bytes` is the modeled
+    /// payload size.
     Am {
         target: Rank,
         wire_bytes: usize,
-        item: gasnet::Item,
+        am: gasnet::Am,
     },
     /// An aggregated batch of active messages for one target (built by
-    /// `crate::agg`): `items` execute in order at the target, but the whole
+    /// `crate::agg`): members execute in order at the target, but the whole
     /// batch costs **one** conduit injection — one inbox push on smp, one
-    /// modeled transfer (single NIC gap + dispatch) on sim. `wire_bytes` is
-    /// the accounted batch size (one header + per-record framing + payloads).
+    /// socket message on proc, one modeled transfer (single NIC gap +
+    /// dispatch) on sim. `wire_bytes` is the accounted batch size (one
+    /// header + per-record framing + payloads).
     AmBatch {
         target: Rank,
         wire_bytes: usize,
-        items: Vec<gasnet::Item>,
+        batch: gasnet::Batch,
     },
     /// Remote atomic operation on a u64 in `target`'s segment.
     Amo {
@@ -263,6 +272,15 @@ pub struct RankCtx {
     pub(crate) san_depth: Cell<u32>,
     /// Handle to the world-shared shadow state.
     pub(crate) san_shared: crate::san::SanShared,
+    /// Whether the sanitizer's shadow state actually mirrors *remote*
+    /// ranks. True on in-process conduits (one shared `SanWorld`); false on
+    /// the proc conduit, where each process sees only its own allocations —
+    /// remote-target shadow checks would false-positive and are skipped
+    /// (local checks, restricted-context and vector clocks still run).
+    pub(crate) san_remote: bool,
+    /// Cached `am_mode() == Frames`: AMs must ship as serialized frames
+    /// (proc) rather than boxed closures (smp/sim).
+    pub(crate) frames: bool,
     /// Gated re-entrant engine lock serializing the master and progress
     /// personas over this context (see `crate::persona`). Skipped entirely
     /// (one predicted branch) while `progress_on` is false.
@@ -312,25 +330,24 @@ pub(crate) fn with_ctx(c: Arc<RankCtx>, f: impl FnOnce()) {
     CTX.with(|slot| *slot.borrow_mut() = prev);
 }
 
-/// Parse `UPCXX_EAGER`: the smp eager RMA fast path is on unless explicitly
-/// disabled with `0`/`off`/`false` (the A/B measurement knob).
-fn eager_env() -> bool {
-    !matches!(
-        std::env::var("UPCXX_EAGER").as_deref(),
-        Ok("0") | Ok("off") | Ok("false")
-    )
-}
-
 impl RankCtx {
-    pub(crate) fn new_smp(h: smp::RankHandle, san_shared: crate::san::SanShared) -> Arc<RankCtx> {
+    /// Build a rank context over a real-transport conduit. `cfg` is the
+    /// typed knob set (see [`crate::config::Config`]) — the single place
+    /// `UPCXX_*` env vars are interpreted.
+    pub(crate) fn new_cond(
+        h: Arc<dyn Conduit>,
+        san_shared: crate::san::SanShared,
+        cfg: &crate::config::Config,
+    ) -> Arc<RankCtx> {
         let seg = h.seg_size();
-        let san_cfg = crate::san::env_config();
+        let san_cfg = cfg.san;
         let mut san = crate::san::SanCtx::new();
         san.cfg = san_cfg;
+        let frames = h.am_mode() == gasnet::AmMode::Frames;
         Arc::new(RankCtx {
             me: h.rank_me(),
             n: h.rank_n(),
-            backend: Backend::Smp(h),
+            backend: Backend::Cond(h),
             alloc: RefCell::new(crate::alloc::SegAlloc::new(seg)),
             def_q: RefCell::new(VecDeque::new()),
             comp_q: RefCell::new(VecDeque::new()),
@@ -347,11 +364,15 @@ impl RankCtx {
             stats: CtxStats::default(),
             trace: RefCell::new(TraceState::new()),
             trace_on: Cell::new(false),
-            eager: Cell::new(eager_env()),
+            eager: Cell::new(cfg.eager),
             san_on: Cell::new(san_cfg.enabled),
             san: RefCell::new(san),
             san_depth: Cell::new(0),
             san_shared,
+            // Shadow state mirrors remote ranks only when every rank shares
+            // this process's SanWorld — i.e. on in-process conduits.
+            san_remote: !frames,
+            frames,
             engine: crate::persona::EngineLock::new(),
             handoff: crate::persona::Handoff::new(),
             progress_on: AtomicBool::new(false),
@@ -394,6 +415,8 @@ impl RankCtx {
             san: RefCell::new(san),
             san_depth: Cell::new(0),
             san_shared,
+            san_remote: true,
+            frames: false,
             engine: crate::persona::EngineLock::new(),
             handoff: crate::persona::Handoff::new(),
             progress_on: AtomicBool::new(false),
@@ -410,11 +433,11 @@ impl RankCtx {
         self.n
     }
 
-    /// Software-cost table when running simulated; `None` on smp (real costs
-    /// are real there).
+    /// Software-cost table when running simulated; `None` on real conduits
+    /// (real costs are real there).
     pub(crate) fn sw(&self) -> Option<SwCosts> {
         match &self.backend {
-            Backend::Smp(_) => None,
+            Backend::Cond(_) => None,
             Backend::Sim(w) => Some(w.config().sw.clone()),
         }
     }
@@ -435,7 +458,7 @@ impl RankCtx {
     /// is enabled.
     pub(crate) fn now_ps(&self) -> u64 {
         match &self.backend {
-            Backend::Smp(h) => h.wall_ps(),
+            Backend::Cond(h) => h.wall_ps(),
             Backend::Sim(w) => w.rank_now(self.me).as_ps(),
         }
     }
@@ -615,7 +638,7 @@ impl RankCtx {
         }
         match (&self.backend, op) {
             (
-                Backend::Smp(h),
+                Backend::Cond(h),
                 DefOp::Put {
                     target,
                     dst_off,
@@ -632,7 +655,7 @@ impl RankCtx {
                 self.complete::<TRACED>(tag, done);
             }
             (
-                Backend::Smp(h),
+                Backend::Cond(h),
                 DefOp::Get {
                     target,
                     src_off,
@@ -647,16 +670,16 @@ impl RankCtx {
                     .set(self.stats.bytes_in.get() + len as u64);
                 self.complete::<TRACED>(tag, Box::new(move || done(buf)));
             }
-            (Backend::Smp(h), DefOp::Am { target, item, .. }) => {
-                h.send_item(target, item);
+            (Backend::Cond(h), DefOp::Am { target, am, .. }) => {
+                h.send_am(target, am);
                 self.active_ops.set(self.active_ops.get() - 1);
             }
-            (Backend::Smp(h), DefOp::AmBatch { target, items, .. }) => {
-                h.send_batch(target, items);
+            (Backend::Cond(h), DefOp::AmBatch { target, batch, .. }) => {
+                h.send_am_batch(target, batch);
                 self.active_ops.set(self.active_ops.get() - 1);
             }
             (
-                Backend::Smp(h),
+                Backend::Cond(h),
                 DefOp::Amo {
                     target,
                     off,
@@ -738,9 +761,12 @@ impl RankCtx {
                 DefOp::Am {
                     target,
                     wire_bytes,
-                    item,
+                    am,
                 },
             ) => {
+                let gasnet::Am::Item(item) = am else {
+                    unreachable!("sim is an in-process conduit; AMs travel as items")
+                };
                 let sw = &w.config().sw;
                 let o = sw.gex_am_inject + sw.upcxx_op_overhead;
                 w.am(self.me, target, wire_bytes, o, item);
@@ -751,12 +777,15 @@ impl RankCtx {
                 DefOp::AmBatch {
                     target,
                     wire_bytes,
-                    items,
+                    batch,
                 },
             ) => {
                 // One injection overhead and one modeled transfer for the
                 // whole batch — the per-message gap amortization that makes
                 // aggregation pay off on the fine-grained path.
+                let gasnet::Batch::Items(items) = batch else {
+                    unreachable!("sim is an in-process conduit; AMs travel as items")
+                };
                 let sw = &w.config().sw;
                 let o = sw.gex_am_inject + sw.upcxx_op_overhead;
                 let items: Vec<gasnet::sim::LocalItem> = items
@@ -930,9 +959,10 @@ impl RankCtx {
         // so a blocking wait can never deadlock on this rank's own buffers.
         crate::agg::flush_all_ctx(self, crate::trace::FlushReason::Progress);
         self.progress_internal();
-        if let Backend::Smp(h) = &self.backend {
+        if let Backend::Cond(h) = &self.backend {
             // Incoming items run here (and enqueue any effects into compQ).
-            h.poll(64);
+            // Frame-mode conduits hand serialized AMs to the decoder instead.
+            h.poll(64, &mut crate::frame::exec_frame_sink);
         }
         // Thunks the progress persona parked for the master persona: reply
         // handlers and collective continuations that fulfill user-visible
@@ -945,7 +975,7 @@ impl RankCtx {
             // (`wait()` spins on progress, so blocked callers still drain
             // everything). The sim conduit drains fully: its per-delivery
             // progress calls would otherwise strand effects at quiescence.
-            if drained == 64 && matches!(self.backend, Backend::Smp(_)) {
+            if drained == 64 && matches!(self.backend, Backend::Cond(_)) {
                 break;
             }
             let item = self.comp_q.borrow_mut().pop_front();
@@ -1059,7 +1089,7 @@ pub fn wait_until(pred: impl Fn() -> bool) {
         crate::san::restricted_violation(&c, "wait()/barrier()");
     }
     match &c.backend {
-        Backend::Smp(_) => {
+        Backend::Cond(_) => {
             let mut spins: u32 = 0;
             while !pred() {
                 c.progress_user();

@@ -133,10 +133,12 @@ pub fn when_constructed(id: DistId, f: impl FnOnce() + 'static) {
     }
 }
 
-/// A serializable `fn`-pointer token. Sound only within one process image —
-/// true for both conduits of this reproduction (all "ranks" share the
-/// binary, as they would on an SPMD supercomputer job running one
-/// executable).
+/// A serializable `fn`-pointer token. Sound only within one *binary* —
+/// true for every conduit of this reproduction (all ranks execute the same
+/// executable, as they would on an SPMD supercomputer job). The token
+/// travels as an anchor-relative offset, not a raw address, so it stays
+/// valid across the proc conduit's separately-ASLR'd processes (see
+/// `crate::frame` for the encoding).
 struct FnToken<T, R> {
     f: fn(Rc<T>) -> R,
 }
@@ -149,13 +151,14 @@ impl<T, R> FnToken<T, R> {
 
 impl<T: 'static, R: 'static> Ser for FnToken<T, R> {
     fn ser(&self, out: &mut Vec<u8>) {
-        (self.f as usize as u64).ser(out);
+        crate::frame::encode_fn(self.f as usize).ser(out);
     }
     fn deser(r: &mut Reader) -> Self {
-        let addr = u64::deser(r) as usize;
-        // SAFETY: the address was produced by `ser` from a valid
-        // `fn(Rc<T>) -> R` in this same process image (single-binary SPMD);
-        // the `Ser` type parameters pin the signature.
+        let addr = crate::frame::decode_fn(u64::deser(r));
+        // SAFETY: the offset was produced by `encode_fn` from a valid
+        // `fn(Rc<T>) -> R` in this same binary (single-executable SPMD);
+        // `decode_fn` restores the address under this process's image base,
+        // and the `Ser` type parameters pin the signature.
         let f = unsafe { std::mem::transmute::<usize, fn(Rc<T>) -> R>(addr) };
         FnToken { f }
     }

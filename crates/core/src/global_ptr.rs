@@ -185,7 +185,7 @@ impl<T: Pod> GlobalPtr<T> {
             );
         }
         match &c.backend {
-            Backend::Smp(h) => {
+            Backend::Cond(h) => {
                 let mut buf = vec![0u8; bytes_len];
                 h.get_bytes(c.me, self.off as usize, &mut buf);
                 dst.copy_from_slice(&crate::ser::pod_from_bytes(&buf));
@@ -214,14 +214,14 @@ impl<T: Pod> GlobalPtr<T> {
             );
         }
         match &c.backend {
-            Backend::Smp(h) => h.put_bytes(c.me, self.off as usize, &bytes),
+            Backend::Cond(h) => h.put_bytes(c.me, self.off as usize, &bytes),
             Backend::Sim(w) => w.seg_write(c.me, self.off as usize, &bytes),
         }
     }
 
-    /// Raw local pointer to the referent — **smp conduit and owning rank
-    /// only** (simulated segments have no stable raw address). The PGAS
-    /// synchronization contract applies to all access through it.
+    /// Raw local pointer to the referent — **real-transport conduits and
+    /// owning rank only** (simulated segments have no stable raw address).
+    /// The PGAS synchronization contract applies to all access through it.
     pub fn local_ptr(&self) -> *mut T {
         assert!(self.is_local(), "local_ptr on a non-local global pointer");
         let c = ctx();
@@ -237,7 +237,7 @@ impl<T: Pod> GlobalPtr<T> {
             );
         }
         match &c.backend {
-            Backend::Smp(h) => unsafe { h.seg_base(c.me).add(self.off as usize) as *mut T },
+            Backend::Cond(h) => unsafe { h.seg_base(c.me).add(self.off as usize) as *mut T },
             Backend::Sim(_) => {
                 panic!("local_ptr is unavailable under the sim conduit; use local_read/local_write")
             }

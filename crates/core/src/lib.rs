@@ -37,7 +37,7 @@
 //!     // Every rank allocates one shared slot and publishes a value into
 //!     // its right neighbor's slot with a one-sided put.
 //!     let slot = upcxx::allocate::<u64>(1);
-//!     let slots = upcxx::broadcast_gather(slot);
+//!     let slots = upcxx::allgather(slot);
 //!     upcxx::rput_val(me as u64 * 10, slots[(me + 1) % n]).wait();
 //!     upcxx::barrier();
 //!     let got = slot.try_local_value();
@@ -52,8 +52,10 @@ pub mod agg;
 pub mod alloc;
 pub mod atomic;
 pub mod coll;
+pub mod config;
 pub mod ctx;
 pub mod dist;
+pub(crate) mod frame;
 pub mod future;
 pub mod global_ptr;
 pub mod persona;
@@ -73,6 +75,7 @@ pub use coll::{
     barrier, barrier_async, barrier_async_team, broadcast, broadcast_team, ops, reduce_all,
     reduce_all_team, reduce_one, reduce_one_team,
 };
+pub use config::{ConduitKind, Config};
 pub use ctx::{make_ready_future, progress, rank_me, rank_n, rank_state, wait_until};
 pub use dist::{
     lookup as dist_lookup, try_lookup as dist_try_lookup, when_constructed, DistId, DistObject,
@@ -81,15 +84,16 @@ pub use future::{conjoin, make_future, when_all, when_all_vec, Future, Promise};
 pub use global_ptr::{allocate, deallocate, GlobalPtr};
 pub use persona::set_progress_thread;
 pub use rma::{
-    eager_enabled, rget, rget_into, rget_into_promise, rget_irregular, rget_irregular_promise,
-    rget_promise, rget_strided, rget_strided_promise, rget_val, rget_val_promise, rput,
-    rput_irregular, rput_irregular_promise, rput_promise, rput_strided, rput_strided_promise,
+    eager_enabled, rget, rget_into, rget_into_promise, rget_irregular, rget_irregular_into,
+    rget_irregular_into_promise, rget_irregular_promise, rget_promise, rget_strided,
+    rget_strided_into, rget_strided_into_promise, rget_strided_promise, rget_val, rget_val_promise,
+    rput, rput_irregular, rput_irregular_promise, rput_promise, rput_strided, rput_strided_promise,
     rput_val, rput_val_promise, set_eager,
 };
 pub use rpc::{rpc, rpc_ff};
 pub use runtime::{
-    after, compute, run_spmd, run_spmd_default, sim_now, sim_rank_now, sim_sw_costs, SimRuntime,
-    SpmdConfig,
+    after, compute, run_spmd, run_spmd_default, run_spmd_with, sim_now, sim_rank_now, sim_sw_costs,
+    SimRuntime, SpmdConfig,
 };
 pub use san::{san_report, SanConfig, SanCounters, SanMode};
 pub use ser::{make_view, Pod, Ser, View};
@@ -114,7 +118,7 @@ impl<T: ser::Pod> GlobalPtr<T> {
 /// an allreduce concatenating (rank, ptr) pairs; the pointers round-trip
 /// through `GlobalPtr`'s own `Ser` impl, so this stays correct whatever the
 /// pointer's wire layout. Collective.
-pub fn broadcast_gather<T: ser::Pod>(mine: GlobalPtr<T>) -> Vec<GlobalPtr<T>> {
+pub fn allgather<T: ser::Pod>(mine: GlobalPtr<T>) -> Vec<GlobalPtr<T>> {
     let me = rank_me();
     let n = rank_n();
     fn merge<T: ser::Pod>(
@@ -130,4 +134,13 @@ pub fn broadcast_gather<T: ser::Pod>(mine: GlobalPtr<T>) -> Vec<GlobalPtr<T>> {
         out[r] = p;
     }
     out
+}
+
+/// Renamed to [`allgather`] — UPC++'s and MPI's name for this collective
+/// shape (every rank contributes one value, every rank receives all of
+/// them); "broadcast_gather" described the old dissemination internals, not
+/// the semantics. Collective.
+#[deprecated(since = "0.1.0", note = "renamed to `allgather`")]
+pub fn broadcast_gather<T: ser::Pod>(mine: GlobalPtr<T>) -> Vec<GlobalPtr<T>> {
+    allgather(mine)
 }

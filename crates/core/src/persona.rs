@@ -271,15 +271,6 @@ pub(crate) struct ProgressThread {
     join: std::thread::JoinHandle<()>,
 }
 
-/// Parse `UPCXX_PROGRESS`: off unless explicitly enabled (the inverse of
-/// `UPCXX_EAGER`'s default — a hidden thread must be asked for).
-pub(crate) fn progress_env() -> bool {
-    matches!(
-        std::env::var("UPCXX_PROGRESS").as_deref(),
-        Ok("1") | Ok("on") | Ok("true")
-    )
-}
-
 /// Start or stop this rank's progress persona thread (the programmatic
 /// form of `UPCXX_PROGRESS=1`; `run_spmd` applies the environment knob
 /// automatically). Idempotent. A no-op under the sim conduit, where a host
@@ -293,7 +284,7 @@ pub fn set_progress_thread(enable: bool) {
     let c = ctx();
     match &c.backend {
         Backend::Sim(_) => (),
-        Backend::Smp(_) => {
+        Backend::Cond(_) => {
             if enable {
                 start(&c);
             } else {
@@ -353,8 +344,8 @@ fn progress_loop(c: Arc<RankCtx>, stop: Arc<AtomicBool>) {
                 if c.trace_on.get() {
                     c.note_progress_gap_prog();
                 }
-                if let Backend::Smp(h) = &c.backend {
-                    did_work = h.poll(64) > 0;
+                if let Backend::Cond(h) = &c.backend {
+                    did_work = h.poll(64, &mut crate::frame::exec_frame_sink) > 0;
                 }
                 if did_work {
                     // Handlers may have buffered replies/forwards; ship
@@ -419,9 +410,10 @@ mod tests {
     #[test]
     fn progress_env_defaults_off() {
         // The env var is absent in the test environment; the default must
-        // be off (a hidden thread is opt-in).
+        // be off (a hidden thread is opt-in). Parsed by the consolidated
+        // `crate::config::Config` these days.
         if std::env::var("UPCXX_PROGRESS").is_err() {
-            assert!(!progress_env());
+            assert!(!crate::config::Config::from_env().progress);
         }
     }
 }

@@ -28,6 +28,29 @@
 //! [`rput_strided`] and their get counterparts, implemented — as in early
 //! GASNet conduits — by decomposing into contiguous operations conjoined
 //! through one promise.
+//!
+//! ## Completion-variant naming scheme
+//!
+//! Every entry point is `r{put,get}` + an optional **shape** suffix + an
+//! optional **completion** suffix, in that order:
+//!
+//! | suffix       | meaning                                               |
+//! |--------------|-------------------------------------------------------|
+//! | *(none)*     | contiguous slice transfer                             |
+//! | `_val`       | single value (no slice, no allocation)                |
+//! | `_into`      | lands in a caller-provided buffer (gets only; zero    |
+//! |              | allocation)                                           |
+//! | `_strided`   | `count` chunks every `stride` elements                |
+//! | `_irregular` | explicit (pointer, chunk) pair list ("vector" mode)   |
+//! | `_promise`   | registers completion on a [`Promise`] dependency      |
+//! |              | counter instead of returning a [`Future`] (the        |
+//! |              | paper's `operation_cx::as_promise`); always the last  |
+//! |              | suffix                                                |
+//!
+//! The surface is symmetric: each shape exists for put and get, in both
+//! completion forms, and the `_strided`/`_irregular` gets additionally have
+//! `_into` forms ([`rget_strided_into`], [`rget_irregular_into`]) mirroring
+//! the destination-stride control their put counterparts get for free.
 
 use crate::ctx::{ctx, Backend, CompEff, DefOp, RankCtx};
 use crate::future::{Future, Promise};
@@ -37,7 +60,7 @@ use crate::ser::{
     pod_as_bytes, pod_as_bytes_mut, pod_from_bytes, pod_to_bytes_pooled, recycle_buf, Pod,
 };
 use crate::trace::{OpKind, TraceTag};
-use gasnet::smp::RankHandle;
+use gasnet::Conduit;
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
@@ -46,7 +69,7 @@ use std::rc::Rc;
 /// confined to this module and `global_ptr.rs` by `scripts/lint.sh`.
 pub(crate) fn poison_fill(c: &RankCtx, rank: usize, off: usize, len: usize) {
     match &c.backend {
-        Backend::Smp(h) => h.fill_bytes(rank, off, len, san::POISON),
+        Backend::Cond(h) => h.fill_bytes(rank, off, len, san::POISON),
         Backend::Sim(w) => w.seg_fill(rank, off, len, san::POISON),
     }
 }
@@ -71,16 +94,16 @@ pub fn eager_enabled() -> bool {
 pub fn set_eager(on: bool) {
     let c = ctx();
     let _g = crate::persona::lock(&c);
-    if matches!(c.backend, Backend::Smp(_)) {
+    if matches!(c.backend, Backend::Cond(_)) {
         c.eager.set(on);
     }
 }
 
-/// Eager typed read on the smp conduit: segment → `Vec<T>` in one copy, no
-/// intermediate byte buffer. Bounds-checked against the target segment.
-/// Lives here because raw segment access is lint-confined to this module
-/// and `global_ptr.rs`.
-fn smp_read_typed<T: Pod>(h: &RankHandle, rank: usize, off: usize, count: usize) -> Vec<T> {
+/// Eager typed read on a real-transport conduit: segment → `Vec<T>` in one
+/// copy, no intermediate byte buffer. Bounds-checked against the target
+/// segment. Lives here because raw segment access is lint-confined to this
+/// module and `global_ptr.rs`.
+fn cond_read_typed<T: Pod>(h: &dyn Conduit, rank: usize, off: usize, count: usize) -> Vec<T> {
     let len = count * std::mem::size_of::<T>();
     let seg = h.seg_size();
     assert!(
@@ -100,7 +123,7 @@ fn smp_read_typed<T: Pod>(h: &RankHandle, rank: usize, off: usize, count: usize)
 }
 
 /// Eager single-value read: one unaligned load off the segment, no Vec.
-fn smp_read_one<T: Pod>(h: &RankHandle, rank: usize, off: usize) -> T {
+fn cond_read_one<T: Pod>(h: &dyn Conduit, rank: usize, off: usize) -> T {
     let len = std::mem::size_of::<T>();
     let seg = h.seg_size();
     assert!(
@@ -161,12 +184,12 @@ pub fn rput_promise<T: Pod>(src: &[T], dest: GlobalPtr<T>, p: &Promise<()>) {
             "rput",
         );
     }
-    // Eager fast path (smp only): the one-sided copy happens right here,
-    // caller buffer → target segment — zero staging, zero closures. Only a
-    // lightweight completion record is queued, so the future still readies
-    // under user-level progress (§III attentiveness).
+    // Eager fast path (real conduits only): the one-sided copy happens right
+    // here, caller buffer → target segment — zero staging, zero closures.
+    // Only a lightweight completion record is queued, so the future still
+    // readies under user-level progress (§III attentiveness).
     if c.eager.get() {
-        if let Backend::Smp(h) = &c.backend {
+        if let Backend::Cond(h) = &c.backend {
             h.put_bytes(dest.rank(), dest.byte_offset(), pod_as_bytes(src));
             c.eager_complete(
                 tag,
@@ -232,8 +255,8 @@ fn rget_raw<T: Pod + Clone>(src: GlobalPtr<T>, count: usize, done: Box<dyn FnOnc
     let (tag, san) = rget_begin(&c, src, count);
     let len = count * std::mem::size_of::<T>();
     if c.eager.get() {
-        if let Backend::Smp(h) = &c.backend {
-            let data = smp_read_typed::<T>(h, src.rank(), src.byte_offset(), count);
+        if let Backend::Cond(h) = &c.backend {
+            let data = cond_read_typed::<T>(h.as_ref(), src.rank(), src.byte_offset(), count);
             c.stats.bytes_in.set(c.stats.bytes_in.get() + len as u64);
             let eff: Box<dyn FnOnce()> = Box::new(move || done(data));
             let eff = if san {
@@ -301,8 +324,8 @@ pub fn rget_val_promise<T: Pod + Clone>(src: GlobalPtr<T>, p: &Promise<T>) {
     p.require_anonymous(1);
     let p2 = p.clone();
     if c.eager.get() {
-        if let Backend::Smp(h) = &c.backend {
-            let v = smp_read_one::<T>(h, src.rank(), src.byte_offset());
+        if let Backend::Cond(h) = &c.backend {
+            let v = cond_read_one::<T>(h.as_ref(), src.rank(), src.byte_offset());
             c.stats.bytes_in.set(c.stats.bytes_in.get() + len as u64);
             let eff: Box<dyn FnOnce()> = Box::new(move || p2.fulfill(v));
             let eff = if san {
@@ -358,7 +381,7 @@ pub fn rget_into_promise<T: Pod>(src: GlobalPtr<T>, dst: &mut [T], p: &Promise<(
     let len = std::mem::size_of_val(dst);
     p.require_anonymous(1);
     match &c.backend {
-        Backend::Smp(h) => {
+        Backend::Cond(h) => {
             // Same injection-time copy whether the eager knob is on or off:
             // shared-memory gets are synchronous either way; the knob only
             // selects how bulk rget/rput stage their payloads.
@@ -472,6 +495,65 @@ pub fn rget_irregular_promise<T: Pod + Clone>(
     gather_chunks(srcs.to_vec(), p, |chunks| {
         chunks.into_iter().map(Option::unwrap).collect()
     });
+}
+
+/// Irregular get landing each chunk in a caller-provided slice — the exact
+/// mirror of [`rput_irregular`] (which also names its destinations
+/// explicitly), filling the naming scheme's `_into` column for vector-mode
+/// gets. Zero allocation: each pair decomposes to one [`rget_into_promise`].
+pub fn rget_irregular_into<T: Pod>(pairs: &mut [(GlobalPtr<T>, &mut [T])]) -> Future<()> {
+    let p = Promise::<()>::new();
+    rget_irregular_into_promise(pairs, &p);
+    p.finalize()
+}
+
+/// Promise form of [`rget_irregular_into`]: each chunk registers on `p`, so
+/// many irregular gets can conjoin into one dependency counter.
+pub fn rget_irregular_into_promise<T: Pod>(
+    pairs: &mut [(GlobalPtr<T>, &mut [T])],
+    p: &Promise<()>,
+) {
+    for (src, dst) in pairs {
+        rget_into_promise(*src, dst, p);
+    }
+}
+
+/// Strided get with a **destination stride**, landing in a caller-provided
+/// buffer: `count` chunks of `chunk` elements taken every `src_stride`
+/// elements from `src`, written every `dst_stride` elements into `dst` —
+/// the exact mirror of [`rput_strided`], which has controlled both strides
+/// since its introduction while [`rget_strided`] could only flatten.
+pub fn rget_strided_into<T: Pod>(
+    src: GlobalPtr<T>,
+    src_stride: usize,
+    dst: &mut [T],
+    dst_stride: usize,
+    chunk: usize,
+    count: usize,
+) -> Future<()> {
+    let p = Promise::<()>::new();
+    rget_strided_into_promise(src, src_stride, dst, dst_stride, chunk, count, &p);
+    p.finalize()
+}
+
+/// Promise form of [`rget_strided_into`].
+pub fn rget_strided_into_promise<T: Pod>(
+    src: GlobalPtr<T>,
+    src_stride: usize,
+    dst: &mut [T],
+    dst_stride: usize,
+    chunk: usize,
+    count: usize,
+    p: &Promise<()>,
+) {
+    assert!(
+        chunk <= dst_stride || count <= 1,
+        "overlapping destination chunks"
+    );
+    for i in 0..count {
+        let d = &mut dst[i * dst_stride..i * dst_stride + chunk];
+        rget_into_promise(src.add(i * src_stride), d, p);
+    }
 }
 
 /// Strided get mirroring [`rput_strided`].

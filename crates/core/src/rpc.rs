@@ -17,6 +17,12 @@
 //! `rpc_ff` is the paper's fire-and-forget variant (footnote 5): no
 //! acknowledgment, "its progress is more like rget/rput".
 //!
+//! Every outgoing AM is built as a [`crate::frame::AmDesc`]: a monomorphized
+//! target-side trampoline (`deliver_rpc`, `deliver_ff`, `deliver_reply`,
+//! `deliver_sys`) plus its environment. In-process conduits ship the desc as
+//! a closure; the proc conduit serializes it to a frame — either way the
+//! identical trampoline runs at the target (see `crate::frame`).
+//!
 //! Trace anatomy (see [`crate::trace`]): an `rpc` op emits Inject/Conduit at
 //! the initiator, Deliver at the target when the handler starts, and
 //! Complete back at the initiator when the reply fulfills the promise; the
@@ -33,12 +39,44 @@
 //! cross-rank causal chains.
 
 use crate::ctx::{ctx, DefOp};
+use crate::frame::{AmDesc, FrameEnv};
 use crate::future::{Future, Promise};
 use crate::san;
 use crate::ser::{from_bytes, to_bytes, Reader, Ser};
 use crate::trace::{FlushReason, OpKind, Phase};
 use crate::wire;
 use gasnet::Rank;
+
+/// Target-side body of [`rpc`]: deserialize, execute, ship the reply.
+/// `env.user` is the shipped `fn(A) -> R`; `env.origin` the initiator.
+fn deliver_rpc<A, R>(env: FrameEnv)
+where
+    A: Ser,
+    R: Ser + Clone + 'static,
+{
+    // SAFETY: `env.user` round-trips the `fn(A) -> R` passed to `rpc` in
+    // this same binary (anchor-offset encoding on the proc conduit, the
+    // original address in-process); `A`/`R` are pinned by the trampoline's
+    // own monomorphization, which traveled alongside it.
+    let f = unsafe { std::mem::transmute::<usize, fn(A) -> R>(env.user) };
+    let tc = ctx();
+    san::msg_join(&tc, &env.snap);
+    let _restricted = san::RestrictedGuard::new(&tc);
+    let _span = crate::trace::SpanGuard::enter(&tc, env.origin, env.tag.tid);
+    tc.emit_from(Phase::Deliver, env.tag, env.origin, FlushReason::None);
+    tc.stats
+        .bytes_in
+        .set(tc.stats.bytes_in.get() + env.body.len() as u64);
+    tc.charge_ser(env.body.len());
+    let a: A = from_bytes(env.body);
+    let ret = f(a);
+    let ret_bytes = to_bytes(&ret);
+    tc.charge_ser(ret_bytes.len());
+    // Ship the result back (under the span guard, so the Reply op records
+    // this RPC as its causal parent); at the initiator the reply
+    // continuation fulfills the promise from its compQ.
+    send_reply(env.origin as Rank, env.tag.tid, ret_bytes);
+}
 
 /// Execute `f(args)` on `target`; the future readies with the result after
 /// the round trip (paper: `upcxx::rpc`). `target` is a world rank; see
@@ -51,7 +89,6 @@ where
     let c = ctx();
     let _g = crate::persona::lock(&c);
     c.stats.rpcs.set(c.stats.rpcs.get() + 1);
-    let initiator = c.me;
 
     let arg_bytes = to_bytes(&args);
     c.charge_ser(arg_bytes.len());
@@ -82,30 +119,35 @@ where
     // handler (and everything sequenced after it, e.g. a then()-chained
     // rput) ordered after everything the sender completed — the DHT motif's
     // happens-before edge.
-    let snap = san::msg_snapshot(&c);
-    let item: gasnet::Item = Box::new(move || {
-        // Runs on the target rank with its context installed.
-        let tc = ctx();
-        san::msg_join(&tc, &snap);
-        let _restricted = san::RestrictedGuard::new(&tc);
-        let _span = crate::trace::SpanGuard::enter(&tc, initiator as u32, tag.tid);
-        tc.emit_from(Phase::Deliver, tag, initiator as u32, FlushReason::None);
-        tc.stats
-            .bytes_in
-            .set(tc.stats.bytes_in.get() + arg_bytes.len() as u64);
-        tc.charge_ser(arg_bytes.len());
-        let a: A = from_bytes(arg_bytes);
-        let ret = f(a);
-        let ret_bytes = to_bytes(&ret);
-        tc.charge_ser(ret_bytes.len());
-        // Ship the result back (under the span guard, so the Reply op
-        // records this RPC as its causal parent); at the initiator the reply
-        // continuation fulfills the promise from its compQ.
-        send_reply(initiator, tag.tid, ret_bytes);
-    });
-
-    crate::agg::submit(&c, target, payload, item, tag);
+    let desc = AmDesc {
+        tramp: deliver_rpc::<A, R>,
+        user: f as usize,
+        aux: 0,
+        tag,
+        origin: c.me as u32,
+        snap: san::msg_snapshot(&c),
+        body: arg_bytes,
+    };
+    crate::agg::submit(&c, target, payload, desc.into_am(c.frames), tag);
     p.get_future()
+}
+
+/// Target-side body of [`rpc_ff`]: deserialize, execute, complete in place.
+fn deliver_ff<A: Ser>(env: FrameEnv) {
+    // SAFETY: as in `deliver_rpc` — same binary, signature pinned by the
+    // monomorphized trampoline.
+    let f = unsafe { std::mem::transmute::<usize, fn(A)>(env.user) };
+    let tc = ctx();
+    san::msg_join(&tc, &env.snap);
+    let _restricted = san::RestrictedGuard::new(&tc);
+    let _span = crate::trace::SpanGuard::enter(&tc, env.origin, env.tag.tid);
+    tc.emit_from(Phase::Deliver, env.tag, env.origin, FlushReason::None);
+    tc.stats
+        .bytes_in
+        .set(tc.stats.bytes_in.get() + env.body.len() as u64);
+    tc.charge_ser(env.body.len());
+    f(from_bytes(env.body));
+    tc.emit_from(Phase::Complete, env.tag, env.origin, FlushReason::None);
 }
 
 /// Fire-and-forget RPC (paper: `upcxx::rpc_ff`): executes `f(args)` at the
@@ -124,22 +166,68 @@ where
         .set(c.stats.bytes_out.get() + arg_bytes.len() as u64);
     let payload = arg_bytes.len();
     let tag = c.op_tag(OpKind::RpcFf, target as u32, payload as u32);
-    let initiator = c.me as u32;
-    let snap = san::msg_snapshot(&c);
-    let item: gasnet::Item = Box::new(move || {
-        let tc = ctx();
-        san::msg_join(&tc, &snap);
-        let _restricted = san::RestrictedGuard::new(&tc);
-        let _span = crate::trace::SpanGuard::enter(&tc, initiator, tag.tid);
-        tc.emit_from(Phase::Deliver, tag, initiator, FlushReason::None);
-        tc.stats
-            .bytes_in
-            .set(tc.stats.bytes_in.get() + arg_bytes.len() as u64);
-        tc.charge_ser(arg_bytes.len());
-        f(from_bytes(arg_bytes));
-        tc.emit_from(Phase::Complete, tag, initiator, FlushReason::None);
-    });
-    crate::agg::submit(&c, target, payload, item, tag);
+    let desc = AmDesc {
+        tramp: deliver_ff::<A>,
+        user: f as usize,
+        aux: 0,
+        tag,
+        origin: c.me as u32,
+        snap: san::msg_snapshot(&c),
+        body: arg_bytes,
+    };
+    crate::agg::submit(&c, target, payload, desc.into_am(c.frames), tag);
+}
+
+/// Initiator-side body of an RPC reply: look up the parked continuation for
+/// op `env.aux` and run it on the master persona. `env.origin` is the
+/// replying rank.
+fn deliver_reply(env: FrameEnv) {
+    let op_id = env.aux;
+    let replier = env.origin;
+    let tag = env.tag;
+    let bytes = env.body;
+    let ic = ctx();
+    san::msg_join(&ic, &env.snap);
+    let _restricted = san::RestrictedGuard::new(&ic);
+    let _span = crate::trace::SpanGuard::enter(&ic, replier, tag.tid);
+    ic.emit_from(Phase::Deliver, tag, replier, FlushReason::None);
+    ic.stats
+        .bytes_in
+        .set(ic.stats.bytes_in.get() + bytes.len() as u64);
+    let handler = ic.reply_tbl.borrow_mut().remove(&op_id);
+    match handler {
+        // The continuation fulfills a user-visible promise, which belongs to
+        // the master persona. `master_exec` runs it inline on the default
+        // path (identical order to before personas existed); when a progress
+        // persona delivered this reply, it parks the continuation in the
+        // handoff queue for the initiator's next user-progress call —
+        // today's single-threaded callback semantics, regardless of which
+        // persona serviced the wire.
+        Some(handler) => crate::persona::master_exec(&ic, move || {
+            let mc = ctx();
+            let _restricted = san::RestrictedGuard::new(&mc);
+            let _span = crate::trace::SpanGuard::enter(&mc, replier, tag.tid);
+            handler(Reader::new(bytes));
+        }),
+        None => {
+            // A reply with no parked continuation means the op-id
+            // bookkeeping broke (double reply, or delivery to the wrong
+            // rank) — a runtime bug, never an application one. Abort loudly
+            // in debug builds; in release, drop the reply and diagnose on
+            // stderr rather than tearing down the world.
+            let here = ic.me;
+            debug_assert!(
+                false,
+                "RPC reply for op {op_id} (from rank {replier}) arrived at \
+                 rank {here} with no registered continuation"
+            );
+            eprintln!(
+                "upcxx: dropping RPC reply for op {op_id} (from rank {replier}) \
+                 at rank {here}: no registered continuation"
+            );
+        }
+    }
+    ic.emit_from(Phase::Complete, tag, replier, FlushReason::None);
 }
 
 /// Internal: deliver `bytes` to `initiator`'s reply continuation `op_id`
@@ -149,57 +237,34 @@ where
 /// end-of-item flush hooks guarantee they leave the replying rank promptly.
 fn send_reply(initiator: Rank, op_id: u64, bytes: Vec<u8>) {
     let c = ctx();
-    let replier = c.me;
     let payload = bytes.len();
     // Called under the RPC handler's span guard, so this tag's parent is the
     // RPC being answered.
     let tag = c.op_tag(OpKind::Reply, initiator as u32, payload as u32);
-    let snap = san::msg_snapshot(&c);
-    let item: gasnet::Item = Box::new(move || {
-        let ic = ctx();
-        san::msg_join(&ic, &snap);
-        let _restricted = san::RestrictedGuard::new(&ic);
-        let _span = crate::trace::SpanGuard::enter(&ic, replier as u32, tag.tid);
-        ic.emit_from(Phase::Deliver, tag, replier as u32, FlushReason::None);
-        ic.stats
-            .bytes_in
-            .set(ic.stats.bytes_in.get() + bytes.len() as u64);
-        let handler = ic.reply_tbl.borrow_mut().remove(&op_id);
-        match handler {
-            // The continuation fulfills a user-visible promise, which
-            // belongs to the master persona. `master_exec` runs it inline on
-            // the default path (identical order to before personas existed);
-            // when a progress persona delivered this reply, it parks the
-            // continuation in the handoff queue for the initiator's next
-            // user-progress call — today's single-threaded callback
-            // semantics, regardless of which persona serviced the wire.
-            Some(handler) => crate::persona::master_exec(&ic, move || {
-                let mc = ctx();
-                let _restricted = san::RestrictedGuard::new(&mc);
-                let _span = crate::trace::SpanGuard::enter(&mc, replier as u32, tag.tid);
-                handler(Reader::new(bytes));
-            }),
-            None => {
-                // A reply with no parked continuation means the op-id
-                // bookkeeping broke (double reply, or delivery to the wrong
-                // rank) — a runtime bug, never an application one. Abort
-                // loudly in debug builds; in release, drop the reply and
-                // diagnose on stderr rather than tearing down the world.
-                let here = ic.me;
-                debug_assert!(
-                    false,
-                    "RPC reply for op {op_id} (from rank {replier}) arrived at \
-                     rank {here} with no registered continuation"
-                );
-                eprintln!(
-                    "upcxx: dropping RPC reply for op {op_id} (from rank {replier}) \
-                     at rank {here}: no registered continuation"
-                );
-            }
-        }
-        ic.emit_from(Phase::Complete, tag, replier as u32, FlushReason::None);
-    });
-    crate::agg::submit(&c, initiator, payload, item, tag);
+    let desc = AmDesc {
+        tramp: deliver_reply,
+        user: 0,
+        aux: op_id,
+        tag,
+        origin: c.me as u32,
+        snap: san::msg_snapshot(&c),
+        body: bytes,
+    };
+    crate::agg::submit(&c, initiator, payload, desc.into_am(c.frames), tag);
+}
+
+/// Target-side body of a system AM: deserialize and run, outside the RPC
+/// accounting.
+fn deliver_sys<A: Ser>(env: FrameEnv) {
+    // SAFETY: as in `deliver_rpc`.
+    let f = unsafe { std::mem::transmute::<usize, fn(A)>(env.user) };
+    let tc = ctx();
+    san::msg_join(&tc, &env.snap);
+    let _restricted = san::RestrictedGuard::new(&tc);
+    let _span = crate::trace::SpanGuard::enter(&tc, env.origin, env.tag.tid);
+    tc.emit_from(Phase::Deliver, env.tag, env.origin, FlushReason::None);
+    f(from_bytes(env.body));
+    tc.emit_from(Phase::Complete, env.tag, env.origin, FlushReason::None);
 }
 
 /// Crate-internal "system AM": run a `fn(A)` on `target` outside the RPC
@@ -213,25 +278,23 @@ pub(crate) fn sys_am<A: Ser>(target: Rank, f: fn(A), args: A) {
     let bytes = to_bytes(&args);
     let wire = wire::am_wire_size(bytes.len());
     let tag = c.op_tag(OpKind::SysAm, target as u32, bytes.len() as u32);
-    let initiator = c.me as u32;
     // System AMs carry clocks too: barrier flags ride here, which is what
     // gives the sanitizer its "epochs advance on barrier" rule for free —
     // the dissemination rounds propagate every rank's clock transitively.
-    let snap = san::msg_snapshot(&c);
-    let item: gasnet::Item = Box::new(move || {
-        let tc = ctx();
-        san::msg_join(&tc, &snap);
-        let _restricted = san::RestrictedGuard::new(&tc);
-        let _span = crate::trace::SpanGuard::enter(&tc, initiator, tag.tid);
-        tc.emit_from(Phase::Deliver, tag, initiator, FlushReason::None);
-        f(from_bytes(bytes));
-        tc.emit_from(Phase::Complete, tag, initiator, FlushReason::None);
-    });
+    let desc = AmDesc {
+        tramp: deliver_sys::<A>,
+        user: f as usize,
+        aux: 0,
+        tag,
+        origin: c.me as u32,
+        snap: san::msg_snapshot(&c),
+        body: bytes,
+    };
     c.inject(
         DefOp::Am {
             target,
             wire_bytes: wire,
-            item,
+            am: desc.into_am(c.frames),
         },
         tag,
     );

@@ -1,8 +1,10 @@
-//! World construction: SPMD launch over the smp conduit and the driver-based
-//! builder for the sim conduit.
+//! World construction: SPMD launch over the real-transport conduits and the
+//! driver-based builder for the sim conduit.
 //!
-//! * [`run_spmd`] reproduces the classic UPC++ lifecycle: `upcxx::init()` …
-//!   SPMD main … `upcxx::finalize()` — one OS thread per rank, a barrier on
+//! * [`run_spmd`] / [`run_spmd_with`] reproduce the classic UPC++ lifecycle:
+//!   `upcxx::init()` … SPMD main … `upcxx::finalize()` — one rank per OS
+//!   thread (smp conduit) or per OS *process* (proc conduit, selected by
+//!   [`crate::Config::conduit`] / `UPCXX_CONDUIT=proc`), with a barrier on
 //!   the way out so no rank exits while traffic is in flight.
 //! * [`SimRuntime`] hosts thousands of ranks on the discrete-event conduit.
 //!   Rank programs are *drivers*: closures scheduled onto ranks that express
@@ -10,15 +12,21 @@
 //!   paper's own benchmark listings). `run()` executes the virtual timeline
 //!   to quiescence and reports the final virtual time.
 
+use crate::config::{ConduitKind, Config};
 use crate::ctx::{ctx, with_ctx, RankCtx};
+use gasnet::proc::{self, ProcConfig};
 use gasnet::sim::SimWorld;
 use gasnet::smp::{self, SmpConfig};
+use gasnet::Conduit;
 use netsim::MachineConfig;
 use pgas_des::Time;
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
-/// Options for an smp world.
+/// Options for a `run_spmd` world (legacy surface predating
+/// [`crate::Config`]; kept as the compat path — it maps onto the typed
+/// config plus the environment knobs).
 #[derive(Clone, Debug)]
 pub struct SpmdConfig {
     /// Shared-segment bytes per rank.
@@ -31,40 +39,92 @@ impl Default for SpmdConfig {
     }
 }
 
-/// Run `f` as the rank main of an `n`-rank SPMD world over real threads.
-/// Returns when every rank main has finished and a closing barrier has
-/// drained in-flight communication. Panics propagate.
+/// The shared rank-main wrapper of every real-transport world: build the
+/// context, apply launch-time config (trace, progress persona), run `f`,
+/// then finalize — no rank leaves while others may still address it.
+fn rank_main(h: Arc<dyn Conduit>, san_shared: crate::san::SanShared, cfg: &Config, f: &dyn Fn()) {
+    let c = RankCtx::new_cond(h, san_shared, cfg);
+    with_ctx(c, || {
+        if cfg.trace.enabled {
+            crate::trace::set_config(cfg.trace);
+        }
+        // Opt-in async progress engine (UPCXX_PROGRESS=1 /
+        // `Config::progress`): start the rank's progress persona before the
+        // rank main runs.
+        if cfg.progress {
+            crate::persona::set_progress_thread(true);
+        }
+        f();
+        // Finalize: no rank leaves while others may still address it.
+        crate::coll::barrier();
+        // Stop the progress persona (if any) after the barrier — no
+        // peer will send new traffic at us — and run its leftover
+        // handoffs on the master persona.
+        crate::persona::set_progress_thread(false);
+        // Drain one more round of progress so late completion items
+        // (e.g. barrier acks to peers) are serviced before teardown.
+        crate::ctx::progress();
+    });
+}
+
+/// Run `f` as the rank main of an `n`-rank SPMD world with an explicit
+/// [`Config`] — the programmatic form of the `UPCXX_*` environment. The
+/// conduit choice selects real threads (`Smp`) or real processes (`Proc`);
+/// either way every rank runs `f` and the call returns when the world has
+/// torn down. Panics propagate (on proc, a crashed rank fails the launcher
+/// with that rank's exit status).
+pub fn run_spmd_with<F>(n: usize, cfg: Config, f: F)
+where
+    F: Fn() + Send + Sync,
+{
+    match cfg.conduit {
+        ConduitKind::Smp => {
+            let san = Arc::new(std::sync::Mutex::new(crate::san::SanWorld::new(n)));
+            smp::launch(
+                n,
+                SmpConfig {
+                    seg_size: cfg.seg_size,
+                },
+                move |h| {
+                    rank_main(
+                        Arc::new(h),
+                        crate::san::SanShared::Smp(san.clone()),
+                        &cfg,
+                        &f,
+                    );
+                },
+            );
+        }
+        ConduitKind::Proc => {
+            proc::launch(
+                n,
+                ProcConfig {
+                    seg_size: cfg.seg_size,
+                    rv_size: cfg.proc_rv_size,
+                    eager_max: cfg.proc_eager_max,
+                },
+                move |h| {
+                    // Each rank is its own process: the sanitizer's shadow
+                    // world is process-local (covers this rank's segment;
+                    // remote-target checks are disabled via `san_remote`).
+                    let san = Arc::new(std::sync::Mutex::new(crate::san::SanWorld::new(n)));
+                    rank_main(h, crate::san::SanShared::Smp(san), &cfg, &f);
+                },
+            );
+        }
+    }
+}
+
+/// Run `f` as the rank main of an `n`-rank SPMD world. The transport and
+/// all other knobs come from the environment ([`Config::from_env`];
+/// `UPCXX_CONDUIT=proc` selects process-per-rank) with `cfg`'s segment size
+/// applied on top. Returns when every rank main has finished and a closing
+/// barrier has drained in-flight communication. Panics propagate.
 pub fn run_spmd<F>(n: usize, cfg: SpmdConfig, f: F)
 where
     F: Fn() + Send + Sync,
 {
-    let san = std::sync::Arc::new(std::sync::Mutex::new(crate::san::SanWorld::new(n)));
-    smp::launch(
-        n,
-        SmpConfig {
-            seg_size: cfg.seg_size,
-        },
-        move |h| {
-            let c = RankCtx::new_smp(h, crate::san::SanShared::Smp(san.clone()));
-            with_ctx(c, || {
-                // Opt-in async progress engine (UPCXX_PROGRESS=1): start the
-                // rank's progress persona before the rank main runs.
-                if crate::persona::progress_env() {
-                    crate::persona::set_progress_thread(true);
-                }
-                f();
-                // Finalize: no rank leaves while others may still address it.
-                crate::coll::barrier();
-                // Stop the progress persona (if any) after the barrier — no
-                // peer will send new traffic at us — and run its leftover
-                // handoffs on the master persona.
-                crate::persona::set_progress_thread(false);
-                // Drain one more round of progress so late completion items
-                // (e.g. barrier acks to peers) are serviced before teardown.
-                crate::ctx::progress();
-            });
-        },
-    );
+    run_spmd_with(n, Config::from_env().with_seg_size(cfg.seg_size), f)
 }
 
 /// Convenience wrapper with default configuration.
@@ -215,7 +275,7 @@ pub fn compute(cost: Time) {
 pub fn after(delay: Time) -> crate::future::Future<()> {
     let c = ctx();
     match &c.backend {
-        crate::ctx::Backend::Smp(_) => crate::future::make_future(()),
+        crate::ctx::Backend::Cond(_) => crate::future::make_future(()),
         crate::ctx::Backend::Sim(w) => {
             let p = crate::future::Promise::<()>::new();
             let p2 = p.clone();
@@ -236,7 +296,7 @@ pub fn sim_sw_costs() -> Option<netsim::config::SwCosts> {
 pub fn sim_now() -> Option<Time> {
     match &ctx().backend {
         crate::ctx::Backend::Sim(w) => Some(w.now()),
-        crate::ctx::Backend::Smp(_) => None,
+        crate::ctx::Backend::Cond(_) => None,
     }
 }
 
@@ -245,6 +305,6 @@ pub fn sim_now() -> Option<Time> {
 pub fn sim_rank_now() -> Option<Time> {
     match &ctx().backend {
         crate::ctx::Backend::Sim(w) => Some(w.rank_now(ctx().me)),
-        crate::ctx::Backend::Smp(_) => None,
+        crate::ctx::Backend::Cond(_) => None,
     }
 }

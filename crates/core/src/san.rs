@@ -604,6 +604,12 @@ fn maybe_prune(w: &mut SanWorld, target: usize) {
 
 /// Check one RMA/atomic access at injection and record it in flight. Call
 /// only with the sanitizer enabled on the calling rank.
+///
+/// On conduits whose shadow state is process-local (`proc`; see
+/// [`crate::ctx::RankCtx::san_remote`]) remote-target accesses are skipped:
+/// this process never saw the target's allocations, so bounds/liveness/race
+/// verdicts about them would be noise. Local-target checks, the restricted-
+/// context detector and vector-clock ordering still run in full.
 pub(crate) fn check_rma(
     c: &RankCtx,
     target: usize,
@@ -613,6 +619,9 @@ pub(crate) fn check_rma(
     op: u64,
     label: &'static str,
 ) {
+    if !c.san_remote && target != c.me {
+        return;
+    }
     check_access(c, target, off, len, kind, op, label, false, true);
 }
 
@@ -642,6 +651,16 @@ pub(crate) fn check_bounds_only(c: &RankCtx, off: usize, len: usize, label: &'st
 /// the operation's completion drains from compQ.
 pub(crate) fn mark_complete(c: &RankCtx, target: usize, op: u64) {
     let me = c.me;
+    if !c.san_remote && target != me {
+        // The matching `check_rma` was skipped (process-local shadow state;
+        // see its docs), so there is no in-flight record to stamp. The
+        // origin's epoch still advances so completion ordering via message
+        // clocks is preserved.
+        with_world(c, |w| {
+            w.ranks[me].vc[me] += 1;
+        });
+        return;
+    }
     with_world(c, |w| {
         w.ranks[me].vc[me] += 1;
         let t = w.ranks[me].vc[me];

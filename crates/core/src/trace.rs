@@ -497,7 +497,7 @@ pub fn runtime_stats() -> RuntimeStats {
     let san = c.san.borrow().counters;
     let tr = c.trace.borrow();
     let (conduit_backlog, deliver_deferred_ps) = match &c.backend {
-        Backend::Smp(h) => (h.inbox_depth(), 0),
+        Backend::Cond(h) => (h.inbox_depth(), 0),
         Backend::Sim(w) => (0, w.rank_deferred(c.me).as_ps()),
     };
     RuntimeStats {

@@ -1,0 +1,304 @@
+//! Conduit conformance suite: one set of semantic contracts, instantiated
+//! against every conduit — smp (threads + shared memory), proc (one OS
+//! process per rank: shm segments + Unix-domain sockets) and sim (discrete
+//! event). The contracts:
+//!
+//! 1. **RPC round-trip** — an RPC with a return value executes at the
+//!    target and its reply fulfills the initiator's future.
+//! 2. **rput/rget equivalence** — bytes written one-sided are the bytes
+//!    read back, both by the owner locally and by the writer via rget.
+//! 3. **Trace quartet shape** — a traced blocking RMA op records exactly
+//!    Inject → Conduit → Deliver → Complete at the initiator, with the op's
+//!    identity (origin/peer/bytes) intact. On proc this is what proves AM
+//!    frames carry trace identity across address spaces.
+//! 4. **Sanitizer TP/TN** — an out-of-bounds rget is counted (true
+//!    positive) and an in-bounds one is silent (true negative).
+//!
+//! smp and proc share the *same* blocking rank bodies, launched through
+//! [`upcxx::run_spmd_with`] with only the conduit differing. sim drivers
+//! cannot block, so the sim instantiations restate the identical contracts
+//! as then-chains and share the assertion helpers. Proc instantiations
+//! re-exec this test binary per rank (see `gasnet::proc::launch`); their
+//! assertions run inside the rank processes and a failed rank fails the
+//! launcher, which fails the test.
+
+use netsim::MachineConfig;
+use std::cell::Cell;
+use std::rc::Rc;
+use upcxx::san::{self, SanConfig, SanMode};
+use upcxx::{trace, ConduitKind, Config, OpKind, Phase, SimRuntime, TraceConfig, TraceEvent};
+
+fn smp_cfg() -> Config {
+    Config::default()
+}
+
+fn proc_cfg() -> Config {
+    Config::default().with_conduit(ConduitKind::Proc)
+}
+
+fn test_rt(n: usize) -> SimRuntime {
+    SimRuntime::new(MachineConfig::test_2x4(), n, 1 << 16)
+}
+
+fn tracing_on() -> TraceConfig {
+    TraceConfig {
+        enabled: true,
+        capacity: 1 << 14,
+    }
+}
+
+// ------------------------------------------------------- shared assertions
+
+/// Contract 3's shape check, shared by all three conduits: `kind` ops in
+/// `events` form exactly one Inject → Conduit → Deliver → Complete quartet
+/// recorded at `origin` against `peer`, carrying `bytes`.
+fn assert_quartet(events: &[TraceEvent], kind: OpKind, origin: u32, peer: u32, bytes: u32) {
+    let ops: Vec<&TraceEvent> = events.iter().filter(|e| e.kind == kind).collect();
+    let phases: Vec<Phase> = ops.iter().map(|e| e.phase).collect();
+    assert_eq!(
+        phases,
+        vec![
+            Phase::Inject,
+            Phase::Conduit,
+            Phase::Deliver,
+            Phase::Complete
+        ],
+        "{kind:?} quartet malformed"
+    );
+    assert!(
+        ops.iter()
+            .all(|e| e.rank == origin && e.origin == origin && e.peer == peer),
+        "{kind:?} quartet identity wrong"
+    );
+    assert_eq!(ops[0].bytes, bytes, "{kind:?} quartet payload size wrong");
+    let op_ids: Vec<u64> = ops.iter().map(|e| e.op).collect();
+    assert!(
+        op_ids.iter().all(|&id| id == op_ids[0]),
+        "{kind:?} quartet spans multiple op ids"
+    );
+}
+
+// --------------------------------------------- contract 1: RPC round trip
+
+fn double(x: u64) -> u64 {
+    x * 2
+}
+
+/// Blocking rank body (smp + proc): every rank RPCs its right neighbor and
+/// the reply must carry the target's computation.
+fn body_rpc_round_trip() {
+    let me = upcxx::rank_me();
+    let n = upcxx::rank_n();
+    let got = upcxx::rpc((me + 1) % n, double, me as u64 + 7).wait();
+    assert_eq!(got, (me as u64 + 7) * 2);
+    upcxx::barrier();
+}
+
+#[test]
+fn smp_rpc_round_trip() {
+    upcxx::run_spmd_with(4, smp_cfg(), body_rpc_round_trip);
+}
+
+#[test]
+fn proc_rpc_round_trip() {
+    upcxx::run_spmd_with(4, proc_cfg(), body_rpc_round_trip);
+}
+
+#[test]
+fn sim_rpc_round_trip() {
+    let n = 4;
+    let rt = test_rt(n);
+    let done = Rc::new(Cell::new(0usize));
+    for r in 0..n {
+        let done = done.clone();
+        rt.spawn(r, move || {
+            upcxx::rpc((r + 1) % n, double, r as u64 + 7).then(move |got| {
+                assert_eq!(got, (r as u64 + 7) * 2);
+                done.set(done.get() + 1);
+            });
+        });
+    }
+    rt.run();
+    assert_eq!(done.get(), n);
+}
+
+// -------------------------------------- contract 2: rput/rget equivalence
+
+/// Blocking rank body (smp + proc): each rank one-sided-writes a rank-keyed
+/// pattern into its right neighbor's slot; the owner must read it back
+/// locally and the writer must read the same bytes back with rget.
+fn body_rma_equivalence() {
+    let me = upcxx::rank_me();
+    let n = upcxx::rank_n();
+    let slot = upcxx::allocate::<u64>(4);
+    slot.local_write(&[0; 4]);
+    let slots = upcxx::allgather(slot);
+    let right = (me + 1) % n;
+    let pattern = [right as u64; 4].map(|r| r * 1000 + me as u64);
+    upcxx::rput(&pattern, slots[right]).wait();
+    upcxx::barrier();
+    // Owner view: my slot holds my left neighbor's pattern.
+    let left = (me + n - 1) % n;
+    let mut mine = [0u64; 4];
+    slot.local_read(&mut mine);
+    assert_eq!(mine, [me as u64; 4].map(|r| r * 1000 + left as u64));
+    // Writer view: rget returns exactly what I rput.
+    let echoed = upcxx::rget(slots[right], 4).wait();
+    assert_eq!(echoed[..], pattern[..]);
+    upcxx::barrier();
+}
+
+#[test]
+fn smp_rma_equivalence() {
+    upcxx::run_spmd_with(3, smp_cfg(), body_rma_equivalence);
+}
+
+#[test]
+fn proc_rma_equivalence() {
+    upcxx::run_spmd_with(3, proc_cfg(), body_rma_equivalence);
+}
+
+#[test]
+fn sim_rma_equivalence() {
+    let rt = test_rt(2);
+    let dst = rt.with_rank(1, || upcxx::allocate::<u64>(4));
+    let done = Rc::new(Cell::new(false));
+    let d = done.clone();
+    rt.spawn(0, move || {
+        let d = d.clone();
+        upcxx::rput(&[11u64, 22, 33, 44], dst)
+            .then_fut(move |_| upcxx::rget(dst, 4))
+            .then(move |echoed| {
+                assert_eq!(echoed, vec![11, 22, 33, 44]);
+                d.set(true);
+            });
+    });
+    rt.run();
+    assert!(done.get());
+    rt.with_rank(1, || {
+        let mut owner = [0u64; 4];
+        dst.local_read(&mut owner);
+        assert_eq!(owner, [11, 22, 33, 44]);
+    });
+}
+
+// ----------------------------------------- contract 3: trace quartet shape
+
+/// Blocking rank body (smp + proc): rank 0 traces one blocking rput and one
+/// blocking rget against rank 1 and checks both quartets.
+fn body_trace_quartet() {
+    if upcxx::rank_me() == 0 {
+        let slot = upcxx::allocate::<u64>(4);
+        let slots = upcxx::allgather(slot);
+        trace::set_config(tracing_on());
+        upcxx::rput(&[9u64, 8, 7, 6], slots[1]).wait();
+        let got = upcxx::rget(slots[1], 4).wait();
+        assert_eq!(got, vec![9, 8, 7, 6]);
+        let events = trace::take_local();
+        assert_quartet(&events, OpKind::Put, 0, 1, 32);
+        assert_quartet(&events, OpKind::Get, 0, 1, 32);
+        trace::set_config(TraceConfig::default());
+    } else {
+        let slot = upcxx::allocate::<u64>(4);
+        let _ = upcxx::allgather(slot);
+    }
+    upcxx::barrier();
+}
+
+#[test]
+fn smp_trace_quartet() {
+    upcxx::run_spmd_with(2, smp_cfg(), body_trace_quartet);
+}
+
+#[test]
+fn proc_trace_quartet() {
+    upcxx::run_spmd_with(2, proc_cfg(), body_trace_quartet);
+}
+
+#[test]
+fn sim_trace_quartet() {
+    let rt = test_rt(2);
+    let dst = rt.with_rank(1, || upcxx::allocate::<u64>(4));
+    rt.spawn(0, move || {
+        trace::set_config(TraceConfig {
+            enabled: true,
+            capacity: 1 << 14,
+        });
+        upcxx::rput(&[9u64, 8, 7, 6], dst)
+            .then_fut(move |_| upcxx::rget(dst, 4))
+            .then(|got| assert_eq!(got, vec![9, 8, 7, 6]));
+    });
+    rt.run();
+    let events = rt.with_rank(0, trace::take_local);
+    assert_quartet(&events, OpKind::Put, 0, 1, 32);
+    assert_quartet(&events, OpKind::Get, 0, 1, 32);
+    rt.with_rank(0, || trace::set_config(TraceConfig::default()));
+}
+
+// -------------------------------------------- contract 4: sanitizer TP/TN
+
+/// Blocking rank body (smp + proc): in Count mode, an in-bounds rget of my
+/// own 4-word extent is silent (TN) and a 16-word rget overrunning it is
+/// counted as out-of-bounds (TP). Local-target ops keep the contract
+/// meaningful on proc, where each process sanitizes its own segment.
+fn body_san_tp_tn() {
+    san::set_config(SanConfig {
+        enabled: true,
+        mode: SanMode::Count,
+    });
+    upcxx::barrier();
+    let mine = upcxx::allocate::<u64>(4);
+    mine.local_write(&[1, 2, 3, 4]);
+    let ok = upcxx::rget(mine, 4).wait();
+    assert_eq!(ok, vec![1, 2, 3, 4]);
+    assert_eq!(san::san_report().oob, 0, "true negative violated");
+    let _ = upcxx::rget(mine, 16).wait();
+    let c = san::san_report();
+    assert_eq!(c.oob, 1, "true positive violated: {c:?}");
+    san::set_config(SanConfig::default());
+    upcxx::barrier();
+}
+
+#[test]
+fn smp_san_tp_tn() {
+    upcxx::run_spmd_with(2, smp_cfg(), body_san_tp_tn);
+}
+
+#[test]
+fn proc_san_tp_tn() {
+    upcxx::run_spmd_with(2, proc_cfg(), body_san_tp_tn);
+}
+
+#[test]
+fn sim_san_tp_tn() {
+    let rt = test_rt(2);
+    for r in 0..2 {
+        rt.with_rank(r, || {
+            san::set_config(SanConfig {
+                enabled: true,
+                mode: SanMode::Count,
+            })
+        });
+    }
+    let src = rt.with_rank(0, || {
+        let p = upcxx::allocate::<u64>(4);
+        p.local_write(&[1, 2, 3, 4]);
+        p
+    });
+    let done = Rc::new(Cell::new(false));
+    let d = done.clone();
+    rt.spawn(1, move || {
+        let d = d.clone();
+        upcxx::rget(src, 4)
+            .then_fut(move |ok| {
+                assert_eq!(ok, vec![1, 2, 3, 4]);
+                assert_eq!(san::san_report().oob, 0, "true negative violated");
+                upcxx::rget(src, 16)
+            })
+            .then(move |_| d.set(true));
+    });
+    rt.run();
+    assert!(done.get());
+    let c = rt.with_rank(1, san::san_report);
+    assert_eq!(c.oob, 1, "true positive violated: {c:?}");
+}

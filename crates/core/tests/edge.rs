@@ -29,7 +29,7 @@ fn segment_exhaustion_panics_with_message() {
 fn deallocate_remote_pointer_panics() {
     upcxx::run_spmd_default(2, || {
         let p = upcxx::allocate::<u64>(1);
-        let ps = upcxx::broadcast_gather(p);
+        let ps = upcxx::allgather(p);
         if upcxx::rank_me() == 0 {
             let r = catch_unwind(AssertUnwindSafe(|| {
                 upcxx::deallocate(ps[1]);
@@ -183,6 +183,21 @@ fn stats_counters_advance() {
             assert!(after.rpcs >= before.rpcs + 2);
             assert!(after.bytes_out > before.bytes_out);
         }
+        upcxx::barrier();
+    });
+}
+
+/// The pre-rename name must keep working (deprecated shim) so downstream
+/// code migrates on its own schedule.
+#[test]
+#[allow(deprecated)]
+fn broadcast_gather_shim_still_works() {
+    upcxx::run_spmd_default(2, || {
+        let slot = upcxx::allocate::<u64>(1);
+        let via_shim = upcxx::broadcast_gather(slot);
+        let via_new = upcxx::allgather(slot);
+        assert_eq!(via_shim.len(), 2);
+        assert_eq!(via_shim, via_new);
         upcxx::barrier();
     });
 }

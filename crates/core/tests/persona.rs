@@ -66,7 +66,7 @@ fn mixed_workload(progress_thread: bool) -> (Vec<u64>, u64, u64) {
     let right = (me + 1) % n;
     let base = hits().0.get(); // quiescent: no traffic in flight yet
     let slot = upcxx::allocate::<u64>(4);
-    let slots = upcxx::broadcast_gather(slot);
+    let slots = upcxx::allgather(slot);
     upcxx::barrier();
     let src: Vec<u64> = (0..4).map(|i| me as u64 * 10 + i).collect();
     upcxx::rput(&src, slots[right]).wait();
@@ -111,7 +111,7 @@ fn smp_progress_thread_on_off_same_results() {
 fn traced_counts(progress_thread: bool) -> (BTreeMap<(String, String), usize>, Vec<u8>) {
     upcxx::set_progress_thread(progress_thread);
     let slot = upcxx::allocate::<u64>(4);
-    let slots = upcxx::broadcast_gather(slot);
+    let slots = upcxx::allgather(slot);
     upcxx::barrier();
     let mut counts = BTreeMap::new();
     let mut personas = Vec::new();
@@ -179,7 +179,7 @@ fn racy_pair_races(progress_thread: bool) -> u64 {
     upcxx::barrier();
     let words = upcxx::allocate::<u64>(2);
     words.local_write(&[0, 0]);
-    let all = upcxx::broadcast_gather(words);
+    let all = upcxx::allgather(words);
     if upcxx::rank_me() < 2 {
         upcxx::rput_val(upcxx::rank_me() as u64, all[2]).wait();
         let done = all[2].add(1);
@@ -217,7 +217,7 @@ fn smp_san_true_negative_matches_across_knob() {
             san::set_config(san_cfg(SanMode::Count));
             upcxx::barrier();
             let slot = upcxx::allocate::<u64>(4);
-            let slots = upcxx::broadcast_gather(slot);
+            let slots = upcxx::allgather(slot);
             upcxx::barrier(); // ordering edge before ...
             if upcxx::rank_me() == 0 {
                 upcxx::rput(&[1u64, 2, 3, 4], slots[1]).wait();
@@ -252,7 +252,7 @@ fn smp_inattentive_target_rpcs_complete() {
         upcxx::set_progress_thread(true);
         let flag = upcxx::allocate::<u64>(1);
         flag.local_write(&[0]);
-        let flags = upcxx::broadcast_gather(flag);
+        let flags = upcxx::allgather(flag);
         let base = hits().0.get();
         upcxx::barrier();
         if upcxx::rank_me() == 0 {
@@ -330,7 +330,7 @@ fn smp_comp_chunks_exposed_in_stats() {
     upcxx::run_spmd_default(2, || {
         upcxx::set_eager(false); // deferred path: completions retire via compQ
         let slot = upcxx::allocate::<u64>(1);
-        let slots = upcxx::broadcast_gather(slot);
+        let slots = upcxx::allgather(slot);
         upcxx::barrier();
         upcxx::rput_val(7u64, slots[(upcxx::rank_me() + 1) % 2]).wait();
         upcxx::barrier();

@@ -61,7 +61,7 @@ fn rma_workload(eager: bool) -> (Vec<u64>, u64, Vec<u64>, u64) {
     upcxx::set_eager(eager);
     assert_eq!(upcxx::eager_enabled(), eager, "knob must stick on smp");
     let slot = upcxx::allocate::<u64>(8);
-    let slots = upcxx::broadcast_gather(slot);
+    let slots = upcxx::allgather(slot);
     upcxx::barrier();
     let me = upcxx::rank_me() as u64;
     let n = upcxx::rank_n();
@@ -106,7 +106,7 @@ fn smp_eager_on_off_same_results() {
 fn traced_counts(eager: bool) -> BTreeMap<(String, String), usize> {
     upcxx::set_eager(eager);
     let slot = upcxx::allocate::<u64>(4);
-    let slots = upcxx::broadcast_gather(slot);
+    let slots = upcxx::allgather(slot);
     upcxx::barrier();
     let mut counts = BTreeMap::new();
     if upcxx::rank_me() == 0 {
@@ -165,7 +165,7 @@ fn racy_pair_races(eager: bool) -> u64 {
     upcxx::barrier();
     let words = upcxx::allocate::<u64>(2);
     words.local_write(&[0, 0]);
-    let all = upcxx::broadcast_gather(words);
+    let all = upcxx::allgather(words);
     if upcxx::rank_me() < 2 {
         upcxx::rput_val(upcxx::rank_me() as u64, all[2]).wait();
         let done = all[2].add(1);
@@ -202,7 +202,7 @@ fn smp_san_true_negative_matches_across_knob() {
             san::set_config(san_cfg(SanMode::Count));
             upcxx::barrier();
             let slot = upcxx::allocate::<u64>(4);
-            let slots = upcxx::broadcast_gather(slot);
+            let slots = upcxx::allgather(slot);
             upcxx::barrier(); // ordering edge before ...
             if upcxx::rank_me() == 0 {
                 upcxx::rput(&[1u64, 2, 3, 4], slots[1]).wait();
@@ -251,7 +251,7 @@ fn smp_overaligned_pod_round_trips() {
         for eager in [true, false] {
             upcxx::set_eager(eager);
             let slot = upcxx::allocate::<Al16>(3);
-            let slots = upcxx::broadcast_gather(slot);
+            let slots = upcxx::allgather(slot);
             upcxx::barrier();
             let me = upcxx::rank_me();
             let src = [al16(me as u64), al16(42), al16(u64::MAX)];

@@ -292,7 +292,7 @@ fn smp_racy_rput_pair_detected_in_count_mode() {
                           // words[0]: the raced word; words[1]: a rendezvous counter.
         let words = upcxx::allocate::<u64>(2);
         words.local_write(&[0, 0]);
-        let all = upcxx::broadcast_gather(words);
+        let all = upcxx::allgather(words);
         if upcxx::rank_me() < 2 {
             // Both write rank 2's word with no ordering edge: one-sided puts
             // and atomics exchange no vector-clock snapshots, so whichever
@@ -346,7 +346,7 @@ fn smp_mixed_workload_clean_under_panic_mode() {
         let n = upcxx::rank_n();
         let slot = upcxx::allocate::<u64>(4);
         slot.local_write(&[me as u64; 4]);
-        let slots = upcxx::broadcast_gather(slot);
+        let slots = upcxx::allgather(slot);
         upcxx::rput(&[me as u64 * 10; 4], slots[(me + 1) % n]).wait();
         upcxx::barrier();
         let got = upcxx::rget(slot, 4).wait();
@@ -354,7 +354,7 @@ fn smp_mixed_workload_clean_under_panic_mode() {
         // Atomics: all ranks bump rank 0's counter, then read it back.
         let ctr = upcxx::allocate::<u64>(1);
         ctr.local_write(&[0]);
-        let ctrs = upcxx::broadcast_gather(ctr);
+        let ctrs = upcxx::allgather(ctr);
         upcxx::barrier();
         let ad = upcxx::AtomicDomain::all();
         ad.fetch_add(ctrs[0], me as u64).wait();

@@ -12,7 +12,7 @@ fn rput_rget_roundtrip() {
     upcxx::run_spmd_default(2, || {
         let me = upcxx::rank_me();
         let slot = upcxx::allocate::<u64>(8);
-        let slots = upcxx::broadcast_gather(slot);
+        let slots = upcxx::allgather(slot);
         if me == 0 {
             let data: Vec<u64> = (0..8).map(|i| i * 7).collect();
             upcxx::rput(&data, slots[1]).wait();
@@ -29,7 +29,7 @@ fn rput_val_visible_after_barrier() {
         let me = upcxx::rank_me();
         let n = upcxx::rank_n();
         let slot = upcxx::allocate::<u64>(1);
-        let slots = upcxx::broadcast_gather(slot);
+        let slots = upcxx::allgather(slot);
         upcxx::rput_val(me as u64 + 100, slots[(me + 1) % n]).wait();
         upcxx::barrier();
         assert_eq!(
@@ -206,7 +206,7 @@ fn barrier_orders_one_sided_writes() {
         let me = upcxx::rank_me();
         let n = upcxx::rank_n();
         let slot = upcxx::allocate::<u64>(n);
-        let slots = upcxx::broadcast_gather(slot);
+        let slots = upcxx::allgather(slot);
         // All-to-all scatter of rank ids by one-sided puts.
         let p = upcxx::Promise::<()>::new();
         for slot in &slots {
@@ -267,7 +267,7 @@ fn remote_atomics_sum() {
     upcxx::run_spmd_default(6, || {
         let me = upcxx::rank_me();
         let counter = upcxx::allocate::<u64>(1);
-        let counters = upcxx::broadcast_gather(counter);
+        let counters = upcxx::allgather(counter);
         let ad = upcxx::AtomicDomain::all();
         // Everyone adds into rank 0's counter.
         ad.fetch_add(counters[0], (me + 1) as u64).wait();
@@ -284,7 +284,7 @@ fn atomic_cas_elects_single_winner() {
     upcxx::run_spmd_default(4, || {
         let me = upcxx::rank_me() as u64;
         let word = upcxx::allocate::<u64>(1);
-        let words = upcxx::broadcast_gather(word);
+        let words = upcxx::allgather(word);
         let ad = upcxx::AtomicDomain::all();
         let old = ad.compare_exchange(words[0], 0, me + 1).wait();
         upcxx::barrier();

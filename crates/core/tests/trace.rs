@@ -34,7 +34,7 @@ fn phases(events: &[TraceEvent]) -> Vec<Phase> {
 fn smp_rma_ops_emit_full_quartet() {
     upcxx::run_spmd_default(2, || {
         let slot = upcxx::allocate::<u64>(4);
-        let slots = upcxx::broadcast_gather(slot);
+        let slots = upcxx::allgather(slot);
         upcxx::barrier();
         if upcxx::rank_me() == 0 {
             trace::set_config(tracing_on());

@@ -38,6 +38,7 @@
 //! the substrate itself spawns nothing and only sees serialized `poll`
 //! calls — see the inbox's serialized-consumer contract in [`smp`].)
 
+pub mod proc;
 pub mod sim;
 pub mod smp;
 
@@ -52,6 +53,106 @@ pub type Rank = usize;
 /// (promise tables, local maps) through the target rank's thread-local
 /// context at execution time.
 pub type Item = Box<dyn FnOnce() + Send>;
+
+/// How a conduit accepts Active Messages ([`Conduit::am_mode`]).
+///
+/// In-process conduits move closures directly ([`AmMode::Items`]); the
+/// process-per-rank conduit cannot ship a closure across an address-space
+/// boundary, so the layer above serializes each AM into a self-describing
+/// byte frame ([`AmMode::Frames`]) that the destination decodes and runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AmMode {
+    /// AMs are boxed closures executed verbatim on the target rank.
+    Items,
+    /// AMs are serialized byte frames; the target decodes them via the
+    /// `sink` passed to [`Conduit::poll`].
+    Frames,
+}
+
+/// One Active Message, in whichever representation the conduit accepts.
+pub enum Am {
+    /// A closure (conduits with [`AmMode::Items`]).
+    Item(Item),
+    /// A serialized frame (conduits with [`AmMode::Frames`]).
+    Frame(Vec<u8>),
+}
+
+/// A batch of Active Messages delivered as one conduit-level entry.
+pub enum Batch {
+    /// Closures, delivered in order as a single inbox entry.
+    Items(Vec<Item>),
+    /// One pre-concatenated container frame holding every member.
+    Frame(Vec<u8>),
+}
+
+/// The unified transport contract every gasnet conduit implements.
+///
+/// This is the GASNet-EX substrate surface the `upcxx` core dispatches
+/// through: segment byte access + remote atomics (one-sided RMA), AM and
+/// batched-AM injection, explicit polling, a world barrier, and rank
+/// topology. The `smp` (thread-per-rank) and `proc` (process-per-rank)
+/// conduits implement it directly; the `sim` conduit keeps its bespoke
+/// virtual-time API because its callers cannot block. A fourth conduit
+/// plugs in by implementing this trait — the core has no conduit-specific
+/// branches beyond `Cond` vs `Sim`.
+///
+/// # Safety & contracts
+///
+/// * `seg_base(r)` must stay valid for the life of the handle, point at
+///   `seg_size()` addressable bytes, and reference memory physically shared
+///   with rank `r` (same mapping or same process).
+/// * `put/get/fill` must be genuine one-sided byte copies — no remote CPU
+///   involvement — and must panic on out-of-segment ranges.
+/// * `send_am`/`send_am_batch` must preserve per-(sender, target) FIFO
+///   order and must never execute AMs inline on the sending rank.
+/// * `poll` executes/delivers at most `budget` entries (a batch counts as
+///   one) and returns the number consumed. For [`AmMode::Frames`] conduits
+///   each received frame is handed to `sink`; `Items` conduits run the
+///   closures directly and ignore `sink`.
+/// * `barrier` is a full-world rendezvous over all ranks of this conduit.
+pub trait Conduit: Send + Sync {
+    /// This rank's id, dense in `0..rank_n()`.
+    fn rank_me(&self) -> Rank;
+    /// World size.
+    fn rank_n(&self) -> usize;
+    /// Bytes in every rank's shared segment.
+    fn seg_size(&self) -> usize;
+    /// Whether this conduit moves AMs as closures or serialized frames.
+    fn am_mode(&self) -> AmMode;
+    /// Base address of `rank`'s segment as mapped in this address space.
+    fn seg_base(&self, rank: Rank) -> *mut u8;
+    /// One-sided write of `src` into `dst_rank`'s segment at `dst_off`.
+    fn put_bytes(&self, dst_rank: Rank, dst_off: usize, src: &[u8]);
+    /// One-sided read from `src_rank`'s segment at `src_off` into `dst`.
+    fn get_bytes(&self, src_rank: Rank, src_off: usize, dst: &mut [u8]);
+    /// One-sided memset of `len` bytes at `(rank, off)` to `byte`.
+    fn fill_bytes(&self, rank: Rank, off: usize, len: usize, byte: u8);
+    /// Sequentially-consistent remote fetch-add on an aligned u64.
+    fn atomic_fetch_add_u64(&self, rank: Rank, off: usize, val: u64) -> u64;
+    /// Sequentially-consistent remote load of an aligned u64.
+    fn atomic_load_u64(&self, rank: Rank, off: usize) -> u64;
+    /// Sequentially-consistent remote store of an aligned u64.
+    fn atomic_store_u64(&self, rank: Rank, off: usize, val: u64);
+    /// Sequentially-consistent remote compare-and-swap; returns the
+    /// previous value.
+    fn atomic_cas_u64(&self, rank: Rank, off: usize, expected: u64, new: u64) -> u64;
+    /// Inject one AM toward `target` (FIFO per sender/target pair).
+    fn send_am(&self, target: Rank, am: Am);
+    /// Inject a pre-aggregated batch toward `target` as one entry.
+    fn send_am_batch(&self, target: Rank, batch: Batch);
+    /// Drain up to `budget` inbox entries; `sink` receives serialized
+    /// frames on [`AmMode::Frames`] conduits. Returns entries consumed.
+    fn poll(&self, budget: usize, sink: &mut dyn FnMut(Vec<u8>)) -> usize;
+    /// Cheap hint: are entries waiting in this rank's inbox?
+    fn inbox_nonempty(&self) -> bool;
+    /// Number of entries currently queued for this rank.
+    fn inbox_depth(&self) -> u64;
+    /// Monotonic-ish wall clock in picoseconds since conduit start,
+    /// comparable across ranks of one world.
+    fn wall_ps(&self) -> u64;
+    /// Full-world rendezvous: returns after every rank has entered.
+    fn barrier(&self);
+}
 
 #[cfg(test)]
 mod lib_tests {

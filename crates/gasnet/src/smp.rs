@@ -21,7 +21,7 @@
 //! contract; all tests and examples synchronize through futures/RPC replies
 //! like real UPC++ programs do.
 
-use crate::{Item, Rank};
+use crate::{Am, AmMode, Batch, Item, Rank};
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -225,6 +225,12 @@ struct Shared {
     am_sent: AtomicU64,
     items_run: AtomicU64,
     batches_sent: AtomicU64,
+    /// Generation-counting central barrier (see [`RankHandle::barrier`]):
+    /// `bar_count` counts arrivals in the current episode, `bar_gen` is
+    /// bumped by the last arrival to release the waiters. No per-rank sense
+    /// flag is needed — waiters spin on the generation they read on entry.
+    bar_count: AtomicU64,
+    bar_gen: AtomicU64,
     /// The world's common clock epoch, captured in [`launch`] **before** any
     /// rank thread spawns. Every rank's trace clock ([`RankHandle::wall_ps`])
     /// measures against this one instant, so per-rank timelines from one
@@ -452,6 +458,95 @@ impl RankHandle {
     pub fn wall_ps(&self) -> u64 {
         (self.sh.epoch.elapsed().as_nanos() as u64).saturating_mul(1000)
     }
+
+    /// Conduit-level world barrier: generation-counting central barrier over
+    /// the shared handle. This is the transport primitive behind
+    /// [`crate::Conduit::barrier`]; the `upcxx` layer's user-facing barrier
+    /// is a dissemination collective over AMs and does not use it.
+    pub fn barrier(&self) {
+        let gen = self.sh.bar_gen.load(Ordering::Acquire);
+        if self.sh.bar_count.fetch_add(1, Ordering::AcqRel) + 1 == self.sh.n as u64 {
+            self.sh.bar_count.store(0, Ordering::Release);
+            self.sh.bar_gen.fetch_add(1, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.sh.bar_gen.load(Ordering::Acquire) == gen {
+                spins += 1;
+                if spins > 64 {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// The unified-transport view of an smp rank: closures move verbatim
+/// ([`AmMode::Items`]), so `poll` executes entries itself and the frame
+/// `sink` is never fed.
+impl crate::Conduit for RankHandle {
+    fn rank_me(&self) -> Rank {
+        self.me
+    }
+    fn rank_n(&self) -> usize {
+        self.sh.n
+    }
+    fn seg_size(&self) -> usize {
+        RankHandle::seg_size(self)
+    }
+    fn am_mode(&self) -> AmMode {
+        AmMode::Items
+    }
+    fn seg_base(&self, rank: Rank) -> *mut u8 {
+        RankHandle::seg_base(self, rank)
+    }
+    fn put_bytes(&self, dst_rank: Rank, dst_off: usize, src: &[u8]) {
+        RankHandle::put_bytes(self, dst_rank, dst_off, src)
+    }
+    fn get_bytes(&self, src_rank: Rank, src_off: usize, dst: &mut [u8]) {
+        RankHandle::get_bytes(self, src_rank, src_off, dst)
+    }
+    fn fill_bytes(&self, rank: Rank, off: usize, len: usize, byte: u8) {
+        RankHandle::fill_bytes(self, rank, off, len, byte)
+    }
+    fn atomic_fetch_add_u64(&self, rank: Rank, off: usize, val: u64) -> u64 {
+        RankHandle::atomic_fetch_add_u64(self, rank, off, val)
+    }
+    fn atomic_load_u64(&self, rank: Rank, off: usize) -> u64 {
+        RankHandle::atomic_load_u64(self, rank, off)
+    }
+    fn atomic_store_u64(&self, rank: Rank, off: usize, val: u64) {
+        RankHandle::atomic_store_u64(self, rank, off, val)
+    }
+    fn atomic_cas_u64(&self, rank: Rank, off: usize, expected: u64, new: u64) -> u64 {
+        RankHandle::atomic_cas_u64(self, rank, off, expected, new)
+    }
+    fn send_am(&self, target: Rank, am: Am) {
+        match am {
+            Am::Item(item) => self.send_item(target, item),
+            Am::Frame(_) => unreachable!("smp is an in-process conduit; AMs travel as items"),
+        }
+    }
+    fn send_am_batch(&self, target: Rank, batch: Batch) {
+        match batch {
+            Batch::Items(items) => self.send_batch(target, items),
+            Batch::Frame(_) => unreachable!("smp is an in-process conduit; AMs travel as items"),
+        }
+    }
+    fn poll(&self, budget: usize, _sink: &mut dyn FnMut(Vec<u8>)) -> usize {
+        RankHandle::poll(self, budget)
+    }
+    fn inbox_nonempty(&self) -> bool {
+        RankHandle::inbox_nonempty(self)
+    }
+    fn inbox_depth(&self) -> u64 {
+        RankHandle::inbox_depth(self)
+    }
+    fn wall_ps(&self) -> u64 {
+        RankHandle::wall_ps(self)
+    }
+    fn barrier(&self) {
+        RankHandle::barrier(self)
+    }
 }
 
 /// Run an SPMD world of `n` ranks, one OS thread each. `f` is the rank main;
@@ -470,6 +565,8 @@ where
         am_sent: AtomicU64::new(0),
         items_run: AtomicU64::new(0),
         batches_sent: AtomicU64::new(0),
+        bar_count: AtomicU64::new(0),
+        bar_gen: AtomicU64::new(0),
         epoch: Instant::now(),
     });
     std::thread::scope(|scope| {

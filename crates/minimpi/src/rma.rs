@@ -52,7 +52,7 @@ impl Win {
     /// blocks on the pointer exchange; under sim use [`Win::create_async`]).
     pub fn create(size: usize) -> Win {
         let base = upcxx::allocate::<u8>(size);
-        let bases = upcxx::broadcast_gather(base);
+        let bases = upcxx::allgather(base);
         Win::from_bases(bases, size)
     }
 

@@ -63,7 +63,12 @@ fn pack(window: &[u8]) -> u64 {
 
 fn main() {
     let prof = std::env::args().any(|a| a == "--prof");
-    let ranks = 4;
+    // `UPCXX_RANKS=N` resizes the world; `UPCXX_CONDUIT=proc` makes each
+    // rank a real OS process instead of a thread.
+    let ranks = std::env::var("UPCXX_RANKS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
     upcxx::run_spmd_default(ranks, move || {
         let me = upcxx::rank_me();
         let n = upcxx::rank_n();

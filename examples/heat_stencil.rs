@@ -2,7 +2,7 @@
 //! PGAS stencil: each rank owns a strip of the rod plus two ghost cells;
 //! every step it rputs its boundary values into its neighbors' ghost cells,
 //! barriers, and relaxes. Demonstrates `rput_val` into remotely allocated
-//! memory, `broadcast_gather` bootstrap, and convergence via `reduce_all`.
+//! memory, `allgather` bootstrap, and convergence via `reduce_all`.
 //!
 //! Run: `cargo run --release --example heat_stencil`
 
@@ -20,7 +20,7 @@ fn main() {
         // Local strip with ghost cells at [0] and [len-1], in shared memory
         // so neighbors can rput into them.
         let strip = upcxx::allocate::<f64>(CELLS_PER_RANK + 2);
-        let strips = upcxx::broadcast_gather(strip);
+        let strips = upcxx::allgather(strip);
 
         // Initial condition: a hot spike in the middle of the rod.
         let mut u = vec![0.0f64; CELLS_PER_RANK + 2];

@@ -1,0 +1,28 @@
+//! Failure-propagation check for the proc conduit: one rank dies mid-world
+//! and the launcher must fail loudly — rank failure is process failure, and
+//! CI asserts this binary exits **non-zero**.
+//!
+//! Run: `UPCXX_CONDUIT=proc cargo run --release --example proc_crash`
+//!
+//! Rank 1 panics after the world is fully up (so the crash exercises the
+//! launcher's supervision of a *running* world, not a bootstrap failure);
+//! the parent kills the surviving ranks and panics with rank 1's exit
+//! status. A run that prints the final "unreachable" line is a bug.
+
+fn main() {
+    let ranks = std::env::var("UPCXX_RANKS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    upcxx::run_spmd_default(ranks, || {
+        let me = upcxx::rank_me();
+        // Everyone arrives before anyone dies: the crash hits a live world.
+        upcxx::barrier();
+        if me == 1 {
+            panic!("proc_crash: rank 1 failing on purpose");
+        }
+        // Survivors block in the runtime until the launcher kills them.
+        upcxx::barrier();
+    });
+    println!("proc_crash: world survived — exit propagation is BROKEN");
+}

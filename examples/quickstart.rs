@@ -18,7 +18,12 @@ fn deposit(args: (u64, String)) -> usize {
 }
 
 fn main() {
-    let ranks = 4;
+    // `UPCXX_RANKS=N` resizes the world; `UPCXX_CONDUIT=proc` makes each
+    // rank a real OS process instead of a thread.
+    let ranks = std::env::var("UPCXX_RANKS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
     upcxx::run_spmd_default(ranks, || {
         let me = upcxx::rank_me();
         let n = upcxx::rank_n();
@@ -26,7 +31,7 @@ fn main() {
         // --- global memory + one-sided RMA ------------------------------
         // Every rank contributes a slot; pointers are exchanged collectively.
         let slot = upcxx::allocate::<u64>(1);
-        let slots = upcxx::broadcast_gather(slot);
+        let slots = upcxx::allgather(slot);
         // Publish my rank id into my right neighbor's slot, one-sided.
         upcxx::rput_val(me as u64 * 11, slots[(me + 1) % n]).wait();
         upcxx::barrier();
@@ -49,7 +54,7 @@ fn main() {
 
         // --- remote atomics ----------------------------------------------
         let counter = upcxx::allocate::<u64>(1);
-        let counters = upcxx::broadcast_gather(counter);
+        let counters = upcxx::allgather(counter);
         let ad = upcxx::AtomicDomain::all();
         ad.fetch_add(counters[0], 1).wait();
         upcxx::barrier();

@@ -121,6 +121,29 @@ assert ratio >= 4.0, f"progress-thread speedup collapsed to {ratio:.2f}x (gate 4
 print(f"    progress smoke OK: {ratio:.2f}x (gate 4x, acceptance 5x)")
 EOF
 
+echo "==> proc smoke: quickstart + dht as real OS processes (2 and 4 ranks)"
+# The proc conduit's acceptance surface: the two flagship examples must run
+# correctly with every rank a separate process (shm segments + Unix-domain
+# sockets), at both a minimal and the canonical world size.
+for n in 2 4; do
+  UPCXX_CONDUIT=proc UPCXX_RANKS=$n UPCXX_PROC_TIMEOUT=120 \
+    cargo run --release --example quickstart | sed 's/^/    /'
+  UPCXX_CONDUIT=proc UPCXX_RANKS=$n UPCXX_PROC_TIMEOUT=120 \
+    cargo run --release --example dht_kmer_count | sed 's/^/    /'
+done
+
+echo "==> proc smoke: a crashed rank fails the launcher (non-zero exit)"
+# Rank failure must be process failure: proc_crash's rank 1 panics and the
+# launcher has to kill the survivors and exit non-zero. A zero exit here
+# means a wedged world was silently reaped as success.
+if UPCXX_CONDUIT=proc UPCXX_RANKS=4 UPCXX_PROC_TIMEOUT=120 \
+    cargo run --release --example proc_crash 2>/dev/null; then
+  echo "ERROR: proc_crash exited 0 — rank failure was not propagated" >&2
+  exit 1
+else
+  echo "    crash propagation OK (launcher exited non-zero)"
+fi
+
 echo "==> guard: the removed stats_*() shims stay removed"
 # The deprecated free functions (stats_rpcs & friends) were deleted in favor
 # of upcxx::runtime_stats(); no call or definition may reappear anywhere.

@@ -76,6 +76,19 @@ if grep -rn --include='*.rs' -E '\bthread::spawn\b|\bstd::thread::Builder\b' \
   fail=1
 fi
 
+echo "==> lint: process/socket/mmap syscall surface confined to proc.rs"
+# The proc conduit is the only place the runtime may fork processes, open
+# Unix-domain sockets, or issue raw mmap/munmap syscalls: its launcher owns
+# child supervision (exit propagation, teardown, bootstrap dir lifecycle)
+# and its Mapping type owns segment mapping. Anywhere else, these would
+# create ranks or shared memory the conduit cannot account for.
+if grep -rn --include='*.rs' -E '\bUnixListener\b|\bUnixStream\b|\bCommand::new\b|\basm!' \
+    crates/core/src crates/gasnet/src \
+    | grep -v 'crates/gasnet/src/proc.rs'; then
+  echo "ERROR: process/socket/mmap primitives outside proc.rs escape the launcher's supervision" >&2
+  fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
   exit 1
 fi

@@ -18,7 +18,7 @@ fn upcxx_and_mpi_share_one_world() {
         let n = upcxx::rank_n();
         // PGAS half: neighbor publish.
         let slot = upcxx::allocate::<u64>(1);
-        let slots = upcxx::broadcast_gather(slot);
+        let slots = upcxx::allgather(slot);
         upcxx::rput_val(me as u64, slots[(me + 1) % n]).wait();
         // MPI half: ring send the same value.
         minimpi::send((me + 1) % n, 9, &[me as u64]);
@@ -127,7 +127,7 @@ fn v01_layer_interoperates_with_v10_runtime() {
     upcxx::run_spmd_default(2, || {
         let me = upcxx::rank_me();
         let buf = upcxx::allocate::<u64>(4);
-        let bufs = upcxx::broadcast_gather(buf);
+        let bufs = upcxx::allgather(buf);
         if me == 0 {
             buf.local_write(&[1, 2, 3, 4]);
             let ev = upcxx_v01::Event::new();
@@ -172,9 +172,9 @@ fn mixed_traffic_stress() {
         let me = upcxx::rank_me();
         let n = upcxx::rank_n();
         let scratch = upcxx::allocate::<u64>(64);
-        let all = upcxx::broadcast_gather(scratch);
+        let all = upcxx::allgather(scratch);
         let counter = upcxx::allocate::<u64>(1);
-        let counters = upcxx::broadcast_gather(counter);
+        let counters = upcxx::allgather(counter);
         let ad = upcxx::AtomicDomain::all();
 
         let p = upcxx::Promise::<()>::new();
