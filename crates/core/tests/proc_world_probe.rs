@@ -1,0 +1,37 @@
+//! TEMPORARY review probe — do not commit.
+use std::io::Write;
+use upcxx::{ConduitKind, Config};
+
+fn mark(tag: &str) {
+    let path = std::env::var("PROBE_OUT").unwrap();
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .unwrap();
+    writeln!(f, "{tag} rank {}", upcxx::rank_me()).unwrap();
+}
+
+#[test]
+fn probe_a() {
+    upcxx::run_spmd_with(
+        2,
+        Config::default().with_conduit(ConduitKind::Proc),
+        || {
+            mark("a");
+            upcxx::barrier();
+        },
+    );
+}
+
+#[test]
+fn probe_b() {
+    upcxx::run_spmd_with(
+        2,
+        Config::default().with_conduit(ConduitKind::Proc),
+        || {
+            mark("b");
+            upcxx::barrier();
+        },
+    );
+}
