@@ -1,0 +1,444 @@
+//! Hand-rolled Rust lexer: just enough tokenization for the rule engine.
+//!
+//! The grep lints this analyzer replaces could not tell a call site from a
+//! comment, a string literal, or a `#[cfg(test)]` block. The lexer fixes
+//! that at the root: comments and literals are consumed here (string/char
+//! contents never reach the rules), line-comment text is parsed for
+//! `// analyze: allow(rule): justification` suppressions, and a post-pass
+//! marks every token inside a `#[cfg(test)]` item so rules can exempt
+//! test-only code.
+//!
+//! This is deliberately *not* a parser: rules work on the token stream with
+//! local pattern matching plus brace/paren matching helpers. That keeps the
+//! analyzer hermetic (std only), fast (the whole workspace lexes in well
+//! under a second), and robust to code it has never seen — unknown syntax
+//! just produces tokens no rule matches.
+
+/// Token class. Literal contents are dropped: a string token carries no
+/// text, so rules can never accidentally match inside one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`fn`, `seg_read`, `move`, ...).
+    Ident,
+    /// Single punctuation character (`.`, `(`, `<`, `|`, ...).
+    Punct,
+    /// Numeric literal (`0x1f`, `42usize`, ...); text kept for array lengths.
+    Num,
+    /// String / char / byte-string literal of any flavor (content dropped).
+    Lit,
+    /// Lifetime (`'a`, `'static`).
+    Life,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token class.
+    pub kind: Kind,
+    /// Identifier/number text, or the single punctuation char. Empty for
+    /// literals.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Inside a `#[cfg(test)]` item body (set by [`mark_cfg_test`]).
+    pub in_test: bool,
+}
+
+impl Tok {
+    /// Is this an identifier with exactly this text?
+    pub fn is(&self, t: &str) -> bool {
+        self.kind == Kind::Ident && self.text == t
+    }
+    /// Is this the punctuation character `c`?
+    pub fn p(&self, c: char) -> bool {
+        self.kind == Kind::Punct && self.text.as_bytes() == [c as u8]
+    }
+}
+
+/// One `// analyze: allow(rule-a, rule-b): justification` directive.
+#[derive(Clone, Debug)]
+pub struct Suppression {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// True when the comment is alone on its line: it then covers the *next*
+    /// line. A trailing comment covers its own line.
+    pub own_line: bool,
+    /// Rule names listed in `allow(...)`.
+    pub rules: Vec<String>,
+    /// Whether a non-empty justification followed the rule list. A
+    /// suppression without one is itself reported (`bad-suppression`).
+    pub justified: bool,
+}
+
+/// Lexer output for one file.
+pub struct Lexed {
+    /// The token stream (comments and literal contents removed).
+    pub toks: Vec<Tok>,
+    /// All suppression directives found in line comments.
+    pub sups: Vec<Suppression>,
+}
+
+/// Tokenize `src`. Never fails: unterminated literals consume to EOF.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut sups = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut code_on_line = false;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                code_on_line = false;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i + 2;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                let text = &src[start.min(b.len())..i];
+                if let Some(s) = parse_suppression(text, line, !code_on_line) {
+                    sups.push(s);
+                }
+                // `i` still points at the newline (or EOF); handled above.
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Nested block comments, counting newlines.
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        code_on_line = false;
+                    }
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                i = skip_string(b, i, &mut line);
+                toks.push(lit(line));
+                code_on_line = true;
+            }
+            b'\'' => {
+                // Lifetime vs char literal: a lifetime is `'` + ident NOT
+                // closed by another `'` (which would be a char like 'a').
+                let (tok, next) = lex_quote(src, b, i, &mut line);
+                toks.push(tok);
+                i = next;
+                code_on_line = true;
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: Kind::Num,
+                    text: src[start..i].to_string(),
+                    line,
+                    in_test: false,
+                });
+                code_on_line = true;
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                // Raw strings (r"", r#""#, br"", cr#""#) and raw identifiers
+                // (r#ident) start with ident characters; disambiguate first.
+                if let Some(next) = try_raw_or_prefixed_string(b, i, &mut line) {
+                    toks.push(lit(line));
+                    i = next;
+                    code_on_line = true;
+                    continue;
+                }
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                // Raw identifier r#name: strip the sigil, keep the name.
+                let mut text = &src[start..i];
+                if text == "r" && i + 1 < b.len() && b[i] == b'#' && is_ident_start(b[i + 1]) {
+                    i += 1;
+                    let ns = i;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    text = &src[ns..i];
+                }
+                toks.push(Tok {
+                    kind: Kind::Ident,
+                    text: text.to_string(),
+                    line,
+                    in_test: false,
+                });
+                code_on_line = true;
+            }
+            _ => {
+                toks.push(Tok {
+                    kind: Kind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                    in_test: false,
+                });
+                i += 1;
+                code_on_line = true;
+            }
+        }
+    }
+    Lexed { toks, sups }
+}
+
+fn lit(line: u32) -> Tok {
+    Tok {
+        kind: Kind::Lit,
+        text: String::new(),
+        line,
+        in_test: false,
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+/// Consume a `"..."` string starting at `i` (the opening quote); returns the
+/// index after the closing quote.
+fn skip_string(b: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Lifetime or char literal at `i` (the `'`). Returns (token, next index).
+fn lex_quote(src: &str, b: &[u8], i: usize, line: &mut u32) -> (Tok, usize) {
+    let l = *line;
+    if i + 1 < b.len() && is_ident_start(b[i + 1]) {
+        // Could be 'a (lifetime) or 'a' (char). Scan the ident run.
+        let mut j = i + 1;
+        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+            j += 1;
+        }
+        if j < b.len() && b[j] == b'\'' && j == i + 2 {
+            // 'x' — single-char literal.
+            return (lit(l), j + 1);
+        }
+        return (
+            Tok {
+                kind: Kind::Life,
+                text: src[i + 1..j].to_string(),
+                line: l,
+                in_test: false,
+            },
+            j,
+        );
+    }
+    // Escaped or symbolic char literal: '\n', '\'', '\u{1F}', '(' ...
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\'' => return (lit(l), j + 1),
+            b'\n' => {
+                // Not actually a char literal (e.g. stray quote); bail as
+                // punctuation so the lexer cannot wedge.
+                return (
+                    Tok {
+                        kind: Kind::Punct,
+                        text: "'".to_string(),
+                        line: l,
+                        in_test: false,
+                    },
+                    i + 1,
+                );
+            }
+            _ => j += 1,
+        }
+    }
+    (lit(l), j)
+}
+
+/// If `i` starts a raw string (`r"`, `r#"`, `br"`, `cr#"`, ...) or a
+/// byte/C string (`b"`, `c"`), consume it and return the index after it.
+fn try_raw_or_prefixed_string(b: &[u8], i: usize, line: &mut u32) -> Option<usize> {
+    let mut j = i;
+    // Optional b/c prefix, then optional r, then #s, then a quote.
+    if b[j] == b'b' || b[j] == b'c' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'r' {
+        j += 1;
+        let mut hashes = 0usize;
+        while j < b.len() && b[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j < b.len() && b[j] == b'"' {
+            // Raw string: scan for `"` followed by `hashes` #s.
+            j += 1;
+            while j < b.len() {
+                if b[j] == b'\n' {
+                    *line += 1;
+                }
+                if b[j] == b'"'
+                    && b[j + 1..].len() >= hashes
+                    && b[j + 1..j + 1 + hashes].iter().all(|&h| h == b'#')
+                {
+                    return Some(j + 1 + hashes);
+                }
+                j += 1;
+            }
+            return Some(j);
+        }
+        return None; // r#ident or plain ident starting with r
+    }
+    if j > i && j < b.len() && b[j] == b'"' {
+        // b"..." / c"..." cooked string.
+        return Some(skip_string(b, j, line));
+    }
+    None
+}
+
+/// Parse one line comment's text for a suppression directive. Returns
+/// `Some` for anything that *attempts* to be one (so malformed directives
+/// can be reported), `None` for ordinary comments.
+fn parse_suppression(text: &str, line: u32, own_line: bool) -> Option<Suppression> {
+    let at = text.find("analyze:")?;
+    let rest = text[at + "analyze:".len()..].trim_start();
+    let Some(args) = rest.strip_prefix("allow(") else {
+        // `analyze:` without `allow(...)` — report as malformed.
+        return Some(Suppression {
+            line,
+            own_line,
+            rules: Vec::new(),
+            justified: false,
+        });
+    };
+    let Some(close) = args.find(')') else {
+        return Some(Suppression {
+            line,
+            own_line,
+            rules: Vec::new(),
+            justified: false,
+        });
+    };
+    let rules: Vec<String> = args[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let tail = args[close + 1..].trim_start();
+    let justified = match tail.strip_prefix(':') {
+        Some(j) => !j.trim().is_empty(),
+        None => false,
+    };
+    Some(Suppression {
+        line,
+        own_line,
+        rules,
+        justified,
+    })
+}
+
+/// Post-pass: mark every token inside a `#[cfg(test)]` item body with
+/// `in_test = true`, so rules can treat test-only code differently (e.g. a
+/// helper thread spawned by a unit test is not a persona violation).
+pub fn mark_cfg_test(toks: &mut [Tok]) {
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].p('#') && i + 1 < toks.len() && toks[i + 1].p('[') {
+            let close = match_close(toks, i + 1, '[', ']');
+            let is_test_cfg = toks[i + 1..close].iter().any(|t| t.is("cfg"))
+                && toks[i + 1..close].iter().any(|t| t.is("test"));
+            if is_test_cfg {
+                // Skip any further attributes, then mark the item body.
+                let mut j = close + 1;
+                while j + 1 < toks.len() && toks[j].p('#') && toks[j + 1].p('[') {
+                    j = match_close(toks, j + 1, '[', ']') + 1;
+                }
+                // Find the body's opening brace (or a `;` ending the item).
+                while j < toks.len() && !toks[j].p('{') && !toks[j].p(';') {
+                    j += 1;
+                }
+                if j < toks.len() && toks[j].p('{') {
+                    let end = match_close(toks, j, '{', '}').min(toks.len() - 1);
+                    for t in toks[j..=end].iter_mut() {
+                        t.in_test = true;
+                    }
+                    i = end + 1;
+                    continue;
+                }
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Index of the delimiter closing `toks[open]` (which must be `open_c`).
+/// Clamps to the last token when unbalanced, so rules never walk off the
+/// end on malformed input.
+pub fn match_close(toks: &[Tok], open: usize, open_c: char, close_c: char) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.p(open_c) {
+            depth += 1;
+        } else if t.p(close_c) {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    toks.len() - 1
+}
+
+/// Index of the `>` closing the `<` at `open`, tolerating `->` (whose `>`
+/// must not count) and shift-like `>>` (single-char tokens make each `>`
+/// count once). Gives up at `;` or an unbalanced `)`/`}` — generics never
+/// span those.
+pub fn match_angle(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0isize;
+    let mut paren = 0isize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.p('(') || t.p('[') {
+            paren += 1;
+        } else if t.p(')') || t.p(']') {
+            paren -= 1;
+            if paren < 0 {
+                return k;
+            }
+        } else if t.p('<') {
+            depth += 1;
+        } else if t.p('>') && !(k > 0 && toks[k - 1].p('-')) {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        } else if t.p(';') || t.p('{') {
+            return k;
+        }
+    }
+    toks.len() - 1
+}

@@ -1,0 +1,157 @@
+//! `upcxx-analyze` — a hermetic static analyzer for the UPC++ reproduction.
+//!
+//! The runtime's correctness tooling rests on *interposition contracts*:
+//! raw segment access, conduit byte windows, allocator frees, span-id
+//! allocation, thread creation and process/socket primitives must each stay
+//! confined to one blessed module, or the PGAS sanitizer (`upcxx::san`) can
+//! no longer vouch for what it observes. Those contracts used to be grep
+//! rules in `scripts/lint.sh` — blind to comments, strings and `#[cfg(test)]`
+//! blocks, and unable to express anything semantic. This crate replaces them
+//! with a lexer-backed rule engine that also checks what greps cannot:
+//!
+//! * [`rules::restricted`] — `.wait()` / `barrier()` / `progress()` lexically
+//!   inside RPC handlers and `.then` callbacks (the static twin of the
+//!   dynamic sanitizer's restricted-context detector);
+//! * [`rules::pod`] — every locally-defined struct crossing `Ser`/`Pod`
+//!   must be `#[repr(C)]`, and `Pod` structs must have no padding the
+//!   analyzer can compute;
+//! * deprecated-API and fn-anchor rules (see [`rules`]).
+//!
+//! Suppressions are per-line comments with mandatory justification:
+//! `// analyze: allow(rule-name): why this is sound`.
+//!
+//! Zero dependencies; the whole workspace analyzes in well under a second.
+
+pub mod lexer;
+pub mod rules;
+mod walk;
+
+use lexer::{Lexed, Suppression, Tok};
+use std::path::Path;
+
+/// One rule violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name (kebab-case; valid in `analyze: allow(...)`).
+    pub rule: &'static str,
+    /// What is wrong, with enough context to act on.
+    pub message: String,
+    /// How to fix it.
+    pub hint: &'static str,
+}
+
+impl Finding {
+    /// `file:line: [rule] message` — the text-format line.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}\n    fix: {}",
+            self.file, self.line, self.rule, self.message, self.hint
+        )
+    }
+}
+
+/// A lexed source file plus everything rules need to scope themselves.
+pub struct FileCtx {
+    /// Workspace-relative path with forward slashes (`crates/core/src/rma.rs`).
+    pub path: String,
+    /// Token stream with `in_test` marked.
+    pub toks: Vec<Tok>,
+    /// Suppression directives found in this file.
+    pub sups: Vec<Suppression>,
+    /// Whole file is test code (lives under a `tests/` or `benches/` dir).
+    pub test_file: bool,
+}
+
+impl FileCtx {
+    /// Lex `src` as though it lived at `path` relative to the workspace root.
+    pub fn new(path: &str, src: &str) -> FileCtx {
+        let Lexed { mut toks, sups } = lexer::lex(src);
+        lexer::mark_cfg_test(&mut toks);
+        let test_file = path
+            .split('/')
+            .any(|seg| seg == "tests" || seg == "benches");
+        if test_file {
+            for t in &mut toks {
+                t.in_test = true;
+            }
+        }
+        FileCtx {
+            path: path.to_string(),
+            toks,
+            sups,
+            test_file,
+        }
+    }
+
+    /// File name without directories (`rma.rs`).
+    pub fn file_name(&self) -> &str {
+        self.path.rsplit('/').next().unwrap_or(&self.path)
+    }
+
+    /// Does a suppression for `rule` cover `line`? Trailing comments cover
+    /// their own line; a comment alone on its line covers the next one.
+    pub fn suppressed(&self, rule: &str, line: u32) -> bool {
+        self.sups.iter().any(|s| {
+            s.justified
+                && s.rules.iter().any(|r| r == rule)
+                && if s.own_line {
+                    s.line + 1 == line
+                } else {
+                    s.line == line
+                }
+        })
+    }
+}
+
+/// Analysis result.
+#[derive(Default)]
+pub struct Report {
+    /// All unsuppressed findings, in file/line order.
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+/// Analyze in-memory sources: `(workspace-relative path, contents)` pairs.
+/// This is the whole engine; [`analyze_root`] only adds the directory walk.
+pub fn analyze_sources(sources: &[(String, String)]) -> Report {
+    let files: Vec<FileCtx> = sources.iter().map(|(p, s)| FileCtx::new(p, s)).collect();
+
+    let mut findings = Vec::new();
+    for f in &files {
+        rules::run_file_rules(f, &mut findings);
+        rules::check_suppressions(f, &mut findings);
+    }
+    rules::pod::run(&files, &mut findings);
+
+    // Apply suppressions (a finding is dropped only by a justified directive
+    // naming its rule on/above its line; bad-suppression itself cannot be
+    // suppressed).
+    let by_path: std::collections::HashMap<&str, &FileCtx> =
+        files.iter().map(|f| (f.path.as_str(), f)).collect();
+    findings.retain(|fd| {
+        fd.rule == rules::BAD_SUPPRESSION
+            || !by_path
+                .get(fd.file.as_str())
+                .is_some_and(|f| f.suppressed(fd.rule, fd.line))
+    });
+
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings.dedup();
+    Report {
+        findings,
+        files_scanned: files.len(),
+    }
+}
+
+/// Walk a workspace root and analyze every `.rs` file in it, skipping
+/// `target/`, hidden dirs, and this crate's own test fixtures (which are
+/// deliberate rule violations).
+pub fn analyze_root(root: &Path) -> std::io::Result<Report> {
+    let sources = walk::collect_sources(root)?;
+    Ok(analyze_sources(&sources))
+}

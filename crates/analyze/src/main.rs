@@ -1,0 +1,126 @@
+//! `upcxx-analyze` CLI.
+//!
+//! ```text
+//! cargo run -p upcxx-analyze --release -- [--format=text|json] [--root DIR] [--list-rules]
+//! ```
+//!
+//! Exit status: 0 when the scan is clean, 1 when there are findings, 2 on
+//! usage/IO errors — so CI can gate on it directly.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut format = "text".to_string();
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if let Some(v) = a.strip_prefix("--format=") {
+            format = v.to_string();
+        } else if a == "--format" {
+            format = args.next().unwrap_or_default();
+        } else if let Some(v) = a.strip_prefix("--root=") {
+            root = Some(PathBuf::from(v));
+        } else if a == "--root" {
+            root = args.next().map(PathBuf::from);
+        } else if a == "--list-rules" {
+            for r in upcxx_analyze::rules::ALL_RULES {
+                println!("{r}");
+            }
+            return ExitCode::SUCCESS;
+        } else if a == "--help" || a == "-h" {
+            eprintln!("usage: upcxx-analyze [--format=text|json] [--root DIR] [--list-rules]");
+            return ExitCode::SUCCESS;
+        } else {
+            eprintln!("upcxx-analyze: unknown argument `{a}` (try --help)");
+            return ExitCode::from(2);
+        }
+    }
+    if format != "text" && format != "json" {
+        eprintln!("upcxx-analyze: --format must be `text` or `json`");
+        return ExitCode::from(2);
+    }
+
+    // Default root: the workspace containing this crate (works both from a
+    // checkout root and via `cargo run -p upcxx-analyze` from anywhere).
+    let root = root.unwrap_or_else(|| {
+        let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        manifest
+            .parent()
+            .and_then(|p| p.parent())
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+
+    let report = match upcxx_analyze::analyze_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("upcxx-analyze: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    match format.as_str() {
+        "json" => print_json(&report),
+        _ => print_text(&report),
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn print_text(report: &upcxx_analyze::Report) {
+    for f in &report.findings {
+        println!("{}", f.render());
+    }
+    println!(
+        "upcxx-analyze: {} finding(s) in {} file(s)",
+        report.findings.len(),
+        report.files_scanned
+    );
+}
+
+fn print_json(report: &upcxx_analyze::Report) {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\", \"hint\": \"{}\"}}",
+            esc(&f.file),
+            f.line,
+            f.rule,
+            esc(&f.message),
+            esc(f.hint)
+        ));
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"files_scanned\": {},\n  \"total\": {}\n}}",
+        report.files_scanned,
+        report.findings.len()
+    ));
+    println!("{out}");
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,295 @@
+//! Confinement rules: each hookable primitive of the runtime may appear in
+//! exactly the files where the sanitizer/tracer brackets it. These are the
+//! structured ports of `scripts/lint.sh`'s greps (kept behind `--legacy`),
+//! plus the `frame-fn-anchor` rule for fn-pointer shipping discipline.
+
+use crate::lexer::{match_angle, Kind};
+use crate::{FileCtx, Finding};
+
+/// Run every confinement rule on one file.
+pub fn run(f: &FileCtx, out: &mut Vec<Finding>) {
+    seg_access(f, out);
+    conduit_bytes(f, out);
+    dealloc(f, out);
+    span_id(f, out);
+    thread_spawn(f, out);
+    proc_surface(f, out);
+    frame_fn_anchor(f, out);
+}
+
+/// Is `path` under one of these workspace-relative directory prefixes?
+fn in_scope(path: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| path.starts_with(p))
+}
+
+/// `seg-confinement`: raw segment access (`seg_base` / `seg_read` /
+/// `seg_write` / `seg_with_mut` / `seg_fill`) stays in rma.rs and
+/// global_ptr.rs — anywhere else reads or writes segment memory behind the
+/// sanitizer's shadow state.
+fn seg_access(f: &FileCtx, out: &mut Vec<Finding>) {
+    if !in_scope(&f.path, &["crates/core/src/"]) {
+        return;
+    }
+    let allowed = matches!(
+        f.path.as_str(),
+        "crates/core/src/rma.rs" | "crates/core/src/global_ptr.rs"
+    );
+    if allowed {
+        return;
+    }
+    const NAMES: &[&str] = &[
+        "seg_base",
+        "seg_read",
+        "seg_write",
+        "seg_with_mut",
+        "seg_fill",
+    ];
+    for t in &f.toks {
+        if t.kind == Kind::Ident && NAMES.iter().any(|n| t.is(n)) {
+            out.push(Finding {
+                file: f.path.clone(),
+                line: t.line,
+                rule: "seg-confinement",
+                message: format!(
+                    "raw segment access `{}` outside rma.rs/global_ptr.rs bypasses the sanitizer",
+                    t.text
+                ),
+                hint: "go through upcxx::rput/rget (rma.rs) or GlobalPtr local access (global_ptr.rs)",
+            });
+        }
+    }
+}
+
+/// `conduit-bytes-confinement`: the conduit's raw byte windows
+/// (`.put_bytes(` / `.get_bytes(` / `.fill_bytes(`) are only called where
+/// check_rma/mark_complete hooks bracket them: rma.rs, global_ptr.rs (behind
+/// is_local) and the deferred-queue drain in ctx.rs.
+fn conduit_bytes(f: &FileCtx, out: &mut Vec<Finding>) {
+    if !in_scope(&f.path, &["crates/core/src/"]) {
+        return;
+    }
+    if matches!(
+        f.path.as_str(),
+        "crates/core/src/rma.rs" | "crates/core/src/global_ptr.rs" | "crates/core/src/ctx.rs"
+    ) {
+        return;
+    }
+    const NAMES: &[&str] = &["put_bytes", "get_bytes", "fill_bytes"];
+    for w in windows3(f) {
+        let (a, b, c) = w;
+        if f.toks[a].p('.') && NAMES.iter().any(|n| f.toks[b].is(n)) && f.toks[c].p('(') {
+            out.push(Finding {
+                file: f.path.clone(),
+                line: f.toks[b].line,
+                rule: "conduit-bytes-confinement",
+                message: format!(
+                    "conduit byte access `.{}(` outside rma.rs/global_ptr.rs/ctx.rs bypasses the sanitizer",
+                    f.toks[b].text
+                ),
+                hint: "route the transfer through the RMA entry points in rma.rs",
+            });
+        }
+    }
+}
+
+/// `dealloc-confinement`: direct `.dealloc(` on the segment allocator stays
+/// in alloc.rs, where quarantine, poisoning and bad-free diagnostics live.
+fn dealloc(f: &FileCtx, out: &mut Vec<Finding>) {
+    if !in_scope(&f.path, &["crates/core/src/"]) || f.path == "crates/core/src/alloc.rs" {
+        return;
+    }
+    for (a, b, c) in windows3(f) {
+        if f.toks[a].p('.') && f.toks[b].is("dealloc") && f.toks[c].p('(') {
+            out.push(Finding {
+                file: f.path.clone(),
+                line: f.toks[b].line,
+                rule: "dealloc-confinement",
+                message: "direct `.dealloc(` outside alloc.rs bypasses quarantine/bad-free checks"
+                    .to_string(),
+                hint: "free through upcxx::deallocate / alloc::segment_free",
+            });
+        }
+    }
+}
+
+/// `span-id-confinement`: `next_op.get(` / `next_op.set(` stays in trace.rs;
+/// `(origin, id)` is globally unique only if every id comes from
+/// `trace::new_span_id`.
+fn span_id(f: &FileCtx, out: &mut Vec<Finding>) {
+    if !in_scope(&f.path, &["crates/core/src/"]) || f.path == "crates/core/src/trace.rs" {
+        return;
+    }
+    for i in 0..f.toks.len().saturating_sub(3) {
+        if f.toks[i].is("next_op")
+            && f.toks[i + 1].p('.')
+            && (f.toks[i + 2].is("get") || f.toks[i + 2].is("set"))
+            && f.toks[i + 3].p('(')
+        {
+            out.push(Finding {
+                file: f.path.clone(),
+                line: f.toks[i].line,
+                rule: "span-id-confinement",
+                message: "span-id counter accessed outside trace.rs".to_string(),
+                hint: "allocate span ids via trace::new_span_id",
+            });
+        }
+    }
+}
+
+/// `thread-spawn-confinement`: the progress persona is the only hidden
+/// thread the core runtime may create; its lifecycle discipline lives in
+/// persona.rs. Unit-test helper threads (`#[cfg(test)]`) are exempt — the
+/// grep could not make that distinction.
+fn thread_spawn(f: &FileCtx, out: &mut Vec<Finding>) {
+    if !in_scope(&f.path, &["crates/core/src/"]) || f.path == "crates/core/src/persona.rs" {
+        return;
+    }
+    for i in 0..f.toks.len().saturating_sub(3) {
+        if !f.toks[i].is("thread") || !f.toks[i + 1].p(':') || !f.toks[i + 2].p(':') {
+            continue;
+        }
+        let target = &f.toks[i + 3];
+        if !(target.is("spawn") || target.is("Builder")) || target.in_test {
+            continue;
+        }
+        out.push(Finding {
+            file: f.path.clone(),
+            line: target.line,
+            rule: "thread-spawn-confinement",
+            message: format!(
+                "`thread::{}` outside persona.rs breaks the persona discipline",
+                target.text
+            ),
+            hint:
+                "let persona.rs own thread lifecycle (engine lock, stop flag, join-before-disable)",
+        });
+    }
+}
+
+/// `proc-confinement`: process/socket/asm primitives (`UnixListener`,
+/// `UnixStream`, `Command::new`, `asm!`) stay in the proc conduit's
+/// launcher (crates/gasnet/src/proc.rs), which owns child supervision and
+/// segment mapping.
+fn proc_surface(f: &FileCtx, out: &mut Vec<Finding>) {
+    if !in_scope(&f.path, &["crates/core/src/", "crates/gasnet/src/"])
+        || f.path == "crates/gasnet/src/proc.rs"
+    {
+        return;
+    }
+    let hint = "keep process/socket/mmap primitives inside the proc conduit launcher (proc.rs)";
+    for (i, t) in f.toks.iter().enumerate() {
+        if t.is("UnixListener") || t.is("UnixStream") {
+            out.push(Finding {
+                file: f.path.clone(),
+                line: t.line,
+                rule: "proc-confinement",
+                message: format!(
+                    "`{}` outside proc.rs escapes the launcher's supervision",
+                    t.text
+                ),
+                hint,
+            });
+        } else if t.is("Command")
+            && i + 3 < f.toks.len()
+            && f.toks[i + 1].p(':')
+            && f.toks[i + 2].p(':')
+            && f.toks[i + 3].is("new")
+        {
+            out.push(Finding {
+                file: f.path.clone(),
+                line: t.line,
+                rule: "proc-confinement",
+                message: "`Command::new` outside proc.rs escapes the launcher's supervision"
+                    .to_string(),
+                hint,
+            });
+        } else if t.is("asm") && i + 1 < f.toks.len() && f.toks[i + 1].p('!') {
+            out.push(Finding {
+                file: f.path.clone(),
+                line: t.line,
+                rule: "proc-confinement",
+                message: "inline `asm!` outside proc.rs escapes the launcher's supervision"
+                    .to_string(),
+                hint,
+            });
+        }
+    }
+}
+
+/// `frame-fn-anchor`: fn pointers cross ranks only as anchor-relative
+/// offsets (ASLR-stable). Three sub-checks inside crates/core/src:
+///
+/// 1. the anchor helpers (`encode_fn` / `decode_fn` / `code_anchor` /
+///    `anchor_symbol`) stay in frame.rs and dist.rs;
+/// 2. `transmute::<..>` whose type arguments mention `fn` or `Tramp` (i.e.
+///    forging a fn pointer from bits) stays in frame.rs, rpc.rs, dist.rs —
+///    the decode sites guarded by the `decode_fn` SAFETY contract;
+/// 3. the raw-cast idiom `as usize as u64` is banned outright: that is how
+///    an absolute fn address would sneak into a wire frame.
+fn frame_fn_anchor(f: &FileCtx, out: &mut Vec<Finding>) {
+    if !in_scope(&f.path, &["crates/core/src/"]) {
+        return;
+    }
+    let anchor_home = matches!(
+        f.path.as_str(),
+        "crates/core/src/frame.rs" | "crates/core/src/dist.rs"
+    );
+    let transmute_home = matches!(
+        f.path.as_str(),
+        "crates/core/src/frame.rs" | "crates/core/src/rpc.rs" | "crates/core/src/dist.rs"
+    );
+    const HELPERS: &[&str] = &["encode_fn", "decode_fn", "code_anchor", "anchor_symbol"];
+    for (i, t) in f.toks.iter().enumerate() {
+        if !anchor_home && t.kind == Kind::Ident && HELPERS.iter().any(|n| t.is(n)) {
+            out.push(Finding {
+                file: f.path.clone(),
+                line: t.line,
+                rule: "frame-fn-anchor",
+                message: format!("anchor helper `{}` used outside frame.rs/dist.rs", t.text),
+                hint: "ship fn pointers through AmDesc/FnToken so frame.rs owns encode/decode",
+            });
+        }
+        // `transmute :: < ...fn/Tramp... >`
+        if !transmute_home
+            && t.is("transmute")
+            && i + 3 < f.toks.len()
+            && f.toks[i + 1].p(':')
+            && f.toks[i + 2].p(':')
+            && f.toks[i + 3].p('<')
+        {
+            let close = match_angle(&f.toks, i + 3);
+            if f.toks[i + 3..=close]
+                .iter()
+                .any(|a| a.is("fn") || a.is("Tramp"))
+            {
+                out.push(Finding {
+                    file: f.path.clone(),
+                    line: t.line,
+                    rule: "frame-fn-anchor",
+                    message: "fn-pointer transmute outside frame.rs/rpc.rs/dist.rs".to_string(),
+                    hint: "decode fn pointers only via frame::decode_fn at the blessed sites",
+                });
+            }
+        }
+        if t.is("as")
+            && i + 3 < f.toks.len()
+            && f.toks[i + 1].is("usize")
+            && f.toks[i + 2].is("as")
+            && f.toks[i + 3].is("u64")
+        {
+            out.push(Finding {
+                file: f.path.clone(),
+                line: t.line,
+                rule: "frame-fn-anchor",
+                message: "raw `as usize as u64` cast — absolute addresses must not reach the wire"
+                    .to_string(),
+                hint: "use frame::encode_fn for fn pointers (anchor-relative, ASLR-stable)",
+            });
+        }
+    }
+}
+
+/// Indices of every consecutive token triple.
+fn windows3(f: &FileCtx) -> impl Iterator<Item = (usize, usize, usize)> {
+    (0..f.toks.len().saturating_sub(2)).map(|i| (i, i + 1, i + 2))
+}

@@ -1,0 +1,130 @@
+//! The rule registry.
+//!
+//! Two rule classes (ISSUE 8):
+//!
+//! **Confinement rules** port `scripts/lint.sh`'s greps into structured
+//! checks: each names a hookable primitive and the only files allowed to
+//! touch it. Unlike the greps they ignore comments/strings (the lexer never
+//! emits them), honor `#[cfg(test)]` where that is sound, and accept
+//! justified per-line suppressions.
+//!
+//! **Semantic rules** express what greps cannot: restricted-context (in
+//! [`restricted`]), POD/Ser layout ([`pod`]), deprecated-API and fn-anchor
+//! discipline (here).
+
+pub mod confine;
+pub mod pod;
+pub mod restricted;
+
+use crate::lexer::Kind;
+use crate::{FileCtx, Finding};
+
+/// Rule name for malformed/unjustified suppressions (not suppressible).
+pub const BAD_SUPPRESSION: &str = "bad-suppression";
+
+/// Every rule name the analyzer knows; `allow(...)` directives naming
+/// anything else are reported as [`BAD_SUPPRESSION`] (catches typos that
+/// would otherwise silently suppress nothing).
+pub const ALL_RULES: &[&str] = &[
+    "seg-confinement",
+    "conduit-bytes-confinement",
+    "dealloc-confinement",
+    "span-id-confinement",
+    "thread-spawn-confinement",
+    "proc-confinement",
+    "restricted-context",
+    "pod-transfer",
+    "deprecated-api",
+    "frame-fn-anchor",
+    BAD_SUPPRESSION,
+];
+
+/// Run every per-file rule on one file.
+pub fn run_file_rules(f: &FileCtx, out: &mut Vec<Finding>) {
+    confine::run(f, out);
+    restricted::run(f, out);
+    deprecated_api(f, out);
+}
+
+/// Validate this file's suppression directives themselves: a directive must
+/// name known rules and carry a justification, or it is a finding — silent,
+/// unexplained suppressions are exactly the rot the analyzer exists to stop.
+pub fn check_suppressions(f: &FileCtx, out: &mut Vec<Finding>) {
+    for s in &f.sups {
+        if s.rules.is_empty() || !s.justified {
+            out.push(Finding {
+                file: f.path.clone(),
+                line: s.line,
+                rule: BAD_SUPPRESSION,
+                message: "malformed suppression: expected \
+                          `analyze: allow(rule-name): justification` with a \
+                          non-empty justification"
+                    .to_string(),
+                hint: "state which rule is allowed and why the code is sound anyway",
+            });
+            continue;
+        }
+        for r in &s.rules {
+            if !ALL_RULES.contains(&r.as_str()) {
+                out.push(Finding {
+                    file: f.path.clone(),
+                    line: s.line,
+                    rule: BAD_SUPPRESSION,
+                    message: format!("suppression names unknown rule `{r}`"),
+                    hint: "use a rule name from `upcxx-analyze --list-rules`",
+                });
+            }
+        }
+    }
+}
+
+/// `deprecated-api`: no new call sites of removed/deprecated surface.
+/// `broadcast_gather` survives only as a `#[deprecated]` shim over
+/// `allgather`; the `stats_*()` free functions were deleted outright in
+/// favor of `upcxx::runtime_stats()`.
+fn deprecated_api(f: &FileCtx, out: &mut Vec<Finding>) {
+    // (name, may still be *defined*, fix hint). `broadcast_gather`'s shim
+    // definition is legal; the stats_*() functions were deleted outright, so
+    // even a definition reappearing is a finding (parity with ci.sh's guard).
+    const REMOVED: &[(&str, bool, &str)] = &[
+        (
+            "broadcast_gather",
+            true,
+            "call `upcxx::allgather` (same semantics, UPC++/MPI name)",
+        ),
+        (
+            "stats_rma_ops",
+            false,
+            "read `upcxx::runtime_stats().rma_ops`",
+        ),
+        ("stats_rpcs", false, "read `upcxx::runtime_stats().rpcs`"),
+        (
+            "stats_agg_msgs",
+            false,
+            "read `upcxx::runtime_stats().agg_msgs`",
+        ),
+        (
+            "stats_agg_batches",
+            false,
+            "read `upcxx::runtime_stats().agg_batches`",
+        ),
+    ];
+    for (i, t) in f.toks.iter().enumerate() {
+        if t.kind != Kind::Ident {
+            continue;
+        }
+        let Some((_, def_ok, hint)) = REMOVED.iter().find(|(n, _, _)| t.is(n)) else {
+            continue;
+        };
+        if *def_ok && i > 0 && f.toks[i - 1].is("fn") {
+            continue;
+        }
+        out.push(Finding {
+            file: f.path.clone(),
+            line: t.line,
+            rule: "deprecated-api",
+            message: format!("use of deprecated API `{}`", t.text),
+            hint,
+        });
+    }
+}

@@ -1,0 +1,369 @@
+//! `pod-transfer`: structs crossing the wire must have a defined layout.
+//!
+//! Anything implementing `Ser` (hand serialization) or `Pod` (bitwise
+//! copy via rput/rget and View) is reconstructed on another rank, possibly
+//! from a different binary. Rust's default `repr(Rust)` layout is not
+//! stable across compilations, so every locally-defined struct in a
+//! `Ser`/`Pod` position must be `#[repr(C)]` (or `repr(transparent)`).
+//! For `Pod` structs — which are memcpy'd — the rule additionally computes
+//! the C layout when every field type is a known primitive and flags
+//! interior/trailing padding: padding bytes are uninitialized memory that
+//! would be shipped to (and compared on) remote ranks.
+//!
+//! This is a workspace-wide pass: `impl Ser for X` may live in a different
+//! file than `struct X`. Resolution is deliberately "lite": same file, then
+//! same crate; ambiguous or unknown names are skipped, never guessed.
+
+use crate::lexer::{match_angle, match_close, Kind, Tok};
+use crate::{FileCtx, Finding};
+
+/// A struct definition found anywhere in the workspace.
+struct StructDef {
+    name: String,
+    file: String,
+    line: u32,
+    /// Has `#[repr(C)]` or `#[repr(transparent)]`.
+    repr_fixed: bool,
+    /// Has `packed` in its repr (no padding by construction).
+    packed: bool,
+    /// `(field name, size, align)` when every field type is known, else None.
+    layout: Option<Vec<(String, usize, usize)>>,
+}
+
+/// A `Ser`/`Pod` impl's target type name.
+struct TraitImpl {
+    target: String,
+    file: String,
+    line: u32,
+    /// "Ser" or "Pod".
+    which: &'static str,
+}
+
+/// Run the pass over all files.
+pub fn run(files: &[FileCtx], out: &mut Vec<Finding>) {
+    let mut defs: Vec<StructDef> = Vec::new();
+    let mut impls: Vec<TraitImpl> = Vec::new();
+    for f in files {
+        collect_structs(f, &mut defs);
+        collect_impls(f, &mut impls);
+    }
+
+    for im in &impls {
+        let Some(def) = resolve(&defs, &im.target, &im.file) else {
+            continue;
+        };
+        if !def.repr_fixed {
+            out.push(Finding {
+                file: def.file.clone(),
+                line: def.line,
+                rule: "pod-transfer",
+                message: format!(
+                    "struct `{}` implements `{}` (at {}:{}) but is not `#[repr(C)]` — \
+                     repr(Rust) layout is not stable across ranks",
+                    def.name, im.which, im.file, im.line
+                ),
+                hint: "add #[repr(C)] (or #[repr(transparent)] for single-field wrappers)",
+            });
+        }
+        if im.which == "Pod" && !def.packed {
+            if let Some(fields) = &def.layout {
+                report_padding(def, fields, out);
+            }
+        }
+    }
+}
+
+/// Same-file, then same-crate, then unique-anywhere resolution.
+fn resolve<'a>(defs: &'a [StructDef], name: &str, from_file: &str) -> Option<&'a StructDef> {
+    let named: Vec<&StructDef> = defs.iter().filter(|d| d.name == name).collect();
+    if let Some(d) = named.iter().find(|d| d.file == from_file) {
+        return Some(d);
+    }
+    let crate_of = |p: &str| p.splitn(3, '/').take(2).collect::<Vec<_>>().join("/");
+    let local: Vec<&&StructDef> = named
+        .iter()
+        .filter(|d| crate_of(&d.file) == crate_of(from_file))
+        .collect();
+    if local.len() == 1 {
+        return Some(local[0]);
+    }
+    if named.len() == 1 {
+        return Some(named[0]);
+    }
+    None
+}
+
+fn report_padding(def: &StructDef, fields: &[(String, usize, usize)], out: &mut Vec<Finding>) {
+    let mut off = 0usize;
+    let mut max_align = 1usize;
+    for (name, size, align) in fields {
+        let aligned = off.div_ceil(*align) * *align;
+        if aligned != off {
+            out.push(Finding {
+                file: def.file.clone(),
+                line: def.line,
+                rule: "pod-transfer",
+                message: format!(
+                    "Pod struct `{}` has {} byte(s) of padding before field `{}` — \
+                     uninitialized bytes would cross the wire",
+                    def.name,
+                    aligned - off,
+                    name
+                ),
+                hint: "reorder fields largest-first or add explicit padding fields",
+            });
+        }
+        off = aligned + size;
+        max_align = max_align.max(*align);
+    }
+    let total = off.div_ceil(max_align) * max_align;
+    if total != off {
+        out.push(Finding {
+            file: def.file.clone(),
+            line: def.line,
+            rule: "pod-transfer",
+            message: format!(
+                "Pod struct `{}` has {} trailing padding byte(s) — \
+                 uninitialized bytes would cross the wire",
+                def.name,
+                total - off
+            ),
+            hint: "reorder fields largest-first or add explicit padding fields",
+        });
+    }
+}
+
+/// Scan one file for `struct` definitions, capturing repr and field layout.
+fn collect_structs(f: &FileCtx, out: &mut Vec<StructDef>) {
+    let toks = &f.toks;
+    // Map attr-close `]` index → attr-start `#` index, for backward walks.
+    let mut attr_of_close: std::collections::HashMap<usize, usize> =
+        std::collections::HashMap::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].p('#') && toks[i + 1].p('[') {
+            let close = match_close(toks, i + 1, '[', ']');
+            attr_of_close.insert(close, i);
+            i = close + 1;
+        } else {
+            i += 1;
+        }
+    }
+
+    for i in 0..toks.len() {
+        if !toks[i].is("struct") || i + 1 >= toks.len() || toks[i + 1].kind != Kind::Ident {
+            continue;
+        }
+        let name = toks[i + 1].text.clone();
+        // Walk backwards over visibility (`pub`, `pub(crate)`) to the attrs.
+        let mut j = i;
+        while j > 0 {
+            let p = &toks[j - 1];
+            if p.is("pub") || p.is("crate") || p.is("super") || p.is("in") || p.p('(') || p.p(')') {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        let (mut repr_fixed, mut packed) = (false, false);
+        while j > 0 {
+            let Some(&start) = attr_of_close.get(&(j - 1)) else {
+                break;
+            };
+            let attr = &toks[start..j];
+            if attr.iter().any(|t| t.is("repr")) {
+                repr_fixed |= attr.iter().any(|t| t.is("C") || t.is("transparent"));
+                packed |= attr.iter().any(|t| t.is("packed"));
+            }
+            j = start;
+        }
+        // Body: `{ fields }`, `( tuple );`, or `;`. Generic structs get
+        // layout=None unless fields are still all-primitive.
+        let mut k = i + 2;
+        if k < toks.len() && toks[k].p('<') {
+            k = match_angle(toks, k) + 1;
+        }
+        while k < toks.len() && !toks[k].p('{') && !toks[k].p('(') && !toks[k].p(';') {
+            k += 1;
+        }
+        let layout = if k < toks.len() && toks[k].p('{') {
+            parse_fields(toks, k, match_close(toks, k, '{', '}'), false)
+        } else if k < toks.len() && toks[k].p('(') {
+            parse_fields(toks, k, match_close(toks, k, '(', ')'), true)
+        } else {
+            Some(Vec::new()) // unit struct: zero-size, no padding
+        };
+        out.push(StructDef {
+            name,
+            file: f.path.clone(),
+            line: toks[i + 1].line,
+            repr_fixed,
+            packed,
+            layout,
+        });
+    }
+}
+
+/// Parse the fields between `open` and `close` into (name, size, align),
+/// or None if any field type is not a known primitive.
+fn parse_fields(
+    toks: &[Tok],
+    open: usize,
+    close: usize,
+    tuple: bool,
+) -> Option<Vec<(String, usize, usize)>> {
+    let mut fields = Vec::new();
+    let mut j = open + 1;
+    let mut idx = 0usize;
+    while j < close {
+        // Skip field attributes and visibility.
+        while j < close && toks[j].p('#') && toks.get(j + 1).is_some_and(|t| t.p('[')) {
+            j = match_close(toks, j + 1, '[', ']') + 1;
+        }
+        while j < close
+            && (toks[j].is("pub")
+                || toks[j].p('(')
+                    && toks
+                        .get(j + 1)
+                        .is_some_and(|t| t.is("crate") || t.is("super")))
+        {
+            if toks[j].p('(') {
+                j = match_close(toks, j, '(', ')') + 1;
+            } else {
+                j += 1;
+            }
+        }
+        if j >= close {
+            break;
+        }
+        // Field end: the `,` at depth 0, or `close`.
+        let mut end = j;
+        let mut depth = 0i32;
+        while end < close {
+            let t = &toks[end];
+            if t.p('(') || t.p('[') || t.p('{') || t.p('<') {
+                depth += 1;
+            } else if t.p(')') || t.p(']') || t.p('}') || (t.p('>') && !toks[end - 1].p('-')) {
+                depth -= 1;
+            } else if t.p(',') && depth == 0 {
+                break;
+            }
+            end += 1;
+        }
+        let (name, ty_start) = if tuple {
+            (format!("{idx}"), j)
+        } else {
+            // `name : type`
+            let colon = (j..end).find(|&x| toks[x].p(':'))?;
+            (toks[j].text.clone(), colon + 1)
+        };
+        let (size, align) = prim_layout(&toks[ty_start..end])?;
+        fields.push((name, size, align));
+        idx += 1;
+        j = end + 1;
+    }
+    Some(fields)
+}
+
+/// (size, align) of a primitive-enough type, or None if unknown.
+fn prim_layout(ty: &[Tok]) -> Option<(usize, usize)> {
+    if ty.is_empty() {
+        return None;
+    }
+    // `[T; N]` arrays of primitives.
+    if ty[0].p('[') {
+        let semi = ty.iter().position(|t| t.p(';'))?;
+        let (es, ea) = prim_layout(&ty[1..semi])?;
+        let n: usize = ty
+            .get(semi + 1)
+            .filter(|t| t.kind == Kind::Num)?
+            .text
+            .parse()
+            .ok()?;
+        return Some((es * n, ea));
+    }
+    // `PhantomData<...>` is zero-sized, align 1 (possibly behind a path).
+    if ty.iter().any(|t| t.is("PhantomData")) {
+        return Some((0, 1));
+    }
+    if ty.len() != 1 {
+        return None;
+    }
+    let s = ty[0].text.as_str();
+    Some(match s {
+        "u8" | "i8" | "bool" => (1, 1),
+        "u16" | "i16" => (2, 2),
+        "u32" | "i32" | "f32" | "char" => (4, 4),
+        "u64" | "i64" | "f64" => (8, 8),
+        // 64-bit targets only — all this workspace supports.
+        "usize" | "isize" => (8, 8),
+        _ => return None,
+    })
+}
+
+/// Scan one file for `impl ... Ser for X` / `impl ... Pod for X`.
+fn collect_impls(f: &FileCtx, out: &mut Vec<TraitImpl>) {
+    let toks = &f.toks;
+    for i in 0..toks.len() {
+        if !toks[i].is("impl") {
+            continue;
+        }
+        let mut j = i + 1;
+        if j < toks.len() && toks[j].p('<') {
+            j = match_angle(toks, j) + 1;
+        }
+        // Trait path up to `for` (depth-0), else inherent impl — skip.
+        let mut trait_name: Option<&str> = None;
+        let mut depth = 0i32;
+        let mut k = j;
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.p('<') {
+                depth += 1;
+            } else if t.p('>') && !toks[k - 1].p('-') {
+                depth -= 1;
+            } else if t.p('{') || t.p(';') {
+                trait_name = None;
+                break;
+            } else if depth == 0 && t.is("for") {
+                break;
+            } else if depth == 0 && t.kind == Kind::Ident {
+                trait_name = Some(&t.text);
+            }
+            k += 1;
+        }
+        let which = match trait_name {
+            Some("Ser") => "Ser",
+            Some("Pod") => "Pod",
+            _ => continue,
+        };
+        if k >= toks.len() || !toks[k].is("for") {
+            continue;
+        }
+        // Target type: last depth-0 ident before `{` / `where`.
+        let mut target: Option<(String, u32)> = None;
+        let mut depth = 0i32;
+        let mut m = k + 1;
+        while m < toks.len() {
+            let t = &toks[m];
+            if t.p('<') {
+                depth += 1;
+            } else if t.p('>') && !toks[m - 1].p('-') {
+                depth -= 1;
+            } else if t.p('{') || t.is("where") {
+                break;
+            } else if depth == 0 && t.kind == Kind::Ident {
+                target = Some((t.text.clone(), t.line));
+            }
+            m += 1;
+        }
+        if let Some((name, line)) = target {
+            out.push(TraitImpl {
+                target: name,
+                file: f.path.clone(),
+                line,
+                which,
+            });
+        }
+    }
+}

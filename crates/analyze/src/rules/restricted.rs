@@ -1,0 +1,271 @@
+//! `restricted-context`: the static twin of the dynamic sanitizer's
+//! restricted-context detector (`san.rs`).
+//!
+//! RPC handlers and future callbacks execute *inside* `progress()`: calling
+//! `.wait()`, `barrier()` or `progress()` there either deadlocks (the wait
+//! can only be satisfied by the progress call we are already inside of) or
+//! re-enters the engine. The dynamic detector catches this at runtime when
+//! the path happens to execute; this rule catches it at lex time.
+//!
+//! What counts as a restricted region:
+//!
+//! * closure bodies inside the parens of `rpc(...)` / `rpc_ff(...)` /
+//!   `sys_am(...)` calls;
+//! * closure bodies inside `.then(...)` / `.then_fut(...)` calls;
+//! * the body of a same-file `fn` named as the handler argument (2nd
+//!   position) of an `rpc` / `rpc_ff` / `sys_am` call — "use-resolution
+//!   lite": no cross-file resolution, by design.
+//!
+//! `make_ready_future().wait()` is exempt: it completes without progress,
+//! and the runtime itself blesses it in restricted contexts.
+
+use crate::lexer::{match_close, Tok};
+use crate::{FileCtx, Finding};
+
+/// Entry points whose call parens introduce restricted closure regions and
+/// whose 2nd argument names a handler fn.
+const RPC_LIKE: &[&str] = &["rpc", "rpc_ff", "sys_am"];
+
+/// Method calls whose closure argument runs as a progress-time callback.
+const THEN_LIKE: &[&str] = &["then", "then_fut"];
+
+pub fn run(f: &FileCtx, out: &mut Vec<Finding>) {
+    let toks = &f.toks;
+    let mut regions: Vec<(usize, usize, &'static str)> = Vec::new();
+    let mut handler_names: Vec<String> = Vec::new();
+
+    for i in 0..toks.len() {
+        // `rpc(` / `rpc_ff(` / `sys_am(` — with or without `::<...>` turbofish,
+        // but not `.rpc(` method calls on unrelated types and not `fn rpc`.
+        if let Some(&name) = RPC_LIKE.iter().find(|n| toks[i].is(n)) {
+            if i > 0 && (toks[i - 1].is("fn") || toks[i - 1].p('.')) {
+                continue;
+            }
+            let Some(open) = call_open(toks, i + 1) else {
+                continue;
+            };
+            let close = match_close(toks, open, '(', ')');
+            let site: &'static str = match name {
+                "rpc" => "an `rpc` call",
+                "rpc_ff" => "an `rpc_ff` call",
+                _ => "a `sys_am` call",
+            };
+            for body in closure_bodies(toks, open + 1, close) {
+                regions.push((body.0, body.1, site));
+            }
+            if let Some(h) = second_arg_ident(toks, open, close) {
+                handler_names.push(h);
+            }
+        }
+        // `.then(` / `.then_fut(`
+        if i > 0
+            && toks[i - 1].p('.')
+            && THEN_LIKE.iter().any(|n| toks[i].is(n))
+            && i + 1 < toks.len()
+        {
+            let Some(open) = call_open(toks, i + 1) else {
+                continue;
+            };
+            let close = match_close(toks, open, '(', ')');
+            for body in closure_bodies(toks, open + 1, close) {
+                regions.push((body.0, body.1, "a future callback"));
+            }
+        }
+    }
+
+    // Use-resolution lite: a handler fn defined in this same file is itself
+    // a restricted region.
+    handler_names.sort();
+    handler_names.dedup();
+    for name in &handler_names {
+        if let Some((start, end)) = fn_body(toks, name) {
+            regions.push((start, end, "an RPC handler body"));
+        }
+    }
+
+    for (start, end, site) in regions {
+        scan_region(f, start, end, site, out);
+    }
+}
+
+/// If `toks[i..]` begins a call argument list — `(` directly, or a
+/// `::<...>(` turbofish — return the index of the `(`.
+fn call_open(toks: &[Tok], i: usize) -> Option<usize> {
+    if toks.get(i)?.p('(') {
+        return Some(i);
+    }
+    if toks.get(i)?.p(':') && toks.get(i + 1)?.p(':') && toks.get(i + 2)?.p('<') {
+        let close = crate::lexer::match_angle(toks, i + 2);
+        if toks.get(close + 1)?.p('(') {
+            return Some(close + 1);
+        }
+    }
+    None
+}
+
+/// Find closure bodies (`|args| body` / `move |args| body`) between `start`
+/// and `end` (exclusive of the call's closing paren). Returns inclusive
+/// token ranges covering each body.
+fn closure_bodies(toks: &[Tok], start: usize, end: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = start;
+    while i < end {
+        if !toks[i].p('|') || !closure_start(toks, i, start) {
+            i += 1;
+            continue;
+        }
+        // Find the `|` closing the parameter list. `||` is an empty list.
+        let params_close = if toks.get(i + 1).is_some_and(|t| t.p('|')) {
+            i + 1
+        } else {
+            let mut j = i + 1;
+            let mut depth = 0i32;
+            while j < end {
+                if toks[j].p('(') || toks[j].p('[') {
+                    depth += 1;
+                } else if toks[j].p(')') || toks[j].p(']') {
+                    depth -= 1;
+                } else if toks[j].p('|') && depth == 0 {
+                    break;
+                }
+                j += 1;
+            }
+            j
+        };
+        let body_start = params_close + 1;
+        if body_start >= end {
+            break;
+        }
+        let body_end = if toks[body_start].p('{') {
+            match_close(toks, body_start, '{', '}')
+        } else {
+            // Expression body: runs to the `,` or `)` that ends this
+            // argument at nesting depth zero.
+            let mut j = body_start;
+            let mut depth = 0i32;
+            while j < end {
+                let t = &toks[j];
+                if t.p('(') || t.p('[') || t.p('{') {
+                    depth += 1;
+                } else if t.p(')') || t.p(']') || t.p('}') {
+                    depth -= 1;
+                } else if t.p(',') && depth == 0 {
+                    break;
+                }
+                j += 1;
+            }
+            j.saturating_sub(1)
+        };
+        out.push((body_start, body_end.min(end)));
+        i = body_start;
+    }
+    out
+}
+
+/// Is the `|` at `i` plausibly the start of a closure (vs a bitwise or)?
+/// True after `(`, `,`, `move`, `=`, `{`, or at the region start.
+fn closure_start(toks: &[Tok], i: usize, region_start: usize) -> bool {
+    if i == region_start {
+        return true;
+    }
+    let p = &toks[i - 1];
+    p.p('(') || p.p(',') || p.p('{') || p.p('=') || p.is("move")
+}
+
+/// If the call's 2nd top-level argument is a bare identifier (or the final
+/// segment of a path), return it — that is the handler fn name.
+fn second_arg_ident(toks: &[Tok], open: usize, close: usize) -> Option<String> {
+    let mut depth = 0i32;
+    let mut arg = 0usize;
+    let mut seg: Option<String> = None;
+    let mut simple = true;
+    for t in toks.iter().take(close).skip(open + 1) {
+        if t.p('(') || t.p('[') || t.p('{') {
+            depth += 1;
+        } else if t.p(')') || t.p(']') || t.p('}') {
+            depth -= 1;
+        } else if t.p(',') && depth == 0 {
+            if arg == 1 {
+                break;
+            }
+            arg += 1;
+            continue;
+        }
+        if arg != 1 || depth != 0 {
+            continue;
+        }
+        if t.kind == crate::lexer::Kind::Ident && !t.is("move") {
+            seg = Some(t.text.clone());
+        } else if !t.p(':') {
+            // Anything but a path (`a::b::handler`) is not a bare fn name.
+            simple = false;
+        }
+    }
+    if simple {
+        seg
+    } else {
+        None
+    }
+}
+
+/// Locate `fn <name> ... { body }` in this file; returns the body range.
+fn fn_body(toks: &[Tok], name: &str) -> Option<(usize, usize)> {
+    for i in 0..toks.len().saturating_sub(1) {
+        if toks[i].is("fn") && toks[i + 1].is(name) {
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].p('{') && !toks[j].p(';') {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].p('{') {
+                return Some((j, match_close(toks, j, '{', '}')));
+            }
+            return None;
+        }
+    }
+    None
+}
+
+/// Report `.wait()` / `barrier()` / `progress()` inside `toks[start..=end]`.
+fn scan_region(f: &FileCtx, start: usize, end: usize, site: &str, out: &mut Vec<Finding>) {
+    let toks = &f.toks;
+    let end = end.min(toks.len().saturating_sub(1));
+    for i in start..=end {
+        // `.wait(` — except the blessed `make_ready_future().wait()`.
+        if toks[i].p('.') && i + 2 <= end && toks[i + 1].is("wait") && toks[i + 2].p('(') {
+            let blessed = i >= 3
+                && toks[i - 1].p(')')
+                && toks[i - 2].p('(')
+                && toks[i - 3].is("make_ready_future");
+            if !blessed {
+                out.push(Finding {
+                    file: f.path.clone(),
+                    line: toks[i + 1].line,
+                    rule: "restricted-context",
+                    message: format!(
+                        "`.wait()` inside {site} — blocking in a progress-time callback deadlocks"
+                    ),
+                    hint: "return/chain the future (then/then_fut) instead of waiting inside the callback",
+                });
+            }
+        }
+        // `barrier(` / `progress(` calls (definitions excluded by the
+        // preceding-`fn` check; `barrier_async` never matches the exact
+        // ident).
+        if (toks[i].is("barrier") || toks[i].is("progress"))
+            && i < end
+            && toks[i + 1].p('(')
+            && !(i > 0 && toks[i - 1].is("fn"))
+        {
+            out.push(Finding {
+                file: f.path.clone(),
+                line: toks[i].line,
+                rule: "restricted-context",
+                message: format!(
+                    "`{}()` inside {site} — collective/progress re-entry from a callback",
+                    toks[i].text
+                ),
+                hint: "hoist the collective out of the callback (e.g. chain on barrier_async)",
+            });
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Workspace file discovery: every `.rs` file under the root, minus build
+//! output, VCS internals, and the analyzer's own fixture corpus (whose files
+//! are deliberate violations and would otherwise fail every self-scan).
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Directories never descended into, by name.
+const SKIP_DIRS: &[&str] = &["target", ".git", "results"];
+
+/// Path prefixes (workspace-relative, forward slashes) excluded from scans.
+/// The analyzer's own crate is out: its sources and fixtures are saturated
+/// with rule names, directive examples and deliberate violations.
+const SKIP_PREFIXES: &[&str] = &["crates/analyze"];
+
+/// Collect `(relative path, contents)` for every scannable `.rs` file.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<(String, String)>> {
+    let mut out = Vec::new();
+    descend(root, root, &mut out)?;
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+fn descend(root: &Path, dir: &Path, out: &mut Vec<(String, String)>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for e in entries {
+        let path = e.path();
+        let name = e.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            let rel = rel_path(root, &path);
+            if SKIP_PREFIXES
+                .iter()
+                .any(|p| rel == *p || rel.starts_with(&format!("{p}/")))
+            {
+                continue;
+            }
+            descend(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = rel_path(root, &path);
+            let src = fs::read_to_string(&path)?;
+            out.push((rel, src));
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

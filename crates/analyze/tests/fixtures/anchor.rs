@@ -1,0 +1,27 @@
+//@ file: crates/core/src/agg.rs
+pub fn bad(f: fn()) -> u64 {
+    let off = encode_fn(f); //~ frame-fn-anchor
+    let raw = addr_of(f) as usize as u64; //~ frame-fn-anchor
+    raw + off
+}
+pub unsafe fn bad2(addr: usize) {
+    let g = std::mem::transmute::<usize, fn(u32)>(addr); //~ frame-fn-anchor
+    let t = std::mem::transmute::<usize, Tramp>(addr); //~ frame-fn-anchor
+    let h = std::mem::transmute::<u64, [u8; 8]>(0u64); // non-fn transmute: fine
+    let _ = (g, t, h);
+    // encode_fn in a comment is not a finding
+    let s = "decode_fn in a string is not a finding";
+    let _ = s;
+}
+//@ file: crates/core/src/frame.rs
+pub fn ok(f: fn()) -> u64 {
+    encode_fn(f as usize).wrapping_add(code_anchor() as u64)
+}
+//@ file: crates/core/src/rpc.rs
+pub unsafe fn ok2(addr: usize) -> fn(u32) {
+    std::mem::transmute::<usize, fn(u32)>(addr)
+}
+//@ file: crates/dht/src/lib.rs
+pub fn out_of_scope(x: usize) -> u64 {
+    x as usize as u64 // outside crates/core/src: not this rule's scope
+}

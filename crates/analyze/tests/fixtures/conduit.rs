@@ -1,0 +1,17 @@
+//@ file: crates/core/src/coll.rs
+pub fn bad(h: &Handle) {
+    h.put_bytes(0, &[]); //~ conduit-bytes-confinement
+    h.get_bytes(0, &mut []); //~ conduit-bytes-confinement
+    my_put_bytes(1); // near miss: different identifier
+    put_bytes(2); // near miss: free function, no receiver
+    // h.fill_bytes(...) in a comment is not a finding
+}
+//@ file: crates/core/src/ctx.rs
+pub fn ok(h: &Handle) {
+    h.put_bytes(0, &[]);
+    h.fill_bytes(0, 0, 1);
+}
+//@ file: crates/gasnet/src/smp.rs
+pub fn out_of_scope(h: &Handle) {
+    h.put_bytes(0, &[]);
+}

@@ -1,0 +1,12 @@
+//@ file: crates/core/src/team.rs
+pub fn bad(a: &Allocator) {
+    a.dealloc(3); //~ dealloc-confinement
+    let dealloc = 1; // near miss: bare identifier, no receiver
+    self_dealloc(dealloc); // near miss: different identifier
+    let s = ".dealloc( in a string is not a finding";
+    let _ = s;
+}
+//@ file: crates/core/src/alloc.rs
+pub fn ok(a: &Allocator) {
+    a.dealloc(3);
+}

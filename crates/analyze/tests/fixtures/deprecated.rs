@@ -1,0 +1,15 @@
+//@ file: crates/core/src/coll.rs
+pub fn bad(x: Slot) {
+    let v = broadcast_gather(x); //~ deprecated-api
+    let s = "broadcast_gather in a string is not a finding";
+    // broadcast_gather in a comment is not a finding
+    let _ = (v, s);
+    broadcast_gather_all(); // near miss: different identifier
+}
+#[deprecated]
+pub fn broadcast_gather(x: Slot) -> Slot {
+    x // the shim's own definition is legal
+}
+pub fn stats_rpcs() -> u64 { //~ deprecated-api
+    0 // even *defining* a stats_* shim is a finding (they were deleted)
+}

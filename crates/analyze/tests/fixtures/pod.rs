@@ -1,0 +1,63 @@
+//@ file: crates/core/src/msg.rs
+pub struct BadSer { //~ pod-transfer
+    pub a: u32,
+}
+impl Ser for BadSer {
+    fn ser(&self, out: &mut Vec<u8>) {
+        self.a.ser(out);
+    }
+}
+
+#[repr(C)]
+pub struct Padded { //~ pod-transfer
+    pub a: u8,
+    pub b: u64,
+}
+unsafe impl Pod for Padded {}
+
+#[repr(C)]
+pub struct Trailing { //~ pod-transfer
+    pub a: u64,
+    pub b: u32,
+}
+unsafe impl Pod for Trailing {}
+
+#[repr(C)]
+pub struct GoodPod {
+    pub a: u64,
+    pub b: u32,
+    pub c: [u8; 4],
+}
+unsafe impl Pod for GoodPod {}
+
+#[repr(transparent)]
+pub struct Wrapper(u64);
+impl Ser for Wrapper {
+    fn ser(&self, out: &mut Vec<u8>) {
+        self.0.ser(out);
+    }
+}
+
+#[repr(C, packed)]
+pub struct PackedPod {
+    pub a: u8,
+    pub b: u64,
+}
+unsafe impl Pod for PackedPod {}
+
+#[repr(C)]
+pub struct Opaque {
+    inner: SomethingUnknown, // layout not computable: repr check only
+}
+unsafe impl Pod for Opaque {}
+
+pub struct NoImpls {
+    pub x: u16, // never crosses Ser/Pod: not checked
+}
+//@ file: crates/core/src/msg_impls.rs
+pub struct CrossFile { //~ pod-transfer
+    pub a: u32,
+    pub b: u32,
+}
+//@ file: crates/core/src/msg_impls2.rs
+unsafe impl Pod for CrossFile {} // same-crate resolution finds the definition

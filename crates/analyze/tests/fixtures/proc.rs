@@ -1,0 +1,21 @@
+//@ file: crates/gasnet/src/boot.rs
+pub fn bad() {
+    let l = UnixListener::bind("/tmp/x"); //~ proc-confinement
+    let s = UnixStream::connect("/tmp/x"); //~ proc-confinement
+    let c = Command::new("ls"); //~ proc-confinement
+    unsafe { asm!("nop") }; //~ proc-confinement
+    let msg = "UnixStream in a string is not a finding";
+    let _ = (l, s, c, msg);
+    command_new(); // near miss: different identifier
+}
+//@ file: crates/gasnet/src/proc.rs
+pub fn ok() {
+    let l = UnixListener::bind("/tmp/x");
+    let c = Command::new("ls");
+    let _ = (l, c);
+}
+//@ file: crates/bench/src/bin/fig3.rs
+pub fn out_of_scope() {
+    let c = Command::new("ls");
+    let _ = c;
+}

@@ -1,0 +1,29 @@
+//@ file: crates/core/src/user.rs
+fn handler(_: ()) -> u64 {
+    make_ready_future().wait(); // blessed: completes without progress
+    upcxx::progress(); //~ restricted-context
+    0
+}
+pub fn go() {
+    upcxx::rpc(1, handler, ()).then(move |v| {
+        upcxx::barrier(); //~ restricted-context
+        let f = pending_future();
+        f.wait() //~ restricted-context
+    });
+    upcxx::rpc(1, handler, ()).wait(); // wait outside the callback: legal
+    upcxx::rpc_ff(1, |x: u64| {
+        other_future(x).wait(); //~ restricted-context
+    });
+    fut().then_fut(|_| barrier_async()); // near miss: barrier_async is fine
+    let cond = (1 == 1).then(|| 2); // bool::then closure with no violation
+    let _ = cond;
+}
+fn barrier_wrapper() {
+    upcxx::barrier(); // not a restricted region: plain fn, never named as a handler
+}
+//@ file: crates/core/src/other.rs
+pub fn chained() {
+    rget(src(), 4).then(|v| consume(v)); // callback without violations
+    let total = rget_val(src()).wait(); // wait at top level: legal
+    let _ = total;
+}

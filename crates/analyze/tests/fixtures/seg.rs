@@ -1,0 +1,25 @@
+//@ file: crates/core/src/agg.rs
+pub fn bad(off: usize) -> u64 {
+    let v = seg_read(off); //~ seg-confinement
+    // seg_write in a comment is not a finding
+    let s = "seg_write(0, v) in a string is not a finding";
+    let r = r#"seg_fill in a raw string is not a finding"#;
+    let br = br##"seg_base in a hashed raw byte string is not a finding"##;
+    let _ = (s, r, br);
+    segment_read(off); // near miss: different identifier
+    v
+}
+//@ file: crates/core/src/rma.rs
+pub fn ok(off: usize) -> u64 {
+    seg_write(off, 1);
+    seg_read(off)
+}
+//@ file: crates/core/src/global_ptr.rs
+pub fn also_ok(off: usize) -> u64 {
+    seg_with_mut(off, |_| {});
+    seg_read(off)
+}
+//@ file: crates/dht/src/lib.rs
+pub fn out_of_scope(off: usize) -> u64 {
+    seg_read(off)
+}

@@ -1,0 +1,12 @@
+//@ file: crates/core/src/rpc.rs
+fn bad(c: &Ctx) -> u64 {
+    let id = c.next_op.get(); //~ span-id-confinement
+    c.next_op.set(id + 1); //~ span-id-confinement
+    next_op_backup.get() // near miss: different identifier
+}
+//@ file: crates/core/src/trace.rs
+fn ok(c: &Ctx) -> u64 {
+    let id = c.next_op.get();
+    c.next_op.set(id + 1);
+    id
+}

@@ -1,0 +1,24 @@
+//@ file: crates/core/src/sup.rs
+pub fn trailing_ok(off: usize) -> u64 {
+    seg_read(off) // analyze: allow(seg-confinement): fixture — justified trailing suppression covers its own line
+}
+pub fn own_line_ok(off: usize) -> u64 {
+    // analyze: allow(seg-confinement): fixture — a comment alone on its line covers the next line
+    seg_read(off)
+}
+pub fn unjustified(off: usize) -> u64 {
+    seg_read(off) // analyze: allow(seg-confinement) -- no justification //~ seg-confinement bad-suppression
+}
+pub fn wrong_rule(off: usize) -> u64 {
+    // analyze: allow(dealloc-confinement): names the wrong rule, so the seg finding stays
+    seg_read(off) //~ seg-confinement
+}
+pub fn too_far(off: usize) -> u64 {
+    // analyze: allow(seg-confinement): an own-line comment only reaches one line down
+    let gap = 1;
+    seg_read(off + gap) //~ seg-confinement
+}
+pub fn typoed_rule() {
+    let x = 1; // analyze: allow(seg-confinment): typo in the rule name //~ bad-suppression
+    let _ = x;
+}

@@ -1,0 +1,21 @@
+//@ file: crates/core/src/agg.rs
+pub fn bad() {
+    std::thread::spawn(|| {}); //~ thread-spawn-confinement
+    let b = std::thread::Builder::new(); //~ thread-spawn-confinement
+    let _ = b;
+    // thread::spawn in a comment is not a finding
+}
+#[cfg(test)]
+mod tests {
+    fn helper() {
+        std::thread::spawn(|| {}).join().unwrap(); // cfg(test) helper threads are exempt
+    }
+}
+//@ file: crates/core/src/persona.rs
+pub fn ok() {
+    std::thread::spawn(|| {});
+}
+//@ file: crates/gasnet/src/smp.rs
+pub fn out_of_scope() {
+    std::thread::spawn(|| {});
+}

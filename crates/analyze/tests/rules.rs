@@ -1,0 +1,120 @@
+//! Fixture-driven TP/TN suite: every rule has a must-fire case, a near
+//! miss, comment/string/raw-string traps, and (where relevant) suppression
+//! handling.
+//!
+//! Fixture format (`tests/fixtures/*.rs`, excluded from workspace scans):
+//!
+//! * `//@ file: <virtual path>` starts a new virtual source file — paths
+//!   matter because confinement rules scope by file;
+//! * `//~ rule-name [rule-name ...]` on a line declares that the analyzer
+//!   must report exactly those rules on that line (line numbers restart at
+//!   1 in each virtual file, not counting the `//@ file:` header).
+//!
+//! The assertion is exact set equality: an unexpected finding fails the
+//! test just as hard as a missing one, so false positives cannot creep in.
+
+use upcxx_analyze::{analyze_sources, rules};
+
+/// Parse a fixture into virtual files + expected findings, run the
+/// analyzer, and demand an exact match.
+fn run_fixture(fixture: &str) {
+    let mut files: Vec<(String, String)> = Vec::new();
+    let mut expected: Vec<(String, u32, String)> = Vec::new();
+    let mut cur_path: Option<String> = None;
+    let mut cur = String::new();
+    let mut line_no = 0u32;
+
+    for line in fixture.lines() {
+        if let Some(p) = line.trim().strip_prefix("//@ file:") {
+            if let Some(path) = cur_path.take() {
+                files.push((path, std::mem::take(&mut cur)));
+            }
+            cur.clear();
+            cur_path = Some(p.trim().to_string());
+            line_no = 0;
+            continue;
+        }
+        line_no += 1;
+        if let Some(at) = line.find("//~") {
+            let path = cur_path.clone().expect("//~ marker before any //@ file:");
+            for tok in line[at + 3..].split_whitespace() {
+                if rules::ALL_RULES.contains(&tok) {
+                    expected.push((path.clone(), line_no, tok.to_string()));
+                }
+            }
+        }
+        cur.push_str(line);
+        cur.push('\n');
+    }
+    if let Some(path) = cur_path.take() {
+        files.push((path, cur));
+    }
+
+    let report = analyze_sources(&files);
+    let mut got: Vec<(String, u32, String)> = report
+        .findings
+        .iter()
+        .map(|f| (f.file.clone(), f.line, f.rule.to_string()))
+        .collect();
+    got.sort();
+    expected.sort();
+    assert_eq!(
+        got, expected,
+        "\nanalyzer findings (left) disagree with //~ markers (right)"
+    );
+}
+
+#[test]
+fn seg_confinement() {
+    run_fixture(include_str!("fixtures/seg.rs"));
+}
+
+#[test]
+fn conduit_bytes_confinement() {
+    run_fixture(include_str!("fixtures/conduit.rs"));
+}
+
+#[test]
+fn dealloc_confinement() {
+    run_fixture(include_str!("fixtures/dealloc.rs"));
+}
+
+#[test]
+fn span_id_confinement() {
+    run_fixture(include_str!("fixtures/span.rs"));
+}
+
+#[test]
+fn thread_spawn_confinement() {
+    run_fixture(include_str!("fixtures/thread.rs"));
+}
+
+#[test]
+fn proc_confinement() {
+    run_fixture(include_str!("fixtures/proc.rs"));
+}
+
+#[test]
+fn restricted_context() {
+    run_fixture(include_str!("fixtures/restricted.rs"));
+}
+
+#[test]
+fn pod_transfer() {
+    run_fixture(include_str!("fixtures/pod.rs"));
+}
+
+#[test]
+fn deprecated_api() {
+    run_fixture(include_str!("fixtures/deprecated.rs"));
+}
+
+#[test]
+fn frame_fn_anchor() {
+    run_fixture(include_str!("fixtures/anchor.rs"));
+}
+
+#[test]
+fn suppressions() {
+    run_fixture(include_str!("fixtures/suppression.rs"));
+}

@@ -1,0 +1,76 @@
+//! Self-scan acceptance tests: the real workspace must be clean, and the
+//! confinement rules must actually bite when code moves out of its blessed
+//! module.
+
+use std::path::{Path, PathBuf};
+use upcxx_analyze::{analyze_root, analyze_sources};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/analyze has a workspace two levels up")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_self_scan_is_clean() {
+    let report = analyze_root(&workspace_root()).expect("workspace scan");
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.render()).collect();
+    assert!(
+        report.findings.is_empty(),
+        "workspace scan must be clean, got:\n{}",
+        rendered.join("\n")
+    );
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — did the walk break?",
+        report.files_scanned
+    );
+}
+
+/// Deleting a confinement (e.g. moving a `seg_read` call site out of
+/// rma.rs) must fail CI: re-present the *real* rma.rs under a different
+/// core-crate path and demand seg findings.
+#[test]
+fn relocating_rma_code_trips_seg_confinement() {
+    let rma = std::fs::read_to_string(workspace_root().join("crates/core/src/rma.rs"))
+        .expect("read crates/core/src/rma.rs");
+    let report = analyze_sources(&[("crates/core/src/agg.rs".to_string(), rma)]);
+    assert!(
+        report.findings.iter().any(|f| f.rule == "seg-confinement"),
+        "real RMA code relocated out of rma.rs must trip seg-confinement"
+    );
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "conduit-bytes-confinement"),
+        "relocated RMA code must also trip conduit-bytes-confinement"
+    );
+}
+
+/// Same for the launcher: proc.rs's process/socket surface anywhere else in
+/// the gasnet crate is a violation.
+#[test]
+fn relocating_proc_code_trips_proc_confinement() {
+    let proc_src = std::fs::read_to_string(workspace_root().join("crates/gasnet/src/proc.rs"))
+        .expect("read crates/gasnet/src/proc.rs");
+    let report = analyze_sources(&[("crates/gasnet/src/shm2.rs".to_string(), proc_src)]);
+    assert!(
+        report.findings.iter().any(|f| f.rule == "proc-confinement"),
+        "relocated launcher code must trip proc-confinement"
+    );
+}
+
+/// The scan must stay fast enough to sit at the front of CI.
+#[test]
+fn full_scan_is_fast() {
+    let t0 = std::time::Instant::now();
+    let _ = analyze_root(&workspace_root()).expect("workspace scan");
+    let dt = t0.elapsed();
+    assert!(
+        dt.as_secs_f64() < 5.0,
+        "full workspace scan took {dt:?}, budget is 5s"
+    );
+}

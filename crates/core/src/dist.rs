@@ -22,6 +22,7 @@ use std::rc::Rc;
 /// Universal identifier of a distributed object (serializable; travels in
 /// RPC arguments).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(transparent)]
 pub struct DistId(pub u64);
 
 impl Ser for DistId {
@@ -139,6 +140,7 @@ pub fn when_constructed(id: DistId, f: impl FnOnce() + 'static) {
 /// travels as an anchor-relative offset, not a raw address, so it stays
 /// valid across the proc conduit's separately-ASLR'd processes (see
 /// `crate::frame` for the encoding).
+#[repr(transparent)]
 struct FnToken<T, R> {
     f: fn(Rc<T>) -> R,
 }

@@ -22,6 +22,10 @@ use std::marker::PhantomData;
 
 /// A typed pointer to `count * size_of::<T>()` bytes in `rank`'s shared
 /// segment. Not dereferenceable; see module docs.
+///
+/// `repr(C)`: the pointer crosses ranks in RPC arguments, so its layout
+/// must not depend on the compilation's field ordering.
+#[repr(C)]
 pub struct GlobalPtr<T: Pod> {
     rank: u64,
     /// Byte offset within the owning rank's segment; `u64::MAX` means null.

@@ -139,6 +139,7 @@ fn cond_read_one<T: Pod>(h: &dyn Conduit, rank: usize, off: usize) -> T {
 /// (paper: `upcxx::rput(src, dest, count)`). The returned future readies at
 /// *operation completion* — the data is globally visible and the source
 /// buffer (copied at injection) is reusable immediately.
+#[must_use = "dropping the future loses completion; use rput_promise to track it elsewhere"]
 pub fn rput<T: Pod>(src: &[T], dest: GlobalPtr<T>) -> Future<()> {
     let p = Promise::<()>::new();
     rput_promise(src, dest, &p);
@@ -146,6 +147,7 @@ pub fn rput<T: Pod>(src: &[T], dest: GlobalPtr<T>) -> Future<()> {
 }
 
 /// Single-value put (paper: `upcxx::rput(value, dest)`).
+#[must_use = "dropping the future loses completion; use rput_val_promise to track it elsewhere"]
 pub fn rput_val<T: Pod>(v: T, dest: GlobalPtr<T>) -> Future<()> {
     rput(std::slice::from_ref(&v), dest)
 }
@@ -290,6 +292,7 @@ fn rget_raw<T: Pod + Clone>(src: GlobalPtr<T>, count: usize, done: Box<dyn FnOnc
 
 /// Non-blocking one-sided get of `count` elements from `src`
 /// (paper: `upcxx::rget`). The future carries the data.
+#[must_use = "the fetched data only exists in the returned future"]
 pub fn rget<T: Pod + Clone>(src: GlobalPtr<T>, count: usize) -> Future<Vec<T>> {
     let p = Promise::<Vec<T>>::new();
     rget_promise(src, count, &p);
@@ -306,6 +309,7 @@ pub fn rget_promise<T: Pod + Clone>(src: GlobalPtr<T>, count: usize, p: &Promise
 }
 
 /// Single-value get.
+#[must_use = "the fetched value only exists in the returned future"]
 pub fn rget_val<T: Pod + Clone>(src: GlobalPtr<T>) -> Future<T> {
     let p = Promise::<T>::new();
     rget_val_promise(src, &p);
@@ -367,6 +371,7 @@ pub fn rget_val_promise<T: Pod + Clone>(src: GlobalPtr<T>, p: &Promise<T>) {
 /// under user-level progress, like every other operation. Under sim the
 /// bytes land immediately while completion follows the modeled Get
 /// timeline, so virtual-time figures are unchanged.
+#[must_use = "dst is only valid to read after the returned future is ready"]
 pub fn rget_into<T: Pod>(src: GlobalPtr<T>, dst: &mut [T]) -> Future<()> {
     let p = Promise::<()>::new();
     rget_into_promise(src, dst, &p);
@@ -427,6 +432,7 @@ pub fn rget_into_promise<T: Pod>(src: GlobalPtr<T>, dst: &mut [T], p: &Promise<(
 
 /// Irregular ("vector") put: a batch of (source chunk, destination) pairs
 /// completing as one operation. Paper §II's `rput_irregular`.
+#[must_use = "dropping the future loses completion; use rput_irregular_promise to track it elsewhere"]
 pub fn rput_irregular<T: Pod>(pairs: &[(&[T], GlobalPtr<T>)]) -> Future<()> {
     let p = Promise::<()>::new();
     rput_irregular_promise(pairs, &p);
@@ -445,6 +451,7 @@ pub fn rput_irregular_promise<T: Pod>(pairs: &[(&[T], GlobalPtr<T>)], p: &Promis
 /// `src_stride` elements from `src`, landing every `dst_stride` elements
 /// from `dest` (paper §II's `rput_strided`; the 2-D block update pattern of
 /// multidimensional-array libraries).
+#[must_use = "dropping the future loses completion; use rput_strided_promise to track it elsewhere"]
 pub fn rput_strided<T: Pod>(
     src: &[T],
     src_stride: usize,
@@ -480,6 +487,7 @@ pub fn rput_strided_promise<T: Pod>(
 
 /// Indexed get: one future carrying the concatenation of `count`-element
 /// reads at each pointer (completing when all arrive).
+#[must_use = "the fetched data only exists in the returned future"]
 pub fn rget_irregular<T: Pod + Clone>(srcs: &[(GlobalPtr<T>, usize)]) -> Future<Vec<Vec<T>>> {
     let p = Promise::<Vec<Vec<T>>>::new();
     rget_irregular_promise(srcs, &p);
@@ -501,6 +509,7 @@ pub fn rget_irregular_promise<T: Pod + Clone>(
 /// mirror of [`rput_irregular`] (which also names its destinations
 /// explicitly), filling the naming scheme's `_into` column for vector-mode
 /// gets. Zero allocation: each pair decomposes to one [`rget_into_promise`].
+#[must_use = "the destinations are only valid to read after the returned future is ready"]
 pub fn rget_irregular_into<T: Pod>(pairs: &mut [(GlobalPtr<T>, &mut [T])]) -> Future<()> {
     let p = Promise::<()>::new();
     rget_irregular_into_promise(pairs, &p);
@@ -523,6 +532,7 @@ pub fn rget_irregular_into_promise<T: Pod>(
 /// elements from `src`, written every `dst_stride` elements into `dst` —
 /// the exact mirror of [`rput_strided`], which has controlled both strides
 /// since its introduction while [`rget_strided`] could only flatten.
+#[must_use = "the destination is only valid to read after the returned future is ready"]
 pub fn rget_strided_into<T: Pod>(
     src: GlobalPtr<T>,
     src_stride: usize,
@@ -557,6 +567,7 @@ pub fn rget_strided_into_promise<T: Pod>(
 }
 
 /// Strided get mirroring [`rput_strided`].
+#[must_use = "the fetched data only exists in the returned future"]
 pub fn rget_strided<T: Pod + Clone>(
     src: GlobalPtr<T>,
     src_stride: usize,

@@ -81,6 +81,7 @@ where
 /// Execute `f(args)` on `target`; the future readies with the result after
 /// the round trip (paper: `upcxx::rpc`). `target` is a world rank; see
 /// [`crate::team::Team::rpc`] for team-relative addressing.
+#[must_use = "the reply only exists in the returned future; use rpc_ff if no reply is needed"]
 pub fn rpc<A, R>(target: Rank, f: fn(A) -> R, args: A) -> Future<R>
 where
     A: Ser,

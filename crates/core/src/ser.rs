@@ -385,6 +385,7 @@ ser_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
 /// copy. Handlers traverse it with [`View::iter`] or copy out explicitly
 /// with [`View::to_vec`], matching the paper's "non-owning view into the
 /// incoming network buffer" used by `accum` in the extend-add motif.
+// analyze: allow(pod-transfer): View is a non-owning handle; Ser writes length + element bytes, the handle's own (Rc, offsets) layout never crosses the wire
 pub struct View<T: Pod> {
     buf: Rc<Vec<u8>>,
     off: usize,

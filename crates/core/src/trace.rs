@@ -260,7 +260,11 @@ impl Drop for SpanGuard<'_> {
 }
 
 /// One recorded queue-transition event.
+///
+/// `repr(C)`: events cross ranks when `prof.rs` gathers per-rank buffers,
+/// so the layout must not depend on the compilation's field ordering.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(C)]
 pub struct TraceEvent {
     /// The rank that recorded the event.
     pub rank: u32,

@@ -7,7 +7,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 fn rput_to_null_pointer_panics() {
     upcxx::run_spmd_default(1, || {
         let r = catch_unwind(AssertUnwindSafe(|| {
-            upcxx::rput(&[1u8], upcxx::GlobalPtr::<u8>::null());
+            let _ = upcxx::rput(&[1u8], upcxx::GlobalPtr::<u8>::null());
         }));
         assert!(r.is_err());
     });
@@ -194,6 +194,7 @@ fn stats_counters_advance() {
 fn broadcast_gather_shim_still_works() {
     upcxx::run_spmd_default(2, || {
         let slot = upcxx::allocate::<u64>(1);
+        // analyze: allow(deprecated-api): this is the shim's own regression test — the deprecated name must keep working until downstream migrates
         let via_shim = upcxx::broadcast_gather(slot);
         let via_new = upcxx::allgather(slot);
         assert_eq!(via_shim.len(), 2);

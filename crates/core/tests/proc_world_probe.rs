@@ -14,24 +14,16 @@ fn mark(tag: &str) {
 
 #[test]
 fn probe_a() {
-    upcxx::run_spmd_with(
-        2,
-        Config::default().with_conduit(ConduitKind::Proc),
-        || {
-            mark("a");
-            upcxx::barrier();
-        },
-    );
+    upcxx::run_spmd_with(2, Config::default().with_conduit(ConduitKind::Proc), || {
+        mark("a");
+        upcxx::barrier();
+    });
 }
 
 #[test]
 fn probe_b() {
-    upcxx::run_spmd_with(
-        2,
-        Config::default().with_conduit(ConduitKind::Proc),
-        || {
-            mark("b");
-            upcxx::barrier();
-        },
-    );
+    upcxx::run_spmd_with(2, Config::default().with_conduit(ConduitKind::Proc), || {
+        mark("b");
+        upcxx::barrier();
+    });
 }

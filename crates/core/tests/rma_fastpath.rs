@@ -40,7 +40,9 @@ fn san_cfg(mode: SanMode) -> SanConfig {
 struct Al16 {
     a: u64,
     b: u32,
-    // 4 bytes of tail padding round size_of to 16.
+    // Explicit tail bytes: rounding size_of to 16 with implicit padding
+    // would ship uninitialized memory through the raw-pointer copies.
+    pad: [u8; 4],
 }
 
 unsafe impl upcxx::Pod for Al16 {}
@@ -49,6 +51,7 @@ fn al16(seed: u64) -> Al16 {
     Al16 {
         a: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15),
         b: seed as u32 ^ 0xdead_beef,
+        pad: [0; 4],
     }
 }
 

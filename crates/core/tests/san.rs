@@ -136,6 +136,7 @@ fn sim_barrier_separated_rputs_are_clean() {
 fn wait_unready(_: ()) {
     let p = upcxx::Promise::<()>::new();
     p.require_anonymous(1); // never fulfilled: the future stays pending
+                            // analyze: allow(restricted-context): deliberate violation — this handler exists so the test below can assert the dynamic sanitizer diagnoses it
     p.finalize().wait();
 }
 
@@ -158,6 +159,7 @@ fn reenter_progress(_: ()) -> u64 {
     // check sits after the fast path) ...
     upcxx::make_ready_future().wait();
     // ... but re-entering user-level progress is a violation.
+    // analyze: allow(restricted-context): deliberate violation — the count-mode test asserts the dynamic sanitizer tallies this re-entry
     upcxx::progress();
     upcxx::san_report().restricted
 }
@@ -318,7 +320,7 @@ fn smp_racy_rput_pair_detected_in_count_mode() {
 
 fn blocked_then_counted(_: ()) -> u64 {
     upcxx::make_ready_future().wait(); // ready: not a violation
-    upcxx::progress(); // re-entrant: violation
+    upcxx::progress(); // re-entrant: violation -- analyze: allow(restricted-context): deliberate violation the smp count-mode test asserts the sanitizer counts
     upcxx::san_report().restricted
 }
 

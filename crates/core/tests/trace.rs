@@ -191,7 +191,7 @@ fn sim_event_counts_match_op_counts() {
                 capacity: 1 << 14,
             });
             for i in 0..k {
-                upcxx::rput_val(i, dst);
+                let _ = upcxx::rput_val(i, dst);
             }
         });
     }
@@ -282,7 +282,7 @@ fn sim_timestamps_monotone_per_rank() {
                 capacity: 1 << 14,
             });
             for i in 0..k {
-                upcxx::rput_val(i, dst);
+                let _ = upcxx::rput_val(i, dst);
                 upcxx::rpc_ff(t, ff_hit, i);
             }
         });
@@ -322,7 +322,7 @@ fn sim_disabled_mode_emits_nothing() {
         let dst = ptrs[(r + 1) % n];
         rt.spawn(r, move || {
             for i in 0..4u64 {
-                upcxx::rput_val(i, dst);
+                let _ = upcxx::rput_val(i, dst);
                 upcxx::rpc_ff((upcxx::rank_me() + 1) % upcxx::rank_n(), ff_hit, i);
             }
         });
@@ -358,7 +358,7 @@ fn sim_chrome_export_contains_all_phases() {
                 capacity: 1 << 12,
             });
             for i in 0..3u64 {
-                upcxx::rput_val(i, dst);
+                let _ = upcxx::rput_val(i, dst);
             }
         });
     }
@@ -418,10 +418,10 @@ fn sim_attentiveness_gap_is_tracked_when_tracing() {
             enabled: true,
             capacity: 1 << 12,
         });
-        upcxx::rput_val(1u64, dst);
+        let _ = upcxx::rput_val(1u64, dst);
     });
     rt.spawn_at(0, pgas_des::Time::from_us(100), move || {
-        upcxx::rput_val(2u64, dst);
+        let _ = upcxx::rput_val(2u64, dst);
     });
     rt.run();
     let s = rt.with_rank(0, upcxx::runtime_stats);

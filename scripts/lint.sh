@@ -1,30 +1,25 @@
 #!/usr/bin/env bash
-# Hermetic source lints enforcing the sanitizer's interposition contract.
+# Source lints enforcing the runtime's interposition contracts.
 #
-# The PGAS sanitizer (crates/core/src/san.rs) can only vouch for accesses
-# that flow through the hooked entry points. Two grep rules keep the
-# hookable surface closed:
+# Default mode runs `upcxx-analyze` (crates/analyze): a hermetic, lexer-backed
+# static analyzer that ports the original grep rules (comment/string aware,
+# `#[cfg(test)]` aware, justified per-line suppressions) and adds semantic
+# rules the greps could not express (restricted-context, pod-transfer,
+# deprecated-api, frame-fn-anchor). See DESIGN.md "Static invariants".
 #
-#  1. Raw segment access (seg_base / seg_read / seg_write / seg_with_mut /
-#     seg_fill) is confined to rma.rs and global_ptr.rs inside the core
-#     crate. Any other call site would read or write segment memory behind
-#     the shadow state's back.
-#  2. Direct calls to the segment allocator's `.dealloc(` are confined to
-#     alloc.rs. Everything else must free through `upcxx::deallocate` /
-#     `alloc::segment_free`, where quarantine, poisoning and bad-free
-#     diagnostics live.
-#  3. Span-id allocation (`next_op` reads/writes) is confined to trace.rs:
-#     one sequence serves RPC reply matching, sanitizer access records and
-#     causal-span identity, so `(origin, id)` stays globally unique only if
-#     every id flows through trace::new_span_id.
-#
-# Pure grep — no toolchain, no network; callable on its own or from ci.sh.
+# `--legacy` runs the original grep rules verbatim — toolchain-free, and kept
+# as a CI cross-check that the analyzer's confinement rules and the greps
+# agree on a clean tree.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+if [ "${1:-}" != "--legacy" ]; then
+  exec cargo run -q --release -p upcxx-analyze -- --format=text
+fi
+
 fail=0
 
-echo "==> lint: raw segment access confined to rma.rs / global_ptr.rs"
+echo "==> lint(legacy): raw segment access confined to rma.rs / global_ptr.rs"
 if grep -rn --include='*.rs' -E '\bseg_(base|read|write|with_mut|fill)\b' \
     crates/core/src \
     | grep -v 'crates/core/src/rma.rs' \
@@ -33,12 +28,7 @@ if grep -rn --include='*.rs' -E '\bseg_(base|read|write|with_mut|fill)\b' \
   fail=1
 fi
 
-echo "==> lint: smp conduit byte access confined to rma.rs / global_ptr.rs / ctx.rs"
-# The eager fast path added a second injection-time surface over the smp
-# handle's raw byte windows (put_bytes / get_bytes / seg_base). Every such
-# call site must sit where the sanitizer's check_rma/mark_complete hooks
-# bracket it: the RMA entry points (rma.rs), local segment access behind
-# is_local (global_ptr.rs), and the deferred-queue drain (ctx.rs).
+echo "==> lint(legacy): smp conduit byte access confined to rma.rs / global_ptr.rs / ctx.rs"
 if grep -rn --include='*.rs' -E '\.(put_bytes|get_bytes|fill_bytes)\(' \
     crates/core/src \
     | grep -v 'crates/core/src/rma.rs' \
@@ -48,7 +38,7 @@ if grep -rn --include='*.rs' -E '\.(put_bytes|get_bytes|fill_bytes)\(' \
   fail=1
 fi
 
-echo "==> lint: direct allocator dealloc confined to alloc.rs"
+echo "==> lint(legacy): direct allocator dealloc confined to alloc.rs"
 if grep -rn --include='*.rs' -F '.dealloc(' \
     crates/core/src \
     | grep -v 'crates/core/src/alloc.rs'; then
@@ -56,7 +46,7 @@ if grep -rn --include='*.rs' -F '.dealloc(' \
   fail=1
 fi
 
-echo "==> lint: span-id allocation confined to trace.rs"
+echo "==> lint(legacy): span-id allocation confined to trace.rs"
 if grep -rn --include='*.rs' -E 'next_op\.(get|set)\(' \
     crates/core/src \
     | grep -v 'crates/core/src/trace.rs'; then
@@ -64,11 +54,7 @@ if grep -rn --include='*.rs' -E 'next_op\.(get|set)\(' \
   fail=1
 fi
 
-echo "==> lint: thread spawning in core confined to persona.rs"
-# The progress persona is the only hidden thread the runtime may create:
-# its lifecycle (engine lock, stop flag, join-before-disable, handoff
-# drain) lives in persona.rs. A thread::spawn anywhere else in the core
-# crate would bypass that discipline and break the persona ownership rules.
+echo "==> lint(legacy): thread spawning in core confined to persona.rs"
 if grep -rn --include='*.rs' -E '\bthread::spawn\b|\bstd::thread::Builder\b' \
     crates/core/src \
     | grep -v 'crates/core/src/persona.rs'; then
@@ -76,12 +62,7 @@ if grep -rn --include='*.rs' -E '\bthread::spawn\b|\bstd::thread::Builder\b' \
   fail=1
 fi
 
-echo "==> lint: process/socket/mmap syscall surface confined to proc.rs"
-# The proc conduit is the only place the runtime may fork processes, open
-# Unix-domain sockets, or issue raw mmap/munmap syscalls: its launcher owns
-# child supervision (exit propagation, teardown, bootstrap dir lifecycle)
-# and its Mapping type owns segment mapping. Anywhere else, these would
-# create ranks or shared memory the conduit cannot account for.
+echo "==> lint(legacy): process/socket/mmap syscall surface confined to proc.rs"
 if grep -rn --include='*.rs' -E '\bUnixListener\b|\bUnixStream\b|\bCommand::new\b|\basm!' \
     crates/core/src crates/gasnet/src \
     | grep -v 'crates/gasnet/src/proc.rs'; then
@@ -92,4 +73,4 @@ fi
 if [ "$fail" -ne 0 ]; then
   exit 1
 fi
-echo "lint OK"
+echo "lint(legacy) OK"
