@@ -14,6 +14,7 @@ pub fn run(f: &FileCtx, out: &mut Vec<Finding>) {
     span_id(f, out);
     thread_spawn(f, out);
     proc_surface(f, out);
+    metrics_cells(f, out);
     frame_fn_anchor(f, out);
 }
 
@@ -211,6 +212,33 @@ fn proc_surface(f: &FileCtx, out: &mut Vec<Finding>) {
                 message: "inline `asm!` outside proc.rs escapes the launcher's supervision"
                     .to_string(),
                 hint,
+            });
+        }
+    }
+}
+
+/// `metrics-cell-confinement`: the always-on metrics registry's raw cells
+/// are reached as `<ctx>.metrics.<field>`; every such access stays in
+/// metrics.rs, which owns the single-writer `Cell` discipline and the
+/// flight ring's memory ordering. Instrumented modules go through the
+/// `crate::metrics::on_*`/`count_*` hooks (a `::` path, which this rule
+/// deliberately does not match) — a raw cell bump elsewhere could tear a
+/// histogram update or skip the flight recorder.
+fn metrics_cells(f: &FileCtx, out: &mut Vec<Finding>) {
+    if !in_scope(&f.path, &["crates/core/src/"]) || f.path == "crates/core/src/metrics.rs" {
+        return;
+    }
+    for (a, b, c) in windows3(f) {
+        if f.toks[a].p('.') && f.toks[b].is("metrics") && f.toks[c].p('.') {
+            out.push(Finding {
+                file: f.path.clone(),
+                line: f.toks[b].line,
+                rule: "metrics-cell-confinement",
+                message: "raw metrics-cell access `.metrics.` outside metrics.rs breaks the \
+                          single-writer cell discipline"
+                    .to_string(),
+                hint: "record through the crate::metrics::on_*/count_* hooks; read via \
+                       upcxx::metrics::snapshot()",
             });
         }
     }

@@ -32,6 +32,7 @@ pub const ALL_RULES: &[&str] = &[
     "span-id-confinement",
     "thread-spawn-confinement",
     "proc-confinement",
+    "metrics-cell-confinement",
     "restricted-context",
     "pod-transfer",
     "deprecated-api",

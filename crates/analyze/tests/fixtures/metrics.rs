@@ -1,0 +1,29 @@
+//@ file: crates/core/src/rma.rs
+fn bad(c: &RankCtx) {
+    let n = c.metrics.rma_eager.get(); //~ metrics-cell-confinement
+    c.metrics.rma_eager.set(n + 1); //~ metrics-cell-confinement
+    crate::metrics::count_eager(c); // near miss: the blessed hook path
+    // c.metrics.rma_ops.set(0) — comment trap, no finding
+    let s = "c.metrics.rma_ops"; // string trap, no finding
+    let my_metrics = s; // near miss: different identifier
+    let _ = my_metrics;
+}
+//@ file: crates/core/src/ctx.rs
+struct RankCtx {
+    metrics: crate::metrics::Metrics, // near miss: field declaration, not access
+}
+fn init() -> RankCtx {
+    RankCtx {
+        metrics: crate::metrics::Metrics::new(), // near miss: struct init
+    }
+}
+//@ file: crates/core/src/metrics.rs
+fn ok(c: &RankCtx) {
+    c.metrics.rma_eager.set(c.metrics.rma_eager.get() + 1);
+    let (r, d, e) = c.metrics.flight_read(c.me as u32);
+    let _ = (r, d, e);
+}
+//@ file: crates/gasnet/src/proc.rs
+fn out_of_crate(h: &Handle) {
+    h.metrics.backlog(); // near miss: rule scopes to crates/core/src only
+}

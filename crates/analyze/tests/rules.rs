@@ -95,6 +95,11 @@ fn proc_confinement() {
 }
 
 #[test]
+fn metrics_cell_confinement() {
+    run_fixture(include_str!("fixtures/metrics.rs"));
+}
+
+#[test]
 fn restricted_context() {
     run_fixture(include_str!("fixtures/restricted.rs"));
 }

@@ -103,6 +103,12 @@ impl AggState {
     }
 }
 
+/// Payloads currently parked in this rank's aggregation buffers — the
+/// metrics layer's `agg_pending` gauge, probed at snapshot time.
+pub(crate) fn pending_items(c: &RankCtx) -> usize {
+    c.agg.borrow().bufs.values().map(|b| b.items.len()).sum()
+}
+
 /// Route one outgoing AM payload: buffer it when aggregation is on and the
 /// payload is small, otherwise inject it directly (flushing the target's
 /// buffer first so per-target order is preserved). `tag` is the payload's
@@ -183,6 +189,10 @@ pub(crate) fn flush_target(c: &RankCtx, target: Rank, reason: FlushReason) {
         tags,
         rec_bytes,
     } = buf;
+    // A non-empty buffer is actually leaving: count the flush by reason
+    // (a one-item buffer still counts — the *flush* happened; it merely
+    // degenerates to a plain AM on the wire).
+    crate::metrics::count_flush(c, reason);
     if items.len() == 1 {
         let payload = rec_bytes - wire::AGG_REC_HDR;
         inject_single(c, target, payload, items.pop().unwrap(), tags[0]);

@@ -19,6 +19,10 @@
 //! | `UPCXX_SAN`       | `1`/`panic`, `log`, `count` — sanitizer mode      |
 //! | `UPCXX_TRACE`     | `1`/`on`/`true` = enable event tracing at launch  |
 //! | `UPCXX_TRACE_CAP` | trace ring capacity in events                     |
+//! | `UPCXX_METRICS_DUMP` | interval in ms between metrics dump files      |
+//! |                   | (`0`/unset = off; see `crate::metrics`)           |
+//! | `UPCXX_METRICS_DIR`  | directory for metrics/flight dump files        |
+//! |                   | (read at dump time, not here)                     |
 //! | `UPCXX_RANKS`     | world size for the examples (read by them, not    |
 //! |                   | here — a harness knob, not a runtime one)         |
 //!
@@ -63,6 +67,10 @@ pub struct Config {
     /// proc conduit: per-rank rendezvous staging-region bytes (mapped after
     /// the segment in the same shm file).
     pub proc_rv_size: usize,
+    /// Interval in milliseconds between periodic metrics dump files
+    /// (`upcxx::metrics`), written opportunistically from user progress.
+    /// 0 = no periodic dumps (the metrics themselves are always on).
+    pub metrics_dump_ms: u64,
 }
 
 impl Default for Config {
@@ -76,6 +84,7 @@ impl Default for Config {
             trace: TraceConfig::default(),
             proc_eager_max: 4096,
             proc_rv_size: 4 << 20,
+            metrics_dump_ms: 0,
         }
     }
 }
@@ -115,6 +124,11 @@ impl Config {
             cfg.trace.capacity = v
                 .parse()
                 .unwrap_or_else(|_| panic!("UPCXX_TRACE_CAP={v:?}: expected an event count"));
+        }
+        if let Ok(v) = std::env::var("UPCXX_METRICS_DUMP") {
+            cfg.metrics_dump_ms = v.parse().unwrap_or_else(|_| {
+                panic!("UPCXX_METRICS_DUMP={v:?}: expected an interval in milliseconds")
+            });
         }
         cfg
     }
@@ -166,6 +180,12 @@ impl Config {
         self.proc_rv_size = bytes;
         self
     }
+
+    /// Override the periodic metrics-dump interval (ms; 0 = off).
+    pub fn with_metrics_dump_ms(mut self, ms: u64) -> Config {
+        self.metrics_dump_ms = ms;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -209,6 +229,7 @@ mod tests {
             "UPCXX_SAN",
             "UPCXX_TRACE",
             "UPCXX_TRACE_CAP",
+            "UPCXX_METRICS_DUMP",
         ];
         if vars.iter().all(|v| std::env::var(v).is_err()) {
             assert_eq!(Config::from_env(), Config::default());

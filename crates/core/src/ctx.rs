@@ -250,6 +250,11 @@ pub struct RankCtx {
     pub(crate) agg: RefCell<crate::agg::AggState>,
     /// Statistics counters.
     pub stats: CtxStats,
+    /// Always-on metrics registry and flight recorder (see `crate::metrics`).
+    /// Counter cells follow the same single-writer engine-lock discipline as
+    /// [`CtxStats`]; the flight ring inside is relaxed atomics so the panic
+    /// hook can read it from any thread.
+    pub(crate) metrics: crate::metrics::Metrics,
     /// Event-trace ring buffer and in-queue histograms (see `crate::trace`).
     pub(crate) trace: RefCell<TraceState>,
     /// Fast gate every trace hook checks: the *only* cost tracing adds to
@@ -322,6 +327,17 @@ pub(crate) fn try_ctx() -> Option<Arc<RankCtx>> {
     CTX.with(|c| c.borrow().clone())
 }
 
+/// Panic-proof variant of [`try_ctx`] for the flight-recorder panic hook:
+/// returns `None` instead of panicking when the thread-local is mid-teardown
+/// or its slot is already borrowed (a `with_ctx` swap in progress). A plain
+/// `try_ctx` there could double-panic inside the hook and abort before the
+/// flight dump is written.
+pub(crate) fn panic_ctx() -> Option<Arc<RankCtx>> {
+    CTX.try_with(|c| c.try_borrow().ok().and_then(|s| s.clone()))
+        .ok()
+        .flatten()
+}
+
 /// Install `c` for the duration of `f` (restores the previous context after;
 /// the sim conduit nests these when ranks trigger one another synchronously).
 pub(crate) fn with_ctx(c: Arc<RankCtx>, f: impl FnOnce()) {
@@ -362,6 +378,7 @@ impl RankCtx {
             rank_state: RefCell::new(HashMap::new()),
             agg: RefCell::new(crate::agg::AggState::new()),
             stats: CtxStats::default(),
+            metrics: crate::metrics::Metrics::new(),
             trace: RefCell::new(TraceState::new()),
             trace_on: Cell::new(false),
             eager: Cell::new(cfg.eager),
@@ -408,6 +425,7 @@ impl RankCtx {
             rank_state: RefCell::new(HashMap::new()),
             agg: RefCell::new(crate::agg::AggState::new()),
             stats: CtxStats::default(),
+            metrics: crate::metrics::Metrics::new(),
             trace: RefCell::new(TraceState::new()),
             trace_on: Cell::new(false),
             eager: Cell::new(false),
@@ -454,8 +472,8 @@ impl RankCtx {
     /// The trace clock: virtual picoseconds of this rank's local view of
     /// time under sim (monotone per rank), wall picoseconds since the
     /// world's launch epoch on smp (one epoch per world, shared by all
-    /// ranks — see `smp::RankHandle::wall_ps`). Only called while tracing
-    /// is enabled.
+    /// ranks — see `smp::RankHandle::wall_ps`). Called by the tracer's
+    /// (gated) hooks and by the always-on flight recorder's injection stamp.
     pub(crate) fn now_ps(&self) -> u64 {
         match &self.backend {
             Backend::Cond(h) => h.wall_ps(),
@@ -522,12 +540,15 @@ impl RankCtx {
     /// Build the trace identity for a new operation and emit its `Inject`
     /// event. Ids are allocated unconditionally — an op's identity must
     /// survive the wire so a *traced* rank can record deliveries from ranks
-    /// that are not tracing — but all event emission gates on the recording
-    /// rank's `trace_on`; when tracing is disabled this is the injection
-    /// hook's single branch.
+    /// that are not tracing — but all *trace* emission gates on the
+    /// recording rank's `trace_on`. The always-on metrics layer records the
+    /// injection too (flight ring + payload histogram, a few relaxed/cell
+    /// writes — see `crate::metrics`); when tracing is disabled that plus
+    /// one branch is the whole injection hook.
     #[inline]
     pub(crate) fn op_tag(&self, kind: crate::trace::OpKind, peer: u32, bytes: u32) -> TraceTag {
         let tag = crate::trace::new_tag(self, kind, peer, bytes);
+        crate::metrics::on_inject(self, tag);
         if self.trace_on.get() {
             self.emit_inject(tag);
         }
@@ -948,6 +969,9 @@ impl RankCtx {
         // inside drained effects is fine. Never held across a wait() spin —
         // each progress_user call acquires and releases it independently.
         let _g = crate::persona::lock(self);
+        // Always-on metrics: one counter bump; the spacing probe and the
+        // interval dump hide behind their own amortized/disabled gates.
+        crate::metrics::on_progress(self);
         // One flag load covers the entry and exit stamps; the per-item check
         // in the drain loop below stays live because a drained effect may
         // itself reconfigure tracing.

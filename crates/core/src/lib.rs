@@ -58,6 +58,7 @@ pub mod dist;
 pub(crate) mod frame;
 pub mod future;
 pub mod global_ptr;
+pub mod metrics;
 pub mod persona;
 pub mod prof;
 pub mod rma;

@@ -1,0 +1,1227 @@
+//! `upcxx::metrics` — always-on runtime metrics and the crash-forensics
+//! flight recorder.
+//!
+//! The existing observability layers are *opt-in and post-hoc*: the trace
+//! ring ([`crate::trace`], `UPCXX_TRACE`) records every queue transition but
+//! must be enabled before the run, and the profiler ([`crate::prof`])
+//! collects those rings *after* the run — useless for a long-running service
+//! and useless when a rank dies mid-run on the proc conduit. This module is
+//! the third layer: **always on**, cheap enough to never turn off, and
+//! readable even after failure (GASNet's stats counters and HPCToolkit-style
+//! always-on sampling are the models).
+//!
+//! ## Cost model (why this can stay on)
+//!
+//! * **Counters** (ops, bytes, flush reasons, progress calls) are per-rank
+//!   [`Cell`]s mutated only by that rank's personas under the engine-lock
+//!   discipline every other `RankCtx` counter already follows — one
+//!   increment, no atomics, no sharing.
+//! * **Gauges** (queue depths, inbox/backlog/staging occupancy) cost nothing
+//!   until read: [`snapshot`] probes the live queues and the conduit's
+//!   [`gasnet::Conduit::depths`] at call time instead of sampling them on the
+//!   hot path.
+//! * **Histograms** (payload bytes, progress-call spacing) are log2-bucketed
+//!   `Cell` arrays — two or three cell bumps per sample, and the spacing
+//!   probe reads the clock only every 64th progress call.
+//! * The **flight recorder** is the one structure written with relaxed
+//!   atomics: a small overwriting ring of recent trace-shaped events that a
+//!   panic hook on *any* thread must be able to read mid-flight. Pushes are
+//!   single-writer (engine lock), so each recorded event is a plain
+//!   load+store head bump plus six relaxed stores — no RMW — and the wall
+//!   clock is read only every [`FLIGHT_TS_SAMPLE`]th event, with the ones
+//!   between stamped from the cached reading.
+//!
+//! The 1 KiB eager-rput floor (`scripts/ci.sh`, < 160 ns) is measured with
+//! all of this compiled in at defaults — that gate *is* the overhead budget.
+//!
+//! ## Surfaces
+//!
+//! * [`snapshot`] — typed, in-process; supersedes the ad-hoc counter fields
+//!   of [`crate::RuntimeStats`] and adds the conduit depth probes.
+//! * [`prometheus`] / [`to_json`] — text expositions of the same snapshot,
+//!   written to per-rank files on demand ([`dump`]) or on a wall-clock
+//!   interval (`UPCXX_METRICS_DUMP=<ms>`, [`set_dump_interval`]).
+//! * The **flight recorder**: independent of `UPCXX_TRACE`, bounded
+//!   ([`FLIGHT_CAP`] events, overwriting), flushed to `flight.<rank>.json`
+//!   by a chained panic hook. The proc launcher harvests those files from a
+//!   crashed world and prints a merged last-events timeline (reusing the
+//!   [`crate::prof`] merge machinery), retrievable afterwards through
+//!   [`last_postmortem`].
+//!
+//! Dump files land in the first of: a directory set via [`set_dump_dir`],
+//! `$UPCXX_METRICS_DIR`, `$UPCXX_PROC_DIR` (set by the proc launcher for its
+//! children — which is what lets the launcher find crash dumps), or the OS
+//! temp dir.
+
+use crate::ctx::{ctx, Backend, RankCtx};
+use crate::prof::{kind_code, kind_from, phase_from, phase_idx, reason_code, reason_from};
+use crate::trace::{FlushReason, Phase, TraceEvent, TraceTag};
+use std::cell::Cell;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Mutex, Once};
+
+/// Capacity of the flight-recorder ring (events). Small on purpose: the ring
+/// answers "what was this rank doing just before it died", not "what did the
+/// whole run do" — that is the trace ring's job.
+pub const FLIGHT_CAP: usize = 256;
+
+/// The always-on progress-spacing probe reads the clock once per this many
+/// user-progress calls, so attentive spin loops pay amortized sub-ns cost.
+/// Each recorded sample is therefore the wall-time *window* covering 64
+/// calls: a rank that goes inattentive for milliseconds still shows up at
+/// full magnitude, while per-call resolution remains the (opt-in) tracer's
+/// job.
+const GAP_SAMPLE: u64 = 64;
+
+/// The flight recorder reads the wall clock only every this-many recorded
+/// events; the ones between are stamped with the cached reading. A clock
+/// read costs tens of ns on a virtualized container — unamortized it would
+/// dominate the whole injection hook — while within-rank event order is
+/// carried by ring position regardless, so the only thing the cache costs
+/// is a few events of cross-rank merge skew in the postmortem timeline.
+const FLIGHT_TS_SAMPLE: u64 = 8;
+
+// ------------------------------------------------------------- histograms
+
+/// A log2 histogram of `u64` samples, single-writer (engine-lock
+/// discipline), mirroring the bucket math of [`crate::trace::LatencyHist`].
+struct CellHist {
+    buckets: [Cell<u64>; 64],
+    count: Cell<u64>,
+    max: Cell<u64>,
+}
+
+impl CellHist {
+    fn new() -> CellHist {
+        CellHist {
+            buckets: std::array::from_fn(|_| Cell::new(0)),
+            count: Cell::new(0),
+            max: Cell::new(0),
+        }
+    }
+
+    #[inline]
+    fn record(&self, v: u64) {
+        let b = if v == 0 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        };
+        self.buckets[b].set(self.buckets[b].get() + 1);
+        self.count.set(self.count.get() + 1);
+        if v > self.max.get() {
+            self.max.set(v);
+        }
+    }
+
+    fn snap(&self) -> HistSnapshot {
+        HistSnapshot {
+            count: self.count.get(),
+            max: self.max.get(),
+            buckets: std::array::from_fn(|i| self.buckets[i].get()),
+        }
+    }
+}
+
+/// Point-in-time copy of one log2 histogram: bucket `i` counts samples in
+/// `[2^i, 2^(i+1))` (bucket 0 also holds zero-valued samples).
+#[derive(Clone, Copy, Debug)]
+pub struct HistSnapshot {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Largest sample seen.
+    pub max: u64,
+    /// Log2 bucket counts.
+    pub buckets: [u64; 64],
+}
+
+impl HistSnapshot {
+    /// `(bucket_lower_bound, count)` for every non-empty bucket, ascending.
+    pub fn nonzero(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i }, c))
+            .collect()
+    }
+}
+
+// -------------------------------------------------------- the registry
+
+/// Per-rank metrics state, embedded in [`RankCtx`]. All fields are private:
+/// instrumented modules feed it exclusively through the `on_*`/`count_*`
+/// free functions below, so every raw cell mutation lives in this file (the
+/// `metrics-cell-confinement` analyzer rule is the lexical backstop).
+pub(crate) struct Metrics {
+    // Single-writer counters (engine-lock discipline, like `CtxStats`).
+    rma_eager: Cell<u64>,
+    rma_deferred: Cell<u64>,
+    flush_reasons: [Cell<u64>; 8],
+    progress_calls: Cell<u64>,
+    persona_polls: Cell<u64>,
+    persona_work: Cell<u64>,
+    last_probe_ps: Cell<u64>,
+    max_window_ps: Cell<u64>,
+    dumps_written: Cell<u64>,
+    dump_interval_ps: Cell<u64>,
+    next_dump_ps: Cell<u64>,
+    op_bytes: CellHist,
+    progress_window: CellHist,
+    // Cached wall-clock reading for flight-event stamping (see
+    // [`FLIGHT_TS_SAMPLE`]); refreshed by every 8th push and by the
+    // progress-spacing probe.
+    flight_clock_ps: Cell<u64>,
+    // The flight recorder: relaxed atomics so a panic hook on any thread can
+    // read a coherent-enough ring without taking any lock. `flight_head`
+    // counts every event ever pushed; slot `head % FLIGHT_CAP` is
+    // overwritten in place (per-word tearing under a concurrent push is
+    // acceptable for forensics and is decode-clamped on read).
+    flight_head: AtomicU64,
+    flight: Box<[[AtomicU64; 6]]>,
+}
+
+impl Metrics {
+    pub(crate) fn new() -> Metrics {
+        Metrics {
+            rma_eager: Cell::new(0),
+            rma_deferred: Cell::new(0),
+            flush_reasons: std::array::from_fn(|_| Cell::new(0)),
+            progress_calls: Cell::new(0),
+            persona_polls: Cell::new(0),
+            persona_work: Cell::new(0),
+            last_probe_ps: Cell::new(0),
+            max_window_ps: Cell::new(0),
+            dumps_written: Cell::new(0),
+            dump_interval_ps: Cell::new(0),
+            next_dump_ps: Cell::new(0),
+            op_bytes: CellHist::new(),
+            progress_window: CellHist::new(),
+            flight_clock_ps: Cell::new(0),
+            flight_head: AtomicU64::new(0),
+            flight: (0..FLIGHT_CAP)
+                .map(|_| std::array::from_fn(|_| AtomicU64::new(0)))
+                .collect(),
+        }
+    }
+
+    /// Push one event into the flight ring (relaxed atomics; see struct docs).
+    ///
+    /// Pushes only ever happen under the rank's engine lock, so the head is
+    /// single-writer: a plain load+store pair replaces the locked RMW a
+    /// `fetch_add` would cost on the RMA fast path. Concurrent *readers*
+    /// (the panic hook) still see a coherent-enough head via the relaxed
+    /// atomic load.
+    #[inline]
+    fn flight_push(&self, e: &TraceEvent) {
+        let head = self.flight_head.load(Relaxed);
+        self.flight_head.store(head + 1, Relaxed);
+        let i = (head % FLIGHT_CAP as u64) as usize;
+        let s = &self.flight[i];
+        s[0].store(e.ts_ps, Relaxed);
+        s[1].store(e.op, Relaxed);
+        s[2].store(
+            kind_code(e.kind) as u64
+                | (phase_idx(e.phase) as u64) << 8
+                | (reason_code(e.reason) as u64) << 16
+                | (e.persona as u64) << 24
+                | (e.peer as u64) << 32,
+            Relaxed,
+        );
+        s[3].store(e.bytes as u64 | (e.origin as u64) << 32, Relaxed);
+        s[4].store(e.parent_op, Relaxed);
+        s[5].store(e.parent_origin as u64, Relaxed);
+    }
+
+    /// Read the ring oldest-first: `(total_recorded, overwritten, events)`.
+    /// Codes are clamped on decode so a word torn by a concurrent push can
+    /// never panic the (possibly panicking) reader.
+    fn flight_read(&self, rank: u32) -> (u64, u64, Vec<TraceEvent>) {
+        let head = self.flight_head.load(Relaxed);
+        let cap = FLIGHT_CAP as u64;
+        let n = head.min(cap);
+        let dropped = head - n;
+        let mut evs = Vec::with_capacity(n as usize);
+        for k in 0..n {
+            let s = &self.flight[((head - n + k) % cap) as usize];
+            let w2 = s[2].load(Relaxed);
+            let w3 = s[3].load(Relaxed);
+            evs.push(TraceEvent {
+                rank,
+                origin: (w3 >> 32) as u32,
+                op: s[1].load(Relaxed),
+                kind: kind_from(((w2 & 0xff) as u8).min(7)),
+                phase: phase_from((((w2 >> 8) & 0xff) as u8).min(3)),
+                peer: (w2 >> 32) as u32,
+                bytes: (w3 & 0xffff_ffff) as u32,
+                reason: reason_from((((w2 >> 16) & 0xff) as u8).min(7)),
+                ts_ps: s[0].load(Relaxed),
+                parent_origin: s[5].load(Relaxed) as u32,
+                parent_op: s[4].load(Relaxed),
+                persona: ((w2 >> 24) & 0xff) as u8,
+            });
+        }
+        (head, dropped, evs)
+    }
+}
+
+// ------------------------------------------------- instrumentation hooks
+
+/// Timestamp for the next flight-ring event: a real clock read every
+/// [`FLIGHT_TS_SAMPLE`]th push, the cached reading otherwise. Monotone per
+/// rank (the cache only ever holds genuine, monotone clock readings).
+#[inline]
+fn flight_ts(c: &RankCtx) -> u64 {
+    let m = &c.metrics;
+    if m.flight_head.load(Relaxed).is_multiple_of(FLIGHT_TS_SAMPLE) {
+        let now = c.now_ps();
+        m.flight_clock_ps.set(now);
+        now
+    } else {
+        m.flight_clock_ps.get()
+    }
+}
+
+/// Injection hook: every `op_tag` call lands here — record the payload-size
+/// histogram sample and the flight-ring `Inject` event. This is on the RMA
+/// fast path; everything it does is a handful of cell/relaxed-atomic writes
+/// plus an amortized 1-in-[`FLIGHT_TS_SAMPLE`] clock read.
+#[inline]
+pub(crate) fn on_inject(c: &RankCtx, tag: TraceTag) {
+    let m = &c.metrics;
+    m.op_bytes.record(tag.bytes as u64);
+    m.flight_push(&TraceEvent {
+        rank: c.me as u32,
+        origin: c.me as u32,
+        op: tag.tid,
+        kind: tag.kind,
+        phase: Phase::Inject,
+        peer: tag.peer,
+        bytes: tag.bytes,
+        reason: FlushReason::None,
+        ts_ps: flight_ts(c),
+        parent_origin: tag.parent_origin,
+        parent_op: tag.parent_op,
+        persona: crate::persona::current_id(),
+    });
+}
+
+/// Delivery hook (RPC-family handlers): flight-ring `Deliver` event with the
+/// injecting rank as origin. Off the RMA fast path.
+pub(crate) fn on_deliver(c: &RankCtx, tag: TraceTag, origin: u32) {
+    c.metrics.flight_push(&TraceEvent {
+        rank: c.me as u32,
+        origin,
+        op: tag.tid,
+        kind: tag.kind,
+        phase: Phase::Deliver,
+        peer: tag.peer,
+        bytes: tag.bytes,
+        reason: FlushReason::None,
+        ts_ps: flight_ts(c),
+        parent_origin: tag.parent_origin,
+        parent_op: tag.parent_op,
+        persona: crate::persona::current_id(),
+    });
+}
+
+/// User-progress hook: one counter bump per call; the clock-reading spacing
+/// probe and the interval-dump check are amortized/gated off the common path.
+#[inline]
+pub(crate) fn on_progress(c: &RankCtx) {
+    let m = &c.metrics;
+    let n = m.progress_calls.get() + 1;
+    m.progress_calls.set(n);
+    if n.is_multiple_of(GAP_SAMPLE) {
+        window_probe(c);
+    }
+    if m.dump_interval_ps.get() != 0 {
+        maybe_dump(c);
+    }
+}
+
+/// Every 64th progress call: record how much wall time the last 64 calls
+/// spanned (the always-on attentiveness signal; see [`GAP_SAMPLE`]).
+#[cold]
+#[inline(never)]
+fn window_probe(c: &RankCtx) {
+    let m = &c.metrics;
+    let now = c.now_ps();
+    let last = m.last_probe_ps.get();
+    if last != 0 {
+        let w = now.saturating_sub(last);
+        m.progress_window.record(w);
+        if w > m.max_window_ps.get() {
+            m.max_window_ps.set(w);
+        }
+    }
+    m.last_probe_ps.set(now);
+    // A fresh reading is in hand — let the flight recorder's stamp cache
+    // profit even when no event has triggered a sampled read lately.
+    m.flight_clock_ps.set(now);
+}
+
+/// Interval-dump arm (only reached while `UPCXX_METRICS_DUMP` is active).
+#[cold]
+#[inline(never)]
+fn maybe_dump(c: &RankCtx) {
+    let m = &c.metrics;
+    let now = c.now_ps();
+    if now < m.next_dump_ps.get() {
+        return;
+    }
+    m.next_dump_ps.set(now + m.dump_interval_ps.get());
+    let _ = write_dump(c);
+}
+
+/// Progress-persona hook: one iteration of the progress thread's loop
+/// (`did_work` = its conduit poll delivered something).
+pub(crate) fn on_persona_poll(c: &RankCtx, did_work: bool) {
+    let m = &c.metrics;
+    m.persona_polls.set(m.persona_polls.get() + 1);
+    if did_work {
+        m.persona_work.set(m.persona_work.get() + 1);
+    }
+}
+
+/// Count one contiguous RMA taking the eager fast path.
+#[inline]
+pub(crate) fn count_eager(c: &RankCtx) {
+    let m = &c.metrics;
+    m.rma_eager.set(m.rma_eager.get() + 1);
+}
+
+/// Count one contiguous RMA taking the deferred three-queue path.
+pub(crate) fn count_deferred(c: &RankCtx) {
+    let m = &c.metrics;
+    m.rma_deferred.set(m.rma_deferred.get() + 1);
+}
+
+/// Count one aggregation-buffer flush by reason.
+pub(crate) fn count_flush(c: &RankCtx, reason: FlushReason) {
+    let cell = &c.metrics.flush_reasons[reason_code(reason) as usize];
+    cell.set(cell.get() + 1);
+}
+
+// ------------------------------------------------------------- snapshot
+
+/// Point-in-time view of one rank's metrics: monotonic counters, live
+/// queue/conduit gauges, and log2 histograms. The counter fields supersede
+/// the ad-hoc equivalents of [`crate::RuntimeStats`]; the gauges are probed
+/// at call time (no hot-path sampling).
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// This rank's id.
+    pub rank: usize,
+    /// rput/rget operations injected.
+    pub rma_ops: u64,
+    /// RPCs injected (including `rpc_ff`).
+    pub rpcs: u64,
+    /// Bytes serialized into outgoing messages.
+    pub bytes_out: u64,
+    /// Bytes received (rget data, RPC args, replies).
+    pub bytes_in: u64,
+    /// Items executed from compQ by user progress.
+    pub comp_items: u64,
+    /// Messages routed through the aggregation buffers.
+    pub agg_msgs: u64,
+    /// Aggregated batches shipped.
+    pub agg_batches: u64,
+    /// Contiguous RMAs that took the eager fast path.
+    pub rma_eager: u64,
+    /// Contiguous RMAs that took the deferred three-queue path.
+    pub rma_deferred: u64,
+    /// Aggregation-buffer flushes by [`FlushReason`] wire code
+    /// (None, Threshold, Ordering, Progress, Barrier, Explicit, ItemTail,
+    /// Reconfig).
+    pub flush_reasons: [u64; 8],
+    /// User-progress calls on the master persona.
+    pub progress_calls: u64,
+    /// Progress-persona loop iterations (0 unless `UPCXX_PROGRESS=1`).
+    pub persona_polls: u64,
+    /// Progress-persona iterations whose conduit poll delivered work.
+    pub persona_work: u64,
+    /// Largest wall-time window spanned by 64 consecutive progress calls
+    /// (ps) — the always-on attentiveness gauge (see module docs).
+    pub max_progress_window_ps: u64,
+    /// Largest exact gap between progress calls (ps; tracked only while
+    /// tracing is enabled, 0 otherwise — the tracer's per-call probe).
+    pub max_progress_gap_ps: u64,
+    /// Current defQ depth.
+    pub def_q_depth: usize,
+    /// Current conduit-owned (actQ) operation count.
+    pub act_q_depth: usize,
+    /// Current compQ depth.
+    pub comp_q_depth: usize,
+    /// Payloads currently parked in aggregation buffers.
+    pub agg_pending: usize,
+    /// Conduit inbox depth (items/frames waiting to be polled).
+    pub inbox_depth: u64,
+    /// Unflushed outbound socket bytes (proc conduit; 0 elsewhere).
+    pub backlog_bytes: u64,
+    /// Rendezvous-staging bytes in use (proc conduit; 0 elsewhere).
+    pub staging_used: u64,
+    /// Rendezvous-staging capacity (proc conduit; 0 elsewhere).
+    pub staging_cap: u64,
+    /// Sends that fell back to eager wire framing because rendezvous staging
+    /// was exhausted (proc conduit; 0 elsewhere).
+    pub eager_fallbacks: u64,
+    /// Trace-ring events recorded since launch (`UPCXX_TRACE` layer).
+    pub trace_emitted: u64,
+    /// Trace-ring events lost to ring overwrite. Previously only surfaced in
+    /// `prof` reports; a first-class counter here.
+    pub trace_dropped: u64,
+    /// Flight-recorder events recorded since launch.
+    pub flight_recorded: u64,
+    /// Flight-recorder events lost to ring overwrite (ring wrapped).
+    pub flight_dropped: u64,
+    /// Sanitizer report counters (all zero unless `UPCXX_SAN` is on).
+    pub san: crate::san::SanCounters,
+    /// Metrics dump files written so far (on-demand + interval).
+    pub dumps_written: u64,
+    /// Log2 histogram of injected payload sizes (bytes), all op kinds.
+    pub op_bytes: HistSnapshot,
+    /// Log2 histogram of the 64-call progress windows (ps).
+    pub progress_window: HistSnapshot,
+}
+
+/// Take a [`MetricsSnapshot`] of the calling rank. Panics outside a UPC++
+/// world (like every other rank-scoped API).
+pub fn snapshot() -> MetricsSnapshot {
+    let c = ctx();
+    let _g = crate::persona::lock(&c);
+    snapshot_ctx(&c)
+}
+
+pub(crate) fn snapshot_ctx(c: &RankCtx) -> MetricsSnapshot {
+    let m = &c.metrics;
+    let (trace_emitted, trace_dropped) = {
+        let tr = c.trace.borrow();
+        (tr.emitted(), tr.dropped())
+    };
+    let (flight_recorded, flight_dropped) = {
+        let head = m.flight_head.load(Relaxed);
+        (head, head.saturating_sub(FLIGHT_CAP as u64))
+    };
+    let depths = match &c.backend {
+        Backend::Cond(h) => h.depths(),
+        Backend::Sim(w) => w.depths(c.me),
+    };
+    MetricsSnapshot {
+        rank: c.me,
+        rma_ops: c.stats.rma_ops.get(),
+        rpcs: c.stats.rpcs.get(),
+        bytes_out: c.stats.bytes_out.get(),
+        bytes_in: c.stats.bytes_in.get(),
+        comp_items: c.stats.comp_items.get(),
+        agg_msgs: c.stats.agg_msgs.get(),
+        agg_batches: c.stats.agg_batches.get(),
+        rma_eager: m.rma_eager.get(),
+        rma_deferred: m.rma_deferred.get(),
+        flush_reasons: std::array::from_fn(|i| m.flush_reasons[i].get()),
+        progress_calls: m.progress_calls.get(),
+        persona_polls: m.persona_polls.get(),
+        persona_work: m.persona_work.get(),
+        max_progress_window_ps: m.max_window_ps.get(),
+        max_progress_gap_ps: c.stats.max_progress_gap_ps.get(),
+        def_q_depth: c.def_q.borrow().len(),
+        act_q_depth: c.active_ops.get(),
+        comp_q_depth: c.comp_q.borrow().len(),
+        agg_pending: crate::agg::pending_items(c),
+        inbox_depth: depths.inbox,
+        backlog_bytes: depths.backlog_bytes,
+        staging_used: depths.staging_used,
+        staging_cap: depths.staging_cap,
+        eager_fallbacks: depths.eager_fallbacks,
+        trace_emitted,
+        trace_dropped,
+        flight_recorded,
+        flight_dropped,
+        san: c.san.borrow().counters,
+        dumps_written: m.dumps_written.get(),
+        op_bytes: m.op_bytes.snap(),
+        progress_window: m.progress_window.snap(),
+    }
+}
+
+// --------------------------------------------------------- expositions
+
+/// Render `s` in Prometheus text-exposition style (`# TYPE` headers,
+/// `{rank="r"}` labels, cumulative `_bucket{le=...}` histograms).
+pub fn render_prometheus(s: &MetricsSnapshot) -> String {
+    let r = s.rank;
+    let mut out = String::with_capacity(4096);
+    let mut counter = |name: &str, v: u64| {
+        let _ = writeln!(
+            out,
+            "# TYPE upcxx_{name}_total counter\nupcxx_{name}_total{{rank=\"{r}\"}} {v}"
+        );
+    };
+    counter("rma_ops", s.rma_ops);
+    counter("rpcs", s.rpcs);
+    counter("bytes_out", s.bytes_out);
+    counter("bytes_in", s.bytes_in);
+    counter("comp_items", s.comp_items);
+    counter("agg_msgs", s.agg_msgs);
+    counter("agg_batches", s.agg_batches);
+    counter("rma_eager", s.rma_eager);
+    counter("rma_deferred", s.rma_deferred);
+    counter("progress_calls", s.progress_calls);
+    counter("persona_polls", s.persona_polls);
+    counter("persona_work", s.persona_work);
+    counter("trace_emitted", s.trace_emitted);
+    counter("trace_dropped", s.trace_dropped);
+    counter("flight_recorded", s.flight_recorded);
+    counter("flight_dropped", s.flight_dropped);
+    counter("eager_fallbacks", s.eager_fallbacks);
+    counter("dumps_written", s.dumps_written);
+    let san = s.san;
+    counter(
+        "san_reports",
+        san.races + san.restricted + san.uaf + san.oob + san.bad_frees,
+    );
+    let _ = writeln!(out, "# TYPE upcxx_agg_flush_total counter");
+    for (i, &v) in s.flush_reasons.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "upcxx_agg_flush_total{{rank=\"{r}\",reason=\"{}\"}} {v}",
+            reason_from(i as u8).as_str()
+        );
+    }
+    let mut gauge = |name: &str, v: u64| {
+        let _ = writeln!(
+            out,
+            "# TYPE upcxx_{name} gauge\nupcxx_{name}{{rank=\"{r}\"}} {v}"
+        );
+    };
+    gauge("def_q_depth", s.def_q_depth as u64);
+    gauge("act_q_depth", s.act_q_depth as u64);
+    gauge("comp_q_depth", s.comp_q_depth as u64);
+    gauge("agg_pending", s.agg_pending as u64);
+    gauge("inbox_depth", s.inbox_depth);
+    gauge("backlog_bytes", s.backlog_bytes);
+    gauge("staging_used", s.staging_used);
+    gauge("staging_cap", s.staging_cap);
+    gauge("max_progress_window_ps", s.max_progress_window_ps);
+    gauge("max_progress_gap_ps", s.max_progress_gap_ps);
+    for (name, h) in [
+        ("op_bytes", &s.op_bytes),
+        ("progress_window_ps", &s.progress_window),
+    ] {
+        let _ = writeln!(out, "# TYPE upcxx_{name} histogram");
+        let mut cum = 0u64;
+        for (i, &c) in h.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            let le = if i == 63 {
+                u64::MAX
+            } else {
+                (1u64 << (i + 1)) - 1
+            };
+            let _ = writeln!(out, "upcxx_{name}_bucket{{rank=\"{r}\",le=\"{le}\"}} {cum}");
+        }
+        let _ = writeln!(
+            out,
+            "upcxx_{name}_bucket{{rank=\"{r}\",le=\"+Inf\"}} {cum}\n\
+             upcxx_{name}_count{{rank=\"{r}\"}} {}\n\
+             upcxx_{name}_max{{rank=\"{r}\"}} {}",
+            h.count, h.max
+        );
+    }
+    out
+}
+
+/// Render `s` as a JSON object (`counters` / `gauges` / `hists` sections;
+/// parseable by any JSON reader — the test suite uses its own hand-written
+/// parser on this output).
+pub fn render_json(s: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(2048);
+    let _ = write!(out, "{{\"rank\":{},\"counters\":{{", s.rank);
+    let san = s.san;
+    let counters: [(&str, u64); 20] = [
+        ("rma_ops", s.rma_ops),
+        ("rpcs", s.rpcs),
+        ("bytes_out", s.bytes_out),
+        ("bytes_in", s.bytes_in),
+        ("comp_items", s.comp_items),
+        ("agg_msgs", s.agg_msgs),
+        ("agg_batches", s.agg_batches),
+        ("rma_eager", s.rma_eager),
+        ("rma_deferred", s.rma_deferred),
+        ("progress_calls", s.progress_calls),
+        ("persona_polls", s.persona_polls),
+        ("persona_work", s.persona_work),
+        ("trace_emitted", s.trace_emitted),
+        ("trace_dropped", s.trace_dropped),
+        ("flight_recorded", s.flight_recorded),
+        ("flight_dropped", s.flight_dropped),
+        ("eager_fallbacks", s.eager_fallbacks),
+        ("dumps_written", s.dumps_written),
+        (
+            "san_reports",
+            san.races + san.restricted + san.uaf + san.oob + san.bad_frees,
+        ),
+        ("progress_window_samples", s.progress_window.count),
+    ];
+    for (i, (k, v)) in counters.iter().enumerate() {
+        let _ = write!(out, "{}\"{k}\":{v}", if i == 0 { "" } else { "," });
+    }
+    let _ = write!(out, "}},\"flush_reasons\":{{");
+    for (i, &v) in s.flush_reasons.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}\"{}\":{v}",
+            if i == 0 { "" } else { "," },
+            reason_from(i as u8).as_str()
+        );
+    }
+    let _ = write!(out, "}},\"gauges\":{{");
+    let gauges: [(&str, u64); 10] = [
+        ("def_q_depth", s.def_q_depth as u64),
+        ("act_q_depth", s.act_q_depth as u64),
+        ("comp_q_depth", s.comp_q_depth as u64),
+        ("agg_pending", s.agg_pending as u64),
+        ("inbox_depth", s.inbox_depth),
+        ("backlog_bytes", s.backlog_bytes),
+        ("staging_used", s.staging_used),
+        ("staging_cap", s.staging_cap),
+        ("max_progress_window_ps", s.max_progress_window_ps),
+        ("max_progress_gap_ps", s.max_progress_gap_ps),
+    ];
+    for (i, (k, v)) in gauges.iter().enumerate() {
+        let _ = write!(out, "{}\"{k}\":{v}", if i == 0 { "" } else { "," });
+    }
+    let _ = write!(out, "}},\"hists\":{{");
+    for (i, (name, h)) in [
+        ("op_bytes", &s.op_bytes),
+        ("progress_window_ps", &s.progress_window),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let _ = write!(
+            out,
+            "{}\"{name}\":{{\"count\":{},\"max\":{},\"buckets\":[",
+            if i == 0 { "" } else { "," },
+            h.count,
+            h.max
+        );
+        for (j, (lo, c)) in h.nonzero().iter().enumerate() {
+            let _ = write!(out, "{}[{lo},{c}]", if j == 0 { "" } else { "," });
+        }
+        let _ = write!(out, "]}}");
+    }
+    let _ = write!(out, "}}}}");
+    out
+}
+
+/// The calling rank's metrics in Prometheus text-exposition style.
+pub fn prometheus() -> String {
+    render_prometheus(&snapshot())
+}
+
+/// The calling rank's metrics as a JSON object.
+pub fn to_json() -> String {
+    render_json(&snapshot())
+}
+
+// ----------------------------------------------------------- dump files
+
+static DUMP_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Override where dump files are written (`None` restores the environment/
+/// temp-dir resolution described in the module docs). Process-wide.
+pub fn set_dump_dir(dir: Option<PathBuf>) {
+    *DUMP_DIR.lock().unwrap() = dir;
+}
+
+/// The directory dump files currently resolve to (see module docs for the
+/// precedence order).
+pub fn dump_dir() -> PathBuf {
+    if let Some(d) = DUMP_DIR.lock().unwrap().clone() {
+        return d;
+    }
+    if let Ok(d) = std::env::var("UPCXX_METRICS_DIR") {
+        return PathBuf::from(d);
+    }
+    if let Ok(d) = std::env::var("UPCXX_PROC_DIR") {
+        return PathBuf::from(d);
+    }
+    std::env::temp_dir()
+}
+
+/// Write the calling rank's dump files now (`metrics.<rank>.json`,
+/// `metrics.<rank>.prom`, and one appended line of `metrics.<rank>.series.jsonl`).
+/// Returns the directory they were written to.
+pub fn dump() -> std::io::Result<PathBuf> {
+    let c = ctx();
+    let _g = crate::persona::lock(&c);
+    write_dump(&c)
+}
+
+fn write_dump(c: &RankCtx) -> std::io::Result<PathBuf> {
+    let m = &c.metrics;
+    m.dumps_written.set(m.dumps_written.get() + 1);
+    let s = snapshot_ctx(c);
+    let dir = dump_dir();
+    std::fs::create_dir_all(&dir)?;
+    std::fs::write(dir.join(format!("metrics.{}.json", c.me)), render_json(&s))?;
+    std::fs::write(
+        dir.join(format!("metrics.{}.prom", c.me)),
+        render_prometheus(&s),
+    )?;
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join(format!("metrics.{}.series.jsonl", c.me)))?;
+    writeln!(
+        f,
+        "{{\"seq\":{},\"rma_ops\":{},\"rpcs\":{},\"bytes_out\":{},\"bytes_in\":{},\
+         \"comp_items\":{},\"progress_calls\":{},\"flight_recorded\":{}}}",
+        s.dumps_written,
+        s.rma_ops,
+        s.rpcs,
+        s.bytes_out,
+        s.bytes_in,
+        s.comp_items,
+        s.progress_calls,
+        s.flight_recorded
+    )?;
+    Ok(dir)
+}
+
+/// Set (or clear, with 0) the interval dumping period for the calling rank —
+/// the programmatic form of `UPCXX_METRICS_DUMP=<ms>`. Dumps are written
+/// opportunistically from user progress, so an inattentive rank dumps late
+/// rather than from a hidden thread.
+pub fn set_dump_interval(ms: u64) {
+    let c = ctx();
+    let _g = crate::persona::lock(&c);
+    install_interval(&c, ms);
+}
+
+pub(crate) fn install_interval(c: &RankCtx, ms: u64) {
+    let m = &c.metrics;
+    let ps = ms.saturating_mul(1_000_000_000); // 1 ms = 1e9 ps
+    m.dump_interval_ps.set(ps);
+    if ps != 0 {
+        m.next_dump_ps.set(c.now_ps().saturating_add(ps));
+    }
+}
+
+/// Runtime-entry installation (called from every rank main): apply the
+/// configured dump interval and chain the flight-recorder panic hook.
+pub(crate) fn install(c: &RankCtx, cfg: &crate::config::Config) {
+    install_interval(c, cfg.metrics_dump_ms);
+    install_panic_hook();
+}
+
+/// Rank-main-exit hook: when interval dumping was on, write one final dump
+/// so the files always reflect the completed run.
+pub(crate) fn final_dump(c: &RankCtx) {
+    if c.metrics.dump_interval_ps.get() != 0 {
+        let _ = write_dump(c);
+    }
+}
+
+// ------------------------------------------------------ flight recorder
+
+/// Decode the calling rank's current flight-recorder contents, oldest
+/// first. Mostly useful for tests; the production consumer is the panic
+/// hook + proc-launcher postmortem.
+pub fn flight_events() -> Vec<TraceEvent> {
+    let c = ctx();
+    let _g = crate::persona::lock(&c);
+    c.metrics.flight_read(c.me as u32).2
+}
+
+/// Serialize the ring as JSON: events are 11-number arrays
+/// `[ts_ps, origin, op, kind, phase, reason, persona, peer, bytes,
+/// parent_origin, parent_op]` (codes per the `prof` wire order), so the
+/// harvest side needs no string tables.
+fn flight_json(rank: u32, n: usize, recorded: u64, dropped: u64, evs: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(64 + evs.len() * 48);
+    let _ = write!(
+        out,
+        "{{\"rank\":{rank},\"n\":{n},\"recorded\":{recorded},\"dropped\":{dropped},\"events\":["
+    );
+    for (i, e) in evs.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}[{},{},{},{},{},{},{},{},{},{},{}]",
+            if i == 0 { "" } else { "," },
+            e.ts_ps,
+            e.origin,
+            e.op,
+            kind_code(e.kind),
+            phase_idx(e.phase),
+            reason_code(e.reason),
+            e.persona,
+            e.peer,
+            e.bytes,
+            e.parent_origin,
+            e.parent_op
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Write `flight.<rank>.json` for `c` into the dump dir. Called from the
+/// panic hook; must not panic itself.
+fn write_flight(c: &RankCtx) -> std::io::Result<PathBuf> {
+    let (recorded, dropped, evs) = c.metrics.flight_read(c.me as u32);
+    let dir = dump_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("flight.{}.json", c.me));
+    std::fs::write(
+        &path,
+        flight_json(c.me as u32, c.n, recorded, dropped, &evs),
+    )?;
+    Ok(path)
+}
+
+static HOOK: Once = Once::new();
+
+/// Chain the flight-recorder dump onto the process panic hook (idempotent).
+/// The hook only acts when the panicking thread has a rank context, then
+/// always delegates to the previous hook — `should_panic` tests and
+/// user-installed hooks are unaffected.
+pub(crate) fn install_panic_hook() {
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if let Some(c) = crate::ctx::panic_ctx() {
+                let _ = write_flight(&c);
+            }
+            prev(info);
+        }));
+    });
+}
+
+// ---------------------------------------------------------- postmortem
+
+static LAST_POSTMORTEM: Mutex<Option<String>> = Mutex::new(None);
+
+/// The postmortem report from the most recent crashed proc world harvested
+/// in this process (the launcher also prints it to stderr). `None` if no
+/// crash has been harvested.
+pub fn last_postmortem() -> Option<String> {
+    LAST_POSTMORTEM.lock().unwrap().clone()
+}
+
+/// Parse the first unsigned integer following `key` in `s`.
+fn field_u64(s: &str, key: &str) -> Option<u64> {
+    let at = s.find(key)? + key.len();
+    let rest = s[at..].trim_start();
+    let end = rest
+        .find(|ch: char| !ch.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parse one `flight.<rank>.json` back into prof-merge inputs. Tolerant:
+/// malformed events are skipped, a malformed header yields `None`.
+fn parse_flight(s: &str) -> Option<(crate::prof::RankMeta, Vec<TraceEvent>)> {
+    let rank = field_u64(s, "\"rank\":")? as u32;
+    let recorded = field_u64(s, "\"recorded\":")?;
+    let dropped = field_u64(s, "\"dropped\":")?;
+    let body = &s[s.find("\"events\":[")? + "\"events\":[".len()..];
+    let mut evs = Vec::new();
+    let mut rest = body;
+    while let Some(open) = rest.find('[') {
+        let Some(close) = rest[open..].find(']') else {
+            break;
+        };
+        let nums: Vec<u64> = rest[open + 1..open + close]
+            .split(',')
+            .filter_map(|t| t.trim().parse().ok())
+            .collect();
+        if nums.len() == 11 {
+            evs.push(TraceEvent {
+                rank,
+                origin: nums[1] as u32,
+                op: nums[2],
+                kind: kind_from((nums[3] as u8).min(7)),
+                phase: phase_from((nums[4] as u8).min(3)),
+                reason: reason_from((nums[5] as u8).min(7)),
+                persona: nums[6] as u8,
+                peer: nums[7] as u32,
+                bytes: nums[8] as u32,
+                ts_ps: nums[0],
+                parent_origin: nums[9] as u32,
+                parent_op: nums[10],
+            });
+        }
+        rest = &rest[open + close + 1..];
+    }
+    Some((
+        crate::prof::RankMeta {
+            rank,
+            emitted: recorded,
+            dropped,
+        },
+        evs,
+    ))
+}
+
+/// How many merged tail events the postmortem timeline prints.
+const POSTMORTEM_TAIL: usize = 32;
+
+/// Harvest `flight.*.json` dumps from a crashed proc world's working
+/// directory and render the merged last-events timeline. This is the
+/// function the runtime installs into [`gasnet::proc::ProcConfig`] as the
+/// launcher's postmortem hook; `failed` is the first failed rank
+/// (`usize::MAX` = the world timed out). Returns `None` when no rank left a
+/// dump. The report is also retained for [`last_postmortem`].
+pub(crate) fn proc_postmortem(dir: &Path, n: usize, failed: usize) -> Option<String> {
+    let mut contribs = Vec::new();
+    for r in 0..n {
+        if let Ok(s) = std::fs::read_to_string(dir.join(format!("flight.{r}.json"))) {
+            if let Some(c) = parse_flight(&s) {
+                contribs.push(c);
+            }
+        }
+    }
+    if contribs.is_empty() {
+        return None;
+    }
+    let report = render_postmortem(n, failed, contribs);
+    *LAST_POSTMORTEM.lock().unwrap() = Some(report.clone());
+    Some(report)
+}
+
+fn render_postmortem(
+    n: usize,
+    failed: usize,
+    contribs: Vec<(crate::prof::RankMeta, Vec<TraceEvent>)>,
+) -> String {
+    let dumped: Vec<u32> = contribs.iter().map(|(m, _)| m.rank).collect();
+    let p = crate::prof::Profile::build(n, contribs, false);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== upcxx postmortem: flight-recorder timeline ({} of {n} rank(s) dumped) ===",
+        dumped.len()
+    );
+    if failed == usize::MAX {
+        let _ = writeln!(out, "world timed out; dumps below are from ranks that died");
+    } else {
+        let _ = writeln!(out, "first failed rank: rank {failed}");
+    }
+    for m in &p.meta {
+        if m.dropped > 0 {
+            let _ = writeln!(
+                out,
+                "WARNING: rank {} flight ring wrapped — {} older events overwritten \
+                 (ring keeps the most recent {})",
+                m.rank, m.dropped, FLIGHT_CAP
+            );
+        }
+    }
+    let tail = POSTMORTEM_TAIL.min(p.events.len());
+    let _ = writeln!(
+        out,
+        "last {tail} merged flight events (of {}), oldest first:",
+        p.events.len()
+    );
+    for e in &p.events[p.events.len() - tail..] {
+        let _ = writeln!(
+            out,
+            "  [{:>12} ns] rank {} {:<6} {:<8} peer={:<3} {:>7} B  op={}:{} persona={}",
+            e.ts_ps / 1000,
+            e.rank,
+            e.kind.as_str(),
+            e.phase.as_str(),
+            e.peer,
+            e.bytes,
+            e.origin,
+            e.op,
+            e.persona
+        );
+    }
+    for (m, last) in dumped
+        .iter()
+        .filter_map(|&r| p.events.iter().rev().find(|e| e.rank == r).map(|e| (r, e)))
+    {
+        let _ = writeln!(
+            out,
+            "rank {m}'s final recorded event: {} {} (peer {}, {} B) at {} ns",
+            last.kind.as_str(),
+            last.phase.as_str(),
+            last.peer,
+            last.bytes,
+            last.ts_ps / 1000
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::OpKind;
+
+    fn ev(ts: u64, rank: u32, op: u64, kind: OpKind, phase: Phase) -> TraceEvent {
+        TraceEvent {
+            rank,
+            origin: rank,
+            op,
+            kind,
+            phase,
+            peer: (rank + 1) % 4,
+            bytes: 1024,
+            reason: FlushReason::None,
+            ts_ps: ts,
+            parent_origin: 0,
+            parent_op: 0,
+            persona: 0,
+        }
+    }
+
+    #[test]
+    fn flight_ring_packs_and_wraps() {
+        let m = Metrics::new();
+        for i in 0..(FLIGHT_CAP as u64 + 10) {
+            m.flight_push(&ev(i * 100, 2, i + 1, OpKind::Put, Phase::Inject));
+        }
+        let (recorded, dropped, evs) = m.flight_read(2);
+        assert_eq!(recorded, FLIGHT_CAP as u64 + 10);
+        assert_eq!(dropped, 10);
+        assert_eq!(evs.len(), FLIGHT_CAP);
+        // Oldest surviving event is #11 (1-based), newest is the last push.
+        assert_eq!(evs[0].op, 11);
+        assert_eq!(evs.last().unwrap().op, FLIGHT_CAP as u64 + 10);
+        assert!(evs.windows(2).all(|w| w[0].ts_ps < w[1].ts_ps));
+        let e = &evs[0];
+        assert_eq!(
+            (e.kind, e.phase, e.bytes, e.peer),
+            (OpKind::Put, Phase::Inject, 1024, 3)
+        );
+    }
+
+    #[test]
+    fn flight_json_round_trips_through_parse() {
+        let evs: Vec<TraceEvent> = (0..5)
+            .map(|i| ev(1000 + i * 10, 1, i + 1, OpKind::Rpc, Phase::Deliver))
+            .collect();
+        let js = flight_json(1, 4, 300, 44, &evs);
+        let (meta, back) = parse_flight(&js).expect("parses");
+        assert_eq!((meta.rank, meta.emitted, meta.dropped), (1, 300, 44));
+        assert_eq!(back.len(), 5);
+        for (a, b) in evs.iter().zip(&back) {
+            assert_eq!(
+                (a.ts_ps, a.op, a.kind, a.phase, a.peer, a.bytes),
+                (b.ts_ps, b.op, b.kind, b.phase, b.peer, b.bytes)
+            );
+        }
+    }
+
+    #[test]
+    fn postmortem_report_names_ranks_and_wrap() {
+        let contribs = vec![
+            (
+                crate::prof::RankMeta {
+                    rank: 1,
+                    emitted: 300,
+                    dropped: 44,
+                },
+                (0..5)
+                    .map(|i| ev(1000 + i * 10, 1, i + 1, OpKind::Rpc, Phase::Inject))
+                    .collect(),
+            ),
+            (
+                crate::prof::RankMeta {
+                    rank: 0,
+                    emitted: 3,
+                    dropped: 0,
+                },
+                vec![ev(995, 0, 9, OpKind::Put, Phase::Inject)],
+            ),
+        ];
+        let rep = render_postmortem(4, 1, contribs);
+        assert!(rep.contains("postmortem"), "{rep}");
+        assert!(rep.contains("first failed rank: rank 1"), "{rep}");
+        assert!(rep.contains("flight ring wrapped"), "{rep}");
+        assert!(rep.contains("rank 1"), "{rep}");
+        // Merged order: rank 0's earlier event precedes rank 1's.
+        let p0 = rep.find("rank 0 Put").expect("rank 0 line");
+        let p1 = rep.find("rank 1 Rpc").expect("rank 1 line");
+        assert!(p0 < p1, "{rep}");
+    }
+
+    #[test]
+    fn cell_hist_buckets_match_log2() {
+        let h = CellHist::new();
+        for v in [0, 1, 2, 3, 1024, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snap();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.buckets[0], 2); // 0 and 1
+        assert_eq!(s.buckets[1], 2); // 2 and 3
+        assert_eq!(s.buckets[10], 1); // 1024
+        assert_eq!(s.buckets[63], 1); // u64::MAX
+        assert_eq!(s.nonzero().len(), 4);
+    }
+
+    #[test]
+    fn renderers_emit_parseable_shapes() {
+        // A zeroed snapshot must still render complete documents.
+        let m = Metrics::new();
+        m.op_bytes.record(512);
+        let s = MetricsSnapshot {
+            rank: 3,
+            rma_ops: 7,
+            rpcs: 2,
+            bytes_out: 4096,
+            bytes_in: 128,
+            comp_items: 9,
+            agg_msgs: 0,
+            agg_batches: 0,
+            rma_eager: 6,
+            rma_deferred: 1,
+            flush_reasons: [0; 8],
+            progress_calls: 40,
+            persona_polls: 0,
+            persona_work: 0,
+            max_progress_window_ps: 0,
+            max_progress_gap_ps: 0,
+            def_q_depth: 0,
+            act_q_depth: 0,
+            comp_q_depth: 1,
+            agg_pending: 0,
+            inbox_depth: 0,
+            backlog_bytes: 0,
+            staging_used: 0,
+            staging_cap: 0,
+            eager_fallbacks: 0,
+            trace_emitted: 0,
+            trace_dropped: 0,
+            flight_recorded: 7,
+            flight_dropped: 0,
+            san: crate::san::SanCounters::default(),
+            dumps_written: 1,
+            op_bytes: m.op_bytes.snap(),
+            progress_window: m.progress_window.snap(),
+        };
+        let prom = render_prometheus(&s);
+        assert!(prom.contains("upcxx_rma_ops_total{rank=\"3\"} 7"), "{prom}");
+        assert!(prom.contains("upcxx_op_bytes_bucket"), "{prom}");
+        assert!(prom.contains("le=\"+Inf\""), "{prom}");
+        let js = render_json(&s);
+        assert_eq!(field_u64(&js, "\"rma_ops\":"), Some(7));
+        assert_eq!(field_u64(&js, "\"flight_recorded\":"), Some(7));
+        assert!(
+            js.contains("\"op_bytes\":{\"count\":1,\"max\":512,\"buckets\":[[512,1]]}"),
+            "{js}"
+        );
+        assert!(js.ends_with("}}"), "{js}");
+    }
+}

@@ -347,6 +347,7 @@ fn progress_loop(c: Arc<RankCtx>, stop: Arc<AtomicBool>) {
                 if let Backend::Cond(h) = &c.backend {
                     did_work = h.poll(64, &mut crate::frame::exec_frame_sink) > 0;
                 }
+                crate::metrics::on_persona_poll(&c, did_work);
                 if did_work {
                     // Handlers may have buffered replies/forwards; ship
                     // them so an inattentive master still answers RPCs

@@ -60,11 +60,11 @@ const ALL_KINDS: [OpKind; 8] = [
     OpKind::Batch,
 ];
 
-fn kind_code(k: OpKind) -> u8 {
+pub(crate) fn kind_code(k: OpKind) -> u8 {
     ALL_KINDS.iter().position(|&x| x == k).unwrap() as u8
 }
 
-fn kind_from(c: u8) -> OpKind {
+pub(crate) fn kind_from(c: u8) -> OpKind {
     ALL_KINDS[c as usize]
 }
 
@@ -75,11 +75,11 @@ const ALL_PHASES: [Phase; 4] = [
     Phase::Complete,
 ];
 
-fn phase_idx(p: Phase) -> usize {
+pub(crate) fn phase_idx(p: Phase) -> usize {
     ALL_PHASES.iter().position(|&x| x == p).unwrap()
 }
 
-fn phase_from(c: u8) -> Phase {
+pub(crate) fn phase_from(c: u8) -> Phase {
     ALL_PHASES[c as usize]
 }
 
@@ -94,11 +94,11 @@ const ALL_REASONS: [FlushReason; 8] = [
     FlushReason::Reconfig,
 ];
 
-fn reason_code(r: FlushReason) -> u8 {
+pub(crate) fn reason_code(r: FlushReason) -> u8 {
     ALL_REASONS.iter().position(|&x| x == r).unwrap() as u8
 }
 
-fn reason_from(c: u8) -> FlushReason {
+pub(crate) fn reason_from(c: u8) -> FlushReason {
     ALL_REASONS[c as usize]
 }
 

@@ -192,6 +192,7 @@ pub fn rput_promise<T: Pod>(src: &[T], dest: GlobalPtr<T>, p: &Promise<()>) {
     // readies under user-level progress (§III attentiveness).
     if c.eager.get() {
         if let Backend::Cond(h) = &c.backend {
+            crate::metrics::count_eager(&c);
             h.put_bytes(dest.rank(), dest.byte_offset(), pod_as_bytes(src));
             c.eager_complete(
                 tag,
@@ -205,6 +206,7 @@ pub fn rput_promise<T: Pod>(src: &[T], dest: GlobalPtr<T>, p: &Promise<()>) {
             return;
         }
     }
+    crate::metrics::count_deferred(&c);
     let p2 = p.clone();
     let done: Box<dyn FnOnce()> = Box::new(move || p2.fulfill_anonymous(1));
     let done = if san {
@@ -258,6 +260,7 @@ fn rget_raw<T: Pod + Clone>(src: GlobalPtr<T>, count: usize, done: Box<dyn FnOnc
     let len = count * std::mem::size_of::<T>();
     if c.eager.get() {
         if let Backend::Cond(h) = &c.backend {
+            crate::metrics::count_eager(&c);
             let data = cond_read_typed::<T>(h.as_ref(), src.rank(), src.byte_offset(), count);
             c.stats.bytes_in.set(c.stats.bytes_in.get() + len as u64);
             let eff: Box<dyn FnOnce()> = Box::new(move || done(data));
@@ -270,6 +273,7 @@ fn rget_raw<T: Pod + Clone>(src: GlobalPtr<T>, count: usize, done: Box<dyn FnOnc
             return;
         }
     }
+    crate::metrics::count_deferred(&c);
     let done: Box<dyn FnOnce(Vec<u8>)> = Box::new(move |bytes| {
         done(pod_from_bytes(&bytes));
         recycle_buf(bytes);
@@ -329,6 +333,7 @@ pub fn rget_val_promise<T: Pod + Clone>(src: GlobalPtr<T>, p: &Promise<T>) {
     let p2 = p.clone();
     if c.eager.get() {
         if let Backend::Cond(h) = &c.backend {
+            crate::metrics::count_eager(&c);
             let v = cond_read_one::<T>(h.as_ref(), src.rank(), src.byte_offset());
             c.stats.bytes_in.set(c.stats.bytes_in.get() + len as u64);
             let eff: Box<dyn FnOnce()> = Box::new(move || p2.fulfill(v));
@@ -341,6 +346,7 @@ pub fn rget_val_promise<T: Pod + Clone>(src: GlobalPtr<T>, p: &Promise<T>) {
             return;
         }
     }
+    crate::metrics::count_deferred(&c);
     let done: Box<dyn FnOnce(Vec<u8>)> = Box::new(move |bytes| {
         assert_eq!(bytes.len(), len, "rget_val payload length mismatch");
         // SAFETY: length checked; Pod tolerates any bit pattern;
@@ -390,6 +396,7 @@ pub fn rget_into_promise<T: Pod>(src: GlobalPtr<T>, dst: &mut [T], p: &Promise<(
             // Same injection-time copy whether the eager knob is on or off:
             // shared-memory gets are synchronous either way; the knob only
             // selects how bulk rget/rput stage their payloads.
+            crate::metrics::count_eager(&c);
             h.get_bytes(src.rank(), src.byte_offset(), pod_as_bytes_mut(dst));
             c.stats.bytes_in.set(c.stats.bytes_in.get() + len as u64);
             c.eager_complete(
@@ -403,6 +410,7 @@ pub fn rget_into_promise<T: Pod>(src: GlobalPtr<T>, dst: &mut [T], p: &Promise<(
             );
         }
         Backend::Sim(w) => {
+            crate::metrics::count_deferred(&c);
             w.seg_read(src.rank(), src.byte_offset(), pod_as_bytes_mut(dst));
             // A modeled Get of the same extent keeps wire accounting and
             // the completion timeline exactly as a buffering rget would;

@@ -64,6 +64,7 @@ where
     let _restricted = san::RestrictedGuard::new(&tc);
     let _span = crate::trace::SpanGuard::enter(&tc, env.origin, env.tag.tid);
     tc.emit_from(Phase::Deliver, env.tag, env.origin, FlushReason::None);
+    crate::metrics::on_deliver(&tc, env.tag, env.origin);
     tc.stats
         .bytes_in
         .set(tc.stats.bytes_in.get() + env.body.len() as u64);
@@ -143,6 +144,7 @@ fn deliver_ff<A: Ser>(env: FrameEnv) {
     let _restricted = san::RestrictedGuard::new(&tc);
     let _span = crate::trace::SpanGuard::enter(&tc, env.origin, env.tag.tid);
     tc.emit_from(Phase::Deliver, env.tag, env.origin, FlushReason::None);
+    crate::metrics::on_deliver(&tc, env.tag, env.origin);
     tc.stats
         .bytes_in
         .set(tc.stats.bytes_in.get() + env.body.len() as u64);
@@ -192,6 +194,7 @@ fn deliver_reply(env: FrameEnv) {
     let _restricted = san::RestrictedGuard::new(&ic);
     let _span = crate::trace::SpanGuard::enter(&ic, replier, tag.tid);
     ic.emit_from(Phase::Deliver, tag, replier, FlushReason::None);
+    crate::metrics::on_deliver(&ic, tag, replier);
     ic.stats
         .bytes_in
         .set(ic.stats.bytes_in.get() + bytes.len() as u64);
@@ -264,6 +267,7 @@ fn deliver_sys<A: Ser>(env: FrameEnv) {
     let _restricted = san::RestrictedGuard::new(&tc);
     let _span = crate::trace::SpanGuard::enter(&tc, env.origin, env.tag.tid);
     tc.emit_from(Phase::Deliver, env.tag, env.origin, FlushReason::None);
+    crate::metrics::on_deliver(&tc, env.tag, env.origin);
     f(from_bytes(env.body));
     tc.emit_from(Phase::Complete, env.tag, env.origin, FlushReason::None);
 }

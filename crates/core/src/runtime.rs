@@ -44,10 +44,14 @@ impl Default for SpmdConfig {
 /// then finalize — no rank leaves while others may still address it.
 fn rank_main(h: Arc<dyn Conduit>, san_shared: crate::san::SanShared, cfg: &Config, f: &dyn Fn()) {
     let c = RankCtx::new_cond(h, san_shared, cfg);
-    with_ctx(c, || {
+    with_ctx(c.clone(), || {
         if cfg.trace.enabled {
             crate::trace::set_config(cfg.trace);
         }
+        // Always-on observability: arm the periodic metrics dump (when
+        // configured) and chain the flight-recorder panic hook so a dying
+        // rank leaves its last events behind for the launcher's postmortem.
+        crate::metrics::install(&c, cfg);
         // Opt-in async progress engine (UPCXX_PROGRESS=1 /
         // `Config::progress`): start the rank's progress persona before the
         // rank main runs.
@@ -64,6 +68,8 @@ fn rank_main(h: Arc<dyn Conduit>, san_shared: crate::san::SanShared, cfg: &Confi
         // Drain one more round of progress so late completion items
         // (e.g. barrier acks to peers) are serviced before teardown.
         crate::ctx::progress();
+        // Interval-dumping worlds get one closing dump covering the full run.
+        crate::metrics::final_dump(&c);
     });
 }
 
@@ -102,6 +108,10 @@ where
                     seg_size: cfg.seg_size,
                     rv_size: cfg.proc_rv_size,
                     eager_max: cfg.proc_eager_max,
+                    // Crashed ranks leave flight-recorder dumps in the
+                    // bootstrap dir (UPCXX_PROC_DIR); the launcher calls this
+                    // to merge them into a last-events timeline.
+                    postmortem: Some(crate::metrics::proc_postmortem),
                 },
                 move |h| {
                     // Each rank is its own process: the sanitizer's shadow

@@ -1,0 +1,206 @@
+//! Integration suite for the always-on `upcxx::metrics` layer: the
+//! disabled/default-path equivalence contract (interval dumping on or off,
+//! the application observes bit-identical results — mirroring
+//! `tests/rma_fastpath.rs`), round-tripping the dump files through the
+//! hand-written JSON parser in `tests/common`, and the panic-hook flight
+//! dump.
+//!
+//! The dump directory is process-global state (`set_dump_dir`), so every
+//! test here serializes on one mutex — Rust's test harness otherwise runs
+//! them concurrently in one process.
+
+mod common;
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+use upcxx::{ConduitKind, Config};
+
+static DUMP_DIR_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    DUMP_DIR_LOCK
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner())
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("upcxx-metrics-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+// --------------------------------------- interval on/off equivalence
+
+/// The `rma_fastpath` workload shape: rput a slice to the right neighbor,
+/// read my own slot back three ways, and RPC the neighbor — everything the
+/// application can observe, returned for comparison across dump states.
+fn workload() -> (Vec<u64>, u64, Vec<u64>, u64) {
+    let me = upcxx::rank_me() as u64;
+    let n = upcxx::rank_n();
+    let slot = upcxx::allocate::<u64>(8);
+    slot.local_write(&[0; 8]);
+    let slots = upcxx::allgather(slot);
+    let right = (upcxx::rank_me() + 1) % n;
+    let src: Vec<u64> = (0..8).map(|i| me * 100 + i).collect();
+    upcxx::rput(&src, slots[right]).wait();
+    upcxx::barrier();
+    let got = upcxx::rget(slot, 8).wait();
+    let head = upcxx::rget_val(slot).wait();
+    let mut into = vec![0u64; 8];
+    upcxx::rget_into(slot, &mut into).wait();
+    let echoed = upcxx::rpc(right, |x: u64| x + 1, me).wait();
+    upcxx::barrier();
+    upcxx::deallocate(slot);
+    upcxx::barrier();
+    (got, head, into, echoed)
+}
+
+/// One world, both dump states: a 1 ms dump interval (continuously firing
+/// from user progress) must not change anything the application observes.
+fn body_dump_on_off_equivalence() {
+    upcxx::metrics::set_dump_interval(1);
+    let on = workload();
+    upcxx::metrics::set_dump_interval(0);
+    let off = workload();
+    assert_eq!(on, off, "interval dumping must be observationally inert");
+    let left = ((upcxx::rank_me() + upcxx::rank_n() - 1) % upcxx::rank_n()) as u64;
+    let expect: Vec<u64> = (0..8).map(|i| left * 100 + i).collect();
+    assert_eq!(on.0, expect);
+    assert_eq!(on.1, expect[0]);
+    assert_eq!(on.2, expect);
+    // Interval firing is wall-clock-driven; spin progress (which is where
+    // opportunistic dumping lives) until one lands rather than racing it.
+    upcxx::metrics::set_dump_interval(1);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while upcxx::metrics::snapshot().dumps_written == 0 {
+        upcxx::progress();
+        assert!(
+            std::time::Instant::now() < deadline,
+            "interval dump never fired"
+        );
+    }
+    upcxx::metrics::set_dump_interval(0);
+    upcxx::barrier();
+}
+
+#[test]
+fn smp_dump_interval_on_off_same_results() {
+    let _g = lock();
+    upcxx::metrics::set_dump_dir(Some(fresh_dir("smp-equiv")));
+    upcxx::run_spmd_default(3, body_dump_on_off_equivalence);
+    upcxx::metrics::set_dump_dir(None);
+}
+
+#[test]
+fn proc_dump_interval_on_off_same_results() {
+    let _g = lock();
+    // Children dump into $UPCXX_PROC_DIR (the world's bootstrap directory),
+    // which the launcher owns and removes — no explicit dir needed.
+    upcxx::run_spmd_with(
+        3,
+        Config::default().with_conduit(ConduitKind::Proc),
+        body_dump_on_off_equivalence,
+    );
+}
+
+// ------------------------------------------- dump-file round tripping
+
+#[test]
+fn smp_dump_files_round_trip_through_parser() {
+    let _g = lock();
+    let dir = fresh_dir("roundtrip");
+    upcxx::metrics::set_dump_dir(Some(dir.clone()));
+    upcxx::run_spmd_default(2, || {
+        let _ = workload();
+        let where_to = upcxx::metrics::dump().unwrap();
+        let d2 = upcxx::metrics::dump().unwrap(); // series gets a 2nd line
+        assert_eq!(where_to, d2);
+        upcxx::barrier();
+        let me = upcxx::rank_me();
+        let s = upcxx::metrics::snapshot();
+
+        // JSON dump: parses with the hand-written parser, sections present,
+        // counters consistent with the live snapshot.
+        let j = common::parse_json(
+            &std::fs::read_to_string(where_to.join(format!("metrics.{me}.json"))).unwrap(),
+        );
+        assert_eq!(j.get("rank").unwrap().num() as usize, me);
+        let counters = j.get("counters").unwrap();
+        assert!(counters.get("rma_ops").unwrap().num() >= 1.0);
+        assert!(counters.get("rpcs").unwrap().num() >= 1.0);
+        assert!(counters.get("flight_recorded").unwrap().num() >= 1.0);
+        assert!(counters.get("rma_ops").unwrap().num() as u64 <= s.rma_ops);
+        let gauges = j.get("gauges").unwrap();
+        assert!(gauges.get("staging_cap").is_some());
+        let hist = j.get("hists").unwrap().get("op_bytes").unwrap();
+        assert!(hist.get("count").unwrap().num() >= 1.0);
+
+        // In-process exposition strings parse/scrape the same way.
+        let _ = common::parse_json(&upcxx::metrics::to_json());
+        let prom = std::fs::read_to_string(where_to.join(format!("metrics.{me}.prom"))).unwrap();
+        assert!(prom.contains("# TYPE upcxx_rma_ops_total counter"));
+        assert!(prom.contains(&format!("upcxx_rma_ops_total{{rank=\"{me}\"}}")));
+        assert!(prom.contains("upcxx_op_bytes_bucket"));
+
+        // Series file: one JSON object per dump, seq and counters monotone.
+        let series =
+            std::fs::read_to_string(where_to.join(format!("metrics.{me}.series.jsonl"))).unwrap();
+        let lines: Vec<_> = series.lines().map(common::parse_json).collect();
+        assert!(lines.len() >= 2, "two dumps must append two lines");
+        for pair in lines.windows(2) {
+            for key in ["seq", "rma_ops", "rpcs", "bytes_out", "progress_calls"] {
+                assert!(
+                    pair[0].get(key).unwrap().num() <= pair[1].get(key).unwrap().num(),
+                    "{key} went backwards across dumps"
+                );
+            }
+        }
+        upcxx::barrier();
+    });
+    upcxx::metrics::set_dump_dir(None);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ------------------------------------------------ panic-hook flight dump
+
+#[test]
+fn panic_hook_writes_parseable_flight_dump() {
+    let _g = lock();
+    let dir = fresh_dir("flight");
+    upcxx::metrics::set_dump_dir(Some(dir.clone()));
+    upcxx::run_spmd_default(1, || {
+        // Self-directed traffic gives the ring something to record.
+        let slot = upcxx::allocate::<u64>(4);
+        upcxx::rput(&[1u64, 2, 3, 4], slot).wait();
+        assert_eq!(upcxx::rget(slot, 4).wait(), vec![1, 2, 3, 4]);
+        let live = upcxx::metrics::flight_events();
+        assert!(!live.is_empty(), "flight ring empty after traffic");
+        assert!(live.len() <= upcxx::metrics::FLIGHT_CAP);
+
+        // The hook fires on any panic on a thread holding a rank context —
+        // catching the unwind afterwards does not un-write the file.
+        let caught = std::panic::catch_unwind(|| panic!("flight-dump probe"));
+        assert!(caught.is_err());
+
+        let j = common::parse_json(&std::fs::read_to_string(dir.join("flight.0.json")).unwrap());
+        assert_eq!(j.get("rank").unwrap().num() as u64, 0);
+        assert_eq!(j.get("n").unwrap().num() as u64, 1);
+        assert!(j.get("recorded").unwrap().num() >= live.len() as f64);
+        assert_eq!(
+            j.get("dropped").unwrap().num() as u64,
+            0,
+            "tiny run cannot wrap"
+        );
+        let events = j.get("events").unwrap().arr();
+        assert!(events.len() >= live.len(), "dump lost live events");
+        for e in events {
+            assert_eq!(e.arr().len(), 11, "events are 11-number arrays");
+        }
+        // Timestamps are merge-ready: nondecreasing oldest-first.
+        let ts: Vec<f64> = events.iter().map(|e| e.arr()[0].num()).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "dump not oldest-first");
+    });
+    upcxx::metrics::set_dump_dir(None);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,52 @@
+//! Crash-harvest integration for the proc conduit: when a rank dies, its
+//! panic hook flushes the flight recorder to the world's bootstrap
+//! directory, the launcher harvests the dumps *before* cleanup, and the
+//! postmortem report it prints (retained via
+//! [`upcxx::metrics::last_postmortem`]) names the dead rank and its final
+//! recorded events — `proc_crash` upgraded from "non-zero exit propagates"
+//! to "here is what the rank was doing when it died".
+
+use upcxx::{ConduitKind, Config};
+
+fn crashing_world() {
+    upcxx::run_spmd_with(4, Config::default().with_conduit(ConduitKind::Proc), || {
+        // Everyone arrives before anyone dies: the crash hits a live,
+        // communicating world, so the flight ring has events to dump.
+        upcxx::barrier();
+        if upcxx::rank_me() == 2 {
+            panic!("postmortem-test: rank 2 failing on purpose");
+        }
+        // Survivors block until the launcher kills them.
+        upcxx::barrier();
+    });
+}
+
+#[test]
+fn proc_crash_postmortem_names_dead_rank() {
+    // Re-exec'd rank children must run the world body unguarded: rank 2's
+    // panic has to reach the process exit code for the launcher to see it.
+    if std::env::var("UPCXX_PROC_RANK").is_ok() {
+        crashing_world();
+        return;
+    }
+    let result = std::panic::catch_unwind(crashing_world);
+    assert!(result.is_err(), "launcher must propagate rank failure");
+    let msg = result
+        .unwrap_err()
+        .downcast::<String>()
+        .map(|b| *b)
+        .unwrap_or_default();
+    assert!(
+        msg.contains("rank 2"),
+        "launcher panic must name the failed rank: {msg:?}"
+    );
+
+    let report = upcxx::metrics::last_postmortem()
+        .expect("launcher must harvest the dead rank's flight dump");
+    assert!(report.contains("upcxx postmortem"), "{report}");
+    assert!(report.contains("first failed rank: rank 2"), "{report}");
+    assert!(report.contains("rank 2's final recorded event"), "{report}");
+    // The harvested timeline is real decoded traffic, not placeholders: the
+    // pre-crash barrier shows up as system AMs attributed to rank 2.
+    assert!(report.contains("rank 2 SysAm"), "{report}");
+}

@@ -85,6 +85,27 @@ pub enum Batch {
     Frame(Vec<u8>),
 }
 
+/// A uniform snapshot of a conduit's internal queue occupancy, probed on
+/// demand by the observability layer above ([`Conduit::depths`]). Every
+/// conduit reports its inbox depth; fields a conduit has no equivalent of
+/// stay 0 (an smp inbox has no socket backlog; sim executes deliveries at
+/// their arrival event, so nothing ever waits in an inbox).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConduitDepths {
+    /// Entries waiting in this rank's inbox (items/frames not yet polled).
+    pub inbox: u64,
+    /// Outbound bytes accepted but not yet flushed to the wire (proc: the
+    /// sum of per-peer socket `pending` buffers).
+    pub backlog_bytes: u64,
+    /// Rendezvous-staging bytes currently in use (proc only).
+    pub staging_used: u64,
+    /// Rendezvous-staging capacity in bytes (proc only; 0 = no staging).
+    pub staging_cap: u64,
+    /// Sends that wanted the rendezvous path but fell back to eager wire
+    /// framing because staging was exhausted (proc only).
+    pub eager_fallbacks: u64,
+}
+
 /// The unified transport contract every gasnet conduit implements.
 ///
 /// This is the GASNet-EX substrate surface the `upcxx` core dispatches
@@ -147,6 +168,15 @@ pub trait Conduit: Send + Sync {
     fn inbox_nonempty(&self) -> bool;
     /// Number of entries currently queued for this rank.
     fn inbox_depth(&self) -> u64;
+    /// Queue-occupancy probe for observability. The default covers any
+    /// conduit whose only queue is its inbox; conduits with more internal
+    /// buffering (proc: socket backlog, rendezvous staging) override it.
+    fn depths(&self) -> ConduitDepths {
+        ConduitDepths {
+            inbox: self.inbox_depth(),
+            ..ConduitDepths::default()
+        }
+    }
     /// Monotonic-ish wall clock in picoseconds since conduit start,
     /// comparable across ranks of one world.
     fn wall_ps(&self) -> u64;

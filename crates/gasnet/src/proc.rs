@@ -60,6 +60,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
+/// Signature of the crash-forensics hook in [`ProcConfig::postmortem`]:
+/// `(bootstrap_dir, rank_n, failed_rank)` → a report to print, or `None`
+/// when there is nothing to say (no dump files found).
+pub type PostmortemFn = fn(&Path, usize, usize) -> Option<String>;
+
 /// Knobs for a proc-conduit world (the `upcxx` layer fills these from its
 /// typed `Config`).
 #[derive(Clone, Debug)]
@@ -70,6 +75,13 @@ pub struct ProcConfig {
     pub rv_size: usize,
     /// Largest frame sent inline on the socket; larger frames rendezvous.
     pub eager_max: usize,
+    /// Crash-forensics hook: when a rank fails, the launcher calls this with
+    /// `(bootstrap_dir, n, failed_rank)` *before* removing the directory
+    /// (`failed_rank == usize::MAX` = the world timed out) and prints the
+    /// returned report to stderr. The `upcxx` layer installs its
+    /// flight-recorder harvest here; the conduit itself never interprets the
+    /// dump files — it only owns their lifetime.
+    pub postmortem: Option<PostmortemFn>,
 }
 
 impl Default for ProcConfig {
@@ -78,6 +90,7 @@ impl Default for ProcConfig {
             seg_size: 8 << 20,
             rv_size: 4 << 20,
             eager_max: 4096,
+            postmortem: None,
         }
     }
 }
@@ -276,6 +289,9 @@ pub struct ProcHandle {
     ctrl: Mapping,
     epoch_ns: u64,
     net: Mutex<Net>,
+    /// Sends that wanted the rendezvous path but found staging exhausted and
+    /// fell back to eager wire framing (surfaced through [`Conduit::depths`]).
+    eager_fallbacks: AtomicU64,
 }
 
 impl ProcHandle {
@@ -472,7 +488,10 @@ impl ProcHandle {
                 put_u64(&mut desc, frame.len() as u64);
                 Self::enqueue_msg(&mut net, target, OP_RV_PUT, &[&desc]);
             }
-            None => Self::enqueue_msg(&mut net, target, OP_EAGER, &[&frame]),
+            None => {
+                self.eager_fallbacks.fetch_add(1, Ordering::Relaxed);
+                Self::enqueue_msg(&mut net, target, OP_EAGER, &[&frame]);
+            }
         }
     }
 
@@ -632,6 +651,22 @@ impl Conduit for ProcHandle {
     fn inbox_depth(&self) -> u64 {
         self.net.lock().unwrap().rxq.len() as u64
     }
+    fn depths(&self) -> crate::ConduitDepths {
+        let net = self.net.lock().unwrap();
+        let free: usize = net.rv.free.iter().map(|&(_, len)| len).sum();
+        crate::ConduitDepths {
+            inbox: net.rxq.len() as u64,
+            backlog_bytes: net
+                .out
+                .iter()
+                .flatten()
+                .map(|c| c.pending.len() as u64)
+                .sum(),
+            staging_used: (self.rv_size - free) as u64,
+            staging_cap: self.rv_size as u64,
+            eager_fallbacks: self.eager_fallbacks.load(Ordering::Relaxed),
+        }
+    }
     fn wall_ps(&self) -> u64 {
         let now = SystemTime::now()
             .duration_since(UNIX_EPOCH)
@@ -749,6 +784,7 @@ where
             rxq: VecDeque::new(),
             rv: RvAlloc::new(rv_size),
         }),
+        eager_fallbacks: AtomicU64::new(0),
     });
 
     // Startup rendezvous: after this, every rank's listener exists and
@@ -847,6 +883,11 @@ fn parent_main(n: usize, cfg: ProcConfig, world: u64) {
                 let _ = child.kill();
                 let _ = child.wait();
             }
+        }
+        // Harvest crash dumps (flight recorders, metrics) from the bootstrap
+        // dir while it still exists; the hook renders, we only print.
+        if let Some(report) = cfg.postmortem.and_then(|pm| pm(&dir, n, r)) {
+            eprintln!("{report}");
         }
         let _ = fs::remove_dir_all(&dir);
         if r == usize::MAX {

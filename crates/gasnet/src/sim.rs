@@ -182,6 +182,15 @@ impl SimWorld {
         self.0.st.borrow().ranks[rank].deferred
     }
 
+    /// Queue-occupancy probe matching [`crate::Conduit::depths`] so the
+    /// observability layer reports all conduits uniformly. The sim conduit
+    /// executes deliveries at their arrival events (inattentiveness is
+    /// modeled as deferred *time*, [`Self::rank_deferred`], not queued
+    /// entries), so every depth is legitimately zero.
+    pub fn depths(&self, _rank: Rank) -> crate::ConduitDepths {
+        crate::ConduitDepths::default()
+    }
+
     /// Charge `cost` of CPU work to `rank` (scaled by the machine's CPU
     /// factor), starting no earlier than now. Returns the completion time.
     pub fn charge(&self, rank: Rank, cost: Time) -> Time {

@@ -8,6 +8,12 @@
 //! launcher's supervision of a *running* world, not a bootstrap failure);
 //! the parent kills the surviving ranks and panics with rank 1's exit
 //! status. A run that prints the final "unreachable" line is a bug.
+//!
+//! Before the parent panics it prints a **postmortem**: the dying rank's
+//! always-on flight recorder (`upcxx::metrics`) is flushed to a per-rank
+//! JSON file by its panic hook, the launcher harvests the dumps from the
+//! crashed world's bootstrap directory, and a merged last-events timeline
+//! names what rank 1 was doing when it died — CI asserts that too.
 
 fn main() {
     let ranks = std::env::var("UPCXX_RANKS")

@@ -153,23 +153,77 @@ for n in 2 4; do
     cargo run --release --example dht_kmer_count | sed 's/^/    /'
 done
 
-echo "==> proc smoke: a crashed rank fails the launcher (non-zero exit)"
+echo "==> metrics smoke: interval dump parses and counters are monotone"
+# The always-on metrics layer's export surface: a quickstart run with a 1 ms
+# dump interval must leave per-rank JSON + Prometheus + series files, the
+# JSON must parse with nonzero traffic counters, and the series (one line
+# per dump) must be monotone in every counter it records.
+metrics_dir="$(mktemp -d /tmp/ci-metrics-XXXXXX)"
+UPCXX_METRICS_DUMP=1 UPCXX_METRICS_DIR="$metrics_dir" \
+  cargo run --release --example quickstart >/dev/null
+python3 - "$metrics_dir" <<'EOF'
+import glob, json, os, sys
+d = sys.argv[1]
+dumps = sorted(glob.glob(os.path.join(d, "metrics.*.json")))
+assert dumps, "no metrics.<rank>.json dumps were written"
+for path in dumps:
+    doc = json.load(open(path))
+    c = doc["counters"]
+    assert c["rma_ops"] + c["rpcs"] > 0, f"{path}: no traffic recorded"
+    assert c["progress_calls"] > 0, f"{path}: progress never counted"
+    assert c["flight_recorded"] > 0, f"{path}: flight ring recorded nothing"
+    assert doc["gauges"]["staging_used"] <= doc["gauges"]["staging_cap"] or \
+        doc["gauges"]["staging_cap"] == 0, f"{path}: staging gauge inconsistent"
+    prom = open(path.replace(".json", ".prom")).read()
+    r = doc["rank"]
+    assert f'upcxx_rma_ops_total{{rank="{r}"}}' in prom, f"{path}: prom missing counter"
+    series = [json.loads(l) for l in open(path.replace(".json", ".series.jsonl"))]
+    assert series, f"{path}: series file empty"
+    for a, b in zip(series, series[1:]):
+        for k in a:
+            assert a[k] <= b[k], f"{path}: series counter {k} went backwards"
+print(f"    metrics OK: {len(dumps)} rank dump(s), counters monotone across "
+      f"{sum(len(open(p.replace('.json', '.series.jsonl')).readlines()) for p in dumps)} series points")
+EOF
+rm -rf "$metrics_dir"
+
+echo "==> proc smoke: a crashed rank fails the launcher AND leaves a postmortem"
 # Rank failure must be process failure: proc_crash's rank 1 panics and the
 # launcher has to kill the survivors and exit non-zero. A zero exit here
-# means a wedged world was silently reaped as success.
+# means a wedged world was silently reaped as success. The launcher must
+# also harvest the dead rank's flight-recorder dump and print the merged
+# postmortem timeline naming rank 1 before cleaning the world up.
+crash_out="$(mktemp /tmp/ci-crash-XXXXXX.log)"
 if UPCXX_CONDUIT=proc UPCXX_RANKS=4 UPCXX_PROC_TIMEOUT=120 \
-    cargo run --release --example proc_crash 2>/dev/null; then
+    cargo run --release --example proc_crash >"$crash_out" 2>&1; then
   echo "ERROR: proc_crash exited 0 — rank failure was not propagated" >&2
   exit 1
-else
-  echo "    crash propagation OK (launcher exited non-zero)"
 fi
+grep -q "upcxx postmortem" "$crash_out" || {
+  echo "ERROR: proc_crash printed no postmortem timeline" >&2
+  tail -20 "$crash_out" >&2
+  exit 1
+}
+grep -q "first failed rank: rank 1" "$crash_out" || {
+  echo "ERROR: postmortem did not name the failed rank" >&2
+  grep -A5 "postmortem" "$crash_out" >&2
+  exit 1
+}
+grep -q "rank 1's final recorded event" "$crash_out" || {
+  echo "ERROR: postmortem has no final-event line for the dead rank" >&2
+  exit 1
+}
+echo "    crash propagation OK (non-zero exit + postmortem names rank 1)"
+rm -f "$crash_out"
 
 echo "==> guard: the removed stats_*() shims stay removed"
 # The deprecated free functions (stats_rpcs & friends) were deleted in favor
 # of upcxx::runtime_stats(); no call or definition may reappear anywhere.
+# crates/analyze is excluded: its deprecated-api rule table and fixtures
+# *encode* this ban (and the analyzer gate above enforces it tree-wide).
 if grep -rn --include='*.rs' -E '\bstats_(rma_ops|rpcs|agg_msgs|agg_batches)\b' \
-    crates examples tests 2>/dev/null; then
+    crates examples tests 2>/dev/null \
+    | grep -v '^crates/analyze/'; then
   echo "ERROR: stats_*() shims resurfaced (use upcxx::runtime_stats())" >&2
   exit 1
 fi

@@ -70,6 +70,14 @@ if grep -rn --include='*.rs' -E '\bUnixListener\b|\bUnixStream\b|\bCommand::new\
   fail=1
 fi
 
+echo "==> lint(legacy): raw metrics-cell access confined to metrics.rs"
+if grep -rn --include='*.rs' -F '.metrics.' \
+    crates/core/src \
+    | grep -v 'crates/core/src/metrics.rs'; then
+  echo "ERROR: raw .metrics. cell access outside metrics.rs — use the crate::metrics hooks" >&2
+  fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
   exit 1
 fi
